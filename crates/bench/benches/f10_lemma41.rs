@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F10 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f10, "f10");

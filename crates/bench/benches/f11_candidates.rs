@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F11 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f11, "f11");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F12 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f12, "f12");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F13 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f13, "f13");

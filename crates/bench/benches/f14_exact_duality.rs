@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F14 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f14, "f14");

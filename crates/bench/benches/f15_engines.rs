@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F15 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f15, "f15");

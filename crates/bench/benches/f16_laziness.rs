@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F16 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f16, "f16");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F1 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f1, "f1");

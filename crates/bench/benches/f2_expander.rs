@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F2 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f2, "f2");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F3 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f3, "f3");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F4 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f4, "f4");

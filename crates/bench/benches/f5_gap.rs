@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F5 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f5, "f5");

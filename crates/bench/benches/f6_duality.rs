@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F6 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f6, "f6");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F7 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f7, "f7");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F8 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f8, "f8");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment F9 (quick preset).
+
+cobra_bench::experiment_bench!(bench_f9, "f9");

@@ -1,0 +1,3 @@
+//! Bench target regenerating experiment T1 (quick preset).
+
+cobra_bench::experiment_bench!(bench_t1, "t1");

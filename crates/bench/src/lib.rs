@@ -1,0 +1,44 @@
+//! Shared plumbing for the benchmark targets.
+//!
+//! Each Criterion bench file regenerates one experiment table (quick
+//! preset) per iteration — the benches double as a performance record
+//! of the full pipeline (graph generation → spectra → simulation →
+//! statistics) and as a smoke test that `cargo bench --workspace`
+//! exercises every experiment.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// Benchmarks `cobra::experiments::run(id, quick=true)` under a
+/// bench-friendly Criterion configuration.
+pub fn bench_experiment(c: &mut Criterion, id: &str) {
+    let mut group = c.benchmark_group("experiments");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let table = cobra::experiments::run(id, true).expect("registered experiment");
+            std::hint::black_box(table.rows.len())
+        })
+    });
+    group.finish();
+}
+
+/// A Criterion instance without CLI parsing quirks for bench targets.
+pub fn criterion() -> Criterion {
+    Criterion::default().configure_from_args()
+}
+
+/// Expands to a complete bench target for one experiment id.
+#[macro_export]
+macro_rules! experiment_bench {
+    ($fn_name:ident, $id:literal) => {
+        fn $fn_name(c: &mut ::criterion::Criterion) {
+            $crate::bench_experiment(c, $id);
+        }
+        ::criterion::criterion_group!(benches, $fn_name);
+        ::criterion::criterion_main!(benches);
+    };
+}

@@ -1,0 +1,192 @@
+//! `cobra-exps` — the experiment harness binary.
+//!
+//! Regenerates the paper's quantitative claims as tables:
+//!
+//! ```sh
+//! cobra-exps all                # every experiment, full fidelity
+//! cobra-exps --quick all        # fast presets (what CI runs)
+//! cobra-exps f6 t1              # a subset
+//! cobra-exps --csv f4           # CSV to stdout
+//! cobra-exps --markdown all     # markdown (EXPERIMENTS.md input)
+//! cobra-exps --plot f1          # append an ASCII figure to the table
+//! cobra-exps --list             # available ids
+//! ```
+
+use cobra::experiments;
+use cobra::Table;
+use cobra_viz::{Plot, Scale, Series};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Plain,
+    Csv,
+    Markdown,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut plot = false;
+    let mut format = Format::Plain;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--full" => quick = false,
+            "--plot" | "-p" => plot = true,
+            "--csv" => format = Format::Csv,
+            "--markdown" | "--md" => format = Format::Markdown,
+            "--list" | "-l" => {
+                for id in experiments::ALL_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                print_help();
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_ascii_lowercase()),
+        }
+    }
+    if ids.is_empty() {
+        print_help();
+        return ExitCode::FAILURE;
+    }
+    ids.dedup();
+    for id in &ids {
+        let Some(table) = experiments::run(id, quick) else {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            return ExitCode::FAILURE;
+        };
+        match format {
+            Format::Plain => println!("{}", table.render()),
+            Format::Csv => print!("{}", table.to_csv()),
+            Format::Markdown => println!("{}", table.to_markdown()),
+        }
+        if plot {
+            if let Some(fig) = figure_for(id, &table) {
+                println!("{fig}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Describes how to lift a table's columns into a figure: optional
+/// grouping column, x and y columns, scales.
+struct FigureSpec {
+    group_col: Option<usize>,
+    x_col: usize,
+    y_col: usize,
+    x_scale: Scale,
+    y_scale: Scale,
+    x_label: &'static str,
+    y_label: &'static str,
+}
+
+fn figure_spec(id: &str) -> Option<FigureSpec> {
+    let spec = match id {
+        "t1" => FigureSpec {
+            group_col: None,
+            x_col: 1,
+            y_col: 2,
+            x_scale: Scale::Log,
+            y_scale: Scale::Linear,
+            x_label: "n",
+            y_label: "mean cover",
+        },
+        "f1" => FigureSpec {
+            group_col: None,
+            x_col: 0,
+            y_col: 1,
+            x_scale: Scale::Log,
+            y_scale: Scale::Linear,
+            x_label: "n",
+            y_label: "mean cover",
+        },
+        "f2" => FigureSpec {
+            group_col: Some(0),
+            x_col: 1,
+            y_col: 4,
+            x_scale: Scale::Log,
+            y_scale: Scale::Linear,
+            x_label: "n",
+            y_label: "mean cover",
+        },
+        "f3" => FigureSpec {
+            group_col: Some(0),
+            x_col: 2,
+            y_col: 3,
+            x_scale: Scale::Log,
+            y_scale: Scale::Log,
+            x_label: "n",
+            y_label: "mean cover",
+        },
+        "f5" => FigureSpec {
+            group_col: None,
+            x_col: 6,
+            y_col: 3,
+            x_scale: Scale::Log,
+            y_scale: Scale::Log,
+            x_label: "1/(1-λ)",
+            y_label: "mean cover",
+        },
+        "f7" => FigureSpec {
+            group_col: Some(0),
+            x_col: 1,
+            y_col: 3,
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            x_label: "rho",
+            y_label: "slowdown",
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Renders the figure attached to a series experiment, if it has one.
+fn figure_for(id: &str, table: &Table) -> Option<String> {
+    let spec = figure_spec(id)?;
+    let parse = |cell: &str| cell.parse::<f64>().ok();
+    let mut groups: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for row in &table.rows {
+        let (x, y) = (parse(&row[spec.x_col])?, parse(&row[spec.y_col])?);
+        let key = spec
+            .group_col
+            .map(|c| row[c].clone())
+            .unwrap_or_else(|| "measured".to_string());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, pts)) => pts.push((x, y)),
+            None => groups.push((key, vec![(x, y)])),
+        }
+    }
+    const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut plot = Plot::new(format!("{} — {}", table.id, table.title))
+        .labels(spec.x_label, spec.y_label)
+        .scales(spec.x_scale, spec.y_scale)
+        .size(68, 18);
+    for (i, (label, pts)) in groups.into_iter().enumerate() {
+        plot = plot.series(Series::new(label, MARKERS[i % MARKERS.len()], pts));
+    }
+    Some(plot.render())
+}
+
+fn print_help() {
+    eprintln!(
+        "cobra-exps — regenerate the SPAA 2017 COBRA paper's experiment tables\n\
+         \n\
+         usage: cobra-exps [--quick|--full] [--csv|--markdown] [--plot] <id>... | all | --list\n\
+         \n\
+         ids: {}",
+        experiments::ALL_IDS.join(", ")
+    );
+}

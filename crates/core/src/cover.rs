@@ -1,0 +1,278 @@
+//! COBRA cover-time and hitting-time estimation.
+
+use cobra_graph::{Graph, VertexId};
+use cobra_mc::{run_trials, RunConfig};
+use cobra_process::{Branching, Cobra, Laziness};
+use cobra_stats::Summary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for cover-time estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverConfig {
+    pub branching: Branching,
+    pub laziness: Laziness,
+    /// Independent Monte-Carlo trials.
+    pub trials: usize,
+    /// Master seed for the trial-seed derivation.
+    pub master_seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+    /// Hard round cap per trial; `None` derives a generous cap from the
+    /// Theorem 1.1 bound.
+    pub cap: Option<usize>,
+}
+
+impl Default for CoverConfig {
+    fn default() -> Self {
+        CoverConfig {
+            branching: Branching::B2,
+            laziness: Laziness::None,
+            trials: 30,
+            master_seed: 0xC0B7A,
+            threads: 0,
+            cap: None,
+        }
+    }
+}
+
+impl CoverConfig {
+    /// Sets the trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the branching factor.
+    pub fn with_branching(mut self, b: Branching) -> Self {
+        self.branching = b;
+        self
+    }
+
+    /// Switches to lazy picks.
+    pub fn lazy(mut self) -> Self {
+        self.laziness = Laziness::Half;
+        self
+    }
+
+    /// Sets an explicit round cap.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// The effective cap for graph `g`: explicit, or 500× the Theorem 1.1
+    /// bound (divided by ρ² for fractional branching) plus slack.
+    pub fn effective_cap(&self, g: &Graph) -> usize {
+        if let Some(c) = self.cap {
+            return c;
+        }
+        let base = crate::bounds::thm_1_1(g.n().max(2), g.m(), g.max_degree());
+        let rho_penalty = match self.branching {
+            Branching::Expected(rho) => 1.0 / (rho * rho),
+            Branching::Fixed(1) => {
+                // b = 1 is a random walk: Θ(n·m) worst-case cover, far
+                // beyond the COBRA bound. Scale accordingly.
+                (g.n() * g.m()) as f64 / base.max(1.0) + 1.0
+            }
+            Branching::Fixed(_) => 1.0,
+        };
+        (500.0 * base * rho_penalty) as usize + 10_000
+    }
+}
+
+/// The outcome of a batch of cover-time trials.
+#[derive(Debug, Clone)]
+pub struct CoverEstimate {
+    /// Rounds-to-cover for each completed trial.
+    pub samples: Vec<usize>,
+    /// Trials that hit the cap without covering.
+    pub censored: usize,
+    /// The cap that was in force.
+    pub cap: usize,
+}
+
+impl CoverEstimate {
+    /// Summary statistics of the completed trials. Panics if every
+    /// trial was censored (the experiment must then raise its cap).
+    pub fn summary(&self) -> Summary {
+        assert!(
+            !self.samples.is_empty(),
+            "all {} trials censored at cap {}",
+            self.censored,
+            self.cap
+        );
+        let xs: Vec<f64> = self.samples.iter().map(|&s| s as f64).collect();
+        Summary::from_samples(&xs)
+    }
+
+    /// Samples as f64 (for fits and KS tests).
+    pub fn samples_f64(&self) -> Vec<f64> {
+        self.samples.iter().map(|&s| s as f64).collect()
+    }
+}
+
+/// Estimates `cover(start)` for the COBRA process on `g` by independent
+/// trials (parallelised, deterministic in `cfg.master_seed`).
+pub fn cobra_cover_samples(g: &Graph, start: VertexId, cfg: CoverConfig) -> CoverEstimate {
+    let cap = cfg.effective_cap(g);
+    let outcomes: Vec<Option<usize>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut process = Cobra::new(g, &[start], cfg.branching, cfg.laziness);
+            process.run_until_cover(&mut rng, cap)
+        },
+    );
+    collect_outcomes(outcomes, cap)
+}
+
+/// Estimates the hitting time `Hit_C(target)` of COBRA started from the
+/// set `C`.
+pub fn cobra_hit_samples(
+    g: &Graph,
+    start_set: &[VertexId],
+    target: VertexId,
+    cfg: CoverConfig,
+) -> CoverEstimate {
+    let cap = cfg.effective_cap(g);
+    let outcomes: Vec<Option<usize>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut process = Cobra::new(g, start_set, cfg.branching, cfg.laziness);
+            process.run_until_hit(target, &mut rng, cap)
+        },
+    );
+    collect_outcomes(outcomes, cap)
+}
+
+/// Scans all start vertices with a few trials each and returns
+/// `(worst_vertex, its mean cover)` — the `max_u COVER(u)` of the
+/// paper's cover-time definition, at estimation fidelity `probe_trials`.
+pub fn worst_start_vertex(g: &Graph, cfg: CoverConfig, probe_trials: usize) -> (VertexId, f64) {
+    assert!(g.n() >= 1);
+    let mut worst = (0 as VertexId, f64::NEG_INFINITY);
+    for v in 0..g.n() as VertexId {
+        let est = cobra_cover_samples(
+            g,
+            v,
+            cfg.with_trials(probe_trials).with_seed(cfg.master_seed ^ (v as u64).wrapping_mul(0x9E37)),
+        );
+        let mean = est.summary().mean;
+        if mean > worst.1 {
+            worst = (v, mean);
+        }
+    }
+    worst
+}
+
+fn collect_outcomes(outcomes: Vec<Option<usize>>, cap: usize) -> CoverEstimate {
+    let mut samples = Vec::with_capacity(outcomes.len());
+    let mut censored = 0;
+    for o in outcomes {
+        match o {
+            Some(r) => samples.push(r),
+            None => censored += 1,
+        }
+    }
+    CoverEstimate { samples, censored, cap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+
+    #[test]
+    fn complete_graph_cover_is_logarithmic() {
+        let g = generators::complete(128);
+        let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(20));
+        assert_eq!(est.censored, 0);
+        let s = est.summary();
+        assert!(s.mean >= 7.0, "cannot beat log2(128): {}", s.mean);
+        assert!(s.mean <= 60.0, "K_128 mean cover too slow: {}", s.mean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::torus(&[5, 5]);
+        let a = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(8));
+        let b = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(8));
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = generators::cycle(32);
+        let mut cfg = CoverConfig::default().with_trials(12);
+        cfg.threads = 1;
+        let seq = cobra_cover_samples(&g, 0, cfg);
+        cfg.threads = 4;
+        let par = cobra_cover_samples(&g, 0, cfg);
+        assert_eq!(seq.samples, par.samples);
+    }
+
+    #[test]
+    fn explicit_cap_censors() {
+        let g = generators::path(128);
+        let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(5).with_cap(3));
+        assert_eq!(est.censored, 5);
+        assert!(est.samples.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "censored")]
+    fn summary_of_all_censored_panics() {
+        let g = generators::path(128);
+        let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(3).with_cap(2));
+        est.summary();
+    }
+
+    #[test]
+    fn hit_time_zero_when_target_in_start_set() {
+        let g = generators::cycle(10);
+        let est = cobra_hit_samples(&g, &[2, 7], 7, CoverConfig::default().with_trials(4));
+        assert!(est.samples.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn worst_start_on_lollipop_is_in_the_clique() {
+        // Hitting the stick tip from inside the clique is the slow
+        // direction; the worst start must not be the tip itself.
+        let g = generators::lollipop(8, 8);
+        let tip = (g.n() - 1) as VertexId;
+        let (worst, mean_from_worst) = worst_start_vertex(&g, CoverConfig::default(), 6);
+        let tip_mean = cobra_cover_samples(&g, tip, CoverConfig::default().with_trials(12))
+            .summary()
+            .mean;
+        assert_ne!(worst, tip, "tip should be among the easier starts");
+        assert!(mean_from_worst >= tip_mean * 0.8, "scan found a non-worst vertex");
+    }
+
+    #[test]
+    fn default_cap_allows_slow_graphs() {
+        // Path cover is Θ(n) ≪ default cap; no censoring expected.
+        let g = generators::path(64);
+        let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(6));
+        assert_eq!(est.censored, 0);
+    }
+
+    #[test]
+    fn b1_cap_scales_to_random_walk_times() {
+        // b = 1 on a cycle is a plain random walk with Θ(n²) cover; the
+        // derived cap must accommodate it.
+        let g = generators::cycle(24);
+        let cfg = CoverConfig::default()
+            .with_branching(Branching::Fixed(1))
+            .with_trials(4);
+        let est = cobra_cover_samples(&g, 0, cfg);
+        assert_eq!(est.censored, 0, "cap {} too small for SRW", est.cap);
+    }
+}

@@ -1,0 +1,255 @@
+//! Two-sided estimation of the duality theorem (Theorem 1.3).
+//!
+//! For every source `v`, start set `C` and horizon `T`:
+//!
+//! ```text
+//! P̂(Hit(v) > T | C₀ = C)  =  P(C ∩ A_T = ∅ | A₀ = {v})
+//! ```
+//!
+//! The left side is measured on COBRA sample paths (did the walk started
+//! from `C` reach `v` within `T` rounds?), the right side on BIPS sample
+//! paths (is `C` disjoint from the infected set at round `T`?). The two
+//! Monte-Carlo proportions are compared with a two-proportion z-test per
+//! horizon; under a correct implementation every |z| stays at noise
+//! level for every `T` simultaneously (up to multiplicity).
+
+use crate::report::{fmt_f, Table};
+use cobra_graph::{Graph, VertexId};
+use cobra_mc::{run_trials, RunConfig};
+use cobra_process::{Bips, BipsMode, Branching, Cobra, Laziness, SpreadProcess};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration of a duality check.
+#[derive(Debug, Clone)]
+pub struct DualityConfig {
+    /// Branching factor (the theorem holds for any `b ≥ 1`, including
+    /// the fractional `1+ρ` of §6).
+    pub branching: Branching,
+    /// Trials per side.
+    pub trials: usize,
+    /// Horizons `T` to evaluate.
+    pub horizons: Vec<usize>,
+    pub master_seed: u64,
+    pub threads: usize,
+}
+
+impl Default for DualityConfig {
+    fn default() -> Self {
+        DualityConfig {
+            branching: Branching::B2,
+            trials: 2000,
+            horizons: vec![0, 1, 2, 3, 4, 6, 8, 12],
+            master_seed: 0xD0A1,
+            threads: 0,
+        }
+    }
+}
+
+/// One horizon's comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct DualityRow {
+    pub t: usize,
+    /// `P̂(Hit(v) > T)` estimate (COBRA side).
+    pub cobra_side: f64,
+    /// `P(C ∩ A_T = ∅)` estimate (BIPS side).
+    pub bips_side: f64,
+    /// Two-proportion z statistic.
+    pub z: f64,
+}
+
+/// Full report of a duality check.
+#[derive(Debug, Clone)]
+pub struct DualityReport {
+    pub rows: Vec<DualityRow>,
+    pub trials: usize,
+}
+
+impl DualityReport {
+    /// Largest |z| across horizons.
+    pub fn max_abs_z(&self) -> f64 {
+        self.rows.iter().map(|r| r.z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Largest |difference| of the two estimated probabilities.
+    pub fn max_abs_diff(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| (r.cobra_side - r.bips_side).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the report as a [`Table`].
+    pub fn to_table(&self, id: &str, graph_label: &str) -> Table {
+        let mut t = Table::new(
+            id,
+            format!("Duality check (Thm 1.3) on {graph_label}"),
+            &["T", "P(Hit(v)>T) [COBRA]", "P(C∩A_T=∅) [BIPS]", "diff", "z"],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.t.to_string(),
+                fmt_f(r.cobra_side),
+                fmt_f(r.bips_side),
+                fmt_f(r.cobra_side - r.bips_side),
+                fmt_f(r.z),
+            ]);
+        }
+        t.note(format!(
+            "{} trials/side; max |z| = {} (noise threshold ≈ 3.3 with multiplicity)",
+            self.trials,
+            fmt_f(self.max_abs_z())
+        ));
+        t
+    }
+}
+
+/// Runs the two-sided estimation for source `v` and start set `c`.
+pub fn duality_check(g: &Graph, v: VertexId, c: &[VertexId], cfg: &DualityConfig) -> DualityReport {
+    assert!(!c.is_empty(), "duality needs a nonempty start set C");
+    assert!((v as usize) < g.n(), "source out of range");
+    let max_t = *cfg.horizons.iter().max().expect("nonempty horizons");
+
+    // COBRA side: one sample path yields Hit(v), which answers every
+    // horizon at once (Hit(v) > T is monotone in T).
+    let hits: Vec<Option<usize>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut p = Cobra::new(g, c, cfg.branching, Laziness::None);
+            p.run_until_hit(v, &mut rng, max_t)
+        },
+    );
+
+    // BIPS side: A_T fluctuates, so record disjointness per horizon.
+    let c_set = BitSet::from_indices(g.n(), c);
+    let horizons = cfg.horizons.clone();
+    let disjoint: Vec<Vec<bool>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed ^ 0xB1B5_D0A1).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut p = Bips::new(g, v, cfg.branching, Laziness::None, BipsMode::ExactSampling);
+            let mut flags = Vec::with_capacity(horizons.len());
+            let mut round = 0usize;
+            for &t in &horizons {
+                while round < t {
+                    p.step(&mut rng);
+                    round += 1;
+                }
+                flags.push(!c_set.intersects(p.infected()));
+            }
+            flags
+        },
+    );
+
+    let n = cfg.trials as f64;
+    let rows = cfg
+        .horizons
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let cobra_not_hit = hits
+                .iter()
+                .filter(|h| match h {
+                    Some(hit) => *hit > t,
+                    None => true, // censored at max_t ⇒ Hit(v) > max_t ≥ t
+                })
+                .count() as f64;
+            let bips_disjoint = disjoint.iter().filter(|f| f[i]).count() as f64;
+            let p1 = cobra_not_hit / n;
+            let p2 = bips_disjoint / n;
+            let pooled = (cobra_not_hit + bips_disjoint) / (2.0 * n);
+            let se = (pooled * (1.0 - pooled) * (2.0 / n)).sqrt();
+            let z = if se > 0.0 { (p1 - p2) / se } else { 0.0 };
+            DualityRow { t, cobra_side: p1, bips_side: p2, z }
+        })
+        .collect();
+
+    DualityReport { rows, trials: cfg.trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+
+    fn check(g: &Graph, v: VertexId, c: &[VertexId], trials: usize, seed: u64) -> DualityReport {
+        let cfg = DualityConfig {
+            trials,
+            master_seed: seed,
+            horizons: vec![0, 1, 2, 3, 5],
+            ..DualityConfig::default()
+        };
+        duality_check(g, v, c, &cfg)
+    }
+
+    #[test]
+    fn horizon_zero_is_deterministic() {
+        // T = 0: Hit(v) > 0 ⟺ v ∉ C, and A_0 ∩ C = {v} ∩ C.
+        let g = generators::petersen();
+        let r = check(&g, 0, &[0], 200, 1);
+        assert_eq!(r.rows[0].cobra_side, 0.0);
+        assert_eq!(r.rows[0].bips_side, 0.0);
+        let r2 = check(&g, 0, &[5], 200, 2);
+        assert_eq!(r2.rows[0].cobra_side, 1.0);
+        assert_eq!(r2.rows[0].bips_side, 1.0);
+    }
+
+    #[test]
+    fn duality_holds_on_petersen() {
+        let g = generators::petersen();
+        let r = check(&g, 3, &[8], 3000, 3);
+        assert!(r.max_abs_z() < 4.0, "duality violated: {:?}", r.rows);
+    }
+
+    #[test]
+    fn duality_holds_on_complete_graph_with_set_start() {
+        let g = generators::complete(12);
+        let r = check(&g, 0, &[4, 5, 6], 3000, 4);
+        assert!(r.max_abs_z() < 4.0, "duality violated: {:?}", r.rows);
+    }
+
+    #[test]
+    fn duality_holds_on_bipartite_cycle() {
+        // Theorem 1.3 needs no spectral condition — even cycles included.
+        let g = generators::cycle(8);
+        let r = check(&g, 1, &[5], 3000, 5);
+        assert!(r.max_abs_z() < 4.0, "duality violated: {:?}", r.rows);
+    }
+
+    #[test]
+    fn duality_holds_with_fractional_branching() {
+        let g = generators::complete(8);
+        let cfg = DualityConfig {
+            branching: Branching::Expected(0.5),
+            trials: 3000,
+            horizons: vec![0, 1, 2, 4],
+            master_seed: 6,
+            threads: 0,
+        };
+        let r = duality_check(&g, 2, &[6], &cfg);
+        assert!(r.max_abs_z() < 4.0, "ρ-duality violated: {:?}", r.rows);
+    }
+
+    #[test]
+    fn report_table_renders() {
+        let g = generators::petersen();
+        let r = check(&g, 0, &[9], 200, 7);
+        let t = r.to_table("F6", "Petersen");
+        assert!(t.render().contains("Duality"));
+        assert_eq!(t.rows.len(), 5);
+    }
+
+    #[test]
+    fn probabilities_monotone_on_cobra_side() {
+        let g = generators::cycle(16);
+        let r = check(&g, 8, &[0], 1000, 8);
+        for w in r.rows.windows(2) {
+            assert!(
+                w[0].cobra_side >= w[1].cobra_side - 1e-12,
+                "P(Hit > T) must be nonincreasing in T"
+            );
+        }
+    }
+}

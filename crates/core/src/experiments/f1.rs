@@ -1,0 +1,98 @@
+//! F1 — complete graph: COBRA covers `K_n` in `O(log n)` rounds.
+//!
+//! Claim (i) of Dutta et al. quoted in §1, subsumed by Theorem 1.2
+//! (`r = n−1`, `λ = 1/(n−1)`: the `r²` term is vacuous at the scale of
+//! interest because cover can't exceed n· anything — the point here is
+//! the measured `Θ(log n)` shape). The shape check fits
+//! `cover ≈ c·(ln n)^α` and expects `α ≈ 1`.
+
+use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::report::{fmt_f, Table};
+use cobra_graph::generators;
+use cobra_stats::{fit_line, fit_power_law};
+
+/// Runs F1 (`quick`: n = 2^5..2^8, few trials; full: n = 2^7..2^13).
+pub fn run(quick: bool) -> Table {
+    let (exponents, trials): (Vec<u32>, usize) = if quick {
+        ((5..=8).collect(), 8)
+    } else {
+        ((7..=13).collect(), 30)
+    };
+    let mut table = Table::new(
+        "F1",
+        "Complete graph K_n: COBRA b=2 cover time vs log n",
+        &["n", "mean cover", "std", "log2 n", "cover / log2 n"],
+    );
+    let mut ln_ns = Vec::new();
+    let mut covers = Vec::new();
+    for &k in &exponents {
+        let n = 1usize << k;
+        let g = generators::complete(n);
+        let est = cobra_cover_samples(
+            &g,
+            0,
+            CoverConfig::default().with_trials(trials).with_seed(0xF1 + k as u64),
+        );
+        let s = est.summary();
+        ln_ns.push((n as f64).ln());
+        covers.push(s.mean);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(s.mean),
+            fmt_f(s.std_dev),
+            k.to_string(),
+            fmt_f(s.mean / k as f64),
+        ]);
+    }
+    let (alpha, _, pfit) = fit_power_law(&ln_ns, &covers);
+    let lfit = fit_line(&ln_ns, &covers);
+    table.note(format!(
+        "power fit cover ≈ c·(ln n)^α: α = {} (R² = {}); linear fit slope {} per ln n (R² = {})",
+        fmt_f(alpha),
+        fmt_f(pfit.r_squared),
+        fmt_f(lfit.slope),
+        fmt_f(lfit.r_squared)
+    ));
+    table.note("paper claim: O(log n); shape holds iff α ≈ 1".to_string());
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_rows_and_notes() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.notes[0].contains("α ="));
+    }
+
+    #[test]
+    fn cover_per_log_ratio_is_order_one() {
+        let t = run(true);
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(
+                (0.9..12.0).contains(&ratio),
+                "cover/log2n = {ratio} out of the O(log n) band"
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_exponent_near_one() {
+        let t = run(true);
+        let alpha: f64 = t.notes[0]
+            .split("α = ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // Generous band at quick fidelity; the full run tightens this.
+        assert!((0.3..2.0).contains(&alpha), "K_n exponent {alpha} far from 1");
+    }
+}

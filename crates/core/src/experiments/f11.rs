@@ -1,0 +1,105 @@
+//! F11 — Corollary 5.2: the candidate set is large.
+//!
+//! For regular graphs, whenever `|A_{t−1}| ≤ n/2`, the candidate set of
+//! the next round satisfies `|C_t| ≥ |A_{t−1}|·(1−λ)/2`. The statement
+//! is per-configuration (deterministic given `A_{t−1}`), so the check is
+//! exact: along real BIPS trajectories every qualifying round must
+//! clear the bound — the table reports the *minimum* ratio seen.
+
+use crate::report::{fmt_f, Table};
+use cobra_graph::{generators, Graph};
+use cobra_process::{Branching, SerialBips};
+use cobra_spectral::lanczos_edge_spectrum;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn cases(quick: bool) -> Vec<(&'static str, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(0x0F11_0001);
+    let n = if quick { 60 } else { 120 };
+    vec![
+        ("petersen", generators::petersen()),
+        ("rand 3-reg", generators::random_regular(n, 3, true, &mut rng).unwrap()),
+        ("cycle_power k=2", generators::cycle_power(n, 2)),
+        ("ring_of_cliques", generators::ring_of_cliques(n / 6, 6)),
+    ]
+}
+
+/// Runs F11 (`quick`: 4 runs per graph; full: 12).
+pub fn run(quick: bool) -> Table {
+    let runs = if quick { 4 } else { 12 };
+    let mut table = Table::new(
+        "F11",
+        "Corollary 5.2: |C_t| ≥ |A_{t−1}|(1−λ)/2 while |A_{t−1}| ≤ n/2",
+        &["graph", "n", "1-λ", "qualifying rounds", "min |C_t|/bound", "violations"],
+    );
+    for (ci, (label, g)) in cases(quick).into_iter().enumerate() {
+        let gap = lanczos_edge_spectrum(&g, 0).gap();
+        assert!(gap > 0.0, "{label}: corollary needs non-bipartite connected graph");
+        let mut min_ratio = f64::INFINITY;
+        let mut qualifying = 0usize;
+        let mut violations = 0usize;
+        for run_idx in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(0x000F_1110 + (ci * 64 + run_idx) as u64);
+            let mut s = SerialBips::new(&g, 0, Branching::B2);
+            let cap = 400 * g.n() + 10_000;
+            while !s.is_complete() && s.rounds() < cap {
+                let a_prev = s.infected_count();
+                let (cand, _) = s.candidates();
+                if a_prev <= g.n() / 2 {
+                    let bound = a_prev as f64 * gap / 2.0;
+                    let ratio = cand.len() as f64 / bound.max(1e-12);
+                    min_ratio = min_ratio.min(ratio);
+                    if cand.len() < bound.floor() as usize {
+                        violations += 1;
+                    }
+                    qualifying += 1;
+                }
+                s.step_round(&mut rng);
+            }
+        }
+        table.push_row(vec![
+            label.to_string(),
+            g.n().to_string(),
+            fmt_f(gap),
+            qualifying.to_string(),
+            fmt_f(min_ratio),
+            violations.to_string(),
+        ]);
+    }
+    table.note(
+        "Corollary 5.2 is deterministic given A_{t−1}: the violations column must be 0 and \
+         every min ratio ≥ 1"
+            .to_string(),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn no_violations_anywhere() {
+        let t = run(true);
+        for row in &t.rows {
+            assert_eq!(row[5], "0", "Corollary 5.2 violated: {row:?}");
+            let min_ratio: f64 = row[4].parse().unwrap();
+            assert!(min_ratio >= 1.0, "min ratio {min_ratio} < 1: {row:?}");
+        }
+    }
+
+    #[test]
+    fn qualifying_rounds_observed() {
+        let t = run(true);
+        for row in &t.rows {
+            let q: usize = row[3].parse().unwrap();
+            assert!(q > 0, "no qualifying rounds measured: {row:?}");
+        }
+    }
+}

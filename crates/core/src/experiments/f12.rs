@@ -1,0 +1,165 @@
+//! F12 — baseline separation and the lower bound.
+//!
+//! §1 positions COBRA against the `b = 1` random walk (`Ω(n log n)`
+//! cover on every graph) and the multiple-walk/rumour-spreading
+//! literature. This table races SRW, 4 independent walks, PUSH gossip
+//! and COBRA (`b = 2, 3`) on four structurally different graphs and
+//! also records the `max(log₂ n, Diam)` lower bound of §1.
+
+use crate::bounds;
+use crate::report::{fmt_f, Table};
+use cobra_graph::{generators, props, Graph};
+use cobra_process::{
+    Branching, Cobra, Laziness, MultiWalk, PushGossip, RandomWalk, SpreadProcess,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn graphs(quick: bool) -> Vec<(&'static str, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(0xF12_001);
+    if quick {
+        vec![
+            ("K_64", generators::complete(64)),
+            ("rand 4-reg n=64", generators::random_regular(64, 4, true, &mut rng).unwrap()),
+            ("torus 9x9", generators::torus(&[9, 9])),
+            ("path n=48", generators::path(48)),
+        ]
+    } else {
+        vec![
+            ("K_256", generators::complete(256)),
+            ("rand 4-reg n=256", generators::random_regular(256, 4, true, &mut rng).unwrap()),
+            ("torus 15x15", generators::torus(&[15, 15])),
+            ("path n=128", generators::path(128)),
+        ]
+    }
+}
+
+/// Mean `(rounds, transmissions)` over trials; `trial` runs one fresh
+/// process to completion.
+fn race<F>(trials: usize, seed: u64, cap: usize, mut trial: F) -> (f64, f64)
+where
+    F: FnMut(&mut SmallRng, usize) -> Option<(usize, u64)>,
+{
+    let mut rounds_sum = 0.0;
+    let mut tx_sum = 0.0;
+    let mut completed = 0usize;
+    for i in 0..trials {
+        let mut rng = SmallRng::seed_from_u64(seed + i as u64);
+        if let Some((r, tx)) = trial(&mut rng, cap) {
+            rounds_sum += r as f64;
+            tx_sum += tx as f64;
+            completed += 1;
+        }
+    }
+    assert!(completed > 0, "every trial censored; raise the cap");
+    (rounds_sum / completed as f64, tx_sum / completed as f64)
+}
+
+/// Runs F12 (`quick`: small graphs, 5 trials; full: 15 trials).
+pub fn run(quick: bool) -> Table {
+    let trials = if quick { 5 } else { 15 };
+    let mut table = Table::new(
+        "F12",
+        "Baselines: rounds (and transmissions) to cover/broadcast",
+        &[
+            "graph", "lower bnd", "SRW", "4 walks", "PUSH", "COBRA b=2", "COBRA b=3",
+            "tx SRW", "tx COBRA b=2",
+        ],
+    );
+    for (gi, (label, g)) in graphs(quick).into_iter().enumerate() {
+        let n = g.n();
+        let diam = props::diameter(&g).expect("connected");
+        let cap = 4000 * n * (cobra_util::math::log2_ceil(n) as usize + 1) + 100_000;
+        let seed = 0xF12_100 + gi as u64 * 7919;
+
+        let (srw_rounds, srw_tx) = race(trials, seed, cap, |rng, cap| {
+            let mut p = RandomWalk::new(&g, 0, Laziness::None);
+            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
+        });
+        let (mw_rounds, _) = race(trials, seed ^ 1, cap, |rng, cap| {
+            let mut p = MultiWalk::new_at(&g, 0, 4, Laziness::None);
+            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
+        });
+        let (push_rounds, _) = race(trials, seed ^ 2, cap, |rng, cap| {
+            let mut p = PushGossip::new(&g, 0, 1);
+            p.run_until_broadcast(rng, cap).map(|r| (r, p.transmissions()))
+        });
+        let (b2_rounds, b2_tx) = race(trials, seed ^ 3, cap, |rng, cap| {
+            let mut p = Cobra::new(&g, &[0], Branching::Fixed(2), Laziness::None);
+            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
+        });
+        let (b3_rounds, _) = race(trials, seed ^ 4, cap, |rng, cap| {
+            let mut p = Cobra::new(&g, &[0], Branching::Fixed(3), Laziness::None);
+            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
+        });
+
+        table.push_row(vec![
+            label.to_string(),
+            fmt_f(bounds::lower_bound(n, diam)),
+            fmt_f(srw_rounds),
+            fmt_f(mw_rounds),
+            fmt_f(push_rounds),
+            fmt_f(b2_rounds),
+            fmt_f(b3_rounds),
+            fmt_f(srw_tx),
+            fmt_f(b2_tx),
+        ]);
+    }
+    table.note(
+        "expected ordering: SRW ≫ 4 walks ≫ COBRA b=2 ≈ PUSH on expanders; \
+         COBRA respects the max(log₂n, Diam) lower bound everywhere"
+            .to_string(),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn cobra_beats_srw_everywhere() {
+        let t = run(true);
+        for row in &t.rows {
+            let srw: f64 = row[2].parse().unwrap();
+            let b2: f64 = row[5].parse().unwrap();
+            assert!(b2 < srw, "COBRA not faster than SRW on {}: {b2} vs {srw}", row[0]);
+        }
+    }
+
+    #[test]
+    fn cobra_respects_lower_bound() {
+        let t = run(true);
+        for row in &t.rows {
+            let lb: f64 = row[1].parse().unwrap();
+            let b2: f64 = row[5].parse().unwrap();
+            assert!(b2 + 1.0 >= lb, "COBRA below lower bound on {}: {b2} < {lb}", row[0]);
+        }
+    }
+
+    #[test]
+    fn more_branching_is_weakly_faster() {
+        let t = run(true);
+        for row in &t.rows {
+            let b2: f64 = row[5].parse().unwrap();
+            let b3: f64 = row[6].parse().unwrap();
+            assert!(b3 <= b2 * 1.25, "b=3 much slower than b=2 on {}: {b3} vs {b2}", row[0]);
+        }
+    }
+
+    #[test]
+    fn srw_separation_on_complete_graph() {
+        // K_n: SRW is Θ(n log n), COBRA is Θ(log n) — expect a big gap.
+        let t = run(true);
+        let row = &t.rows[0];
+        let srw: f64 = row[2].parse().unwrap();
+        let b2: f64 = row[5].parse().unwrap();
+        assert!(srw / b2 > 5.0, "separation too small on K_n: {srw} / {b2}");
+    }
+}

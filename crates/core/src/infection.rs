@@ -1,0 +1,263 @@
+//! BIPS infection-time estimation and trajectories.
+
+use cobra_graph::{Graph, VertexId};
+use cobra_mc::{run_trials, RunConfig};
+use cobra_process::{Bips, BipsMode, Branching, Laziness, SpreadProcess};
+use cobra_stats::Summary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for infection-time estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct InfectionConfig {
+    pub branching: Branching,
+    pub laziness: Laziness,
+    pub mode: BipsMode,
+    pub trials: usize,
+    pub master_seed: u64,
+    pub threads: usize,
+    pub cap: Option<usize>,
+}
+
+impl Default for InfectionConfig {
+    fn default() -> Self {
+        InfectionConfig {
+            branching: Branching::B2,
+            laziness: Laziness::None,
+            mode: BipsMode::Bernoulli,
+            trials: 30,
+            master_seed: 0xB195,
+            threads: 0,
+            cap: None,
+        }
+    }
+}
+
+impl InfectionConfig {
+    /// Sets the trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Switches to lazy picks.
+    pub fn lazy(mut self) -> Self {
+        self.laziness = Laziness::Half;
+        self
+    }
+
+    /// Sets the branching factor.
+    pub fn with_branching(mut self, b: Branching) -> Self {
+        self.branching = b;
+        self
+    }
+
+    /// Sets an explicit round cap.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    fn effective_cap(&self, g: &Graph) -> usize {
+        if let Some(c) = self.cap {
+            return c;
+        }
+        let base = crate::bounds::thm_1_1(g.n().max(2), g.m(), g.max_degree());
+        let rho_penalty = match self.branching {
+            Branching::Expected(rho) => 1.0 / (rho * rho),
+            _ => 1.0,
+        };
+        (500.0 * base * rho_penalty) as usize + 10_000
+    }
+}
+
+/// Outcome of infection-time trials (same censoring semantics as
+/// [`crate::cover::CoverEstimate`]).
+#[derive(Debug, Clone)]
+pub struct InfectionEstimate {
+    pub samples: Vec<usize>,
+    pub censored: usize,
+    pub cap: usize,
+}
+
+impl InfectionEstimate {
+    /// Summary of completed trials; panics if all were censored.
+    pub fn summary(&self) -> Summary {
+        assert!(
+            !self.samples.is_empty(),
+            "all {} trials censored at cap {}",
+            self.censored,
+            self.cap
+        );
+        Summary::from_samples(&self.samples.iter().map(|&s| s as f64).collect::<Vec<_>>())
+    }
+}
+
+/// Estimates `infec(source)` — rounds until `A_t = V` — by independent
+/// trials.
+pub fn bips_infection_samples(
+    g: &Graph,
+    source: VertexId,
+    cfg: InfectionConfig,
+) -> InfectionEstimate {
+    let cap = cfg.effective_cap(g);
+    let outcomes: Vec<Option<usize>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut p = Bips::new(g, source, cfg.branching, cfg.laziness, cfg.mode);
+            p.run_until_full_infection(&mut rng, cap)
+        },
+    );
+    let mut samples = Vec::with_capacity(outcomes.len());
+    let mut censored = 0;
+    for o in outcomes {
+        match o {
+            Some(r) => samples.push(r),
+            None => censored += 1,
+        }
+    }
+    InfectionEstimate { samples, censored, cap }
+}
+
+/// Mean infection-size trajectory: entry `t` is the Monte-Carlo mean of
+/// `|A_t|` over `cfg.trials` runs, for `t = 0..=rounds`.
+pub fn infection_trajectory(
+    g: &Graph,
+    source: VertexId,
+    rounds: usize,
+    cfg: InfectionConfig,
+) -> Vec<f64> {
+    let per_trial: Vec<Vec<usize>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut p = Bips::new(g, source, cfg.branching, cfg.laziness, cfg.mode);
+            let mut sizes = Vec::with_capacity(rounds + 1);
+            sizes.push(p.infected_count());
+            for _ in 0..rounds {
+                p.step(&mut rng);
+                sizes.push(p.infected_count());
+            }
+            sizes
+        },
+    );
+    let trials = per_trial.len().max(1) as f64;
+    (0..=rounds)
+        .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
+        .collect()
+}
+
+/// Mean infected-degree trajectory `d(A_t)` (the Theorem 1.4 quantity),
+/// same conventions as [`infection_trajectory`].
+pub fn degree_trajectory(
+    g: &Graph,
+    source: VertexId,
+    rounds: usize,
+    cfg: InfectionConfig,
+) -> Vec<f64> {
+    let per_trial: Vec<Vec<usize>> = run_trials(
+        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
+        |seed, _| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut p = Bips::new(g, source, cfg.branching, cfg.laziness, cfg.mode);
+            let mut degs = Vec::with_capacity(rounds + 1);
+            degs.push(p.infected_degree());
+            for _ in 0..rounds {
+                p.step(&mut rng);
+                degs.push(p.infected_degree());
+            }
+            degs
+        },
+    );
+    let trials = per_trial.len().max(1) as f64;
+    (0..=rounds)
+        .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+
+    #[test]
+    fn complete_graph_infects_fast() {
+        let g = generators::complete(128);
+        let est = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(15));
+        assert_eq!(est.censored, 0);
+        assert!(est.summary().mean < 80.0);
+    }
+
+    #[test]
+    fn exact_and_bernoulli_summaries_agree() {
+        let g = generators::petersen();
+        let mut cfg = InfectionConfig::default().with_trials(200);
+        cfg.mode = BipsMode::ExactSampling;
+        let a = bips_infection_samples(&g, 0, cfg).summary();
+        cfg.mode = BipsMode::Bernoulli;
+        cfg.master_seed ^= 0x55;
+        let b = bips_infection_samples(&g, 0, cfg).summary();
+        let rel = (a.mean - b.mean).abs() / a.mean;
+        assert!(rel < 0.25, "modes disagree: {} vs {}", a.mean, b.mean);
+    }
+
+    #[test]
+    fn trajectory_starts_at_one_and_grows_to_n() {
+        let g = generators::complete(64);
+        let traj = infection_trajectory(&g, 0, 40, InfectionConfig::default().with_trials(10));
+        assert_eq!(traj[0], 1.0);
+        assert!(traj[40] > 60.0, "mean final size {}", traj[40]);
+        // Mean growth is (weakly) monotone on K_n at this scale.
+        assert!(traj[5] < traj[20]);
+    }
+
+    #[test]
+    fn degree_trajectory_bounded_by_2m() {
+        let g = generators::torus(&[5, 5]);
+        let traj = degree_trajectory(&g, 0, 30, InfectionConfig::default().with_trials(8));
+        assert_eq!(traj[0], 4.0, "source degree");
+        for &d in &traj {
+            assert!(d <= g.degree_sum() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::cycle(21);
+        let a = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(6));
+        let b = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(6));
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn lazy_infects_bipartite_graph() {
+        let g = generators::hypercube(4);
+        let est = bips_infection_samples(&g, 0, InfectionConfig::default().lazy().with_trials(8));
+        assert_eq!(est.censored, 0);
+    }
+
+    #[test]
+    fn rho_branching_slower_than_b2() {
+        let g = generators::complete(64);
+        let b2 = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(20))
+            .summary()
+            .mean;
+        let slow = bips_infection_samples(
+            &g,
+            0,
+            InfectionConfig::default()
+                .with_branching(Branching::Expected(0.2))
+                .with_trials(20),
+        )
+        .summary()
+        .mean;
+        assert!(slow > b2, "rho=0.2 ({slow}) should be slower than b=2 ({b2})");
+    }
+}

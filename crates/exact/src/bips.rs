@@ -1,0 +1,272 @@
+//! Exact BIPS distributions by subset-space dynamic programming.
+//!
+//! Given `A_t`, the vertices of a BIPS round decide *independently*, so
+//! the one-round transition kernel is a product measure. The full
+//! distribution of `A_T` over the `2^n` subsets therefore follows by
+//! convolving one vertex at a time — `O(4^n · n)` per round, exact to
+//! floating-point precision.
+
+use crate::MAX_EXACT_VERTICES;
+use cobra_graph::Graph;
+use cobra_process::{Branching, Laziness};
+
+/// A probability distribution over subsets of `0..n`, indexed by bit
+/// mask.
+#[derive(Debug, Clone)]
+pub struct SubsetDistribution {
+    n: usize,
+    probs: Vec<f64>,
+}
+
+impl SubsetDistribution {
+    /// Point mass on `mask`.
+    pub fn point(n: usize, mask: usize) -> SubsetDistribution {
+        assert!(n <= MAX_EXACT_VERTICES, "subset DP limited to {MAX_EXACT_VERTICES} vertices");
+        assert!(mask < (1usize << n), "mask out of range");
+        let mut probs = vec![0.0; 1 << n];
+        probs[mask] = 1.0;
+        SubsetDistribution { n, probs }
+    }
+
+    /// Number of ground-set elements.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `P(A = mask)`.
+    pub fn prob_of(&self, mask: usize) -> f64 {
+        self.probs[mask]
+    }
+
+    /// `P(A ∩ C = ∅)` for the observation set `C` given as a mask.
+    pub fn prob_disjoint(&self, c_mask: usize) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|&(a, _)| a & c_mask == 0)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// `P(A = V)` — full infection.
+    pub fn prob_full(&self) -> f64 {
+        self.probs[(1 << self.n) - 1]
+    }
+
+    /// `E[|A|]`.
+    pub fn expected_size(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(a, &p)| p * a.count_ones() as f64)
+            .sum()
+    }
+
+    /// Total mass (should be 1 up to rounding; exposed for tests).
+    pub fn total_mass(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+}
+
+/// Exact BIPS evolution: the distribution of `A_t` for `t = 0..=rounds`
+/// with source `v`, returned one distribution per round boundary.
+pub fn bips_distributions(
+    g: &Graph,
+    source: u32,
+    branching: Branching,
+    laziness: Laziness,
+    rounds: usize,
+) -> Vec<SubsetDistribution> {
+    let n = g.n();
+    assert!(n <= MAX_EXACT_VERTICES, "exact BIPS limited to {MAX_EXACT_VERTICES} vertices");
+    assert!((source as usize) < n, "source out of range");
+    branching.validate();
+
+    let mut out = Vec::with_capacity(rounds + 1);
+    let mut current = SubsetDistribution::point(n, 1usize << source);
+    out.push(current.clone());
+    for _ in 0..rounds {
+        current = step(g, source, branching, laziness, &current);
+        out.push(current.clone());
+    }
+    out
+}
+
+/// One exact BIPS round.
+fn step(
+    g: &Graph,
+    source: u32,
+    branching: Branching,
+    laziness: Laziness,
+    dist: &SubsetDistribution,
+) -> SubsetDistribution {
+    let n = dist.n;
+    let full = 1usize << n;
+    let mut next = vec![0.0f64; full];
+    // Scratch for the per-state product convolution: prefix[mask over
+    // first k vertices].
+    let mut prefix = vec![0.0f64; full];
+    for a_mask in 0..full {
+        let p_state = dist.probs[a_mask];
+        if p_state == 0.0 {
+            continue;
+        }
+        // Per-vertex infection probabilities given A = a_mask.
+        prefix[0] = p_state;
+        let mut frontier = 1usize; // number of valid prefix entries (2^k)
+        for u in 0..n as u32 {
+            let p_infected = if u == source {
+                1.0
+            } else {
+                let nbrs = g.neighbors(u);
+                let d = nbrs.len();
+                debug_assert!(d > 0, "exact BIPS needs no isolated vertices");
+                let d_a = nbrs.iter().filter(|&&w| a_mask >> w & 1 == 1).count();
+                let frac = d_a as f64 / d as f64;
+                let self_infected = a_mask >> u & 1 == 1;
+                let q = laziness.pick_infected_probability(frac, self_infected);
+                branching.infection_probability(q)
+            };
+            // Extend each prefix by u's indicator.
+            let bit = frontier;
+            for s in (0..frontier).rev() {
+                let p = prefix[s];
+                prefix[s | bit] = p * p_infected;
+                prefix[s] = p * (1.0 - p_infected);
+            }
+            frontier <<= 1;
+        }
+        for (b_mask, &p) in prefix.iter().enumerate().take(frontier) {
+            if p > 0.0 {
+                next[b_mask] += p;
+            }
+        }
+    }
+    SubsetDistribution { n, probs: next }
+}
+
+/// `P(C ∩ A_T = ∅)` for every horizon in `horizons` (exact).
+pub fn bips_disjoint_probabilities(
+    g: &Graph,
+    source: u32,
+    branching: Branching,
+    laziness: Laziness,
+    c_mask: usize,
+    horizons: &[usize],
+) -> Vec<f64> {
+    let max_t = horizons.iter().copied().max().unwrap_or(0);
+    let dists = bips_distributions(g, source, branching, laziness, max_t);
+    horizons.iter().map(|&t| dists[t].prob_disjoint(c_mask)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use cobra_process::{Bips, BipsMode, SpreadProcess};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mass_is_conserved() {
+        let g = generators::cycle(6);
+        let dists = bips_distributions(&g, 0, Branching::B2, Laziness::None, 5);
+        for (t, d) in dists.iter().enumerate() {
+            assert!((d.total_mass() - 1.0).abs() < 1e-12, "mass leak at round {t}");
+        }
+    }
+
+    #[test]
+    fn source_always_infected() {
+        let g = generators::path(5);
+        let dists = bips_distributions(&g, 2, Branching::B2, Laziness::None, 4);
+        for d in &dists {
+            for (mask, &p) in d.probs.iter().enumerate() {
+                if p > 0.0 {
+                    assert!(mask >> 2 & 1 == 1, "mass {p} on source-free state {mask:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_round_on_path3_by_hand() {
+        // P_3 (0-1-2), source 0, b = 2, non-lazy.
+        // Vertex 1 (nbrs {0,2}, d_A = 1): P(infected) = 1-(1/2)² = 3/4.
+        // Vertex 2 (nbr {1}, d_A = 0): P = 0.
+        let g = generators::path(3);
+        let d = &bips_distributions(&g, 0, Branching::B2, Laziness::None, 1)[1];
+        assert!((d.prob_of(0b001) - 0.25).abs() < 1e-12);
+        assert!((d.prob_of(0b011) - 0.75).abs() < 1e-12);
+        assert_eq!(d.prob_of(0b101), 0.0);
+        assert!((d.expected_size() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k2_with_laziness_by_hand() {
+        // K_2, source 0, b = 2, lazy: vertex 1 picks each time from
+        // {self (1/2), vertex 0 (1/2)}; it is infected iff some pick is
+        // in A = {0} (self-pick of uninfected 1 does not help):
+        // q = 1/2·(d_A/d) + 1/2·[1 ∈ A] = 1/2·1 + 0 = 1/2, p = 3/4.
+        let g = generators::complete(2);
+        let d = &bips_distributions(&g, 0, Branching::B2, Laziness::Half, 1)[1];
+        assert!((d.prob_of(0b11) - 0.75).abs() < 1e-12);
+        assert!((d.prob_of(0b01) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_size_matches_monte_carlo() {
+        let g = generators::petersen();
+        let exact = bips_distributions(&g, 0, Branching::B2, Laziness::None, 4);
+        let trials = 4000;
+        let mut mean = [0.0f64; 5];
+        for i in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(50_000 + i);
+            let mut p = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::ExactSampling);
+            mean[0] += p.infected_count() as f64;
+            for m in mean.iter_mut().skip(1) {
+                p.step(&mut rng);
+                *m += p.infected_count() as f64;
+            }
+        }
+        for (t, m) in mean.iter().enumerate() {
+            let mc = m / trials as f64;
+            let ex = exact[t].expected_size();
+            assert!(
+                (mc - ex).abs() < 0.15,
+                "round {t}: exact {ex} vs Monte-Carlo {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_probability_decreases_from_t1_on_k4() {
+        // On K_4 the infection dominates over single rounds from t ≥ 1
+        // (t = 0 → t = 1 is special: A_1 can lose nothing — A_0 = {v}).
+        let g = generators::complete(4);
+        let ps = bips_disjoint_probabilities(
+            &g,
+            0,
+            Branching::B2,
+            Laziness::None,
+            0b1000,
+            &[0, 1, 2, 3, 4, 5],
+        );
+        assert_eq!(ps[0], 1.0);
+        // Eventually essentially 0.
+        assert!(ps[5] < 0.05, "survival {}", ps[5]);
+    }
+
+    #[test]
+    fn rho_branching_interpolates() {
+        // P(u infected) with b = 1+ρ sits between b = 1 and b = 2.
+        let g = generators::complete(4);
+        let size = |b: Branching| {
+            bips_distributions(&g, 0, b, Laziness::None, 1)[1].expected_size()
+        };
+        let s1 = size(Branching::Fixed(1));
+        let s15 = size(Branching::Expected(0.5));
+        let s2 = size(Branching::Fixed(2));
+        assert!(s1 < s15 && s15 < s2, "{s1} {s15} {s2}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Exact COBRA hitting probabilities by subset-space dynamic
+//! programming.
+//!
+//! A COBRA round maps the active set `C_t` to the union of its members'
+//! random pushes. The union distribution is the convolution, one active
+//! vertex at a time, of each vertex's push-set distribution (at most
+//! `(d+1)²` outcomes per vertex for lazy `b = 2`). Tracking the
+//! sub-distribution of `C_t` restricted to "target not yet hit" gives
+//! `P(Hit(v) > T | C₀ = C)` exactly — the left side of Theorem 1.3.
+
+use crate::MAX_EXACT_VERTICES;
+use cobra_graph::{Graph, VertexId};
+use cobra_process::{Branching, Laziness};
+
+/// Exact `P(Hit(target) > T | C₀ = start_mask)` for every horizon in
+/// `horizons`.
+///
+/// Supported branching: `Fixed(1)`, `Fixed(2)`, `Fixed(3)` and
+/// `Expected(ρ)` (enumerable push-set distributions). Complexity
+/// `O(T · 4^n · n · (d+1)^b)` — intended for `n ≤ 12`.
+pub fn cobra_survival_probabilities(
+    g: &Graph,
+    target: VertexId,
+    start_mask: usize,
+    branching: Branching,
+    laziness: Laziness,
+    horizons: &[usize],
+) -> Vec<f64> {
+    let n = g.n();
+    assert!(n <= MAX_EXACT_VERTICES, "exact COBRA limited to {MAX_EXACT_VERTICES} vertices");
+    assert!((target as usize) < n, "target out of range");
+    assert!(start_mask > 0 && start_mask < (1 << n), "start mask must be a nonempty subset");
+    branching.validate();
+    if let Branching::Fixed(b) = branching {
+        assert!(b <= 3, "exact COBRA enumerates pushes only up to b = 3");
+    }
+    let max_t = horizons.iter().copied().max().unwrap_or(0);
+
+    // `alive[mask]` = P(C_t = mask AND target not yet hit).
+    let full = 1usize << n;
+    let mut alive = vec![0.0f64; full];
+    let target_bit = 1usize << target;
+    if start_mask & target_bit == 0 {
+        alive[start_mask] = 1.0;
+    } // else: hit at time 0, all mass dead.
+
+    // Precompute each vertex's push-set distribution: list of
+    // (subset mask, probability).
+    let pushes: Vec<Vec<(usize, f64)>> = (0..n as u32)
+        .map(|u| push_set_distribution(g, u, branching, laziness))
+        .collect();
+
+    let survival_now =
+        |alive: &[f64]| -> f64 { alive.iter().sum() };
+
+    let mut out = vec![0.0f64; horizons.len()];
+    for (i, &t) in horizons.iter().enumerate() {
+        if t == 0 {
+            out[i] = survival_now(&alive);
+        }
+    }
+    let mut scratch = vec![0.0f64; full];
+    for round in 1..=max_t {
+        let mut next = vec![0.0f64; full];
+        for (c_mask, &p_state) in alive.iter().enumerate().skip(1) {
+            if p_state == 0.0 {
+                continue;
+            }
+            // Convolve the union of pushes of the active vertices.
+            scratch.fill(0.0);
+            scratch[0] = p_state;
+            let mut support: Vec<usize> = vec![0];
+            let mut rest = c_mask;
+            while rest != 0 {
+                let u = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let mut new_support: Vec<usize> = Vec::with_capacity(support.len() * 4);
+                // Drain the current support into a temporary, then
+                // scatter through u's push distribution.
+                let entries: Vec<(usize, f64)> =
+                    support.iter().map(|&s| (s, scratch[s])).collect();
+                for &s in &support {
+                    scratch[s] = 0.0;
+                }
+                for (s, p) in entries {
+                    for &(push_mask, q) in &pushes[u] {
+                        let t_mask = s | push_mask;
+                        if scratch[t_mask] == 0.0 {
+                            new_support.push(t_mask);
+                        }
+                        scratch[t_mask] += p * q;
+                    }
+                }
+                new_support.sort_unstable();
+                new_support.dedup();
+                support = new_support;
+            }
+            for &s in &support {
+                if s & target_bit == 0 {
+                    next[s] += scratch[s];
+                }
+                scratch[s] = 0.0;
+            }
+        }
+        alive = next;
+        let s = survival_now(&alive);
+        for (i, &t) in horizons.iter().enumerate() {
+            if t == round {
+                out[i] = s;
+            }
+        }
+    }
+    out
+}
+
+/// The distribution of the set of vertices that one active vertex `u`
+/// pushes to in a round, as `(mask, probability)` pairs.
+fn push_set_distribution(
+    g: &Graph,
+    u: u32,
+    branching: Branching,
+    laziness: Laziness,
+) -> Vec<(usize, f64)> {
+    // Single-pick distribution.
+    let d = g.degree(u);
+    assert!(d > 0, "exact COBRA needs no isolated vertices");
+    let mut single: Vec<(usize, f64)> = Vec::with_capacity(d + 1);
+    match laziness {
+        Laziness::None => {
+            for &w in g.neighbors(u) {
+                single.push((1usize << w, 1.0 / d as f64));
+            }
+        }
+        Laziness::Half => {
+            single.push((1usize << u, 0.5));
+            for &w in g.neighbors(u) {
+                single.push((1usize << w, 0.5 / d as f64));
+            }
+        }
+    }
+    let combos = |k: u32| -> Vec<(usize, f64)> {
+        // k independent picks: product over the single-pick support.
+        let mut acc: Vec<(usize, f64)> = vec![(0, 1.0)];
+        for _ in 0..k {
+            let mut next = Vec::with_capacity(acc.len() * single.len());
+            for &(m, p) in &acc {
+                for &(sm, sp) in &single {
+                    next.push((m | sm, p * sp));
+                }
+            }
+            acc = merge(next);
+        }
+        acc
+    };
+    match branching {
+        Branching::Fixed(b) => combos(b),
+        Branching::Expected(rho) => {
+            let one = combos(1);
+            let two = combos(2);
+            let mut all: Vec<(usize, f64)> = Vec::with_capacity(one.len() + two.len());
+            all.extend(one.into_iter().map(|(m, p)| (m, p * (1.0 - rho))));
+            all.extend(two.into_iter().map(|(m, p)| (m, p * rho)));
+            merge(all)
+        }
+    }
+}
+
+/// Merges duplicate masks, summing probabilities.
+fn merge(mut entries: Vec<(usize, f64)>) -> Vec<(usize, f64)> {
+    entries.sort_unstable_by_key(|&(m, _)| m);
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+    for (m, p) in entries {
+        match out.last_mut() {
+            Some((lm, lp)) if *lm == m => *lp += p,
+            _ => out.push((m, p)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use cobra_process::{Cobra, SpreadProcess};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_distribution_k3_b2() {
+        // In K_3, vertex 0 pushes 2 copies among {1, 2}:
+        // {1} w.p. 1/4, {2} w.p. 1/4, {1,2} w.p. 1/2.
+        let g = generators::complete(3);
+        let d = push_set_distribution(&g, 0, Branching::B2, Laziness::None);
+        let lookup = |m: usize| d.iter().find(|&&(mm, _)| mm == m).map(|&(_, p)| p).unwrap_or(0.0);
+        assert!((lookup(0b010) - 0.25).abs() < 1e-12);
+        assert!((lookup(0b100) - 0.25).abs() < 1e-12);
+        assert!((lookup(0b110) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_distribution_mass_one() {
+        let g = generators::petersen();
+        for u in 0..10 {
+            for (b, lazy) in [
+                (Branching::Fixed(1), Laziness::None),
+                (Branching::B2, Laziness::Half),
+                (Branching::Fixed(3), Laziness::None),
+                (Branching::Expected(0.4), Laziness::Half),
+            ] {
+                let d = push_set_distribution(&g, u, b, lazy);
+                let mass: f64 = d.iter().map(|&(_, p)| p).sum();
+                assert!((mass - 1.0).abs() < 1e-12, "mass {mass} for vertex {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn survival_at_zero_is_indicator() {
+        let g = generators::cycle(5);
+        let s = cobra_survival_probabilities(&g, 2, 0b00001, Branching::B2, Laziness::None, &[0]);
+        assert_eq!(s[0], 1.0);
+        let s = cobra_survival_probabilities(&g, 0, 0b00001, Branching::B2, Laziness::None, &[0]);
+        assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn survival_is_nonincreasing() {
+        let g = generators::petersen();
+        let horizons: Vec<usize> = (0..8).collect();
+        let s = cobra_survival_probabilities(&g, 7, 0b1, Branching::B2, Laziness::None, &horizons);
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "survival increased: {s:?}");
+        }
+        assert!(s[7] < 0.1, "Petersen should be nearly hit by round 7: {s:?}");
+    }
+
+    #[test]
+    fn path2_survival_by_hand() {
+        // P_2: start at 0, target 1, b = 2 non-lazy: vertex 0 pushes
+        // both copies to 1 — hit at round 1 with certainty.
+        let g = generators::path(2);
+        let s = cobra_survival_probabilities(&g, 1, 0b01, Branching::B2, Laziness::None, &[0, 1]);
+        assert_eq!(s[0], 1.0);
+        assert!(s[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_monte_carlo_on_k4() {
+        let g = generators::complete(4);
+        let horizons = [1usize, 2, 3];
+        let exact = cobra_survival_probabilities(&g, 3, 0b0001, Branching::B2, Laziness::None, &horizons);
+        let trials = 40_000u64;
+        let mut counts = [0u64; 3];
+        for i in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(70_000 + i);
+            let mut c = Cobra::new(&g, &[0], Branching::B2, Laziness::None);
+            for (k, &t) in horizons.iter().enumerate() {
+                while c.rounds() < t {
+                    c.step(&mut rng);
+                }
+                if !c.has_visited(3) {
+                    counts[k] += 1;
+                }
+            }
+        }
+        for k in 0..3 {
+            let mc = counts[k] as f64 / trials as f64;
+            assert!(
+                (mc - exact[k]).abs() < 0.01,
+                "horizon {}: exact {} vs MC {mc}",
+                horizons[k],
+                exact[k]
+            );
+        }
+    }
+
+    #[test]
+    fn b1_on_cycle_matches_walk_theory() {
+        // b = 1 COBRA is a SRW; on C_4 from vertex 0, P(Hit(2) > 1) = 1
+        // (distance 2), P(Hit(2) > 2) = 1/2 (two steps reach the
+        // antipode with prob 1/2).
+        let g = generators::cycle(4);
+        let s = cobra_survival_probabilities(&g, 2, 0b0001, Branching::Fixed(1), Laziness::None, &[1, 2]);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Exact verification of Theorem 1.3.
+//!
+//! Both sides of
+//! `P̂(Hit(v) > T | C₀ = C) = P(C ∩ A_T = ∅ | A₀ = {v})`
+//! are computed by dynamic programming (no sampling), so the theorem
+//! can be checked to floating-point precision on small graphs — the
+//! strongest possible form of experiment F6.
+
+use crate::bips::bips_disjoint_probabilities;
+use crate::cobra::cobra_survival_probabilities;
+use cobra_graph::{Graph, VertexId};
+use cobra_process::{Branching, Laziness};
+
+/// The two exact sides per horizon.
+#[derive(Debug, Clone)]
+pub struct ExactDualityReport {
+    pub horizons: Vec<usize>,
+    /// `P̂(Hit(v) > T | C₀ = C)` — exact COBRA side.
+    pub cobra_side: Vec<f64>,
+    /// `P(C ∩ A_T = ∅ | A₀ = {v})` — exact BIPS side.
+    pub bips_side: Vec<f64>,
+}
+
+impl ExactDualityReport {
+    /// Largest absolute deviation between the sides.
+    pub fn max_abs_gap(&self) -> f64 {
+        self.cobra_side
+            .iter()
+            .zip(&self.bips_side)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Computes both sides of Theorem 1.3 exactly.
+///
+/// `c_vertices` is the COBRA start set / BIPS observation set; `v` is
+/// the COBRA target / BIPS source. The theorem holds for every
+/// branching and also for the lazy variant (the duality argument only
+/// needs the per-vertex pick distributions to match under time
+/// reversal).
+pub fn exact_duality_report(
+    g: &Graph,
+    v: VertexId,
+    c_vertices: &[VertexId],
+    branching: Branching,
+    laziness: Laziness,
+    horizons: &[usize],
+) -> ExactDualityReport {
+    assert!(!c_vertices.is_empty(), "C must be nonempty");
+    let mut c_mask = 0usize;
+    for &u in c_vertices {
+        assert!((u as usize) < g.n(), "start vertex out of range");
+        c_mask |= 1usize << u;
+    }
+    let cobra_side =
+        cobra_survival_probabilities(g, v, c_mask, branching, laziness, horizons);
+    let bips_side = bips_disjoint_probabilities(g, v, branching, laziness, c_mask, horizons);
+    ExactDualityReport { horizons: horizons.to_vec(), cobra_side, bips_side }
+}
+
+/// Convenience: the maximum gap between the exact sides (0 up to float
+/// rounding iff Theorem 1.3 and both DP engines are correct).
+pub fn exact_duality_gap(
+    g: &Graph,
+    v: VertexId,
+    c_vertices: &[VertexId],
+    branching: Branching,
+    laziness: Laziness,
+    max_t: usize,
+) -> f64 {
+    let horizons: Vec<usize> = (0..=max_t).collect();
+    exact_duality_report(g, v, c_vertices, branching, laziness, &horizons).max_abs_gap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn exact_duality_on_path() {
+        let g = generators::path(5);
+        let gap = exact_duality_gap(&g, 4, &[0], Branching::B2, Laziness::None, 8);
+        assert!(gap < TOL, "duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_on_cycle_bipartite() {
+        let g = generators::cycle(6);
+        let gap = exact_duality_gap(&g, 3, &[0], Branching::B2, Laziness::None, 8);
+        assert!(gap < TOL, "duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_on_complete_graph_with_set() {
+        let g = generators::complete(5);
+        let gap = exact_duality_gap(&g, 0, &[2, 3], Branching::B2, Laziness::None, 6);
+        assert!(gap < TOL, "duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_on_star_b1() {
+        // b = 1: COBRA is a plain random walk; duality still holds.
+        let g = generators::star(6);
+        let gap = exact_duality_gap(&g, 5, &[1], Branching::Fixed(1), Laziness::None, 10);
+        assert!(gap < TOL, "duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_with_rho_branching() {
+        let g = generators::lollipop(4, 3);
+        let gap = exact_duality_gap(&g, 6, &[0], Branching::Expected(0.35), Laziness::None, 8);
+        assert!(gap < TOL, "duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_with_laziness() {
+        // The lazy variant's duality: each side uses the same lazy pick
+        // distribution.
+        let g = generators::cycle(5);
+        let gap = exact_duality_gap(&g, 2, &[0], Branching::B2, Laziness::Half, 8);
+        assert!(gap < TOL, "lazy duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_with_b3() {
+        let g = generators::complete_bipartite(2, 3);
+        let gap = exact_duality_gap(&g, 0, &[4], Branching::Fixed(3), Laziness::None, 6);
+        assert!(gap < TOL, "b=3 duality gap {gap}");
+    }
+
+    #[test]
+    fn exact_duality_on_petersen() {
+        let g = generators::petersen();
+        let gap = exact_duality_gap(&g, 3, &[8], Branching::B2, Laziness::None, 6);
+        assert!(gap < TOL, "Petersen duality gap {gap}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Theorem 1.3 holds exactly on random connected graphs with
+        /// random source/observation choices.
+        #[test]
+        fn exact_duality_random_graphs(seed in 0u64..10_000, v in 0u32..8, c in 0u32..8) {
+            use rand::rngs::SmallRng;
+            use rand::SeedableRng;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let raw = cobra_graph::generators::gnp(8, 0.4, &mut rng);
+            let (g, _) = cobra_graph::props::largest_component(&raw);
+            prop_assume!(g.n() >= 3);
+            let v = v % g.n() as u32;
+            let c = c % g.n() as u32;
+            let gap = exact_duality_gap(&g, v, &[c], Branching::B2, Laziness::None, 6);
+            prop_assert!(gap < TOL, "duality gap {} on n={}", gap, g.n());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Exact (non-Monte-Carlo) analysis of the paper's processes on small
+//! graphs.
+//!
+//! Monte-Carlo can only certify Theorem 1.3 up to sampling noise. On
+//! graphs with `n ≲ 12` the full distribution of both processes is
+//! computable by dynamic programming over the `2^n` subset space:
+//!
+//! * [`bips`] — BIPS transitions are *product-form* (vertices decide
+//!   independently given `A_t`), so the distribution of `A_T` follows by
+//!   one `O(4^n·n)` convolution per round, and
+//!   `P(C ∩ A_T = ∅)` is a simple functional of it.
+//! * [`cobra`] — a COBRA round is the union of the active vertices'
+//!   random pushes; the union distribution follows by convolving one
+//!   active vertex at a time, giving `P(Hit(v) > T | C₀ = C)` exactly.
+//! * [`duality`] — combines the two into an exact, deterministic check
+//!   of Theorem 1.3 (equality to floating-point precision).
+//! * [`walk`] — exact expected hitting times of the simple random walk
+//!   by solving the first-step linear system; oracle for the `b = 1`
+//!   baselines.
+
+pub mod bips;
+pub mod cobra;
+pub mod duality;
+pub mod walk;
+
+pub use duality::exact_duality_gap;
+
+/// Hard cap on `n` for subset-space DP (`2^n` state vectors). 20 would
+/// already be a million states; the intended use is n ≤ 12.
+pub const MAX_EXACT_VERTICES: usize = 16;

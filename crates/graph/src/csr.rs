@@ -1,0 +1,420 @@
+//! Compressed sparse row (CSR) representation of undirected simple graphs.
+//!
+//! Vertices are dense `u32` ids `0..n`. Each undirected edge `{u, v}` is
+//! stored twice (once per endpoint); adjacency lists are sorted, which
+//! gives `O(log d)` membership tests and deterministic iteration order.
+
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// Dense vertex identifier.
+pub type VertexId = u32;
+
+/// Errors raised when building a graph from an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was `>= n`.
+    VertexOutOfRange { edge: (VertexId, VertexId), n: usize },
+    /// An edge `{u, u}`.
+    SelfLoop { vertex: VertexId },
+    /// The same undirected edge appeared twice (only in strict building).
+    DuplicateEdge { edge: (VertexId, VertexId) },
+    /// More vertices than `u32` can index.
+    TooManyVertices { n: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { edge, n } => {
+                write!(f, "edge ({}, {}) has endpoint outside 0..{}", edge.0, edge.1, n)
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge ({}, {})", edge.0, edge.1)
+            }
+            GraphError::TooManyVertices { n } => write!(f, "{n} vertices exceed u32 indexing"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// ```
+/// use cobra_graph::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(0), &[1, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists.
+    neighbors: Vec<VertexId>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list, rejecting self-loops
+    /// and duplicate edges. Edges may be given in either orientation.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Graph, GraphError> {
+        Self::build(n, edges, true)
+    }
+
+    /// Builds a graph from an undirected edge list, silently de-duplicating
+    /// repeated edges (still rejecting self-loops). Generators whose
+    /// natural construction can emit an edge twice (e.g. a torus with side
+    /// length 2) use this entry point.
+    pub fn from_edges_dedup(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Graph, GraphError> {
+        Self::build(n, edges, false)
+    }
+
+    fn build(n: usize, edges: &[(VertexId, VertexId)], strict: bool) -> Result<Graph, GraphError> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices { n });
+        }
+        // Validate and canonicalise to (min, max).
+        let mut canon: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(GraphError::VertexOutOfRange { edge: (u, v), n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            canon.push((u.min(v), u.max(v)));
+        }
+        canon.sort_unstable();
+        let before = canon.len();
+        canon.dedup();
+        if strict && canon.len() != before {
+            // Find one duplicate for the error message.
+            let mut seen = std::collections::HashSet::with_capacity(edges.len());
+            for &(u, v) in edges {
+                let e = (u.min(v), u.max(v));
+                if !seen.insert(e) {
+                    return Err(GraphError::DuplicateEdge { edge: e });
+                }
+            }
+            unreachable!("dedup shrank the edge list but no duplicate found");
+        }
+
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &canon {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &canon {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Per-vertex lists are already sorted by construction only for the
+        // lower endpoint; sort each list to guarantee the invariant.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Ok(Graph {
+            offsets,
+            neighbors,
+            m: canon.len(),
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Uniformly random neighbour of `v`.
+    ///
+    /// Panics if `v` is isolated: the COBRA/BIPS processes are only
+    /// defined on graphs without isolated vertices, and sampling from an
+    /// empty list would be a logic error worth failing loudly on.
+    #[inline]
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, v: VertexId, rng: &mut R) -> VertexId {
+        let nbrs = self.neighbors(v);
+        assert!(!nbrs.is_empty(), "random_neighbor on isolated vertex {v}");
+        nbrs[rng.random_range(0..nbrs.len())]
+    }
+
+    /// Membership test via binary search: `O(log deg)`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if (u as usize) < self.n() && (v as usize) < self.n() {
+            self.neighbors(u).binary_search(&v).is_ok()
+        } else {
+            false
+        }
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// Sum of degrees, `2m`. The paper tracks `d(A_t)` against `d(V) = 2m`.
+    #[inline]
+    pub fn degree_sum(&self) -> usize {
+        2 * self.m
+    }
+
+    /// Maximum vertex degree `dmax` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum vertex degree (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n() as VertexId).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// `Some(r)` if the graph is `r`-regular, else `None`.
+    pub fn regularity(&self) -> Option<usize> {
+        if self.n() == 0 {
+            return None;
+        }
+        let r = self.degree(0);
+        (1..self.n() as VertexId)
+            .all(|v| self.degree(v) == r)
+            .then_some(r)
+    }
+
+    /// Total degree of a set of vertices: `d(S) = Σ_{u∈S} d(u)`.
+    pub fn set_degree(&self, vertices: &[VertexId]) -> usize {
+        vertices.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Number of neighbours of `u` inside the sorted vertex set `set`:
+    /// `d_S(u)` in the paper's notation. `set` must be sorted ascending.
+    pub fn degree_into_sorted_set(&self, u: VertexId, set: &[VertexId]) -> usize {
+        self.neighbors(u)
+            .iter()
+            .filter(|&&w| set.binary_search(&w).is_ok())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree_sum(), 6);
+        assert_eq!(g.regularity(), Some(2));
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = Graph::from_edges(5, &[(4, 0), (2, 0), (0, 1), (3, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.regularity(), None);
+    }
+
+    #[test]
+    fn edge_orientation_is_normalised() {
+        let a = Graph::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        let b = Graph::from_edges(3, &[(1, 0), (1, 2)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn strict_rejects_duplicates_dedup_accepts() {
+        let edges = [(0, 1), (1, 0)];
+        assert_eq!(
+            Graph::from_edges(2, &edges),
+            Err(GraphError::DuplicateEdge { edge: (0, 1) })
+        );
+        let g = Graph::from_edges_dedup(2, &edges).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.min_degree(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let g = Graph::from_edges(4, &edges).unwrap();
+        let got: Vec<_> = g.edges().collect();
+        let mut want = edges.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn random_neighbor_is_always_adjacent_and_roughly_uniform() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..4000 {
+            let u = g.random_neighbor(0, &mut rng);
+            assert!(g.has_edge(0, u));
+            counts[u as usize] += 1;
+        }
+        for &c in &counts[1..] {
+            // Each neighbour expected 1000 times; allow generous slack.
+            assert!((700..1300).contains(&c), "non-uniform sample counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated vertex")]
+    fn random_neighbor_panics_on_isolated() {
+        let g = Graph::from_edges(2, &[]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        g.random_neighbor(0, &mut rng);
+    }
+
+    #[test]
+    fn set_degree_and_degree_into_set() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.set_degree(&[0, 2]), 4);
+        assert_eq!(g.degree_into_sorted_set(1, &[0, 2]), 2);
+        assert_eq!(g.degree_into_sorted_set(1, &[3]), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// CSR invariants on arbitrary edge lists: handshake lemma,
+            /// sorted adjacency, symmetric membership, edge-iterator
+            /// round-trip.
+            #[test]
+            fn csr_invariants(
+                n in 1usize..48,
+                raw in proptest::collection::vec((0u32..48, 0u32..48), 0..120)
+            ) {
+                let edges: Vec<(u32, u32)> = raw
+                    .into_iter()
+                    .map(|(a, b)| (a % n as u32, b % n as u32))
+                    .filter(|(a, b)| a != b)
+                    .collect();
+                let g = Graph::from_edges_dedup(n, &edges).unwrap();
+                // Handshake lemma.
+                let degree_total: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+                prop_assert_eq!(degree_total, 2 * g.m());
+                prop_assert_eq!(g.degree_sum(), 2 * g.m());
+                for v in 0..n as u32 {
+                    let nbrs = g.neighbors(v);
+                    // Sorted, duplicate-free, no self-loop.
+                    for w in nbrs.windows(2) {
+                        prop_assert!(w[0] < w[1], "unsorted or duplicate adjacency");
+                    }
+                    prop_assert!(!nbrs.contains(&v), "self-loop survived");
+                    // Symmetry.
+                    for &w in nbrs {
+                        prop_assert!(g.has_edge(w, v), "asymmetric edge ({v},{w})");
+                    }
+                }
+                // edges() round-trips to the dedup'd canonical input.
+                let mut want: Vec<(u32, u32)> =
+                    edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+                want.sort_unstable();
+                want.dedup();
+                let got: Vec<(u32, u32)> = g.edges().collect();
+                prop_assert_eq!(got, want);
+            }
+
+            /// d_S(u) summed over u ∈ V equals d(S) — the E(X, Y)
+            /// double-counting identity the paper's Section 3 leans on.
+            #[test]
+            fn cut_degree_double_counting(seed in 0u64..5000) {
+                use rand::rngs::SmallRng;
+                use rand::{RngExt, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let g = crate::generators::gnp(24, 0.2, &mut rng);
+                let set: Vec<u32> =
+                    (0..24u32).filter(|_| rng.random_bool(0.4)).collect();
+                let lhs: usize = (0..g.n() as u32)
+                    .map(|u| g.degree_into_sorted_set(u, &set))
+                    .sum();
+                prop_assert_eq!(lhs, g.set_degree(&set), "E(V,S) != d(S)");
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Graph family generators.
+//!
+//! Every family the paper (or the prior COBRA work it improves upon)
+//! reasons about is constructible here:
+//!
+//! * `classic` — complete graphs, cycles, paths, stars, wheels, complete
+//!   bipartite graphs, the Petersen graph, double stars.
+//! * `lattice` — D-dimensional grids and tori, hypercubes.
+//! * `trees` — complete k-ary trees.
+//! * `random` — Erdős–Rényi G(n,p), random r-regular graphs.
+//! * `structured` — circulants / cycle powers (regular graphs with a
+//!   tunable eigenvalue gap), the regular ring of cliques (small
+//!   conductance at fixed degree), barbells and lollipops (Theorem 1.1
+//!   stress cases).
+
+mod classic;
+mod lattice;
+mod networks;
+mod random;
+mod structured;
+mod trees;
+
+pub use classic::{complete, complete_bipartite, cycle, double_star, path, petersen, star, wheel};
+pub use lattice::{grid, hypercube, torus};
+pub use networks::{barabasi_albert, watts_strogatz};
+pub use random::{gnp, random_regular, RandomRegularError};
+pub use structured::{barbell, circulant, cycle_power, lollipop, ring_of_cliques};
+pub use trees::k_ary_tree;

@@ -1,0 +1,20 @@
+//! Graph substrate for the COBRA reproduction.
+//!
+//! The paper studies spreading processes on undirected connected graphs;
+//! every experiment needs (a) a compact graph representation with O(1)
+//! uniform neighbour sampling, (b) the graph families the paper reasons
+//! about, and (c) structural properties (connectivity, bipartiteness,
+//! diameter, degrees) that parameterise the bounds.
+//!
+//! * [`Graph`] — immutable CSR adjacency structure.
+//! * [`generators`] — complete graphs, cycles, paths, stars, grids/tori,
+//!   hypercubes, trees, random regular graphs, G(n,p), cycle powers,
+//!   regular ring of cliques, barbells, lollipops, and friends.
+//! * [`props`] — BFS, connectivity, components, bipartiteness, diameter,
+//!   degree statistics.
+
+pub mod csr;
+pub mod generators;
+pub mod props;
+
+pub use csr::{Graph, GraphError, VertexId};

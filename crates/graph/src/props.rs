@@ -1,0 +1,350 @@
+//! Structural graph properties.
+//!
+//! These feed the bound formulas: Theorem 1.1 needs `m` and `dmax`;
+//! the lower bound needs the diameter; the regular-graph machinery needs
+//! connectivity and bipartiteness checks (bipartite ⇒ `λ = 1` ⇒ use the
+//! lazy variant).
+
+use crate::csr::{Graph, VertexId};
+use cobra_util::BitSet;
+use std::collections::VecDeque;
+
+/// Marker for unreachable vertices in distance arrays.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src`; `UNREACHABLE` for vertices in other
+/// components.
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+    assert!((src as usize) < g.n(), "bfs source out of range");
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// True iff the graph is connected. The empty graph counts as connected;
+/// a single vertex does too.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Component label (smallest vertex id in the component) for each vertex.
+pub fn connected_components(g: &Graph) -> Vec<VertexId> {
+    let mut label = vec![VertexId::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    for s in 0..g.n() as VertexId {
+        if label[s as usize] != VertexId::MAX {
+            continue;
+        }
+        label[s as usize] = s;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if label[w as usize] == VertexId::MAX {
+                    label[w as usize] = s;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Extracts the largest connected component as a new graph, together with
+/// the mapping from new ids to original vertex ids.
+///
+/// `G(n,p)` below the connectivity threshold is used through its giant
+/// component; the COBRA/BIPS processes are only defined on connected
+/// graphs.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+    if g.n() == 0 {
+        return (Graph::from_edges(0, &[]).expect("empty"), Vec::new());
+    }
+    let labels = connected_components(g);
+    let mut counts: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let (&best, _) = counts
+        .iter()
+        .max_by_key(|&(&l, &c)| (c, std::cmp::Reverse(l)))
+        .expect("nonempty");
+    let mut old_of_new: Vec<VertexId> = Vec::new();
+    let mut new_of_old = vec![VertexId::MAX; g.n()];
+    for v in 0..g.n() as VertexId {
+        if labels[v as usize] == best {
+            new_of_old[v as usize] = old_of_new.len() as VertexId;
+            old_of_new.push(v);
+        }
+    }
+    let edges: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(u, _)| labels[u as usize] == best)
+        .map(|(u, v)| (new_of_old[u as usize], new_of_old[v as usize]))
+        .collect();
+    let sub = Graph::from_edges(old_of_new.len(), &edges).expect("component edges are valid");
+    (sub, old_of_new)
+}
+
+/// Two-colourability check via BFS.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let mut colour = vec![u8::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    for s in 0..g.n() as VertexId {
+        if colour[s as usize] != u8::MAX {
+            continue;
+        }
+        colour[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if colour[w as usize] == u8::MAX {
+                    colour[w as usize] = 1 - colour[u as usize];
+                    queue.push_back(w);
+                } else if colour[w as usize] == colour[u as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Eccentricity of `src` (longest BFS distance); `None` if the graph is
+/// disconnected.
+pub fn eccentricity(g: &Graph, src: VertexId) -> Option<u32> {
+    let dist = bfs_distances(g, src);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter by all-source BFS: `O(n·m)`. `None` for disconnected
+/// graphs; `Some(0)` for trivial graphs.
+///
+/// Fine up to a few thousand vertices; larger experiments use
+/// [`diameter_double_sweep`] which is exact on trees and a lower bound in
+/// general.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in 0..g.n() as VertexId {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Double-sweep diameter lower bound: BFS from `src`, then BFS from the
+/// farthest vertex found. Exact on trees; a (usually tight) lower bound
+/// otherwise. `None` for disconnected graphs.
+pub fn diameter_double_sweep(g: &Graph, src: VertexId) -> Option<u32> {
+    if g.n() == 0 {
+        return Some(0);
+    }
+    let d1 = bfs_distances(g, src);
+    let (far, d) = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .expect("nonempty");
+    if *d == UNREACHABLE {
+        return None;
+    }
+    eccentricity(g, far as VertexId)
+}
+
+/// Degree statistics bundle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+}
+
+/// Computes min/max/mean degree in one pass.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    if g.n() == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+    }
+    DegreeStats {
+        min: g.min_degree(),
+        max: g.max_degree(),
+        mean: g.degree_sum() as f64 / g.n() as f64,
+    }
+}
+
+/// Vertices reachable from `set` in one hop: `N(S) = ∪_{u∈S} N(u)`
+/// (not excluding `S` itself), as a [`BitSet`]. Used by the serialised
+/// BIPS candidate-set computation.
+pub fn neighborhood(g: &Graph, set: &[VertexId]) -> BitSet {
+    let mut out = BitSet::new(g.n());
+    for &u in set {
+        for &w in g.neighbors(u) {
+            out.insert(w as usize);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn connectivity_cases() {
+        assert!(is_connected(&generators::cycle(5)));
+        assert!(is_connected(&Graph::from_edges(1, &[]).unwrap()));
+        assert!(is_connected(&Graph::from_edges(0, &[]).unwrap()));
+        let two = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!is_connected(&two));
+    }
+
+    #[test]
+    fn components_and_largest() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5, 5]);
+        let (sub, mapping) = largest_component(&g);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_of_gnp_giant() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = generators::gnp(300, 2.5 / 300.0, &mut rng);
+        let (sub, mapping) = largest_component(&g);
+        assert!(is_connected(&sub));
+        assert!(sub.n() > 100, "supercritical G(n,p) has a giant component");
+        // Mapping preserves adjacency.
+        for (u, v) in sub.edges().take(50) {
+            assert!(g.has_edge(mapping[u as usize], mapping[v as usize]));
+        }
+    }
+
+    #[test]
+    fn bipartite_classification() {
+        assert!(is_bipartite(&generators::cycle(8)));
+        assert!(!is_bipartite(&generators::cycle(9)));
+        assert!(is_bipartite(&generators::hypercube(5)));
+        assert!(!is_bipartite(&generators::complete(4)));
+        assert!(is_bipartite(&generators::k_ary_tree(20, 3)));
+        assert!(!is_bipartite(&generators::petersen()));
+        // Disconnected: bipartite iff all components are.
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn diameter_known_values() {
+        assert_eq!(diameter(&generators::complete(8)), Some(1));
+        assert_eq!(diameter(&generators::cycle(10)), Some(5));
+        assert_eq!(diameter(&generators::cycle(11)), Some(5));
+        assert_eq!(diameter(&generators::path(10)), Some(9));
+        assert_eq!(diameter(&generators::hypercube(6)), Some(6));
+        assert_eq!(diameter(&generators::star(20)), Some(2));
+        let disconnected = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(diameter(&disconnected), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees_and_lower_bound_generally() {
+        let t = generators::k_ary_tree(31, 2);
+        assert_eq!(diameter_double_sweep(&t, 0), diameter(&t));
+        for g in [generators::cycle(12), generators::petersen(), generators::barbell(4, 3)] {
+            let ds = diameter_double_sweep(&g, 0).unwrap();
+            let ex = diameter(&g).unwrap();
+            assert!(ds <= ex);
+            assert!(ds * 2 >= ex, "double sweep is a 2-approximation");
+        }
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&generators::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighborhood_of_set() {
+        let g = generators::path(5);
+        let nb = neighborhood(&g, &[2]);
+        assert_eq!(nb.to_vec(), vec![1, 3]);
+        let nb2 = neighborhood(&g, &[0, 4]);
+        assert_eq!(nb2.to_vec(), vec![1, 3]);
+    }
+
+    proptest! {
+        /// Connectivity via BFS agrees with union-find over the edge list.
+        #[test]
+        fn connectivity_matches_union_find(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80)
+        ) {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let g = Graph::from_edges_dedup(n, &edges).unwrap();
+            let mut uf = cobra_util::UnionFind::new(n);
+            for (a, b) in g.edges() {
+                uf.union(a as usize, b as usize);
+            }
+            prop_assert_eq!(is_connected(&g), uf.components() == 1);
+            // Component labels partition consistently with union-find.
+            let labels = connected_components(&g);
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(labels[a] == labels[b], uf.connected(a, b));
+                }
+            }
+        }
+
+        /// Eccentricities are within [diam/2, diam].
+        #[test]
+        fn eccentricity_bounds(n in 3usize..24) {
+            let g = generators::cycle(n);
+            let d = diameter(&g).unwrap();
+            for v in 0..n as u32 {
+                let e = eccentricity(&g, v).unwrap();
+                prop_assert!(e <= d);
+                prop_assert!(2 * e >= d);
+            }
+        }
+    }
+}

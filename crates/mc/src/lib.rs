@@ -1,0 +1,20 @@
+//! Deterministic parallel Monte-Carlo trial runner.
+//!
+//! Every experiment in the reproduction is a map from trial index to an
+//! independent simulation outcome. This crate provides:
+//!
+//! * [`seed`] — SplitMix64 seed derivation: one master seed fans out to
+//!   per-trial seeds that are stable across runs, thread counts, and
+//!   platforms;
+//! * [`runner`] — an embarrassingly-parallel executor over
+//!   `std::thread::scope` whose output is ordered by trial index, so a
+//!   parallel run is bit-identical to a sequential one.
+//!
+//! No external dependencies: an atomic work counter plus scoped threads
+//! cover everything the workload needs.
+
+pub mod runner;
+pub mod seed;
+
+pub use runner::{run_trials, RunConfig};
+pub use seed::{trial_seed, SeedSequence};

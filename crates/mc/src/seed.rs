@@ -1,0 +1,109 @@
+//! SplitMix64-based seed derivation.
+//!
+//! All randomness in the workspace flows from a single master seed. A
+//! trial's seed depends only on `(master, index)`, never on scheduling,
+//! so results are reproducible regardless of thread count.
+
+/// SplitMix64 step (Steele, Lea & Flood): a high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed for trial `index` under `master`. Stateless: mixes the
+/// master, then offsets by the index and mixes again, so consecutive
+/// indices give statistically unrelated seeds.
+pub fn trial_seed(master: u64, index: u64) -> u64 {
+    let mut s = master;
+    let mixed_master = splitmix64(&mut s);
+    let mut t = mixed_master ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    splitmix64(&mut t)
+}
+
+/// A stateful stream of seeds from one master seed.
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+impl SeedSequence {
+    /// Starts a sequence from `master`.
+    pub fn new(master: u64) -> SeedSequence {
+        SeedSequence { state: master }
+    }
+
+    /// Next seed in the stream.
+    pub fn next_seed(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl Iterator for SeedSequence {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_seed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 0 (cross-checked against the public
+        // SplitMix64 test vectors).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn trial_seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
+        let b: Vec<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
+        assert_eq!(a, b);
+        let distinct: HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), 1000, "no collisions in 1000 trials");
+    }
+
+    #[test]
+    fn different_masters_decorrelate() {
+        let a: Vec<u64> = (0..100).map(|i| trial_seed(1, i)).collect();
+        let b: Vec<u64> = (0..100).map(|i| trial_seed(2, i)).collect();
+        let overlap = a.iter().filter(|x| b.contains(x)).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn sequence_matches_repeated_splitmix() {
+        let seq: Vec<u64> = SeedSequence::new(7).take(5).collect();
+        let mut s = 7u64;
+        let want: Vec<u64> = (0..5).map(|_| splitmix64(&mut s)).collect();
+        assert_eq!(seq, want);
+    }
+
+    #[test]
+    fn seed_bits_look_balanced() {
+        // Cheap sanity: across 4096 seeds, each bit position is set
+        // between 35% and 65% of the time.
+        let n = 4096u64;
+        let mut counts = [0u32; 64];
+        for i in 0..n {
+            let s = trial_seed(0xDEAD_BEEF, i);
+            for (b, c) in counts.iter_mut().enumerate() {
+                *c += ((s >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((0.35..0.65).contains(&frac), "bit {b} biased: {frac}");
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! BIPS — Biased Infection with Persistent Source.
+//!
+//! For a source `v`: `A_0 = {v}`; each round every vertex `u ≠ v`
+//! independently samples `b` neighbours uniformly with replacement and
+//! belongs to `A_{t+1}` iff at least one sample lies in `A_t`; the
+//! source belongs to every `A_t`. `infec(v) = min{t : A_t = V}`.
+//!
+//! Two round implementations with *identical law* (vertices sample
+//! independently given `A_t`, so per-vertex Bernoulli draws with the
+//! exact per-vertex infection probability reproduce the joint
+//! distribution):
+//!
+//! * [`BipsMode::ExactSampling`] — literally draw the `b` neighbour
+//!   picks per vertex; `O(n·b)` per round. The reference semantics.
+//! * [`BipsMode::Bernoulli`] — compute `d_A(u)` by scanning the edges of
+//!   the infected set, then draw one Bernoulli per candidate with
+//!   `p = 1 − (1 − q)(1 − ρq)` (eq. 33) or `1 − (1 − q)^b` (eq. 32);
+//!   `O(d(A_t))` per round, much faster while the infection is small.
+//!
+//! The equivalence is property-tested in this module (KS test on
+//! infection trajectories) — it is the implementation detail the fast
+//! experiments lean on.
+
+use crate::branching::{Branching, Laziness};
+use crate::SpreadProcess;
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Which round implementation a [`Bips`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BipsMode {
+    /// Literal neighbour sampling (reference semantics).
+    ExactSampling,
+    /// Law-identical Bernoulli fast path over candidates.
+    Bernoulli,
+}
+
+/// A running BIPS process.
+#[derive(Debug, Clone)]
+pub struct Bips<'g> {
+    g: &'g Graph,
+    source: VertexId,
+    branching: Branching,
+    laziness: Laziness,
+    mode: BipsMode,
+    infected: BitSet,
+    /// `A_t` as a sorted duplicate-free list (kept in sync with the set).
+    infected_list: Vec<VertexId>,
+    rounds: usize,
+    transmissions: u64,
+    /// Scratch: `d_A(u)` counters for the Bernoulli path.
+    d_a: Vec<u32>,
+    /// Scratch: vertices with nonzero `d_a` this round.
+    touched: Vec<VertexId>,
+}
+
+impl<'g> Bips<'g> {
+    /// Starts BIPS with the given persistent source.
+    pub fn new(
+        g: &'g Graph,
+        source: VertexId,
+        branching: Branching,
+        laziness: Laziness,
+        mode: BipsMode,
+    ) -> Self {
+        branching.validate();
+        assert!((source as usize) < g.n(), "source vertex out of range");
+        assert!(
+            g.n() == 1 || g.degree(source) > 0,
+            "source must not be isolated"
+        );
+        let mut infected = BitSet::new(g.n());
+        infected.insert(source as usize);
+        Bips {
+            g,
+            source,
+            branching,
+            laziness,
+            mode,
+            infected,
+            infected_list: vec![source],
+            rounds: 0,
+            transmissions: 0,
+            d_a: vec![0; g.n()],
+            touched: Vec::new(),
+        }
+    }
+
+    /// The canonical process of the paper: `b = 2`, non-lazy, fast path.
+    pub fn b2(g: &'g Graph, source: VertexId) -> Self {
+        Bips::new(g, source, Branching::B2, Laziness::None, BipsMode::Bernoulli)
+    }
+
+    /// Current infected set `A_t`.
+    pub fn infected(&self) -> &BitSet {
+        &self.infected
+    }
+
+    /// Current infected set as a sorted list.
+    pub fn infected_list(&self) -> &[VertexId] {
+        &self.infected_list
+    }
+
+    /// `|A_t|`.
+    pub fn infected_count(&self) -> usize {
+        self.infected.count()
+    }
+
+    /// `d(A_t) = Σ_{u∈A_t} d(u)` — the quantity Theorem 1.4's analysis
+    /// tracks.
+    pub fn infected_degree(&self) -> usize {
+        self.g.set_degree(&self.infected_list)
+    }
+
+    /// True iff `u ∈ A_t`.
+    pub fn is_infected(&self, u: VertexId) -> bool {
+        self.infected.contains(u as usize)
+    }
+
+    /// The persistent source.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Overrides the current infected set (the source is inserted
+    /// regardless). Used by conditional-expectation experiments that
+    /// check per-configuration statements like Lemma 4.1
+    /// (`E(|A_{t+1}| | A_t = A)`), which quantify over arbitrary sets `A`.
+    pub fn set_infected_state(&mut self, vertices: &[VertexId]) {
+        self.infected = BitSet::new(self.g.n());
+        self.infected.insert(self.source as usize);
+        for &u in vertices {
+            assert!((u as usize) < self.g.n(), "vertex {u} out of range");
+            self.infected.insert(u as usize);
+        }
+        self.infected_list = self.infected.iter().map(|u| u as VertexId).collect();
+    }
+
+    /// Runs until the whole graph is infected; `Some(infec(v))` or `None`
+    /// if censored at `cap` rounds.
+    pub fn run_until_full_infection(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+
+    fn step_exact(&mut self, rng: &mut SmallRng) {
+        let n = self.g.n();
+        let mut next = BitSet::new(n);
+        next.insert(self.source as usize);
+        for u in 0..n as VertexId {
+            if u == self.source {
+                continue;
+            }
+            let picks = self.branching.sample(rng);
+            self.transmissions += picks as u64;
+            for _ in 0..picks {
+                let w = self.laziness.pick(self.g, u, rng);
+                if self.infected.contains(w as usize) {
+                    next.insert(u as usize);
+                    break;
+                }
+            }
+        }
+        self.commit(next);
+    }
+
+    fn step_bernoulli(&mut self, rng: &mut SmallRng) {
+        let n = self.g.n();
+        // d_A(u) for every u adjacent to the infected set.
+        for &w in &self.infected_list {
+            for &u in self.g.neighbors(w) {
+                if self.d_a[u as usize] == 0 {
+                    self.touched.push(u);
+                }
+                self.d_a[u as usize] += 1;
+            }
+        }
+        let mut next = BitSet::new(n);
+        next.insert(self.source as usize);
+        let lazy = self.laziness == Laziness::Half;
+        // Candidates: vertices with an infected neighbour; under
+        // laziness, currently infected vertices are candidates too (a
+        // self-pick can re-infect).
+        let touched = std::mem::take(&mut self.touched);
+        let lazy_extras = self
+            .infected_list
+            .iter()
+            // Infected vertices with an infected neighbour are already in
+            // `touched`; chaining them again would give a second draw and
+            // break the law.
+            .filter(|&&u| lazy && self.d_a[u as usize] == 0);
+        for &u in touched.iter().chain(lazy_extras) {
+            if u == self.source || next.contains(u as usize) {
+                continue;
+            }
+            let d = self.g.degree(u) as f64;
+            let frac = self.d_a[u as usize] as f64 / d;
+            let q = self
+                .laziness
+                .pick_infected_probability(frac, self.infected.contains(u as usize));
+            let p = self.branching.infection_probability(q);
+            if p > 0.0 && rng.random_bool(p) {
+                next.insert(u as usize);
+            }
+        }
+        // Bookkeeping: transmissions are what the *process* would send
+        // (b picks per non-source vertex), independent of the shortcut.
+        self.transmissions += ((n - 1) as f64 * self.branching.expected()).round() as u64;
+        for &u in &touched {
+            self.d_a[u as usize] = 0;
+        }
+        self.touched = touched;
+        self.touched.clear();
+        self.commit(next);
+    }
+
+    fn commit(&mut self, next: BitSet) {
+        self.infected_list.clear();
+        self.infected_list
+            .extend(next.iter().map(|u| u as VertexId));
+        self.infected = next;
+        self.rounds += 1;
+    }
+}
+
+impl SpreadProcess for Bips<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        match self.mode {
+            BipsMode::ExactSampling => self.step_exact(rng),
+            BipsMode::Bernoulli => self.step_bernoulli(rng),
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.infected.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.infected_count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn source_is_always_infected() {
+        let g = generators::cycle(8);
+        for mode in [BipsMode::ExactSampling, BipsMode::Bernoulli] {
+            let mut b = Bips::new(&g, 3, Branching::B2, Laziness::None, mode);
+            let mut r = rng(1);
+            for _ in 0..50 {
+                b.step(&mut r);
+                assert!(b.is_infected(3), "{mode:?}: source dropped out");
+            }
+        }
+    }
+
+    #[test]
+    fn infection_can_recede_but_source_remains() {
+        // On a star with source at a leaf, the centre flickers: verify
+        // |A_t| both grows and shrinks over a long run (SIS behaviour).
+        let g = generators::star(12);
+        let mut b = Bips::new(&g, 1, Branching::B2, Laziness::None, BipsMode::ExactSampling);
+        let mut r = rng(2);
+        let mut grew = false;
+        let mut shrank = false;
+        let mut prev = b.infected_count();
+        for _ in 0..400 {
+            b.step(&mut r);
+            let now = b.infected_count();
+            grew |= now > prev;
+            shrank |= now < prev;
+            prev = now;
+        }
+        assert!(grew && shrank, "grew={grew} shrank={shrank}");
+    }
+
+    #[test]
+    fn infects_complete_graph_quickly() {
+        let g = generators::complete(64);
+        for mode in [BipsMode::ExactSampling, BipsMode::Bernoulli] {
+            let mut b = Bips::new(&g, 0, Branching::B2, Laziness::None, mode);
+            let t = b
+                .run_until_full_infection(&mut rng(3), 10_000)
+                .expect("infects");
+            assert!(t < 100, "{mode:?}: K_64 infection took {t}");
+        }
+    }
+
+    #[test]
+    fn infected_list_matches_set() {
+        let g = generators::torus(&[5, 5]);
+        let mut b = Bips::b2(&g, 0);
+        let mut r = rng(4);
+        for _ in 0..30 {
+            b.step(&mut r);
+            let from_set: Vec<u32> = b.infected().to_vec();
+            assert_eq!(b.infected_list(), from_set.as_slice());
+            assert_eq!(b.infected_count(), from_set.len());
+        }
+    }
+
+    #[test]
+    fn infected_degree_accounting() {
+        let g = generators::star(6);
+        let b = Bips::b2(&g, 0);
+        assert_eq!(b.infected_degree(), 5, "centre has degree 5");
+    }
+
+    #[test]
+    fn modes_agree_in_distribution() {
+        // Same law: compare infection-size samples after a fixed number
+        // of rounds via KS across many independent runs.
+        let g = generators::petersen();
+        let trials = 400;
+        let rounds = 4;
+        let collect = |mode: BipsMode, salt: u64| -> Vec<f64> {
+            (0..trials)
+                .map(|i| {
+                    let mut b = Bips::new(&g, 0, Branching::B2, Laziness::None, mode);
+                    let mut r = rng(1000 + salt * 7919 + i);
+                    for _ in 0..rounds {
+                        b.step(&mut r);
+                    }
+                    b.infected_count() as f64
+                })
+                .collect()
+        };
+        let exact = collect(BipsMode::ExactSampling, 1);
+        let fast = collect(BipsMode::Bernoulli, 2);
+        let ks = cobra_stats::ks_two_sample(&exact, &fast);
+        assert!(
+            ks.p_value > 0.001,
+            "modes differ in law: D={} p={}",
+            ks.statistic,
+            ks.p_value
+        );
+    }
+
+    #[test]
+    fn modes_agree_with_rho_branching() {
+        let g = generators::complete(12);
+        let trials = 300;
+        let collect = |mode: BipsMode, salt: u64| -> Vec<f64> {
+            (0..trials)
+                .map(|i| {
+                    let mut b =
+                        Bips::new(&g, 0, Branching::Expected(0.4), Laziness::None, mode);
+                    let mut r = rng(5000 + salt * 104_729 + i);
+                    for _ in 0..3 {
+                        b.step(&mut r);
+                    }
+                    b.infected_count() as f64
+                })
+                .collect()
+        };
+        let ks = cobra_stats::ks_two_sample(
+            &collect(BipsMode::ExactSampling, 1),
+            &collect(BipsMode::Bernoulli, 2),
+        );
+        assert!(ks.p_value > 0.001, "rho modes differ: {ks:?}");
+    }
+
+    #[test]
+    fn lazy_modes_agree() {
+        let g = generators::cycle(10); // bipartite; laziness matters here
+        let trials = 300;
+        let collect = |mode: BipsMode, salt: u64| -> Vec<f64> {
+            (0..trials)
+                .map(|i| {
+                    let mut b = Bips::new(&g, 0, Branching::B2, Laziness::Half, mode);
+                    let mut r = rng(9000 + salt * 31 + i);
+                    for _ in 0..6 {
+                        b.step(&mut r);
+                    }
+                    b.infected_count() as f64
+                })
+                .collect()
+        };
+        let ks = cobra_stats::ks_two_sample(
+            &collect(BipsMode::ExactSampling, 1),
+            &collect(BipsMode::Bernoulli, 2),
+        );
+        assert!(ks.p_value > 0.001, "lazy modes differ: {ks:?}");
+    }
+
+    #[test]
+    fn bernoulli_mode_handles_single_vertex() {
+        let g = generators::path(1);
+        let b = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::Bernoulli);
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    fn censoring_reports_none() {
+        let g = generators::path(256);
+        let mut b = Bips::b2(&g, 0);
+        assert_eq!(b.run_until_full_infection(&mut rng(6), 5), None);
+        assert_eq!(b.rounds(), 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::random_regular(40, 3, true, &mut rng(7)).unwrap();
+        let a = Bips::b2(&g, 0).run_until_full_infection(&mut rng(8), 1_000_000);
+        let b = Bips::b2(&g, 0).run_until_full_infection(&mut rng(8), 1_000_000);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// BIPS b=2 fully infects random connected graphs within the
+        /// Theorem 1.4 cap shape (with a generous constant).
+        #[test]
+        fn infects_random_connected_graphs(seed in 0u64..10_000) {
+            let mut r = rng(seed);
+            let g0 = generators::gnp(36, 0.14, &mut r);
+            let (g, _) = cobra_graph::props::largest_component(&g0);
+            prop_assume!(g.n() >= 3);
+            let mut b = Bips::b2(&g, 0);
+            let n = g.n();
+            let dmax = g.max_degree();
+            let cap = 200 * (g.m() + dmax * dmax * (cobra_util::math::log2_ceil(n) as usize + 1)) + 10_000;
+            prop_assert!(b.run_until_full_infection(&mut r, cap).is_some());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Branching factors and laziness, shared by COBRA and BIPS.
+
+use cobra_graph::{Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Branching factor `b` of the COBRA/BIPS processes.
+///
+/// The paper's main results take `b = 2` (`Fixed(2)`); §6 extends them
+/// to the expected branching factor `b = 1 + ρ` where each particle
+/// doubles with probability ρ (`Expected(ρ)`); `Fixed(1)` degenerates to
+/// a simple random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Branching {
+    /// Every particle sends exactly `b ≥ 1` copies.
+    Fixed(u32),
+    /// Every particle sends 2 copies with probability ρ, else 1
+    /// (expected branching factor `1 + ρ`), `0 < ρ ≤ 1`.
+    Expected(f64),
+}
+
+impl Branching {
+    /// The canonical process of the paper.
+    pub const B2: Branching = Branching::Fixed(2);
+
+    /// Validates parameters; called by process constructors.
+    pub fn validate(&self) {
+        match *self {
+            Branching::Fixed(b) => assert!(b >= 1, "branching factor must be >= 1"),
+            Branching::Expected(rho) => {
+                assert!(
+                    rho > 0.0 && rho <= 1.0,
+                    "expected branching needs 0 < rho <= 1, got {rho}"
+                )
+            }
+        }
+    }
+
+    /// Number of copies pushed this round by one particle.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        match *self {
+            Branching::Fixed(b) => b,
+            Branching::Expected(rho) => {
+                if rng.random_bool(rho) {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Expected number of copies per particle per round.
+    pub fn expected(&self) -> f64 {
+        match *self {
+            Branching::Fixed(b) => b as f64,
+            Branching::Expected(rho) => 1.0 + rho,
+        }
+    }
+
+    /// Probability that a vertex with infected-neighbour fraction `q`
+    /// catches the infection in one BIPS round (equations (32)/(33) of
+    /// the paper), where `q = d_A(u)/d(u)` — or the lazy-adjusted pick
+    /// probability.
+    pub fn infection_probability(&self, q: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&q));
+        match *self {
+            Branching::Fixed(b) => 1.0 - (1.0 - q).powi(b as i32),
+            Branching::Expected(rho) => 1.0 - (1.0 - q) * (1.0 - rho * q),
+        }
+    }
+}
+
+/// Laziness of the neighbour picks.
+///
+/// The paper's fix for bipartite graphs: each individual pick lands on
+/// the vertex itself with probability ½, otherwise on a uniform
+/// neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Laziness {
+    /// Plain uniform neighbour picks.
+    None,
+    /// Each pick is "self" with probability ½.
+    Half,
+}
+
+impl Laziness {
+    /// Draws one pick for vertex `v` under this laziness policy.
+    #[inline]
+    pub fn pick(&self, g: &Graph, v: VertexId, rng: &mut SmallRng) -> VertexId {
+        match self {
+            Laziness::None => g.random_neighbor(v, rng),
+            Laziness::Half => {
+                if rng.random_bool(0.5) {
+                    v
+                } else {
+                    g.random_neighbor(v, rng)
+                }
+            }
+        }
+    }
+
+    /// Per-pick probability of landing on an infected vertex, given the
+    /// infected-neighbour fraction `frac = d_A(u)/d(u)` and whether `u`
+    /// itself is currently infected.
+    #[inline]
+    pub fn pick_infected_probability(&self, frac: f64, self_infected: bool) -> f64 {
+        match self {
+            Laziness::None => frac,
+            Laziness::Half => 0.5 * frac + if self_infected { 0.5 } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_branching_samples_constant() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let b = Branching::Fixed(3);
+        for _ in 0..100 {
+            assert_eq!(b.sample(&mut rng), 3);
+        }
+        assert_eq!(b.expected(), 3.0);
+    }
+
+    #[test]
+    fn expected_branching_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = Branching::Expected(0.25);
+        let n = 40_000;
+        let total: u64 = (0..n).map(|_| b.sample(&mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.25).abs() < 0.02, "mean {mean}");
+        assert_eq!(b.expected(), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_rho_zero() {
+        Branching::Expected(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn rejects_b_zero() {
+        Branching::Fixed(0).validate();
+    }
+
+    #[test]
+    fn infection_probability_formulas() {
+        // b = 2 at q = 1/2: 1 − (1/2)² = 3/4.
+        assert!((Branching::Fixed(2).infection_probability(0.5) - 0.75).abs() < 1e-12);
+        // b = 1: probability is q itself.
+        assert!((Branching::Fixed(1).infection_probability(0.3) - 0.3).abs() < 1e-12);
+        // b = 1+ρ at ρ = 1 must equal b = 2.
+        for q in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let a = Branching::Expected(1.0).infection_probability(q);
+            let b = Branching::Fixed(2).infection_probability(q);
+            assert!((a - b).abs() < 1e-12, "q={q}");
+        }
+        // Boundary values.
+        assert_eq!(Branching::Fixed(2).infection_probability(0.0), 0.0);
+        assert_eq!(Branching::Fixed(2).infection_probability(1.0), 1.0);
+    }
+
+    #[test]
+    fn lazy_pick_hits_self_half_the_time() {
+        let g = generators::cycle(5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut selfs = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let p = Laziness::Half.pick(&g, 0, &mut rng);
+            if p == 0 {
+                selfs += 1;
+            } else {
+                assert!(g.has_edge(0, p));
+            }
+        }
+        let frac = selfs as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "self fraction {frac}");
+    }
+
+    #[test]
+    fn non_lazy_pick_never_hits_self() {
+        let g = generators::cycle(5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_ne!(Laziness::None.pick(&g, 2, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn lazy_pick_probability_accounts_for_self() {
+        assert_eq!(Laziness::None.pick_infected_probability(0.4, true), 0.4);
+        assert_eq!(Laziness::Half.pick_infected_probability(0.4, false), 0.2);
+        assert_eq!(Laziness::Half.pick_infected_probability(0.4, true), 0.7);
+    }
+}

@@ -1,0 +1,184 @@
+//! Coalescing random walks without branching — the other half of
+//! COBRA's name.
+//!
+//! `k` particles walk independently; particles meeting at a vertex merge
+//! into one. Without branching the particle count only decreases, so the
+//! process eventually degrades to a single walk — the ablation showing
+//! *why* COBRA needs the branching step to keep its parallelism alive.
+
+use crate::branching::Laziness;
+use crate::SpreadProcess;
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+
+/// `k` coalescing random walks tracking their joint visited set.
+#[derive(Debug, Clone)]
+pub struct CoalescingWalks<'g> {
+    g: &'g Graph,
+    laziness: Laziness,
+    /// Current particle positions (duplicate-free: one particle per
+    /// occupied vertex).
+    particles: Vec<VertexId>,
+    occupied: BitSet,
+    visited: BitSet,
+    rounds: usize,
+    merges: u64,
+}
+
+impl<'g> CoalescingWalks<'g> {
+    /// Starts particles at `starts` (duplicates coalesce immediately).
+    pub fn new(g: &'g Graph, starts: &[VertexId], laziness: Laziness) -> Self {
+        assert!(!starts.is_empty(), "need at least one particle");
+        let mut occupied = BitSet::new(g.n());
+        let mut visited = BitSet::new(g.n());
+        let mut particles = Vec::with_capacity(starts.len());
+        for &s in starts {
+            assert!((s as usize) < g.n(), "start vertex out of range");
+            visited.insert(s as usize);
+            if occupied.insert(s as usize) {
+                particles.push(s);
+            }
+        }
+        CoalescingWalks { g, laziness, particles, occupied, visited, rounds: 0, merges: 0 }
+    }
+
+    /// Surviving particle count.
+    pub fn particle_count(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Total merge events so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Runs until the visited union covers the graph (or `None` at cap).
+    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+
+    /// Runs until a single particle survives (coalescence time), or
+    /// `None` at the cap. Returns the rounds taken.
+    pub fn run_until_coalesced(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        while self.particles.len() > 1 {
+            if self.rounds >= cap {
+                return None;
+            }
+            self.step(rng);
+        }
+        Some(self.rounds)
+    }
+}
+
+impl SpreadProcess for CoalescingWalks<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        let mut next: Vec<VertexId> = Vec::with_capacity(self.particles.len());
+        // Clear occupancy of the departing particles, then re-occupy.
+        self.occupied.clear_indices(&self.particles);
+        for i in 0..self.particles.len() {
+            let w = self.laziness.pick(self.g, self.particles[i], rng);
+            self.visited.insert(w as usize);
+            if self.occupied.insert(w as usize) {
+                next.push(w);
+            } else {
+                self.merges += 1;
+            }
+        }
+        self.particles = next;
+        self.rounds += 1;
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.visited.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.visited.count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        // One transmission per particle per round; reconstruct from the
+        // merge history: particles(t) = starts − merges, summed over t
+        // is tracked implicitly — report rounds × current particles as a
+        // lower bound plus merges (each merge consumed one transmission).
+        self.rounds as u64 * self.particles.len() as u64 + self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn duplicates_coalesce_at_start() {
+        let g = generators::cycle(8);
+        let c = CoalescingWalks::new(&g, &[3, 3, 5], Laziness::None);
+        assert_eq!(c.particle_count(), 2);
+    }
+
+    #[test]
+    fn particle_count_never_increases() {
+        let g = generators::complete(16);
+        let mut c = CoalescingWalks::new(&g, &(0..8u32).collect::<Vec<_>>(), Laziness::None);
+        let mut r = rng(1);
+        let mut prev = c.particle_count();
+        for _ in 0..100 {
+            c.step(&mut r);
+            assert!(c.particle_count() <= prev, "particles multiplied without branching");
+            assert!(c.particle_count() >= 1, "all particles vanished");
+            prev = c.particle_count();
+        }
+    }
+
+    #[test]
+    fn eventually_coalesces_on_complete_graph() {
+        let g = generators::complete(12);
+        let mut c = CoalescingWalks::new(&g, &(0..12u32).collect::<Vec<_>>(), Laziness::None);
+        let t = c.run_until_coalesced(&mut rng(2), 1_000_000).expect("coalesces");
+        assert!(t > 0);
+        assert_eq!(c.particle_count(), 1);
+        assert_eq!(c.merges(), 11, "12 particles merge 11 times");
+    }
+
+    #[test]
+    fn lazy_walks_coalesce_on_bipartite_graphs() {
+        // Non-lazy walks on an even cycle preserve parity: particles on
+        // the same colour class can never meet those on the other...
+        // but same-class particles can. Laziness breaks parity entirely.
+        let g = generators::cycle(10);
+        let mut c = CoalescingWalks::new(&g, &[0, 1], Laziness::Half);
+        assert!(c.run_until_coalesced(&mut rng(3), 1_000_000).is_some());
+    }
+
+    #[test]
+    fn parity_blocks_non_lazy_coalescence_on_even_cycle() {
+        // Two particles at odd distance on C_8 can never meet without
+        // laziness (each step flips both parities in the same way).
+        let g = generators::cycle(8);
+        let mut c = CoalescingWalks::new(&g, &[0, 1], Laziness::None);
+        let mut r = rng(4);
+        for _ in 0..5000 {
+            c.step(&mut r);
+            assert_eq!(c.particle_count(), 2, "parity-violating merge");
+        }
+    }
+
+    #[test]
+    fn covers_like_multiwalk_until_merges_bite() {
+        let g = generators::torus(&[5, 5]);
+        let mut c = CoalescingWalks::new(&g, &[0, 6, 12, 18], Laziness::None);
+        assert!(c.run_until_cover(&mut rng(5), 10_000_000).is_some());
+        assert!(c.is_complete());
+    }
+}

@@ -1,0 +1,327 @@
+//! The COBRA (COalescing-BRAnching) random walk.
+//!
+//! Set formulation, exactly as the paper defines it: `C_0` is the start
+//! set; in each round every vertex of `C_t` independently chooses `b`
+//! neighbours uniformly at random with replacement, and `C_{t+1}` is the
+//! *set* of chosen vertices (coalescing is implicit in the set union).
+//! `cover(u) = min{T : ∪_{t≤T} C_t = V}` with `C_0 = {u}`.
+
+use crate::branching::{Branching, Laziness};
+use crate::SpreadProcess;
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+
+/// A running COBRA process.
+#[derive(Debug, Clone)]
+pub struct Cobra<'g> {
+    g: &'g Graph,
+    branching: Branching,
+    laziness: Laziness,
+    /// `C_t` as a duplicate-free list.
+    active: Vec<VertexId>,
+    /// Scratch mark set for coalescing; empty between rounds.
+    mark: BitSet,
+    /// `∪_{t' ≤ t} C_{t'}`.
+    visited: BitSet,
+    rounds: usize,
+    transmissions: u64,
+}
+
+impl<'g> Cobra<'g> {
+    /// Starts COBRA from the vertices of `start` (deduplicated).
+    ///
+    /// Panics if `start` is empty, contains out-of-range ids, or if the
+    /// graph has an isolated vertex in `start` (the process cannot push
+    /// from it).
+    pub fn new(g: &'g Graph, start: &[VertexId], branching: Branching, laziness: Laziness) -> Self {
+        branching.validate();
+        assert!(!start.is_empty(), "COBRA needs a nonempty start set");
+        let mut visited = BitSet::new(g.n());
+        let mut active = Vec::with_capacity(start.len());
+        for &v in start {
+            assert!((v as usize) < g.n(), "start vertex {v} out of range");
+            if visited.insert(v as usize) {
+                active.push(v);
+            }
+        }
+        Cobra {
+            g,
+            branching,
+            laziness,
+            active,
+            mark: BitSet::new(g.n()),
+            visited,
+            rounds: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// Convenience constructor for the paper's canonical process:
+    /// `b = 2`, non-lazy, started at a single vertex.
+    pub fn b2(g: &'g Graph, start: VertexId) -> Self {
+        Cobra::new(g, &[start], Branching::B2, Laziness::None)
+    }
+
+    /// The current active set `C_t` (unordered, duplicate-free).
+    pub fn active(&self) -> &[VertexId] {
+        &self.active
+    }
+
+    /// The visited set `∪_{t'≤t} C_{t'}`.
+    pub fn visited(&self) -> &BitSet {
+        &self.visited
+    }
+
+    /// Number of distinct vertices visited so far.
+    pub fn visited_count(&self) -> usize {
+        self.visited.count()
+    }
+
+    /// True iff `v` has been visited.
+    pub fn has_visited(&self, v: VertexId) -> bool {
+        self.visited.contains(v as usize)
+    }
+
+    /// Runs until `target` is visited; `Some(round)` is the hit time
+    /// `Hit(target)` (0 if `target ∈ C_0`), `None` if censored at `cap`.
+    pub fn run_until_hit(
+        &mut self,
+        target: VertexId,
+        rng: &mut SmallRng,
+        cap: usize,
+    ) -> Option<usize> {
+        while !self.has_visited(target) {
+            if self.rounds >= cap {
+                return None;
+            }
+            self.step(rng);
+        }
+        Some(self.rounds)
+    }
+
+    /// Runs until all vertices are visited; `Some(cover_rounds)` or
+    /// `None` if censored at `cap`.
+    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+}
+
+impl SpreadProcess for Cobra<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        debug_assert!(!self.active.is_empty(), "COBRA active set vanished");
+        let mut next: Vec<VertexId> = Vec::with_capacity(self.active.len() * 2);
+        for &v in &self.active {
+            let copies = self.branching.sample(rng);
+            self.transmissions += copies as u64;
+            for _ in 0..copies {
+                let w = self.laziness.pick(self.g, v, rng);
+                // Coalescing: at most one particle survives per vertex.
+                if self.mark.insert(w as usize) {
+                    next.push(w);
+                    self.visited.insert(w as usize);
+                }
+            }
+        }
+        // Reset the scratch marks for the next round (cheaper than a full
+        // clear when |C_t| ≪ n).
+        self.mark.clear_indices(&next);
+        self.active = next;
+        self.rounds += 1;
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.visited.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.visited_count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_vertex_graph_covers_instantly() {
+        let g = generators::path(1);
+        let cobra = Cobra::new(&g, &[0], Branching::B2, Laziness::Half);
+        assert!(cobra.is_complete());
+        assert_eq!(cobra.rounds(), 0);
+    }
+
+    #[test]
+    fn start_set_counts_as_visited() {
+        let g = generators::cycle(6);
+        let cobra = Cobra::new(&g, &[2, 4, 2], Branching::B2, Laziness::None);
+        assert_eq!(cobra.visited_count(), 2, "duplicates collapse");
+        assert_eq!(cobra.active().len(), 2);
+        assert!(cobra.has_visited(2));
+        assert!(!cobra.has_visited(0));
+    }
+
+    #[test]
+    fn covers_complete_graph_quickly() {
+        let g = generators::complete(64);
+        let mut c = Cobra::b2(&g, 0);
+        let rounds = c.run_until_cover(&mut rng(1), 10_000).expect("covers");
+        // O(log n) on K_n: 6 doublings minimum, generous upper slack.
+        assert!(rounds >= 6, "cannot beat doubling: {rounds}");
+        assert!(rounds < 60, "K_64 should cover in tens of rounds: {rounds}");
+        assert!(c.is_complete());
+        assert_eq!(c.reached_count(), 64);
+    }
+
+    #[test]
+    fn covers_path_graph() {
+        let g = generators::path(24);
+        let mut c = Cobra::b2(&g, 0);
+        let rounds = c.run_until_cover(&mut rng(2), 1_000_000).expect("covers");
+        assert!(rounds >= 23, "must at least reach the far end");
+    }
+
+    #[test]
+    fn b1_active_set_never_grows() {
+        // b = 1 is a single random walk: |C_t| stays 1 forever.
+        let g = generators::cycle(12);
+        let mut c = Cobra::new(&g, &[0], Branching::Fixed(1), Laziness::None);
+        let mut r = rng(3);
+        for _ in 0..200 {
+            c.step(&mut r);
+            assert_eq!(c.active().len(), 1);
+        }
+    }
+
+    #[test]
+    fn active_set_is_duplicate_free_and_visited_is_monotone() {
+        let g = generators::torus(&[5, 5]);
+        let mut c = Cobra::b2(&g, 7);
+        let mut r = rng(4);
+        let mut prev_visited = c.visited_count();
+        for _ in 0..60 {
+            c.step(&mut r);
+            let mut seen = std::collections::HashSet::new();
+            for &v in c.active() {
+                assert!(seen.insert(v), "duplicate {v} in active set");
+                assert!(c.has_visited(v), "active vertex not marked visited");
+            }
+            assert!(c.visited_count() >= prev_visited, "visited set shrank");
+            prev_visited = c.visited_count();
+        }
+    }
+
+    #[test]
+    fn active_set_growth_bounded_by_branching() {
+        let g = generators::complete(100);
+        let mut c = Cobra::b2(&g, 0);
+        let mut r = rng(5);
+        let mut prev = 1usize;
+        for _ in 0..20 {
+            c.step(&mut r);
+            assert!(c.active().len() <= prev * 2, "|C_{{t+1}}| ≤ 2|C_t|");
+            prev = c.active().len().max(1);
+        }
+    }
+
+    #[test]
+    fn hit_time_of_start_vertex_is_zero() {
+        let g = generators::cycle(9);
+        let mut c = Cobra::b2(&g, 3);
+        assert_eq!(c.run_until_hit(3, &mut rng(6), 10), Some(0));
+    }
+
+    #[test]
+    fn censoring_returns_none_and_preserves_state() {
+        let g = generators::path(64);
+        let mut c = Cobra::b2(&g, 0);
+        let out = c.run_until_cover(&mut rng(7), 3);
+        assert_eq!(out, None);
+        assert_eq!(c.rounds(), 3);
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn lazy_cobra_covers_bipartite_graphs() {
+        let g = generators::hypercube(5);
+        let mut c = Cobra::new(&g, &[0], Branching::B2, Laziness::Half);
+        let rounds = c.run_until_cover(&mut rng(8), 100_000).expect("covers");
+        assert!(rounds >= 5, "diameter lower bound");
+    }
+
+    #[test]
+    fn transmissions_accounting_b2() {
+        let g = generators::complete(16);
+        let mut c = Cobra::b2(&g, 0);
+        let mut r = rng(9);
+        c.step(&mut r);
+        assert_eq!(c.transmissions(), 2, "one particle pushed two copies");
+        let active_after_1 = c.active().len() as u64;
+        c.step(&mut r);
+        assert_eq!(c.transmissions(), 2 + 2 * active_after_1);
+    }
+
+    #[test]
+    fn full_start_set_covers_immediately() {
+        let g = generators::cycle(5);
+        let all: Vec<u32> = (0..5).collect();
+        let c = Cobra::new(&g, &all, Branching::B2, Laziness::None);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty start")]
+    fn rejects_empty_start() {
+        let g = generators::cycle(5);
+        Cobra::new(&g, &[], Branching::B2, Laziness::None);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::torus(&[6, 6]);
+        let a = Cobra::b2(&g, 0).run_until_cover(&mut rng(10), 100_000);
+        let b = Cobra::b2(&g, 0).run_until_cover(&mut rng(10), 100_000);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// On arbitrary connected graphs, COBRA b=2 terminates within the
+        /// (generous) cap, visits monotonically, and its cover time
+        /// respects the max(log2 n, diam) lower bound.
+        #[test]
+        fn covers_random_connected_graphs(seed in 0u64..10_000) {
+            let mut r = rng(seed);
+            let g0 = generators::gnp(40, 0.12, &mut r);
+            let (g, _) = cobra_graph::props::largest_component(&g0);
+            prop_assume!(g.n() >= 3);
+            let mut c = Cobra::b2(&g, 0);
+            let cap = 200 * g.n() + 10_000;
+            let rounds = c.run_until_cover(&mut r, cap);
+            prop_assert!(rounds.is_some(), "censored on n={}", g.n());
+            let rounds = rounds.unwrap();
+            // Visited count after t rounds is ≤ 2^{t+1} − 1, so covering
+            // needs t + 1 ≥ log2(n + 1).
+            let lb = cobra_util::math::log2_ceil(g.n() + 1) as usize;
+            prop_assert!(rounds + 1 >= lb, "beat the doubling bound: {rounds}");
+            // And the farthest vertex from the start must be reached.
+            let ecc = cobra_graph::props::eccentricity(&g, 0).unwrap() as usize;
+            prop_assert!(rounds >= ecc, "beat the eccentricity bound: {rounds} < {ecc}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Round-synchronous PUSH rumour spreading.
+//!
+//! The classic epidemic baseline: once informed, a vertex pushes the
+//! rumour to `fanout` uniformly random neighbours in *every* subsequent
+//! round and never forgets. COBRA's design point is matching PUSH-like
+//! speed while keeping per-round transmissions bounded by the active
+//! set (vertices stop pushing until re-hit) — this baseline quantifies
+//! the other end of that trade-off.
+
+use crate::SpreadProcess;
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+
+/// A running PUSH process.
+#[derive(Debug, Clone)]
+pub struct PushGossip<'g> {
+    g: &'g Graph,
+    fanout: u32,
+    informed: BitSet,
+    informed_list: Vec<VertexId>,
+    rounds: usize,
+    transmissions: u64,
+}
+
+impl<'g> PushGossip<'g> {
+    /// Starts with a single informed vertex pushing `fanout ≥ 1` copies
+    /// per round.
+    pub fn new(g: &'g Graph, start: VertexId, fanout: u32) -> Self {
+        assert!(fanout >= 1, "fanout must be >= 1");
+        assert!((start as usize) < g.n(), "start vertex out of range");
+        let mut informed = BitSet::new(g.n());
+        informed.insert(start as usize);
+        PushGossip {
+            g,
+            fanout,
+            informed,
+            informed_list: vec![start],
+            rounds: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// Informed set.
+    pub fn informed(&self) -> &BitSet {
+        &self.informed
+    }
+
+    /// Runs until everyone is informed (broadcast time), or `None` at
+    /// the cap.
+    pub fn run_until_broadcast(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+}
+
+impl SpreadProcess for PushGossip<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        let mut newly: Vec<VertexId> = Vec::new();
+        for &v in &self.informed_list {
+            for _ in 0..self.fanout {
+                let w = self.g.random_neighbor(v, rng);
+                self.transmissions += 1;
+                if self.informed.insert(w as usize) {
+                    newly.push(w);
+                }
+            }
+        }
+        self.informed_list.extend(newly);
+        self.rounds += 1;
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+/// Which directions a [`Gossip`] round uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipMode {
+    /// Informed vertices push to one random neighbour.
+    Push,
+    /// Every uninformed vertex pulls from one random neighbour.
+    Pull,
+    /// Both (the Karp et al. push–pull protocol).
+    PushPull,
+}
+
+/// Round-synchronous gossip in push, pull, or push–pull mode. Vertices
+/// stay informed forever — the "unbounded memory" end of the trade-off
+/// COBRA sits on.
+#[derive(Debug, Clone)]
+pub struct Gossip<'g> {
+    g: &'g Graph,
+    mode: GossipMode,
+    informed: BitSet,
+    informed_list: Vec<VertexId>,
+    rounds: usize,
+    transmissions: u64,
+}
+
+impl<'g> Gossip<'g> {
+    /// Starts with a single informed vertex.
+    pub fn new(g: &'g Graph, start: VertexId, mode: GossipMode) -> Self {
+        assert!((start as usize) < g.n(), "start vertex out of range");
+        let mut informed = BitSet::new(g.n());
+        informed.insert(start as usize);
+        Gossip { g, mode, informed, informed_list: vec![start], rounds: 0, transmissions: 0 }
+    }
+
+    /// Informed set.
+    pub fn informed(&self) -> &BitSet {
+        &self.informed
+    }
+
+    /// Runs until everyone is informed, or `None` at the cap.
+    pub fn run_until_broadcast(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+}
+
+impl SpreadProcess for Gossip<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        let mut newly: Vec<VertexId> = Vec::new();
+        let push = matches!(self.mode, GossipMode::Push | GossipMode::PushPull);
+        let pull = matches!(self.mode, GossipMode::Pull | GossipMode::PushPull);
+        if push {
+            for &v in &self.informed_list {
+                let w = self.g.random_neighbor(v, rng);
+                self.transmissions += 1;
+                if !self.informed.contains(w as usize) && !newly.contains(&w) {
+                    newly.push(w);
+                }
+            }
+        }
+        if pull {
+            for u in 0..self.g.n() as VertexId {
+                if self.informed.contains(u as usize) {
+                    continue;
+                }
+                let w = self.g.random_neighbor(u, rng);
+                self.transmissions += 1;
+                if self.informed.contains(w as usize) && !newly.contains(&u) {
+                    newly.push(u);
+                }
+            }
+        }
+        // Synchronous semantics: all of this round's infections use the
+        // round-start informed set; commit afterwards.
+        for &w in &newly {
+            self.informed.insert(w as usize);
+        }
+        self.informed_list.extend(newly);
+        self.rounds += 1;
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.informed.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn informed_set_is_monotone() {
+        let g = generators::torus(&[6, 6]);
+        let mut p = PushGossip::new(&g, 0, 1);
+        let mut r = rng(1);
+        let mut prev = 1;
+        for _ in 0..100 {
+            p.step(&mut r);
+            assert!(p.reached_count() >= prev, "gossip forgot something");
+            prev = p.reached_count();
+        }
+    }
+
+    #[test]
+    fn broadcasts_complete_graph_in_logarithmic_rounds() {
+        let g = generators::complete(256);
+        let mut p = PushGossip::new(&g, 0, 1);
+        let t = p.run_until_broadcast(&mut rng(2), 10_000).unwrap();
+        // Push on K_n: ~log2 n + ln n ≈ 13.5 expected; allow wide slack.
+        assert!((8..60).contains(&t), "broadcast took {t}");
+    }
+
+    #[test]
+    fn transmissions_grow_with_informed_set() {
+        let g = generators::complete(32);
+        let mut p = PushGossip::new(&g, 0, 2);
+        let mut r = rng(3);
+        p.step(&mut r);
+        assert_eq!(p.transmissions(), 2);
+        let informed_now = p.reached_count() as u64;
+        p.step(&mut r);
+        assert_eq!(p.transmissions(), 2 + 2 * informed_now);
+    }
+
+    #[test]
+    fn gossip_eventually_informs_path() {
+        let g = generators::path(40);
+        let mut p = PushGossip::new(&g, 0, 1);
+        assert!(p.run_until_broadcast(&mut rng(4), 100_000).is_some());
+    }
+
+    #[test]
+    fn single_vertex_trivially_done() {
+        let g = generators::path(1);
+        let p = PushGossip::new(&g, 0, 1);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn pull_informs_star_leaves_in_one_round() {
+        // Star with informed centre: every leaf pulls from the centre.
+        let g = generators::star(10);
+        let mut p = Gossip::new(&g, 0, GossipMode::Pull);
+        p.step(&mut rng(10));
+        assert!(p.is_complete(), "pull from the hub must finish in one round");
+    }
+
+    #[test]
+    fn push_struggles_where_pull_shines() {
+        // Same star, push-only from the centre: one leaf per round.
+        let g = generators::star(10);
+        let mut p = Gossip::new(&g, 0, GossipMode::Push);
+        let mut r = rng(11);
+        p.step(&mut r);
+        assert_eq!(p.reached_count(), 2, "push informs exactly one leaf per round");
+    }
+
+    #[test]
+    fn push_pull_dominates_both() {
+        let g = generators::torus(&[7, 7]);
+        let mean_rounds = |mode: GossipMode, salt: u64| -> f64 {
+            let mut total = 0.0;
+            for i in 0..20u64 {
+                let mut p = Gossip::new(&g, 0, mode);
+                total += p.run_until_broadcast(&mut rng(salt + i), 100_000).unwrap() as f64;
+            }
+            total / 20.0
+        };
+        let push = mean_rounds(GossipMode::Push, 100);
+        let pull = mean_rounds(GossipMode::Pull, 200);
+        let both = mean_rounds(GossipMode::PushPull, 300);
+        assert!(both <= push && both <= pull, "push-pull {both} vs push {push}, pull {pull}");
+    }
+
+    #[test]
+    fn gossip_modes_all_complete_on_expander() {
+        let g = generators::complete(64);
+        for mode in [GossipMode::Push, GossipMode::Pull, GossipMode::PushPull] {
+            let mut p = Gossip::new(&g, 0, mode);
+            let t = p.run_until_broadcast(&mut rng(12), 10_000).unwrap();
+            assert!(t < 100, "{mode:?} took {t}");
+        }
+    }
+
+    #[test]
+    fn pull_transmissions_counted_per_uninformed_vertex() {
+        let g = generators::complete(8);
+        let mut p = Gossip::new(&g, 0, GossipMode::Pull);
+        p.step(&mut rng(13));
+        assert_eq!(p.transmissions(), 7, "7 uninformed vertices pulled once");
+    }
+
+    #[test]
+    fn synchronous_pull_uses_round_start_set() {
+        // On a path 0-1-2 with only 0 informed, vertex 2 cannot become
+        // informed in round 1 even if vertex 1 does (it pulls from the
+        // round-start set).
+        let g = generators::path(3);
+        for seed in 0..50 {
+            let mut p = Gossip::new(&g, 0, GossipMode::Pull);
+            p.step(&mut rng(1000 + seed));
+            assert!(
+                !p.informed().contains(2),
+                "vertex 2 informed in one round: pull is not synchronous"
+            );
+        }
+    }
+}

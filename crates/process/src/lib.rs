@@ -1,0 +1,74 @@
+//! The random processes of the SPAA 2017 paper and their baselines.
+//!
+//! * [`cobra`] — the COBRA process `(C_t)`: every vertex holding the
+//!   token pushes it to `b` uniformly random neighbours (with
+//!   replacement); simultaneous arrivals coalesce. `b = 1` is the simple
+//!   random walk; `b = 1+ρ` is the fractional-branching variant of §6.
+//! * [`bips`] — the dual BIPS process `(A_t)` (Biased Infection with
+//!   Persistent Source): every vertex samples `b` random neighbours each
+//!   round and is infected next round iff it sampled an infected one;
+//!   the source is always infected. Two provably law-identical round
+//!   implementations (literal sampling and a Bernoulli fast path).
+//! * [`serial`] — the paper's §3 proof device: a BIPS round expanded
+//!   into per-vertex steps over the candidate set, recording the
+//!   martingale increments `Y_l = d(u)·X_u − d_A(u)` of equation (14).
+//! * [`walk`] — simple random walk and `k` independent random walks.
+//! * [`gossip`] — round-synchronous PUSH rumour spreading (informed
+//!   vertices stay informed), the classic comparison point.
+//!
+//! All processes implement [`SpreadProcess`], the round-synchronous
+//! interface the experiment harness drives.
+
+pub mod bips;
+pub mod branching;
+pub mod coalescing;
+pub mod cobra;
+pub mod gossip;
+pub mod serial;
+pub mod walk;
+
+pub use bips::{Bips, BipsMode};
+pub use branching::{Branching, Laziness};
+pub use coalescing::CoalescingWalks;
+pub use cobra::Cobra;
+pub use gossip::{Gossip, GossipMode, PushGossip};
+pub use serial::{SerialBips, StepRecord};
+pub use walk::{MultiWalk, RandomWalk};
+
+use rand::rngs::SmallRng;
+
+/// A round-synchronous spreading process on a graph.
+///
+/// `step` advances exactly one round. Completion means "every vertex has
+/// been reached" (visited for COBRA/walks, informed for gossip, infected
+/// for BIPS).
+pub trait SpreadProcess {
+    /// Advances one synchronous round.
+    fn step(&mut self, rng: &mut SmallRng);
+
+    /// Rounds executed so far.
+    fn rounds(&self) -> usize;
+
+    /// True once every vertex has been reached.
+    fn is_complete(&self) -> bool;
+
+    /// Number of vertices reached so far.
+    fn reached_count(&self) -> usize;
+
+    /// Total point-to-point transmissions so far (the resource COBRA is
+    /// designed to limit).
+    fn transmissions(&self) -> u64;
+
+    /// Runs until complete or until `cap` rounds have been executed.
+    /// Returns `Some(rounds)` on completion, `None` if censored at the
+    /// cap. A cap of 0 only succeeds if already complete.
+    fn run_to_completion(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        while !self.is_complete() {
+            if self.rounds() >= cap {
+                return None;
+            }
+            self.step(rng);
+        }
+        Some(self.rounds())
+    }
+}

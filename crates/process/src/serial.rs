@@ -1,0 +1,389 @@
+//! Serialised BIPS — the proof device of Section 3.
+//!
+//! A BIPS round is decomposed exactly as the paper's analysis does:
+//!
+//! * `B_fix = {u : N(u) ⊆ A}` — deterministically infected;
+//! * `C = (N(A) ∪ {v}) ∖ B_fix` — the candidate set (never empty before
+//!   completion, Section 3);
+//! * candidates decide one at a time in a fixed vertex order; step `l`
+//!   records the martingale increment `Y_l = d(u)·X_u − d_A(u)`
+//!   (`X_v ≡ 1` for the source).
+//!
+//! Equation (14) then states `d(A_t) = d(v) + Σ_{l ≤ ν(t)} Y_l`, and
+//! inequality (18) that `E(Y_l | history) ≥ 1/2` (≥ ρ/2 for `b = 1+ρ`).
+//! Both are verified by the tests below; experiment F8 measures them.
+//!
+//! The serialisation is an analysis artefact: the sampled round has
+//! exactly the law of a plain [`crate::Bips`] round (non-lazy), which is
+//! also property-tested here.
+
+use crate::branching::Branching;
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// One step of the serialised process (one candidate's decision).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// The deciding vertex `u`.
+    pub vertex: VertexId,
+    /// `d(u)` — degree of the vertex.
+    pub degree: usize,
+    /// `d_A(u)` — its number of infected neighbours at the round start.
+    pub infected_neighbors: usize,
+    /// The sampled indicator `X_u` (always true for the source).
+    pub infected_next: bool,
+    /// The realised increment `Y_l = d(u)·X_u − d_A(u)`.
+    pub y: i64,
+    /// The conditional expectation `E(Y_l | history)`:
+    /// `d(u)·P(X_u = 1) − d_A(u)` for `u ≠ v`, `d(v) − d_A(v)` for the
+    /// source. Inequality (18) asserts this is ≥ 1/2 (≥ ρ/2).
+    pub expected_y: f64,
+}
+
+/// Report of one serialised round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Steps in vertex order (one per candidate in `C_t`).
+    pub steps: Vec<StepRecord>,
+    /// `|B_fix|` of this round.
+    pub fix_count: usize,
+    /// `|C_t|` of this round (== `steps.len()`).
+    pub candidate_count: usize,
+}
+
+/// A BIPS process stepped via the paper's serialisation, recording the
+/// martingale structure. Non-lazy by construction (the paper's Section 3
+/// setting).
+#[derive(Debug, Clone)]
+pub struct SerialBips<'g> {
+    g: &'g Graph,
+    source: VertexId,
+    branching: Branching,
+    infected: BitSet,
+    infected_list: Vec<VertexId>,
+    rounds: usize,
+}
+
+impl<'g> SerialBips<'g> {
+    /// Starts from `A_0 = {source}`.
+    pub fn new(g: &'g Graph, source: VertexId, branching: Branching) -> Self {
+        branching.validate();
+        assert!((source as usize) < g.n(), "source out of range");
+        let mut infected = BitSet::new(g.n());
+        infected.insert(source as usize);
+        SerialBips {
+            g,
+            source,
+            branching,
+            infected,
+            infected_list: vec![source],
+            rounds: 0,
+        }
+    }
+
+    /// Current infected set size.
+    pub fn infected_count(&self) -> usize {
+        self.infected.count()
+    }
+
+    /// `d(A_t)`.
+    pub fn infected_degree(&self) -> usize {
+        self.g.set_degree(&self.infected_list)
+    }
+
+    /// Rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// True once `A_t = V`.
+    pub fn is_complete(&self) -> bool {
+        self.infected.is_full()
+    }
+
+    /// The candidate set `C = (N(A) ∪ {v}) ∖ B_fix` of the upcoming
+    /// round, in ascending vertex order, together with `B_fix`.
+    pub fn candidates(&self) -> (Vec<VertexId>, BitSet) {
+        let n = self.g.n();
+        let mut fix = BitSet::new(n);
+        for u in 0..n as VertexId {
+            let all_in = self
+                .g
+                .neighbors(u)
+                .iter()
+                .all(|&w| self.infected.contains(w as usize));
+            // Isolated vertices have N(u) = ∅ ⊆ A vacuously; the paper
+            // assumes connected graphs where this cannot happen for n ≥ 2.
+            if all_in {
+                fix.insert(u as usize);
+            }
+        }
+        let mut cand: Vec<VertexId> = Vec::new();
+        let in_neighborhood = cobra_graph::props::neighborhood(self.g, &self.infected_list);
+        for u in 0..n as VertexId {
+            let is_candidate = (in_neighborhood.contains(u as usize) || u == self.source)
+                && !fix.contains(u as usize);
+            if is_candidate {
+                cand.push(u);
+            }
+        }
+        (cand, fix)
+    }
+
+    /// Executes one serialised round and returns its step records.
+    pub fn step_round(&mut self, rng: &mut SmallRng) -> RoundReport {
+        let (cand, fix) = self.candidates();
+        let mut next = fix.clone();
+        let mut steps = Vec::with_capacity(cand.len());
+        for &u in &cand {
+            let d = self.g.degree(u);
+            let d_a = self
+                .g
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| self.infected.contains(w as usize))
+                .count();
+            let (x, expected_y) = if u == self.source {
+                // X_v ≡ 1: the source is in A_{t+1} regardless.
+                (true, d as f64 - d_a as f64)
+            } else {
+                let q = d_a as f64 / d as f64;
+                let p = self.branching.infection_probability(q);
+                (rng.random_bool(p), d as f64 * p - d_a as f64)
+            };
+            if x {
+                next.insert(u as usize);
+            }
+            steps.push(StepRecord {
+                vertex: u,
+                degree: d,
+                infected_neighbors: d_a,
+                infected_next: x,
+                y: if x { d as i64 - d_a as i64 } else { -(d_a as i64) },
+                expected_y,
+            });
+        }
+        let report = RoundReport {
+            fix_count: fix.count(),
+            candidate_count: cand.len(),
+            steps,
+        };
+        self.infected_list.clear();
+        self.infected_list.extend(next.iter().map(|u| u as VertexId));
+        self.infected = next;
+        self.rounds += 1;
+        report
+    }
+
+    /// Runs until full infection (or `cap`), returning all round
+    /// reports. The reconstruction identity (eq. 14) holds over the
+    /// concatenated steps.
+    pub fn run_recording(
+        &mut self,
+        rng: &mut SmallRng,
+        cap: usize,
+    ) -> (Vec<RoundReport>, Option<usize>) {
+        let mut reports = Vec::new();
+        while !self.is_complete() {
+            if self.rounds >= cap {
+                return (reports, None);
+            }
+            reports.push(self.step_round(rng));
+        }
+        (reports, Some(self.rounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn candidate_set_never_empty_before_completion() {
+        let g = generators::lollipop(5, 4);
+        let mut s = SerialBips::new(&g, 0, Branching::B2);
+        let mut r = rng(1);
+        for _ in 0..200 {
+            if s.is_complete() {
+                break;
+            }
+            let (cand, _) = s.candidates();
+            assert!(!cand.is_empty(), "Section 3: C_t ≠ ∅ before completion");
+            s.step_round(&mut r);
+        }
+    }
+
+    #[test]
+    fn source_in_fix_or_candidates() {
+        let g = generators::petersen();
+        let mut s = SerialBips::new(&g, 4, Branching::B2);
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let (cand, fix) = s.candidates();
+            assert!(
+                cand.contains(&4) || fix.contains(4),
+                "source must be scheduled for (re-)infection"
+            );
+            s.step_round(&mut r);
+        }
+    }
+
+    #[test]
+    fn equation_14_reconstruction_exact() {
+        // d(A_t) = d(v) + Σ Y_l, exactly, at every round boundary.
+        let g = generators::barbell(5, 3);
+        let source = 2u32;
+        let mut s = SerialBips::new(&g, source, Branching::B2);
+        let mut r = rng(3);
+        let mut y_sum: i64 = g.degree(source) as i64;
+        for _ in 0..120 {
+            if s.is_complete() {
+                break;
+            }
+            let report = s.step_round(&mut r);
+            for st in &report.steps {
+                y_sum += st.y;
+            }
+            assert_eq!(
+                y_sum,
+                s.infected_degree() as i64,
+                "eq. (14) violated at round {}",
+                s.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn expected_increment_at_least_half_for_b2() {
+        // Inequality (18): E(Y_l | history) ≥ 1/2 for b = 2.
+        let g = generators::double_star(4, 7);
+        let mut s = SerialBips::new(&g, 0, Branching::B2);
+        let mut r = rng(4);
+        for _ in 0..80 {
+            if s.is_complete() {
+                break;
+            }
+            let report = s.step_round(&mut r);
+            for st in &report.steps {
+                assert!(
+                    st.expected_y >= 0.5 - 1e-12,
+                    "E(Y) = {} < 1/2 at vertex {} (d={}, dA={})",
+                    st.expected_y,
+                    st.vertex,
+                    st.degree,
+                    st.infected_neighbors
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_increment_at_least_rho_half_for_fractional() {
+        let rho = 0.3;
+        let g = generators::cycle(11);
+        let mut s = SerialBips::new(&g, 0, Branching::Expected(rho));
+        let mut r = rng(5);
+        for _ in 0..200 {
+            if s.is_complete() {
+                break;
+            }
+            for st in s.step_round(&mut r).steps {
+                assert!(
+                    st.expected_y >= rho / 2.0 - 1e-12,
+                    "E(Y) = {} < ρ/2",
+                    st.expected_y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn y_values_bounded_by_dmax() {
+        // |Y_l| ≤ dmax (the martingale scaling used in Lemma 3.1's proof).
+        let g = generators::wheel(10);
+        let dmax = g.max_degree() as i64;
+        let mut s = SerialBips::new(&g, 3, Branching::B2);
+        let mut r = rng(6);
+        for _ in 0..100 {
+            if s.is_complete() {
+                break;
+            }
+            for st in s.step_round(&mut r).steps {
+                assert!(st.y.abs() <= dmax, "|Y| = {} > dmax = {dmax}", st.y);
+            }
+        }
+    }
+
+    #[test]
+    fn completion_means_no_candidates() {
+        let g = generators::complete(6);
+        let mut s = SerialBips::new(&g, 0, Branching::B2);
+        let mut r = rng(7);
+        let (_, done) = s.run_recording(&mut r, 10_000);
+        assert!(done.is_some());
+        let (cand, fix) = s.candidates();
+        assert!(cand.is_empty(), "A = V ⇒ C = ∅");
+        assert_eq!(fix.count(), 6, "A = V ⇒ B_fix = V");
+    }
+
+    #[test]
+    fn serial_matches_plain_bips_in_distribution() {
+        use crate::bips::{Bips, BipsMode};
+        use crate::branching::Laziness;
+        let g = generators::petersen();
+        let trials = 400u64;
+        let rounds = 4;
+        let serial: Vec<f64> = (0..trials)
+            .map(|i| {
+                let mut s = SerialBips::new(&g, 0, Branching::B2);
+                let mut r = rng(100 + i);
+                for _ in 0..rounds {
+                    s.step_round(&mut r);
+                }
+                s.infected_count() as f64
+            })
+            .collect();
+        let plain: Vec<f64> = (0..trials)
+            .map(|i| {
+                let mut b = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::ExactSampling);
+                let mut r = rng(7000 + i);
+                for _ in 0..rounds {
+                    use crate::SpreadProcess;
+                    b.step(&mut r);
+                }
+                b.infected_count() as f64
+            })
+            .collect();
+        let ks = cobra_stats::ks_two_sample(&serial, &plain);
+        assert!(ks.p_value > 0.001, "serialisation changed the law: {ks:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Equation (14) holds exactly on arbitrary connected graphs.
+        #[test]
+        fn reconstruction_on_random_graphs(seed in 0u64..10_000) {
+            let mut r = rng(seed);
+            let g0 = generators::gnp(24, 0.18, &mut r);
+            let (g, _) = cobra_graph::props::largest_component(&g0);
+            prop_assume!(g.n() >= 3);
+            let mut s = SerialBips::new(&g, 0, Branching::B2);
+            let mut y_sum: i64 = g.degree(0) as i64;
+            for _ in 0..60 {
+                if s.is_complete() { break; }
+                let report = s.step_round(&mut r);
+                for st in &report.steps { y_sum += st.y; }
+                prop_assert_eq!(y_sum, s.infected_degree() as i64);
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Simple random walks and multiple independent random walks.
+//!
+//! COBRA with `b = 1` *is* the simple random walk; these standalone
+//! implementations are the baselines the paper positions COBRA against
+//! (`Ω(n log n)` cover time for any graph at `b = 1`, and the multiple-
+//! walk literature [1, 3, 7] cited in the related work).
+
+use crate::branching::Laziness;
+use crate::SpreadProcess;
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+
+/// A single random walk tracking its visited set.
+#[derive(Debug, Clone)]
+pub struct RandomWalk<'g> {
+    g: &'g Graph,
+    laziness: Laziness,
+    position: VertexId,
+    visited: BitSet,
+    rounds: usize,
+}
+
+impl<'g> RandomWalk<'g> {
+    /// Starts a walk at `start`.
+    pub fn new(g: &'g Graph, start: VertexId, laziness: Laziness) -> Self {
+        assert!((start as usize) < g.n(), "start vertex out of range");
+        let mut visited = BitSet::new(g.n());
+        visited.insert(start as usize);
+        RandomWalk { g, laziness, position: start, visited, rounds: 0 }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> VertexId {
+        self.position
+    }
+
+    /// Visited set.
+    pub fn visited(&self) -> &BitSet {
+        &self.visited
+    }
+
+    /// Runs until every vertex is visited (classic cover time), or
+    /// `None` at the cap.
+    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+
+    /// Runs until `target` is visited (hitting time), or `None` at cap.
+    pub fn run_until_hit(
+        &mut self,
+        target: VertexId,
+        rng: &mut SmallRng,
+        cap: usize,
+    ) -> Option<usize> {
+        while !self.visited.contains(target as usize) {
+            if self.rounds >= cap {
+                return None;
+            }
+            self.step(rng);
+        }
+        Some(self.rounds)
+    }
+}
+
+impl SpreadProcess for RandomWalk<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        self.position = self.laziness.pick(self.g, self.position, rng);
+        self.visited.insert(self.position as usize);
+        self.rounds += 1;
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.visited.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.visited.count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        self.rounds as u64
+    }
+}
+
+/// `k` independent random walks advanced in synchronous rounds; the
+/// visited set is the union.
+#[derive(Debug, Clone)]
+pub struct MultiWalk<'g> {
+    g: &'g Graph,
+    laziness: Laziness,
+    positions: Vec<VertexId>,
+    visited: BitSet,
+    rounds: usize,
+}
+
+impl<'g> MultiWalk<'g> {
+    /// Starts `starts.len()` walkers at the given vertices (duplicates
+    /// allowed: walkers are distinguishable and never coalesce).
+    pub fn new(g: &'g Graph, starts: &[VertexId], laziness: Laziness) -> Self {
+        assert!(!starts.is_empty(), "need at least one walker");
+        let mut visited = BitSet::new(g.n());
+        for &s in starts {
+            assert!((s as usize) < g.n(), "start vertex out of range");
+            visited.insert(s as usize);
+        }
+        MultiWalk { g, laziness, positions: starts.to_vec(), visited, rounds: 0 }
+    }
+
+    /// All walkers at the same start vertex.
+    pub fn new_at(g: &'g Graph, start: VertexId, k: usize, laziness: Laziness) -> Self {
+        MultiWalk::new(g, &vec![start; k], laziness)
+    }
+
+    /// Walker positions.
+    pub fn positions(&self) -> &[VertexId] {
+        &self.positions
+    }
+
+    /// Runs until covered or censored.
+    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+        self.run_to_completion(rng, cap)
+    }
+}
+
+impl SpreadProcess for MultiWalk<'_> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        for p in self.positions.iter_mut() {
+            *p = self.laziness.pick(self.g, *p, rng);
+            self.visited.insert(*p as usize);
+        }
+        self.rounds += 1;
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn is_complete(&self) -> bool {
+        self.visited.is_full()
+    }
+
+    fn reached_count(&self) -> usize {
+        self.visited.count()
+    }
+
+    fn transmissions(&self) -> u64 {
+        (self.rounds * self.positions.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use cobra_stats::Summary;
+    use cobra_util::math::harmonic;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn walk_stays_on_edges() {
+        let g = generators::petersen();
+        let mut w = RandomWalk::new(&g, 0, Laziness::None);
+        let mut r = rng(1);
+        let mut prev = w.position();
+        for _ in 0..200 {
+            w.step(&mut r);
+            assert!(g.has_edge(prev, w.position()));
+            prev = w.position();
+        }
+    }
+
+    #[test]
+    fn lazy_walk_may_stay() {
+        let g = generators::cycle(6);
+        let mut w = RandomWalk::new(&g, 0, Laziness::Half);
+        let mut r = rng(2);
+        let mut stayed = false;
+        let mut prev = w.position();
+        for _ in 0..100 {
+            w.step(&mut r);
+            if w.position() == prev {
+                stayed = true;
+            }
+            prev = w.position();
+        }
+        assert!(stayed, "lazy walk never stayed in 100 steps");
+    }
+
+    #[test]
+    fn cover_time_on_complete_graph_is_coupon_collector() {
+        // K_n cover by SRW is n·H_{n−1} in expectation (coupon collector
+        // over the other n−1 vertices). Check the sample mean is close.
+        let n = 24;
+        let g = generators::complete(n);
+        let samples: Vec<f64> = (0..300)
+            .map(|i| {
+                let mut w = RandomWalk::new(&g, 0, Laziness::None);
+                w.run_until_cover(&mut rng(100 + i), 1_000_000).unwrap() as f64
+            })
+            .collect();
+        let s = Summary::from_samples(&samples);
+        let expected = (n - 1) as f64 * harmonic(n - 1);
+        assert!(
+            (s.mean - expected).abs() < 0.15 * expected,
+            "mean {} vs coupon-collector {expected}",
+            s.mean
+        );
+    }
+
+    #[test]
+    fn hitting_start_is_zero_rounds() {
+        let g = generators::cycle(7);
+        let mut w = RandomWalk::new(&g, 3, Laziness::None);
+        assert_eq!(w.run_until_hit(3, &mut rng(3), 10), Some(0));
+    }
+
+    #[test]
+    fn censoring_on_path() {
+        let g = generators::path(1000);
+        let mut w = RandomWalk::new(&g, 0, Laziness::None);
+        assert_eq!(w.run_until_cover(&mut rng(4), 100), None);
+    }
+
+    #[test]
+    fn multiwalk_covers_faster_than_single() {
+        let g = generators::cycle(64);
+        let single: f64 = {
+            let samples: Vec<f64> = (0..40)
+                .map(|i| {
+                    let mut w = RandomWalk::new(&g, 0, Laziness::None);
+                    w.run_until_cover(&mut rng(500 + i), 10_000_000).unwrap() as f64
+                })
+                .collect();
+            Summary::from_samples(&samples).mean
+        };
+        let multi: f64 = {
+            let samples: Vec<f64> = (0..40)
+                .map(|i| {
+                    let mut w = MultiWalk::new_at(&g, 0, 8, Laziness::None);
+                    w.run_until_cover(&mut rng(900 + i), 10_000_000).unwrap() as f64
+                })
+                .collect();
+            Summary::from_samples(&samples).mean
+        };
+        assert!(multi < single / 2.0, "8 walkers not even 2x faster: {multi} vs {single}");
+    }
+
+    #[test]
+    fn multiwalk_walker_count_is_preserved() {
+        let g = generators::torus(&[4, 4]);
+        let mut w = MultiWalk::new(&g, &[0, 0, 5], Laziness::None);
+        let mut r = rng(5);
+        for _ in 0..50 {
+            w.step(&mut r);
+            assert_eq!(w.positions().len(), 3, "walkers never coalesce");
+        }
+        assert_eq!(w.transmissions(), 150);
+    }
+
+    #[test]
+    fn walk_transmissions_equal_rounds() {
+        let g = generators::cycle(5);
+        let mut w = RandomWalk::new(&g, 0, Laziness::None);
+        let mut r = rng(6);
+        for _ in 0..17 {
+            w.step(&mut r);
+        }
+        assert_eq!(w.transmissions(), 17);
+    }
+}

@@ -1,0 +1,154 @@
+//! Ordinary least squares and power-law fits.
+//!
+//! The reproduction's scaling experiments (cover time vs `n`, vs
+//! `r/(1−λ)`, vs `1/ρ²`) compare *exponents*, not constants: the paper's
+//! bounds are asymptotic. A log–log OLS slope is the measured exponent.
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_std_error: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+/// Fits `y = slope·x + intercept` by OLS. Needs at least two distinct
+/// x values.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    assert!(n >= 2, "need at least two points to fit a line");
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    assert!(sxx > 0.0, "x values are all identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // Residual sum of squares.
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let slope_std_error = if n > 2 {
+        (ss_res / (nf - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+    LineFit { slope, intercept, r_squared, slope_std_error, n }
+}
+
+/// Fits `y = c·x^alpha` by OLS in log–log space; returns
+/// `(alpha, c, fit)` where `fit` is the underlying line fit
+/// (slope = alpha). All inputs must be strictly positive.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64, LineFit) {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "power-law fit needs strictly positive data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|&v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&v| v.ln()).collect();
+    let fit = fit_line(&lx, &ly);
+    (fit.slope, fit.intercept.exp(), fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 2.0).collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!(f.slope_std_error < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_slope_close() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r_squared > 0.99);
+        assert!(f.slope_std_error > 0.0);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 8.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.7 * x.powf(1.5)).collect();
+        let (alpha, c, fit) = fit_power_law(&xs, &ys);
+        assert!((alpha - 1.5).abs() < 1e-10);
+        assert!((c - 0.7).abs() < 1e-10);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_and_full_r2() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0];
+        let f = fit_line(&xs, &ys);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0, "zero variance explained perfectly");
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_data_rejected() {
+        fit_line(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn power_law_rejects_nonpositive() {
+        fit_power_law(&[1.0, 0.0], &[1.0, 1.0]);
+    }
+
+    proptest! {
+        /// OLS on exact affine data recovers parameters for any slope and
+        /// intercept.
+        #[test]
+        fn affine_recovery(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+            let f = fit_line(&xs, &ys);
+            prop_assert!((f.slope - a).abs() < 1e-8 + 1e-10 * a.abs());
+            prop_assert!((f.intercept - b).abs() < 1e-8 + 1e-10 * b.abs());
+        }
+
+        /// R² is always in [0, 1] for non-degenerate data (up to fp dust).
+        #[test]
+        fn r_squared_range(ys in proptest::collection::vec(-1e3f64..1e3, 3..40)) {
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let f = fit_line(&xs, &ys);
+            prop_assert!(f.r_squared <= 1.0 + 1e-9);
+            prop_assert!(f.r_squared >= -1e-9);
+        }
+    }
+}

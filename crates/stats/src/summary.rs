@@ -1,0 +1,287 @@
+//! Running moments (Welford) and sample summaries.
+
+/// Numerically stable running mean/variance accumulator (Welford's
+/// algorithm), mergeable across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { f64::NAN } else { self.mean }
+    }
+
+    /// Unbiased sample variance (NaN if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 { f64::NAN } else { self.m2 / (self.count - 1) as f64 }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Minimum observation (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A one-shot summary of a sample: moments plus order statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub q25: f64,
+    pub median: f64,
+    pub q75: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample. Panics on empty input: an experiment that
+    /// produced no trials is a harness bug.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut rs = RunningStats::new();
+        for &x in samples {
+            rs.push(x);
+        }
+        Summary {
+            count: samples.len(),
+            mean: rs.mean(),
+            std_dev: if samples.len() >= 2 { rs.std_dev() } else { 0.0 },
+            min: sorted[0],
+            q25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q75: quantile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Linear-interpolation quantile of an ascending-sorted slice,
+/// `q ∈ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut rs = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance = 32/7.
+        assert!((rs.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(rs.min(), 2.0);
+        assert_eq!(rs.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let rs = RunningStats::new();
+        assert!(rs.mean().is_nan());
+        assert!(rs.variance().is_nan());
+        assert_eq!(rs.count(), 0);
+    }
+
+    #[test]
+    fn single_observation_variance_is_nan() {
+        let mut rs = RunningStats::new();
+        rs.push(3.0);
+        assert_eq!(rs.mean(), 3.0);
+        assert!(rs.variance().is_nan());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.7 - 20.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q25, 2.0);
+        assert_eq!(s.q75, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_rejects_nan() {
+        Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 40.0);
+        assert!((quantile_sorted(&xs, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Merging any split equals processing the whole sample.
+        #[test]
+        fn merge_associativity(xs in proptest::collection::vec(-1e6f64..1e6, 2..200), split in 0usize..200) {
+            let split = split % xs.len();
+            let mut whole = RunningStats::new();
+            for &x in &xs { whole.push(x); }
+            let mut a = RunningStats::new();
+            let mut b = RunningStats::new();
+            for &x in &xs[..split] { a.push(x); }
+            for &x in &xs[split..] { b.push(x); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6_f64.max(whole.mean().abs() * 1e-9));
+        }
+
+        /// Quantiles are monotone in q and bounded by min/max.
+        #[test]
+        fn quantiles_monotone(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let q = i as f64 / 10.0;
+                let v = quantile_sorted(&xs, q);
+                prop_assert!(v >= prev - 1e-12);
+                prop_assert!(v >= xs[0] - 1e-12 && v <= xs[xs.len()-1] + 1e-12);
+                prev = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! A fixed-capacity bit set over `u64` words.
+//!
+//! The simulation loops in `cobra-process` test and flip vertex membership
+//! millions of times per run; this bit set keeps those operations to a
+//! couple of ALU instructions with no bounds surprises. Capacity is fixed
+//! at construction (the number of vertices of the graph under study).
+
+/// Fixed-capacity bit set.
+///
+/// All indices must be `< len()`; out-of-range access panics (debug and
+/// release), which in this workspace always indicates a vertex-id bug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty set with capacity for `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Capacity (the universe size), not the number of set bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the universe is empty (capacity zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits. O(1): maintained incrementally.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// True if every element of the universe is set.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.ones == self.len
+    }
+
+    /// Tests membership of `idx`.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
+    }
+
+    /// Inserts `idx`; returns true if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        let w = &mut self.words[idx / WORD_BITS];
+        let mask = 1u64 << (idx % WORD_BITS);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `idx`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        let w = &mut self.words[idx / WORD_BITS];
+        let mask = 1u64 << (idx % WORD_BITS);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears all bits. O(words).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Clears exactly the listed indices.
+    ///
+    /// The round loops track which bits they set and clear only those,
+    /// which beats an O(n/64) full clear when the active set is small.
+    pub fn clear_indices(&mut self, indices: &[u32]) {
+        for &idx in indices {
+            self.remove(idx as usize);
+        }
+    }
+
+    /// Iterates over set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+
+    /// Collects the set bits as `u32` vertex ids.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+
+    /// True if `self` and `other` share at least one set bit.
+    ///
+    /// Universes must match. Used by the duality checker to test
+    /// `C ∩ A_T = ∅` without materialising the intersection.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "BitSet universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of elements in the intersection.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "BitSet universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet universe mismatch");
+        let mut ones = 0usize;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// Builds a set from a list of indices (duplicates allowed).
+    pub fn from_indices(len: usize, indices: &[u32]) -> Self {
+        let mut s = BitSet::new(len);
+        for &i in indices {
+            s.insert(i as usize);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_is_empty() {
+        let s = BitSet::new(130);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.len(), 130);
+        assert!(!s.is_full());
+        for i in 0..130 {
+            assert!(!s.contains(i));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_set_is_full_and_empty() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_full(), "vacuously full");
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(63), "double insert reports false");
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(s.remove(63));
+        assert!(!s.remove(63), "double remove reports false");
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(200);
+        let idxs = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idxs {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, idxs.to_vec());
+    }
+
+    #[test]
+    fn is_full_detects_saturation() {
+        let mut s = BitSet::new(65);
+        for i in 0..65 {
+            s.insert(i);
+        }
+        assert!(s.is_full());
+        s.remove(64);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn clear_indices_matches_full_clear() {
+        let mut a = BitSet::new(300);
+        let idxs: Vec<u32> = vec![3, 77, 150, 299];
+        for &i in &idxs {
+            a.insert(i as usize);
+        }
+        a.clear_indices(&idxs);
+        assert_eq!(a, BitSet::new(300));
+    }
+
+    #[test]
+    fn intersects_and_counts() {
+        let a = BitSet::from_indices(128, &[1, 70, 100]);
+        let b = BitSet::from_indices(128, &[2, 70, 101]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 1);
+        let c = BitSet::from_indices(128, &[3, 4]);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection_count(&c), 0);
+    }
+
+    #[test]
+    fn union_with_updates_count() {
+        let mut a = BitSet::from_indices(128, &[1, 2, 3]);
+        let b = BitSet::from_indices(128, &[3, 4]);
+        a.union_with(&b);
+        assert_eq!(a.count(), 4);
+        assert!(a.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(10);
+        s.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.intersects(&b);
+    }
+
+    proptest! {
+        /// The bit set agrees with a reference `std` set under arbitrary
+        /// insert/remove sequences.
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec((0usize..256, any::<bool>()), 0..400)) {
+            let mut s = BitSet::new(256);
+            let mut model = std::collections::BTreeSet::new();
+            for (idx, insert) in ops {
+                if insert {
+                    prop_assert_eq!(s.insert(idx), model.insert(idx));
+                } else {
+                    prop_assert_eq!(s.remove(idx), model.remove(&idx));
+                }
+            }
+            prop_assert_eq!(s.count(), model.len());
+            let got: Vec<usize> = s.iter().collect();
+            let want: Vec<usize> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// from_indices tolerates duplicates and counts distinct elements.
+        #[test]
+        fn from_indices_dedups(mut idxs in proptest::collection::vec(0u32..512, 0..100)) {
+            let s = BitSet::from_indices(512, &idxs);
+            idxs.sort_unstable();
+            idxs.dedup();
+            prop_assert_eq!(s.count(), idxs.len());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Low-level utilities shared across the COBRA reproduction workspace.
+//!
+//! This crate deliberately has no dependencies: it provides the small,
+//! hot data structures the simulation crates lean on.
+//!
+//! * [`BitSet`] — a fixed-capacity bit set used for vertex membership
+//!   (visited sets, infected sets, coalescing marks).
+//! * [`UnionFind`] — disjoint sets, used by graph generators and
+//!   connectivity checks.
+//! * [`math`] — tiny numeric helpers (integer logs, harmonic numbers,
+//!   approximate float comparison).
+
+pub mod bitset;
+pub mod math;
+pub mod unionfind;
+
+pub use bitset::BitSet;
+pub use unionfind::UnionFind;

@@ -1,0 +1,10 @@
+//! Terminal plots for the experiment harness.
+//!
+//! The paper's "figures" are scaling series (cover time vs `n`, vs
+//! `1/(1−λ)`, vs `1/ρ`); this crate renders them as ASCII scatter plots
+//! with optional logarithmic axes, so `cobra-exps --plot` can show the
+//! shape of a claim directly in the terminal next to the table.
+
+pub mod plot;
+
+pub use plot::{Plot, Scale, Series};

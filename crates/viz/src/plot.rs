@@ -1,0 +1,279 @@
+//! ASCII scatter plots with linear/log axes and multiple series.
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Linear,
+    /// Base-10 logarithmic; every coordinate must be strictly positive.
+    Log,
+}
+
+impl Scale {
+    fn transform(&self, v: f64) -> f64 {
+        match self {
+            Scale::Linear => v,
+            Scale::Log => {
+                assert!(v > 0.0, "log-scaled coordinate must be positive, got {v}");
+                v.log10()
+            }
+        }
+    }
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub marker: char,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series; finite coordinates required.
+    pub fn new(label: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Series {
+        assert!(
+            points.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+            "series contains non-finite points"
+        );
+        Series { label: label.into(), marker, points }
+    }
+}
+
+/// A plot under construction.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+impl Plot {
+    /// Creates an empty plot with a default 64×20 canvas.
+    pub fn new(title: impl Into<String>) -> Plot {
+        Plot {
+            title: title.into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            width: 64,
+            height: 20,
+            series: Vec::new(),
+        }
+    }
+
+    /// Axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Plot {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Axis scales.
+    pub fn scales(mut self, x: Scale, y: Scale) -> Plot {
+        self.x_scale = x;
+        self.y_scale = y;
+        self
+    }
+
+    /// Canvas size in characters (minimums 16×8 enforced).
+    pub fn size(mut self, width: usize, height: usize) -> Plot {
+        self.width = width.max(16);
+        self.height = height.max(8);
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Plot {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the plot. Panics if no series has any points.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64, char)> = self
+            .series
+            .iter()
+            .flat_map(|s| {
+                s.points.iter().map(move |&(x, y)| {
+                    (self.x_scale.transform(x), self.y_scale.transform(y), s.marker)
+                })
+            })
+            .collect();
+        assert!(!pts.is_empty(), "cannot render an empty plot");
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y, _) in &pts {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        // Degenerate ranges get padding so everything lands mid-canvas.
+        if x_hi - x_lo < 1e-12 {
+            x_lo -= 0.5;
+            x_hi += 0.5;
+        }
+        if y_hi - y_lo < 1e-12 {
+            y_lo -= 0.5;
+            y_hi += 0.5;
+        }
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for &(x, y, marker) in &pts {
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
+            // Canvas row 0 is the top.
+            canvas[self.height - 1 - cy][cx] = marker;
+        }
+        let fmt_tick = |scale: Scale, v: f64| -> String {
+            let raw = match scale {
+                Scale::Linear => v,
+                Scale::Log => 10f64.powf(v),
+            };
+            if raw.abs() >= 1000.0 {
+                format!("{raw:.0}")
+            } else {
+                format!("{raw:.3}")
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!(
+            "y: {}{}\n",
+            self.y_label,
+            if self.y_scale == Scale::Log { " (log)" } else { "" }
+        ));
+        for (i, row) in canvas.iter().enumerate() {
+            let tick = if i == 0 {
+                fmt_tick(self.y_scale, y_hi)
+            } else if i == self.height - 1 {
+                fmt_tick(self.y_scale, y_lo)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{tick:>10} |{}|\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{:>10} +{}+\n",
+            "",
+            "-".repeat(self.width)
+        ));
+        out.push_str(&format!(
+            "{:>10}  {:<w$}{}\n",
+            "",
+            fmt_tick(self.x_scale, x_lo),
+            fmt_tick(self.x_scale, x_hi),
+            w = self.width.saturating_sub(fmt_tick(self.x_scale, x_hi).len())
+        ));
+        out.push_str(&format!(
+            "x: {}{}\n",
+            self.x_label,
+            if self.x_scale == Scale::Log { " (log)" } else { "" }
+        ));
+        for s in &self.series {
+            out.push_str(&format!("  {} {}\n", s.marker, s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_series() -> Series {
+        Series::new("line", '*', (1..=10).map(|i| (i as f64, 2.0 * i as f64)).collect())
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let p = Plot::new("demo").labels("n", "cover").series(line_series());
+        let s = p.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("x: n"));
+        assert!(s.contains("y: cover"));
+        assert!(s.contains("* line"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let p = Plot::new("mono").series(line_series()).size(40, 10);
+        let s = p.render();
+        // Column index of '*' must be non-decreasing going down the rows
+        // reversed (the line has positive slope).
+        let cols: Vec<usize> = s
+            .lines()
+            .filter(|l| l.contains('|') && l.contains('*'))
+            .map(|l| l.find('*').unwrap())
+            .collect();
+        assert!(!cols.is_empty());
+        for w in cols.windows(2) {
+            assert!(w[1] <= w[0], "positive-slope line rendered non-monotone: {cols:?}");
+        }
+    }
+
+    #[test]
+    fn log_scale_spreads_geometric_series() {
+        let pts: Vec<(f64, f64)> = (0..8).map(|i| (2f64.powi(i), 1.0)).collect();
+        let p = Plot::new("title")
+            .scales(Scale::Log, Scale::Linear)
+            .series(Series::new("gemetric", 'o', pts))
+            .size(29, 8);
+        let s = p.render();
+        // Under log-x a geometric sequence is equally spaced: marker
+        // columns should be (roughly) an arithmetic progression. Only
+        // canvas rows (containing '|') qualify.
+        let row = s
+            .lines()
+            .find(|l| l.contains('|') && l.contains('o'))
+            .unwrap();
+        let cols: Vec<usize> = row.char_indices().filter(|&(_, c)| c == 'o').map(|(i, _)| i).collect();
+        assert_eq!(cols.len(), 8, "markers collided under log scaling: {row}");
+        let diffs: Vec<isize> = cols.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        let (dmin, dmax) = (diffs.iter().min().unwrap(), diffs.iter().max().unwrap());
+        assert!(dmax - dmin <= 1, "uneven spacing {diffs:?}");
+    }
+
+    #[test]
+    fn multiple_series_distinct_markers() {
+        let p = Plot::new("two")
+            .series(Series::new("a", 'a', vec![(0.0, 0.0), (1.0, 1.0)]))
+            .series(Series::new("b", 'b', vec![(0.0, 1.0), (1.0, 0.0)]));
+        let s = p.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn constant_series_renders_mid_canvas() {
+        let p = Plot::new("flat").series(Series::new("c", '#', vec![(1.0, 5.0), (2.0, 5.0)]));
+        let s = p.render();
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_scale_rejects_nonpositive() {
+        Plot::new("bad")
+            .scales(Scale::Linear, Scale::Log)
+            .series(Series::new("z", 'z', vec![(1.0, 0.0)]))
+            .render();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty plot")]
+    fn empty_plot_rejected() {
+        Plot::new("empty").render();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_points_rejected() {
+        Series::new("nan", 'n', vec![(f64::NAN, 1.0)]);
+    }
+}

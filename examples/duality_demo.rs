@@ -1,0 +1,42 @@
+//! Theorem 1.3 live: the COBRA and BIPS processes are duals.
+//!
+//! For every horizon `T`, the probability that COBRA started from set
+//! `C` has *not* hit vertex `v`, and the probability that BIPS with
+//! persistent source `v` has no infected vertex in `C` at round `T`,
+//! are the same number. This example estimates both sides on the
+//! Petersen graph and prints them next to each other.
+//!
+//! ```sh
+//! cargo run --release --example duality_demo
+//! ```
+
+use cobra::duality::{duality_check, DualityConfig};
+use cobra_graph::generators;
+
+fn main() {
+    let g = generators::petersen();
+    let source = 3u32; // v: BIPS source == COBRA target
+    let start = vec![8u32]; // C: COBRA start set == BIPS observation set
+
+    println!("Petersen graph, v = {source}, C = {start:?}, b = 2");
+    println!();
+
+    let cfg = DualityConfig {
+        trials: 40_000,
+        horizons: vec![0, 1, 2, 3, 4, 5, 6, 8, 10],
+        ..DualityConfig::default()
+    };
+    let report = duality_check(&g, source, &start, &cfg);
+    println!("{}", report.to_table("demo", "Petersen").render());
+
+    println!(
+        "max |difference| = {:.4}, max |z| = {:.2} over {} horizons at {} trials/side",
+        report.max_abs_diff(),
+        report.max_abs_z(),
+        report.rows.len(),
+        report.trials
+    );
+    println!();
+    println!("the two columns estimate the *same* number for every T — that identity");
+    println!("(Theorem 1.3) is what lets the paper analyse COBRA through BIPS.");
+}

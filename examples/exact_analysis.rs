@@ -1,0 +1,54 @@
+//! Exact analysis on small graphs: no Monte-Carlo anywhere.
+//!
+//! Demonstrates the `cobra-exact` substrate: the duality identity
+//! (Theorem 1.3) verified to machine precision by subset-space dynamic
+//! programming, and closed-form random-walk oracles pinning the `b = 1`
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release -p cobra-repro --example exact_analysis
+//! ```
+
+use cobra_exact::duality::exact_duality_report;
+use cobra_exact::walk::{srw_cover_time, srw_hitting_times};
+use cobra_graph::generators;
+use cobra_process::{Branching, Laziness};
+
+fn main() {
+    // --- Theorem 1.3, exactly -------------------------------------------
+    let g = generators::petersen();
+    let horizons: Vec<usize> = (0..=7).collect();
+    let report = exact_duality_report(&g, 3, &[8], Branching::B2, Laziness::None, &horizons);
+    println!("Theorem 1.3 on the Petersen graph (v = 3, C = {{8}}), exact DP:");
+    println!("  T   P(Hit(v)>T) [COBRA]   P(C∩A_T=∅) [BIPS]   |gap|");
+    for (i, &t) in report.horizons.iter().enumerate() {
+        println!(
+            "  {t:<3} {:<21.12} {:<19.12} {:.1e}",
+            report.cobra_side[i],
+            report.bips_side[i],
+            (report.cobra_side[i] - report.bips_side[i]).abs()
+        );
+    }
+    println!("  max gap = {:.2e}  (pure rounding — the identity is exact)\n", report.max_abs_gap());
+
+    // --- Exact SRW oracles ----------------------------------------------
+    let n = 9;
+    let cycle = generators::cycle(n);
+    let h = srw_hitting_times(&cycle, 0);
+    println!("SRW hitting times on C_{n} (target 0) vs the closed form k(n−k):");
+    for (u, &hu) in h.iter().enumerate() {
+        let k = u.min(n - u);
+        println!("  from {u}: exact {hu:>6.2}, closed form {:>6.2}", (k * (n - k)) as f64);
+    }
+    println!();
+    let k8 = generators::complete(8);
+    println!(
+        "SRW cover time of K_8: exact DP {:.4} vs coupon collector 7·H_7 = {:.4}",
+        srw_cover_time(&k8, 0),
+        cobra::bounds::srw_complete_graph_cover(8)
+    );
+    println!();
+    println!("reading: the same machinery that certifies Theorem 1.3 exactly also pins");
+    println!("the b = 1 baselines to their textbook values — the simulation stack is");
+    println!("validated against closed forms, not just against itself.");
+}

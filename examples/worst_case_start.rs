@@ -1,0 +1,60 @@
+//! Ablation: does the start vertex matter? (`COVER(G) = max_u COVER(u)`)
+//!
+//! The paper's cover time takes the worst-case start. On vertex-
+//! transitive graphs every start is equal; on asymmetric graphs like the
+//! lollipop the spread is real. This example scans all starts of a
+//! lollipop and a barbell and prints the best/worst spread.
+//!
+//! ```sh
+//! cargo run --release --example worst_case_start
+//! ```
+
+use cobra::cover::{cobra_cover_samples, worst_start_vertex, CoverConfig};
+use cobra_graph::{generators, Graph};
+
+fn scan(label: &str, g: &Graph) {
+    let trials = 20;
+    let mut best = (0u32, f64::INFINITY);
+    let mut worst = (0u32, f64::NEG_INFINITY);
+    for v in 0..g.n() as u32 {
+        let mean = cobra_cover_samples(
+            g,
+            v,
+            CoverConfig::default().with_trials(trials).with_seed(v as u64),
+        )
+        .summary()
+        .mean;
+        if mean < best.1 {
+            best = (v, mean);
+        }
+        if mean > worst.1 {
+            worst = (v, mean);
+        }
+    }
+    println!(
+        "{label:<18} best start v={:<4} ({:>6.1} rounds)   worst start v={:<4} ({:>6.1} rounds)   spread {:.2}x",
+        best.0,
+        best.1,
+        worst.0,
+        worst.1,
+        worst.1 / best.1
+    );
+}
+
+fn main() {
+    println!("COBRA b=2, 20 trials per start vertex\n");
+    scan("lollipop(16,32)", &generators::lollipop(16, 32));
+    scan("barbell(12,24)", &generators::barbell(12, 24));
+    scan("path(48)", &generators::path(48));
+    scan("K_48", &generators::complete(48));
+    println!();
+
+    // The library helper does the same scan in one call.
+    let g = generators::lollipop(16, 32);
+    let (v, mean) = worst_start_vertex(&g, CoverConfig::default(), 8);
+    println!("worst_start_vertex(lollipop) = vertex {v} with mean cover {mean:.1}");
+    println!();
+    println!("reading: on K_n the spread is ~1x (transitivity); on the lollipop the");
+    println!("worst starts sit inside the clique — the walk must still find the stick");
+    println!("tip, whereas tip starts sweep the stick on their way into the clique.");
+}

@@ -1,0 +1,26 @@
+//! Root meta-crate of the COBRA reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so the runnable
+//! examples in `examples/` and the integration tests in `tests/` read
+//! like downstream user code:
+//!
+//! ```
+//! use cobra_repro::prelude::*;
+//! let g = generators::complete(64);
+//! assert_eq!(g.n(), 64);
+//! ```
+
+pub use cobra;
+pub use cobra_exact;
+pub use cobra_graph;
+pub use cobra_mc;
+pub use cobra_process;
+pub use cobra_spectral;
+pub use cobra_stats;
+pub use cobra_util;
+
+/// Everything an example needs, one import away.
+pub mod prelude {
+    pub use cobra_graph::{generators, props, Graph, VertexId};
+    pub use cobra_util::BitSet;
+}

@@ -1,0 +1,63 @@
+//! Integration: Theorem 1.3 checked through the public API on graphs
+//! assembled from every substrate (generators, largest-component
+//! extraction, spectral classification).
+
+use cobra::duality::{duality_check, DualityConfig};
+use cobra_graph::{generators, props};
+use cobra_process::Branching;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn cfg(trials: usize, seed: u64) -> DualityConfig {
+    DualityConfig {
+        trials,
+        horizons: vec![0, 1, 2, 3, 4, 6],
+        master_seed: seed,
+        ..DualityConfig::default()
+    }
+}
+
+#[test]
+fn duality_on_gnp_giant_component() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let raw = generators::gnp(60, 0.08, &mut rng);
+    let (g, _) = props::largest_component(&raw);
+    assert!(g.n() >= 10, "giant component too small for the test setup");
+    let v = 0;
+    let far = (g.n() - 1) as u32;
+    let report = duality_check(&g, v, &[far], &cfg(4000, 21));
+    assert!(
+        report.max_abs_z() < 4.5,
+        "duality violated on G(n,p) giant: {:?}",
+        report.rows
+    );
+}
+
+#[test]
+fn duality_with_multi_vertex_start_set_on_torus() {
+    let g = generators::torus(&[5, 5]);
+    let c: Vec<u32> = vec![6, 12, 18, 24];
+    let report = duality_check(&g, 0, &c, &cfg(4000, 22));
+    assert!(report.max_abs_z() < 4.5, "torus duality violated: {:?}", report.rows);
+}
+
+#[test]
+fn duality_with_fractional_branching_on_ring_of_cliques() {
+    let g = generators::ring_of_cliques(4, 5);
+    let mut c = cfg(4000, 23);
+    c.branching = Branching::Expected(0.3);
+    let report = duality_check(&g, 2, &[17], &c);
+    assert!(report.max_abs_z() < 4.5, "ρ-duality violated: {:?}", report.rows);
+}
+
+#[test]
+fn duality_when_source_is_inside_the_start_set() {
+    // Degenerate but legal: v ∈ C means Hit(v) = 0 always, and
+    // A_T ∩ C ⊇ {v} always — both sides are identically 0.
+    let g = generators::cycle(12);
+    let report = duality_check(&g, 4, &[4, 8], &cfg(500, 24));
+    for row in &report.rows {
+        assert_eq!(row.cobra_side, 0.0);
+        assert_eq!(row.bips_side, 0.0);
+    }
+}
