@@ -1,6 +1,7 @@
 //! `cobra-exps` — the experiment harness binary.
 //!
-//! Regenerates the paper's quantitative claims as tables:
+//! Regenerates the paper's quantitative claims as tables, and runs
+//! ad-hoc scenarios through the declarative `SimSpec` API:
 //!
 //! ```sh
 //! cobra-exps all                # every experiment, full fidelity
@@ -10,12 +11,18 @@
 //! cobra-exps --markdown all     # markdown (EXPERIMENTS.md input)
 //! cobra-exps --plot f1          # append an ASCII figure to the table
 //! cobra-exps --list             # available ids
+//!
+//! # any process × graph × estimator, no Rust required:
+//! cobra-exps run --process cobra:b2 --graph hypercube:10 --trials 30
+//! cobra-exps run --process bips:rho0.5 --graph gnp:2000:0.01 --target 7
 //! ```
 
 use cobra::experiments;
-use cobra::Table;
-use cobra_viz::{Plot, Scale, Series};
+use cobra::{SimSpec, Table};
+use std::collections::HashSet;
 use std::process::ExitCode;
+
+use cobra_viz::{Plot, Scale, Series};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -26,6 +33,9 @@ enum Format {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run") {
+        return run_subcommand(&args[1..]);
+    }
     let mut quick = false;
     let mut plot = false;
     let mut format = Format::Plain;
@@ -60,7 +70,9 @@ fn main() -> ExitCode {
         print_help();
         return ExitCode::FAILURE;
     }
-    ids.dedup();
+    // Order-preserving dedup: `cobra-exps f1 f2 f1` runs f1 once, first.
+    let mut seen: HashSet<String> = HashSet::new();
+    ids.retain(|id| seen.insert(id.clone()));
     for id in &ids {
         let Some(table) = experiments::run(id, quick) else {
             eprintln!("unknown experiment id: {id} (try --list)");
@@ -180,11 +192,162 @@ fn figure_for(id: &str, table: &Table) -> Option<String> {
     Some(plot.render())
 }
 
+/// `cobra-exps run` — one ad-hoc scenario through the `SimSpec` API.
+fn run_subcommand(args: &[String]) -> ExitCode {
+    let mut graph: Option<String> = None;
+    let mut process: Option<String> = None;
+    let mut trials: usize = 30;
+    let mut seed: u64 = 0xC0B7A;
+    let mut threads: usize = 0;
+    let mut cap: Option<usize> = None;
+    let mut start: u32 = 0;
+    let mut target: Option<u32> = None;
+    let mut format = Format::Plain;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .cloned()
+        };
+        let parsed = match arg.as_str() {
+            "--graph" | "-g" => value("--graph").map(|v| graph = Some(v)),
+            "--process" | "-p" => value("--process").map(|v| process = Some(v)),
+            "--trials" | "-t" => value("--trials").and_then(|v| {
+                v.parse()
+                    .map(|v| trials = v)
+                    .map_err(|e| format!("--trials: {e}"))
+            }),
+            "--seed" => value("--seed").and_then(|v| {
+                v.parse()
+                    .map(|v| seed = v)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|v| threads = v)
+                    .map_err(|e| format!("--threads: {e}"))
+            }),
+            "--cap" => value("--cap").and_then(|v| {
+                v.parse()
+                    .map(|v| cap = Some(v))
+                    .map_err(|e| format!("--cap: {e}"))
+            }),
+            "--start" => value("--start").and_then(|v| {
+                v.parse()
+                    .map(|v| start = v)
+                    .map_err(|e| format!("--start: {e}"))
+            }),
+            "--target" => value("--target").and_then(|v| {
+                v.parse()
+                    .map(|v| target = Some(v))
+                    .map_err(|e| format!("--target: {e}"))
+            }),
+            "--csv" => Ok(format = Format::Csv),
+            "--markdown" | "--md" => Ok(format = Format::Markdown),
+            "--help" | "-h" => {
+                print_run_help();
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            print_run_help();
+            return ExitCode::FAILURE;
+        }
+    }
+    let (Some(graph), Some(process)) = (graph, process) else {
+        eprintln!("run needs both --graph and --process");
+        print_run_help();
+        return ExitCode::FAILURE;
+    };
+
+    let spec = match SimSpec::parse(&graph, &process) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = spec
+        .with_start(start)
+        .with_trials(trials)
+        .with_seed(seed)
+        .with_threads(threads);
+    if let Some(t) = target {
+        spec = spec.reaching(t);
+    }
+    spec.cap = cap;
+
+    let est = match spec.try_run() {
+        Ok(est) => est,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let objective = match target {
+        Some(t) => format!("hitting time of vertex {t}"),
+        None => "completion time (cover / full infection / broadcast)".to_string(),
+    };
+    let mut table = Table::new(
+        "RUN",
+        format!("{process} on {graph} — {objective}"),
+        &["metric", "value"],
+    );
+    let fmt_val = |x: f64| format!("{x:.3}");
+    let mut push = |metric: &str, value: String| table.push_row(vec![metric.to_string(), value]);
+    push("trials", est.trials().to_string());
+    push("completed", est.samples.len().to_string());
+    push(
+        "censored at cap",
+        format!("{} (cap = {})", est.censored, est.cap),
+    );
+    if !est.samples.is_empty() {
+        let s = est.summary();
+        push("mean rounds", fmt_val(s.mean));
+        push("std dev", fmt_val(s.std_dev));
+        push(
+            "min / median / max",
+            format!("{} / {} / {}", s.min, s.median, s.max),
+        );
+    }
+    push("mean transmissions", fmt_val(est.mean_transmissions));
+    push("mean reached", fmt_val(est.mean_reached));
+    match format {
+        Format::Plain => println!("{}", table.render()),
+        Format::Csv => print!("{}", table.to_csv()),
+        Format::Markdown => println!("{}", table.to_markdown()),
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_run_help() {
+    eprintln!(
+        "cobra-exps run — run one scenario through the SimSpec engine\n\
+         \n\
+         usage: cobra-exps run --graph <spec> --process <spec> [options]\n\
+         \n\
+         graph specs:   hypercube:10, grid:32x32, complete:64, gnp:2000:0.01,\n\
+         \u{20}              torus:8x8, regular:512:3, barbell:8:8, ... \n\
+         process specs: cobra:b2, cobra:rho0.5:lazy, bips:b2:exact, rw,\n\
+         \u{20}              walks:8, coalescing:4, gossip:pushpull\n\
+         \n\
+         options: --trials N (30)  --seed S  --threads T (auto)  --cap C (derived)\n\
+         \u{20}        --start V (0)  --target V (hitting time instead of completion)\n\
+         \u{20}        --csv | --markdown"
+    );
+}
+
 fn print_help() {
     eprintln!(
         "cobra-exps — regenerate the SPAA 2017 COBRA paper's experiment tables\n\
          \n\
          usage: cobra-exps [--quick|--full] [--csv|--markdown] [--plot] <id>... | all | --list\n\
+         \u{20}      cobra-exps run --graph <spec> --process <spec> [options]\n\
          \n\
          ids: {}",
         experiments::ALL_IDS.join(", ")

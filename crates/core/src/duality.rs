@@ -12,14 +12,18 @@
 //! Monte-Carlo proportions are compared with a two-proportion z-test per
 //! horizon; under a correct implementation every |z| stays at noise
 //! level for every `T` simultaneously (up to multiplicity).
+//!
+//! Both sides run through the unified engine: the COBRA side is a plain
+//! hitting-time [`SimSpec`](crate::sim::SimSpec) run, the BIPS side a
+//! fixed-horizon run with a round-snapshot [`Observer`] checking
+//! disjointness at each horizon — no bespoke trial loop on either side.
 
 use crate::report::{fmt_f, Table};
+use crate::sim::SimSpec;
 use cobra_graph::{Graph, VertexId};
-use cobra_mc::{run_trials, RunConfig};
-use cobra_process::{Bips, BipsMode, Branching, Cobra, Laziness, SpreadProcess};
+use cobra_mc::{Observer, StopWhen, TrialOutcome};
+use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, SpreadProcess};
 use cobra_util::BitSet;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Configuration of a duality check.
 #[derive(Debug, Clone)]
@@ -29,7 +33,7 @@ pub struct DualityConfig {
     pub branching: Branching,
     /// Trials per side.
     pub trials: usize,
-    /// Horizons `T` to evaluate.
+    /// Horizons `T` to evaluate, in nondecreasing order.
     pub horizons: Vec<usize>,
     pub master_seed: u64,
     pub threads: usize,
@@ -105,43 +109,98 @@ impl DualityReport {
     }
 }
 
+/// Observer for the BIPS side: at each horizon, records whether the
+/// current infected set is disjoint from `C` (`A_T` fluctuates, so the
+/// flag must be captured in-flight, per round).
+struct HorizonDisjoint<'a> {
+    horizons: &'a [usize],
+    c_set: &'a BitSet,
+    flags: Vec<bool>,
+    round: usize,
+    idx: usize,
+}
+
+impl<'a> HorizonDisjoint<'a> {
+    fn new(horizons: &'a [usize], c_set: &'a BitSet) -> Self {
+        HorizonDisjoint {
+            horizons,
+            c_set,
+            flags: Vec::with_capacity(horizons.len()),
+            round: 0,
+            idx: 0,
+        }
+    }
+
+    fn capture(&mut self, p: &dyn SpreadProcess) {
+        while self.idx < self.horizons.len() && self.horizons[self.idx] == self.round {
+            self.flags.push(!self.c_set.intersects(p.reached()));
+            self.idx += 1;
+        }
+    }
+}
+
+impl Observer for HorizonDisjoint<'_> {
+    type Output = Vec<bool>;
+    fn on_start(&mut self, p: &dyn SpreadProcess) {
+        self.capture(p);
+    }
+    fn on_round(&mut self, p: &dyn SpreadProcess) {
+        self.round += 1;
+        self.capture(p);
+    }
+    fn finish(self, _outcome: TrialOutcome, _p: &dyn SpreadProcess) -> Vec<bool> {
+        debug_assert_eq!(self.flags.len(), self.horizons.len());
+        self.flags
+    }
+}
+
 /// Runs the two-sided estimation for source `v` and start set `c`.
 pub fn duality_check(g: &Graph, v: VertexId, c: &[VertexId], cfg: &DualityConfig) -> DualityReport {
     assert!(!c.is_empty(), "duality needs a nonempty start set C");
     assert!((v as usize) < g.n(), "source out of range");
+    assert!(
+        cfg.horizons.windows(2).all(|w| w[0] <= w[1]),
+        "horizons must be nondecreasing"
+    );
     let max_t = *cfg.horizons.iter().max().expect("nonempty horizons");
 
     // COBRA side: one sample path yields Hit(v), which answers every
-    // horizon at once (Hit(v) > T is monotone in T).
-    let hits: Vec<Option<usize>> = run_trials(
-        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
-        |seed, _| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut p = Cobra::new(g, c, cfg.branching, Laziness::None);
-            p.run_until_hit(v, &mut rng, max_t)
+    // horizon at once (Hit(v) > T is monotone in T). Censoring at the
+    // max_t cap means Hit(v) > max_t ≥ T for every horizon.
+    let cobra = SimSpec::new(
+        g,
+        ProcessSpec::Cobra {
+            branching: cfg.branching,
+            laziness: Laziness::None,
         },
-    );
+    )
+    .with_starts(c)
+    .reaching(v)
+    .with_trials(cfg.trials)
+    .with_seed(cfg.master_seed)
+    .with_threads(cfg.threads)
+    .with_cap(max_t)
+    .run();
 
-    // BIPS side: A_T fluctuates, so record disjointness per horizon.
+    // BIPS side: run to the fixed horizon, snapshotting disjointness.
     let c_set = BitSet::from_indices(g.n(), c);
-    let horizons = cfg.horizons.clone();
-    let disjoint: Vec<Vec<bool>> = run_trials(
-        RunConfig::new(cfg.trials, cfg.master_seed ^ 0xB1B5_D0A1).with_threads(cfg.threads),
-        |seed, _| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut p = Bips::new(g, v, cfg.branching, Laziness::None, BipsMode::ExactSampling);
-            let mut flags = Vec::with_capacity(horizons.len());
-            let mut round = 0usize;
-            for &t in &horizons {
-                while round < t {
-                    p.step(&mut rng);
-                    round += 1;
-                }
-                flags.push(!c_set.intersects(p.infected()));
-            }
-            flags
+    let disjoint: Vec<Vec<bool>> = SimSpec::new(
+        g,
+        ProcessSpec::Bips {
+            branching: cfg.branching,
+            laziness: Laziness::None,
+            mode: BipsMode::ExactSampling,
         },
-    );
+    )
+    .with_start(v)
+    .with_trials(cfg.trials)
+    .with_seed(cfg.master_seed ^ 0xB1B5_D0A1)
+    .with_threads(cfg.threads)
+    .with_cap(max_t)
+    .run_observed(StopWhen::AtCap, |_| {
+        HorizonDisjoint::new(&cfg.horizons, &c_set)
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
 
     let n = cfg.trials as f64;
     let rows = cfg
@@ -149,24 +208,27 @@ pub fn duality_check(g: &Graph, v: VertexId, c: &[VertexId], cfg: &DualityConfig
         .iter()
         .enumerate()
         .map(|(i, &t)| {
-            let cobra_not_hit = hits
-                .iter()
-                .filter(|h| match h {
-                    Some(hit) => *hit > t,
-                    None => true, // censored at max_t ⇒ Hit(v) > max_t ≥ t
-                })
-                .count() as f64;
+            let cobra_not_hit =
+                (cobra.samples.iter().filter(|&&hit| hit > t).count() + cobra.censored) as f64;
             let bips_disjoint = disjoint.iter().filter(|f| f[i]).count() as f64;
             let p1 = cobra_not_hit / n;
             let p2 = bips_disjoint / n;
             let pooled = (cobra_not_hit + bips_disjoint) / (2.0 * n);
             let se = (pooled * (1.0 - pooled) * (2.0 / n)).sqrt();
             let z = if se > 0.0 { (p1 - p2) / se } else { 0.0 };
-            DualityRow { t, cobra_side: p1, bips_side: p2, z }
+            DualityRow {
+                t,
+                cobra_side: p1,
+                bips_side: p2,
+                z,
+            }
         })
         .collect();
 
-    DualityReport { rows, trials: cfg.trials }
+    DualityReport {
+        rows,
+        trials: cfg.trials,
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +313,16 @@ mod tests {
                 "P(Hit > T) must be nonincreasing in T"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn unsorted_horizons_are_rejected() {
+        let g = generators::petersen();
+        let cfg = DualityConfig {
+            horizons: vec![3, 1],
+            ..DualityConfig::default()
+        };
+        duality_check(&g, 0, &[1], &cfg);
     }
 }

@@ -6,7 +6,7 @@
 //! the measured `Θ(log n)` shape). The shape check fits
 //! `cover ≈ c·(ln n)^α` and expects `α ≈ 1`.
 
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::generators;
 use cobra_stats::{fit_line, fit_power_law};
@@ -28,11 +28,11 @@ pub fn run(quick: bool) -> Table {
     for &k in &exponents {
         let n = 1usize << k;
         let g = generators::complete(n);
-        let est = cobra_cover_samples(
-            &g,
-            0,
-            CoverConfig::default().with_trials(trials).with_seed(0xF1 + k as u64),
-        );
+        let est = CoverConfig::default()
+            .with_trials(trials)
+            .with_seed(0xF1 + k as u64)
+            .to_sim(&g, &[0])
+            .run();
         let s = est.summary();
         ln_ns.push((n as f64).ln());
         covers.push(s.mean);
@@ -93,6 +93,9 @@ mod tests {
             .parse()
             .unwrap();
         // Generous band at quick fidelity; the full run tightens this.
-        assert!((0.3..2.0).contains(&alpha), "K_n exponent {alpha} far from 1");
+        assert!(
+            (0.3..2.0).contains(&alpha),
+            "K_n exponent {alpha} far from 1"
+        );
     }
 }

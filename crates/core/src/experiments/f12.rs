@@ -8,10 +8,9 @@
 
 use crate::bounds;
 use crate::report::{fmt_f, Table};
+use crate::sim::SimSpec;
 use cobra_graph::{generators, props, Graph};
-use cobra_process::{
-    Branching, Cobra, Laziness, MultiWalk, PushGossip, RandomWalk, SpreadProcess,
-};
+use cobra_mc::{Completion, StopWhen};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -20,39 +19,51 @@ fn graphs(quick: bool) -> Vec<(&'static str, Graph)> {
     if quick {
         vec![
             ("K_64", generators::complete(64)),
-            ("rand 4-reg n=64", generators::random_regular(64, 4, true, &mut rng).unwrap()),
+            (
+                "rand 4-reg n=64",
+                generators::random_regular(64, 4, true, &mut rng).unwrap(),
+            ),
             ("torus 9x9", generators::torus(&[9, 9])),
             ("path n=48", generators::path(48)),
         ]
     } else {
         vec![
             ("K_256", generators::complete(256)),
-            ("rand 4-reg n=256", generators::random_regular(256, 4, true, &mut rng).unwrap()),
+            (
+                "rand 4-reg n=256",
+                generators::random_regular(256, 4, true, &mut rng).unwrap(),
+            ),
             ("torus 15x15", generators::torus(&[15, 15])),
             ("path n=128", generators::path(128)),
         ]
     }
 }
 
-/// Mean `(rounds, transmissions)` over trials; `trial` runs one fresh
-/// process to completion.
-fn race<F>(trials: usize, seed: u64, cap: usize, mut trial: F) -> (f64, f64)
-where
-    F: FnMut(&mut SmallRng, usize) -> Option<(usize, u64)>,
-{
-    let mut rounds_sum = 0.0;
-    let mut tx_sum = 0.0;
-    let mut completed = 0usize;
-    for i in 0..trials {
-        let mut rng = SmallRng::seed_from_u64(seed + i as u64);
-        if let Some((r, tx)) = trial(&mut rng, cap) {
-            rounds_sum += r as f64;
-            tx_sum += tx as f64;
-            completed += 1;
-        }
-    }
-    assert!(completed > 0, "every trial censored; raise the cap");
-    (rounds_sum / completed as f64, tx_sum / completed as f64)
+/// Mean `(rounds, transmissions)` over *completed* trials for one
+/// process spec racing on `g` — one declarative `SimSpec` per
+/// contender, all through the engine.
+fn race(g: &Graph, process: &str, trials: usize, seed: u64, cap: usize) -> (f64, f64) {
+    let outcomes = SimSpec::new(g, process.parse().expect("valid process spec"))
+        .with_trials(trials)
+        .with_seed(seed)
+        .with_cap(cap)
+        .run_observed(StopWhen::Complete, |_| Completion)
+        .expect("static spec");
+    // Both columns average over the same population: completed trials.
+    let completed: Vec<_> = outcomes.iter().filter(|o| o.rounds.is_some()).collect();
+    assert!(!completed.is_empty(), "every trial censored; raise the cap");
+    let n = completed.len() as f64;
+    let rounds = completed
+        .iter()
+        .map(|o| o.rounds.unwrap() as f64)
+        .sum::<f64>()
+        / n;
+    let tx = completed
+        .iter()
+        .map(|o| o.transmissions as f64)
+        .sum::<f64>()
+        / n;
+    (rounds, tx)
 }
 
 /// Runs F12 (`quick`: small graphs, 5 trials; full: 15 trials).
@@ -62,8 +73,15 @@ pub fn run(quick: bool) -> Table {
         "F12",
         "Baselines: rounds (and transmissions) to cover/broadcast",
         &[
-            "graph", "lower bnd", "SRW", "4 walks", "PUSH", "COBRA b=2", "COBRA b=3",
-            "tx SRW", "tx COBRA b=2",
+            "graph",
+            "lower bnd",
+            "SRW",
+            "4 walks",
+            "PUSH",
+            "COBRA b=2",
+            "COBRA b=3",
+            "tx SRW",
+            "tx COBRA b=2",
         ],
     );
     for (gi, (label, g)) in graphs(quick).into_iter().enumerate() {
@@ -72,26 +90,11 @@ pub fn run(quick: bool) -> Table {
         let cap = 4000 * n * (cobra_util::math::log2_ceil(n) as usize + 1) + 100_000;
         let seed = 0xF12_100 + gi as u64 * 7919;
 
-        let (srw_rounds, srw_tx) = race(trials, seed, cap, |rng, cap| {
-            let mut p = RandomWalk::new(&g, 0, Laziness::None);
-            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
-        });
-        let (mw_rounds, _) = race(trials, seed ^ 1, cap, |rng, cap| {
-            let mut p = MultiWalk::new_at(&g, 0, 4, Laziness::None);
-            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
-        });
-        let (push_rounds, _) = race(trials, seed ^ 2, cap, |rng, cap| {
-            let mut p = PushGossip::new(&g, 0, 1);
-            p.run_until_broadcast(rng, cap).map(|r| (r, p.transmissions()))
-        });
-        let (b2_rounds, b2_tx) = race(trials, seed ^ 3, cap, |rng, cap| {
-            let mut p = Cobra::new(&g, &[0], Branching::Fixed(2), Laziness::None);
-            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
-        });
-        let (b3_rounds, _) = race(trials, seed ^ 4, cap, |rng, cap| {
-            let mut p = Cobra::new(&g, &[0], Branching::Fixed(3), Laziness::None);
-            p.run_until_cover(rng, cap).map(|r| (r, p.transmissions()))
-        });
+        let (srw_rounds, srw_tx) = race(&g, "rw", trials, seed, cap);
+        let (mw_rounds, _) = race(&g, "walks:4", trials, seed ^ 1, cap);
+        let (push_rounds, _) = race(&g, "gossip:push", trials, seed ^ 2, cap);
+        let (b2_rounds, b2_tx) = race(&g, "cobra:b2", trials, seed ^ 3, cap);
+        let (b3_rounds, _) = race(&g, "cobra:b3", trials, seed ^ 4, cap);
 
         table.push_row(vec![
             label.to_string(),
@@ -129,7 +132,11 @@ mod tests {
         for row in &t.rows {
             let srw: f64 = row[2].parse().unwrap();
             let b2: f64 = row[5].parse().unwrap();
-            assert!(b2 < srw, "COBRA not faster than SRW on {}: {b2} vs {srw}", row[0]);
+            assert!(
+                b2 < srw,
+                "COBRA not faster than SRW on {}: {b2} vs {srw}",
+                row[0]
+            );
         }
     }
 
@@ -139,7 +146,11 @@ mod tests {
         for row in &t.rows {
             let lb: f64 = row[1].parse().unwrap();
             let b2: f64 = row[5].parse().unwrap();
-            assert!(b2 + 1.0 >= lb, "COBRA below lower bound on {}: {b2} < {lb}", row[0]);
+            assert!(
+                b2 + 1.0 >= lb,
+                "COBRA below lower bound on {}: {b2} < {lb}",
+                row[0]
+            );
         }
     }
 
@@ -149,7 +160,11 @@ mod tests {
         for row in &t.rows {
             let b2: f64 = row[5].parse().unwrap();
             let b3: f64 = row[6].parse().unwrap();
-            assert!(b3 <= b2 * 1.25, "b=3 much slower than b=2 on {}: {b3} vs {b2}", row[0]);
+            assert!(
+                b3 <= b2 * 1.25,
+                "b=3 much slower than b=2 on {}: {b3} vs {b2}",
+                row[0]
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! lazy process satisfies the theorem's preconditions but is slower by
 //! roughly the factor-2 pick dilution.
 
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::{generators, props, Graph};
 use cobra_spectral::{lanczos_edge_spectrum, lazy_lambda};
@@ -36,29 +36,38 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F16",
         "Ablation: lazy vs plain COBRA b=2 on bipartite graphs",
-        &["graph", "n", "λ (plain)", "λ (lazy)", "cover plain", "cover lazy", "lazy/plain"],
+        &[
+            "graph",
+            "n",
+            "λ (plain)",
+            "λ (lazy)",
+            "cover plain",
+            "cover lazy",
+            "lazy/plain",
+        ],
     );
     for (i, (label, g)) in cases(quick).into_iter().enumerate() {
-        assert!(props::is_bipartite(&g), "{label} must be bipartite for this ablation");
+        assert!(
+            props::is_bipartite(&g),
+            "{label} must be bipartite for this ablation"
+        );
         let lam_plain = lanczos_edge_spectrum(&g, 0).lambda_abs();
         let lam_lazy = lazy_lambda(&g);
-        let plain = cobra_cover_samples(
-            &g,
-            0,
-            CoverConfig::default().with_trials(trials).with_seed(0x0F16_0000 + i as u64),
-        )
-        .summary()
-        .mean;
-        let lazy = cobra_cover_samples(
-            &g,
-            0,
-            CoverConfig::default()
-                .lazy()
-                .with_trials(trials)
-                .with_seed(0x0F16_1000 + i as u64),
-        )
-        .summary()
-        .mean;
+        let plain = CoverConfig::default()
+            .with_trials(trials)
+            .with_seed(0x0F16_0000 + i as u64)
+            .to_sim(&g, &[0])
+            .run()
+            .summary()
+            .mean;
+        let lazy = CoverConfig::default()
+            .lazy()
+            .with_trials(trials)
+            .with_seed(0x0F16_1000 + i as u64)
+            .to_sim(&g, &[0])
+            .run()
+            .summary()
+            .mean;
         table.push_row(vec![
             label.to_string(),
             g.n().to_string(),
@@ -93,7 +102,10 @@ mod tests {
         for row in &t.rows {
             let plain: f64 = row[2].parse().unwrap();
             let lazy: f64 = row[3].parse().unwrap();
-            assert!((plain - 1.0).abs() < 1e-6, "bipartite must have λ = 1: {row:?}");
+            assert!(
+                (plain - 1.0).abs() < 1e-6,
+                "bipartite must have λ = 1: {row:?}"
+            );
             assert!(lazy < 1.0 - 1e-6, "lazy λ must drop below 1: {row:?}");
         }
     }

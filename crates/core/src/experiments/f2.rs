@@ -8,7 +8,7 @@
 //! and fit the cover exponent in `ln n`.
 
 use crate::bounds;
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::generators;
 use cobra_spectral::lanczos_edge_spectrum;
@@ -27,7 +27,15 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F2",
         "Random r-regular expanders: COBRA b=2 cover vs Theorem 1.2",
-        &["r", "n", "1-λ", "gap margin", "mean cover", "cover/log2 n", "Thm1.2 shape"],
+        &[
+            "r",
+            "n",
+            "1-λ",
+            "gap margin",
+            "mean cover",
+            "cover/log2 n",
+            "Thm1.2 shape",
+        ],
     );
     for &r in &degrees {
         let mut ln_ns = Vec::new();
@@ -39,11 +47,11 @@ pub fn run(quick: bool) -> Table {
                 .expect("regular graph generation");
             let spec = lanczos_edge_spectrum(&g, 0);
             let gap = spec.gap();
-            let est = cobra_cover_samples(
-                &g,
-                0,
-                CoverConfig::default().with_trials(trials).with_seed(0xF2 + k as u64),
-            );
+            let est = CoverConfig::default()
+                .with_trials(trials)
+                .with_seed(0xF2 + k as u64)
+                .to_sim(&g, &[0])
+                .run();
             let s = est.summary();
             ln_ns.push((n as f64).ln());
             covers.push(s.mean);
@@ -97,7 +105,10 @@ mod tests {
                 .collect();
             assert!(margins.len() >= 2);
             for w in margins.windows(2) {
-                assert!(w[1] > w[0] * 0.9, "margin not growing for r={r}: {margins:?}");
+                assert!(
+                    w[1] > w[0] * 0.9,
+                    "margin not growing for r={r}: {margins:?}"
+                );
             }
         }
     }

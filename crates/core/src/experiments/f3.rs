@@ -6,7 +6,7 @@
 //! of cover vs `n` per dimension, and expect `α ≈ 1/D`.
 
 use crate::bounds;
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::generators;
 use cobra_stats::fit_power_law;
@@ -16,9 +16,9 @@ pub fn run(quick: bool) -> Table {
     // Odd sides keep the torus non-bipartite.
     let sides: Vec<Vec<usize>> = if quick {
         vec![
-            vec![33, 65],       // D = 1 (cycle)
-            vec![9, 15],        // D = 2
-            vec![5, 7],         // D = 3
+            vec![33, 65], // D = 1 (cycle)
+            vec![9, 15],  // D = 2
+            vec![5, 7],   // D = 3
         ]
     } else {
         vec![
@@ -31,7 +31,15 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F3",
         "D-dimensional torus: COBRA b=2 cover vs n^{1/D}",
-        &["D", "side", "n", "mean cover", "n^{1/D}", "cover/n^{1/D}", "SPAA16 D²n^{1/D}"],
+        &[
+            "D",
+            "side",
+            "n",
+            "mean cover",
+            "n^{1/D}",
+            "cover/n^{1/D}",
+            "SPAA16 D²n^{1/D}",
+        ],
     );
     for (dim_idx, dim_sides) in sides.iter().enumerate() {
         let d = dim_idx + 1;
@@ -41,13 +49,11 @@ pub fn run(quick: bool) -> Table {
             let dims = vec![side; d];
             let g = generators::torus(&dims);
             let n = g.n();
-            let est = cobra_cover_samples(
-                &g,
-                0,
-                CoverConfig::default()
-                    .with_trials(trials)
-                    .with_seed(0xF3 + (d * 1000 + side) as u64),
-            );
+            let est = CoverConfig::default()
+                .with_trials(trials)
+                .with_seed(0xF3 + (d * 1000 + side) as u64)
+                .to_sim(&g, &[0])
+                .run();
             let s = est.summary();
             let root = (n as f64).powf(1.0 / d as f64);
             ns.push(n as f64);

@@ -8,7 +8,7 @@
 //! and binary trees (both small).
 
 use crate::bounds;
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::{props, Graph};
 
@@ -19,14 +19,26 @@ struct Family {
 
 fn families() -> Vec<Family> {
     vec![
-        Family { name: "path", build: |n| cobra_graph::generators::path(n) },
-        Family { name: "cycle", build: |n| cobra_graph::generators::cycle(n | 1) },
-        Family { name: "star", build: |n| cobra_graph::generators::star(n) },
+        Family {
+            name: "path",
+            build: |n| cobra_graph::generators::path(n),
+        },
+        Family {
+            name: "cycle",
+            build: |n| cobra_graph::generators::cycle(n | 1),
+        },
+        Family {
+            name: "star",
+            build: |n| cobra_graph::generators::star(n),
+        },
         Family {
             name: "double_star",
             build: |n| cobra_graph::generators::double_star(n / 2 - 1, n - n / 2 - 1),
         },
-        Family { name: "binary_tree", build: |n| cobra_graph::generators::k_ary_tree(n, 2) },
+        Family {
+            name: "binary_tree",
+            build: |n| cobra_graph::generators::k_ary_tree(n, 2),
+        },
         Family {
             name: "barbell",
             build: |n| cobra_graph::generators::barbell(n / 4, n - 2 * (n / 4)),
@@ -35,7 +47,10 @@ fn families() -> Vec<Family> {
             name: "lollipop",
             build: |n| cobra_graph::generators::lollipop(n / 3, n - n / 3),
         },
-        Family { name: "wheel", build: |n| cobra_graph::generators::wheel(n) },
+        Family {
+            name: "wheel",
+            build: |n| cobra_graph::generators::wheel(n),
+        },
         Family {
             name: "pref_attach",
             build: |n| {
@@ -51,26 +66,40 @@ fn families() -> Vec<Family> {
 
 /// Runs F4 (`quick`: n ∈ {48, 96}; full: n ∈ {128, 256, 512}).
 pub fn run(quick: bool) -> Table {
-    let (sizes, trials): (Vec<usize>, usize) =
-        if quick { (vec![48, 96], 6) } else { (vec![128, 256, 512], 20) };
+    let (sizes, trials): (Vec<usize>, usize) = if quick {
+        (vec![48, 96], 6)
+    } else {
+        (vec![128, 256, 512], 20)
+    };
     let mut table = Table::new(
         "F4",
         "Theorem 1.1 on irregular graphs: cover vs m + dmax²·ln n",
-        &["family", "n", "m", "dmax", "diam", "mean cover", "bound", "cover/bound"],
+        &[
+            "family",
+            "n",
+            "m",
+            "dmax",
+            "diam",
+            "mean cover",
+            "bound",
+            "cover/bound",
+        ],
     );
     let mut worst_growth: f64 = 0.0;
     for fam in families() {
         let mut prev_ratio: Option<f64> = None;
         for &n in &sizes {
             let g = (fam.build)(n);
-            assert!(props::is_connected(&g), "{} generator broke connectivity", fam.name);
-            let est = cobra_cover_samples(
-                &g,
-                0,
-                CoverConfig::default()
-                    .with_trials(trials)
-                    .with_seed(0xF4 ^ (n as u64) << 8),
+            assert!(
+                props::is_connected(&g),
+                "{} generator broke connectivity",
+                fam.name
             );
+            let est = CoverConfig::default()
+                .with_trials(trials)
+                .with_seed(0xF4 ^ (n as u64) << 8)
+                .to_sim(&g, &[0])
+                .run();
             let s = est.summary();
             let bound = bounds::thm_1_1(g.n(), g.m(), g.max_degree());
             let ratio = s.mean / bound;
@@ -127,12 +156,7 @@ mod tests {
     #[test]
     fn ratios_do_not_explode_with_n() {
         let t = run(true);
-        let worst: f64 = t.notes[0]
-            .split("= ")
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let worst: f64 = t.notes[0].split("= ").nth(1).unwrap().parse().unwrap();
         // A growth factor ≫ 2 between consecutive sizes would indicate a
         // shape violation of O(m + dmax² log n).
         assert!(worst < 3.0, "cover/bound grew by {worst}x between sizes");

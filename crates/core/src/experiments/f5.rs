@@ -7,7 +7,7 @@
 //! exponent of cover vs `1/(1−λ)` stays at or below 1.
 
 use crate::bounds;
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::generators;
 use cobra_spectral::lanczos_edge_spectrum;
@@ -16,12 +16,23 @@ use cobra_stats::fit_power_law;
 /// Runs F5 (`quick`: rings of 4/8 cliques; full: 8..64).
 pub fn run(quick: bool) -> Table {
     let clique_size = 6usize; // r = 5 throughout
-    let (rings, trials): (Vec<usize>, usize) =
-        if quick { (vec![4, 8], 6) } else { (vec![8, 16, 32, 64], 20) };
+    let (rings, trials): (Vec<usize>, usize) = if quick {
+        (vec![4, 8], 6)
+    } else {
+        (vec![8, 16, 32, 64], 20)
+    };
     let mut table = Table::new(
         "F5",
         "Ring of cliques (r = 5): COBRA b=2 cover vs (r/(1−λ) + r²)·ln n",
-        &["cliques", "n", "1-λ", "mean cover", "Thm1.2 bound", "cover/bound", "1/(1-λ)"],
+        &[
+            "cliques",
+            "n",
+            "1-λ",
+            "mean cover",
+            "Thm1.2 bound",
+            "cover/bound",
+            "1/(1-λ)",
+        ],
     );
     let mut inv_gaps = Vec::new();
     let mut covers = Vec::new();
@@ -31,11 +42,11 @@ pub fn run(quick: bool) -> Table {
         let spec = lanczos_edge_spectrum(&g, 0);
         let gap = spec.gap();
         assert!(gap > 0.0, "ring of cliques must be non-bipartite");
-        let est = cobra_cover_samples(
-            &g,
-            0,
-            CoverConfig::default().with_trials(trials).with_seed(0xF5 + k as u64),
-        );
+        let est = CoverConfig::default()
+            .with_trials(trials)
+            .with_seed(0xF5 + k as u64)
+            .to_sim(&g, &[0])
+            .run();
         let s = est.summary();
         let bound = bounds::thm_1_2(g.n(), r, gap);
         inv_gaps.push(1.0 / gap);
@@ -94,7 +105,10 @@ mod tests {
         let t = run(true);
         for row in &t.rows {
             let ratio: f64 = row[5].parse().unwrap();
-            assert!(ratio < 2.0, "cover/bound = {ratio}: Theorem 1.2 shape violated");
+            assert!(
+                ratio < 2.0,
+                "cover/bound = {ratio}: Theorem 1.2 shape violated"
+            );
         }
     }
 
@@ -110,6 +124,9 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(alpha < 1.4, "gap exponent {alpha} exceeds Theorem 1.2's shape");
+        assert!(
+            alpha < 1.4,
+            "gap exponent {alpha} exceeds Theorem 1.2's shape"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! slowdown `cover(ρ)/cover(1)` stays below the bound's `1/ρ²` envelope
 //! (shape check: fitted exponent of slowdown vs `1/ρ` at most 2).
 
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::{generators, Graph};
 use cobra_process::Branching;
@@ -17,8 +17,11 @@ use rand::SeedableRng;
 /// Runs F7 (`quick`: 3 values of ρ on a small expander; full: 5 values
 /// on expander + torus).
 pub fn run(quick: bool) -> Table {
-    let rhos: Vec<f64> =
-        if quick { vec![1.0, 0.5, 0.25] } else { vec![1.0, 0.7, 0.5, 0.3, 0.2] };
+    let rhos: Vec<f64> = if quick {
+        vec![1.0, 0.5, 0.25]
+    } else {
+        vec![1.0, 0.7, 0.5, 0.3, 0.2]
+    };
     let trials = if quick { 6 } else { 20 };
     let graphs: Vec<(&str, Graph)> = {
         let mut v = Vec::new();
@@ -36,23 +39,31 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F7",
         "Fractional branching b = 1+ρ: slowdown vs the 1/ρ² bound envelope",
-        &["graph", "rho", "mean cover", "slowdown vs rho=1", "1/rho²", "within envelope"],
+        &[
+            "graph",
+            "rho",
+            "mean cover",
+            "slowdown vs rho=1",
+            "1/rho²",
+            "within envelope",
+        ],
     );
     for (label, g) in &graphs {
         let mut base = f64::NAN;
         let mut inv_rhos = Vec::new();
         let mut slowdowns = Vec::new();
         for (i, &rho) in rhos.iter().enumerate() {
-            let branching =
-                if rho >= 1.0 { Branching::Fixed(2) } else { Branching::Expected(rho) };
-            let est = cobra_cover_samples(
-                g,
-                0,
-                CoverConfig::default()
-                    .with_branching(branching)
-                    .with_trials(trials)
-                    .with_seed(0xF7_10 + i as u64),
-            );
+            let branching = if rho >= 1.0 {
+                Branching::Fixed(2)
+            } else {
+                Branching::Expected(rho)
+            };
+            let est = CoverConfig::default()
+                .with_branching(branching)
+                .with_trials(trials)
+                .with_seed(0xF7_10 + i as u64)
+                .to_sim(g, &[0])
+                .run();
             let mean = est.summary().mean;
             if rho >= 1.0 {
                 base = mean;
@@ -68,7 +79,12 @@ pub fn run(quick: bool) -> Table {
                 fmt_f(slowdown),
                 fmt_f(envelope),
                 // Generous ×2 noise allowance; the claim is an upper bound.
-                if slowdown <= 2.0 * envelope { "yes" } else { "NO" }.to_string(),
+                if slowdown <= 2.0 * envelope {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
             ]);
         }
         if inv_rhos.len() >= 2 {
@@ -108,7 +124,10 @@ mod tests {
         let covers: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
         // ρ decreases down the rows; cover must not decrease (noise slack).
         for w in covers.windows(2) {
-            assert!(w[1] >= w[0] * 0.85, "cover decreased as branching shrank: {covers:?}");
+            assert!(
+                w[1] >= w[0] * 0.85,
+                "cover decreased as branching shrank: {covers:?}"
+            );
         }
     }
 
@@ -124,6 +143,9 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(alpha <= 2.2, "slowdown exponent {alpha} above the §6 envelope");
+        assert!(
+            alpha <= 2.2,
+            "slowdown exponent {alpha} above the §6 envelope"
+        );
     }
 }

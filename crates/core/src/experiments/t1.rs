@@ -10,7 +10,7 @@
 //! exponent well below 3), and the ladder itself is strictly ordered.
 
 use crate::bounds;
-use crate::cover::{cobra_cover_samples, CoverConfig};
+use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
 use cobra_graph::generators;
 use cobra_stats::fit_power_law;
@@ -27,7 +27,12 @@ pub fn run(quick: bool) -> Table {
         "T1",
         "Hypercube Q_d: measured lazy-COBRA cover vs the bound ladder",
         &[
-            "d", "n", "mean cover", "std", "O(log^8 n) [SPAA16]", "O(log^4 n) [PODC16]",
+            "d",
+            "n",
+            "mean cover",
+            "std",
+            "O(log^8 n) [SPAA16]",
+            "O(log^4 n) [PODC16]",
             "O(log^3 n) [this paper]",
         ],
     );
@@ -36,14 +41,12 @@ pub fn run(quick: bool) -> Table {
     let mut covers: Vec<f64> = Vec::new();
     for &d in &dims {
         let g = generators::hypercube(d);
-        let est = cobra_cover_samples(
-            &g,
-            0,
-            CoverConfig::default()
-                .lazy()
-                .with_trials(trials)
-                .with_seed(0x71 + d as u64),
-        );
+        let est = CoverConfig::default()
+            .lazy()
+            .with_trials(trials)
+            .with_seed(0x71 + d as u64)
+            .to_sim(&g, &[0])
+            .run();
         let s = est.summary();
         let (spaa16, podc, this_paper) = bounds::hypercube_ladder(d);
         ln_ns.push((g.n() as f64).ln());

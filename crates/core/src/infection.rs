@@ -1,13 +1,17 @@
 //! BIPS infection-time estimation and trajectories.
+//!
+//! Like [`crate::cover`], this module is a thin layer over the
+//! [`SimSpec`](crate::sim::SimSpec) API — every Monte-Carlo loop runs in
+//! the engine. The degree trajectory shows the [`Observer`] hook in
+//! action: a tiny per-round probe, no bespoke trial loop.
 
+use crate::sim::{Estimate, SimSpec};
 use cobra_graph::{Graph, VertexId};
-use cobra_mc::{run_trials, RunConfig};
-use cobra_process::{Bips, BipsMode, Branching, Laziness, SpreadProcess};
-use cobra_stats::Summary;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cobra_mc::{Observer, StopWhen, TrialOutcome};
+use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, SpreadProcess};
 
-/// Configuration for infection-time estimation.
+/// Configuration for infection-time estimation (legacy; prefer building
+/// a [`SimSpec`] directly).
 #[derive(Debug, Clone, Copy)]
 pub struct InfectionConfig {
     pub branching: Branching,
@@ -64,66 +68,40 @@ impl InfectionConfig {
         self
     }
 
-    fn effective_cap(&self, g: &Graph) -> usize {
-        if let Some(c) = self.cap {
-            return c;
+    /// The process this configuration denotes.
+    pub fn process_spec(&self) -> ProcessSpec {
+        ProcessSpec::Bips {
+            branching: self.branching,
+            laziness: self.laziness,
+            mode: self.mode,
         }
-        let base = crate::bounds::thm_1_1(g.n().max(2), g.m(), g.max_degree());
-        let rho_penalty = match self.branching {
-            Branching::Expected(rho) => 1.0 / (rho * rho),
-            _ => 1.0,
-        };
-        (500.0 * base * rho_penalty) as usize + 10_000
+    }
+
+    /// The equivalent [`SimSpec`] on `g` from the given source.
+    pub fn to_sim<'g>(&self, g: &'g Graph, source: VertexId) -> SimSpec<'g> {
+        let mut spec = SimSpec::new(g, self.process_spec())
+            .with_start(source)
+            .with_trials(self.trials)
+            .with_seed(self.master_seed)
+            .with_threads(self.threads);
+        spec.cap = self.cap;
+        spec
     }
 }
 
-/// Outcome of infection-time trials (same censoring semantics as
-/// [`crate::cover::CoverEstimate`]).
-#[derive(Debug, Clone)]
-pub struct InfectionEstimate {
-    pub samples: Vec<usize>,
-    pub censored: usize,
-    pub cap: usize,
-}
-
-impl InfectionEstimate {
-    /// Summary of completed trials; panics if all were censored.
-    pub fn summary(&self) -> Summary {
-        assert!(
-            !self.samples.is_empty(),
-            "all {} trials censored at cap {}",
-            self.censored,
-            self.cap
-        );
-        Summary::from_samples(&self.samples.iter().map(|&s| s as f64).collect::<Vec<_>>())
-    }
-}
+/// Outcome of infection-time trials — an alias of the unified
+/// [`Estimate`] (same censoring semantics as cover estimation).
+pub type InfectionEstimate = Estimate;
 
 /// Estimates `infec(source)` — rounds until `A_t = V` — by independent
 /// trials.
+#[deprecated(note = "build a SimSpec (e.g. `cfg.to_sim(g, source)`) and call .run()")]
 pub fn bips_infection_samples(
     g: &Graph,
     source: VertexId,
     cfg: InfectionConfig,
 ) -> InfectionEstimate {
-    let cap = cfg.effective_cap(g);
-    let outcomes: Vec<Option<usize>> = run_trials(
-        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
-        |seed, _| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut p = Bips::new(g, source, cfg.branching, cfg.laziness, cfg.mode);
-            p.run_until_full_infection(&mut rng, cap)
-        },
-    );
-    let mut samples = Vec::with_capacity(outcomes.len());
-    let mut censored = 0;
-    for o in outcomes {
-        match o {
-            Some(r) => samples.push(r),
-            None => censored += 1,
-        }
-    }
-    InfectionEstimate { samples, censored, cap }
+    cfg.to_sim(g, source).run()
 }
 
 /// Mean infection-size trajectory: entry `t` is the Monte-Carlo mean of
@@ -134,24 +112,40 @@ pub fn infection_trajectory(
     rounds: usize,
     cfg: InfectionConfig,
 ) -> Vec<f64> {
-    let per_trial: Vec<Vec<usize>> = run_trials(
-        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
-        |seed, _| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut p = Bips::new(g, source, cfg.branching, cfg.laziness, cfg.mode);
-            let mut sizes = Vec::with_capacity(rounds + 1);
-            sizes.push(p.infected_count());
-            for _ in 0..rounds {
-                p.step(&mut rng);
-                sizes.push(p.infected_count());
-            }
-            sizes
-        },
-    );
-    let trials = per_trial.len().max(1) as f64;
-    (0..=rounds)
-        .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
-        .collect()
+    cfg.to_sim(g, source)
+        .trajectory(rounds)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Observer recording `d(A_t)` after every round — the Theorem 1.4
+/// quantity.
+struct DegreeTrajectory<'g> {
+    g: &'g Graph,
+    degs: Vec<usize>,
+}
+
+impl DegreeTrajectory<'_> {
+    fn record(&mut self, p: &dyn SpreadProcess) {
+        let total: usize = p
+            .reached()
+            .iter()
+            .map(|u| self.g.degree(u as VertexId))
+            .sum();
+        self.degs.push(total);
+    }
+}
+
+impl Observer for DegreeTrajectory<'_> {
+    type Output = Vec<usize>;
+    fn on_start(&mut self, p: &dyn SpreadProcess) {
+        self.record(p);
+    }
+    fn on_round(&mut self, p: &dyn SpreadProcess) {
+        self.record(p);
+    }
+    fn finish(self, _outcome: TrialOutcome, _p: &dyn SpreadProcess) -> Vec<usize> {
+        self.degs
+    }
 }
 
 /// Mean infected-degree trajectory `d(A_t)` (the Theorem 1.4 quantity),
@@ -162,20 +156,13 @@ pub fn degree_trajectory(
     rounds: usize,
     cfg: InfectionConfig,
 ) -> Vec<f64> {
-    let per_trial: Vec<Vec<usize>> = run_trials(
-        RunConfig::new(cfg.trials, cfg.master_seed).with_threads(cfg.threads),
-        |seed, _| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut p = Bips::new(g, source, cfg.branching, cfg.laziness, cfg.mode);
-            let mut degs = Vec::with_capacity(rounds + 1);
-            degs.push(p.infected_degree());
-            for _ in 0..rounds {
-                p.step(&mut rng);
-                degs.push(p.infected_degree());
-            }
-            degs
-        },
-    );
+    let spec = cfg.to_sim(g, source).with_cap(rounds);
+    let per_trial: Vec<Vec<usize>> = spec
+        .run_observed(StopWhen::AtCap, |_| DegreeTrajectory {
+            g,
+            degs: Vec::new(),
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
     let trials = per_trial.len().max(1) as f64;
     (0..=rounds)
         .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
@@ -186,13 +173,26 @@ pub fn degree_trajectory(
 mod tests {
     use super::*;
     use cobra_graph::generators;
+    use cobra_process::Bips;
+
+    fn infect(g: &Graph, source: VertexId, cfg: InfectionConfig) -> InfectionEstimate {
+        cfg.to_sim(g, source).run()
+    }
 
     #[test]
     fn complete_graph_infects_fast() {
         let g = generators::complete(128);
-        let est = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(15));
+        let est = infect(&g, 0, InfectionConfig::default().with_trials(15));
         assert_eq!(est.censored, 0);
         assert!(est.summary().mean < 80.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_the_sim_spec_path() {
+        let g = generators::petersen();
+        let cfg = InfectionConfig::default().with_trials(10);
+        assert_eq!(bips_infection_samples(&g, 0, cfg), cfg.to_sim(&g, 0).run());
     }
 
     #[test]
@@ -200,10 +200,10 @@ mod tests {
         let g = generators::petersen();
         let mut cfg = InfectionConfig::default().with_trials(200);
         cfg.mode = BipsMode::ExactSampling;
-        let a = bips_infection_samples(&g, 0, cfg).summary();
+        let a = infect(&g, 0, cfg).summary();
         cfg.mode = BipsMode::Bernoulli;
         cfg.master_seed ^= 0x55;
-        let b = bips_infection_samples(&g, 0, cfg).summary();
+        let b = infect(&g, 0, cfg).summary();
         let rel = (a.mean - b.mean).abs() / a.mean;
         assert!(rel < 0.25, "modes disagree: {} vs {}", a.mean, b.mean);
     }
@@ -229,27 +229,47 @@ mod tests {
     }
 
     #[test]
+    fn degree_trajectory_matches_direct_simulation() {
+        // The observer's per-round probe must agree with what a manual
+        // run of the same seeded process reports.
+        use cobra_mc::trial_seed;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = generators::petersen();
+        let cfg = InfectionConfig::default().with_trials(1);
+        let traj = degree_trajectory(&g, 0, 12, cfg);
+        let mut rng = SmallRng::seed_from_u64(trial_seed(cfg.master_seed, 0));
+        let mut p = Bips::new(&g, 0, cfg.branching, cfg.laziness, cfg.mode);
+        let mut expect = vec![p.infected_degree() as f64];
+        for _ in 0..12 {
+            p.step(&mut rng);
+            expect.push(p.infected_degree() as f64);
+        }
+        assert_eq!(traj, expect);
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let g = generators::cycle(21);
-        let a = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(6));
-        let b = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(6));
+        let a = infect(&g, 0, InfectionConfig::default().with_trials(6));
+        let b = infect(&g, 0, InfectionConfig::default().with_trials(6));
         assert_eq!(a.samples, b.samples);
     }
 
     #[test]
     fn lazy_infects_bipartite_graph() {
         let g = generators::hypercube(4);
-        let est = bips_infection_samples(&g, 0, InfectionConfig::default().lazy().with_trials(8));
+        let est = infect(&g, 0, InfectionConfig::default().lazy().with_trials(8));
         assert_eq!(est.censored, 0);
     }
 
     #[test]
     fn rho_branching_slower_than_b2() {
         let g = generators::complete(64);
-        let b2 = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(20))
+        let b2 = infect(&g, 0, InfectionConfig::default().with_trials(20))
             .summary()
             .mean;
-        let slow = bips_infection_samples(
+        let slow = infect(
             &g,
             0,
             InfectionConfig::default()
@@ -258,6 +278,9 @@ mod tests {
         )
         .summary()
         .mean;
-        assert!(slow > b2, "rho=0.2 ({slow}) should be slower than b=2 ({b2})");
+        assert!(
+            slow > b2,
+            "rho=0.2 ({slow}) should be slower than b=2 ({b2})"
+        );
     }
 }

@@ -1,10 +1,34 @@
 //! `cobra` — the public API of the SPAA 2017 reproduction.
 //!
 //! This crate turns the substrates (graphs, spectra, processes, the
-//! Monte-Carlo engine) into the objects the paper talks about:
+//! Monte-Carlo engine) into the objects the paper talks about. The
+//! single entry point is the declarative [`sim::SimSpec`]: a graph spec
+//! × a process spec × an objective, executed by the unified engine.
 //!
+//! # Quick start
+//!
+//! ```
+//! use cobra::sim::SimSpec;
+//!
+//! // COBRA b=2 cover time on K_64, 20 seeded trials. Both coordinates
+//! // are plain strings, so the same scenario runs from the CLI as
+//! // `cobra-exps run --graph complete:64 --process cobra:b2`.
+//! let est = SimSpec::parse("complete:64", "cobra:b2")
+//!     .unwrap()
+//!     .with_trials(20)
+//!     .run();
+//! let summary = est.summary();
+//! // K_64 covers in Θ(log n) rounds; the mean sits well under 50.
+//! assert!(summary.mean < 50.0);
+//! assert_eq!(est.censored, 0);
+//! ```
+//!
+//! Modules:
+//!
+//! * [`sim`] — [`sim::SimSpec`] (the builder), [`sim::Estimate`] (the
+//!   unified result), and the shared cap policy [`sim::resolve_cap`].
 //! * [`cover`] — COBRA cover-time and hitting-time estimation
-//!   (Theorems 1.1/1.2 measure `cover(u)`).
+//!   (Theorems 1.1/1.2 measure `cover(u)`); legacy shims over `SimSpec`.
 //! * [`infection`] — BIPS infection-time estimation and infection
 //!   trajectories (Theorems 1.4/1.5 measure `infec(v)`).
 //! * [`duality`] — two-sided estimation of the duality identity
@@ -13,22 +37,9 @@
 //!   constant-free formula: the two new bounds, the prior bounds they
 //!   improve, the `max(log₂ n, Diam)` lower bound, and the `1/ρ²`
 //!   branching-factor scaling of §6.
-//! * [`experiments`] — the experiment registry (`T1`, `F1`–`F13`): each
+//! * [`experiments`] — the experiment registry (`T1`, `F1`–`F16`): each
 //!   regenerates one quantitative claim of the paper as a [`report::Table`].
 //! * [`report`] — plain/markdown/CSV table rendering for the harness.
-//!
-//! # Quick start
-//!
-//! ```
-//! use cobra::cover::{cobra_cover_samples, CoverConfig};
-//! use cobra_graph::generators;
-//!
-//! let g = generators::complete(64);
-//! let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(20));
-//! let summary = est.summary();
-//! // K_64 covers in Θ(log n) rounds; the mean sits well under 50.
-//! assert!(summary.mean < 50.0);
-//! ```
 
 pub mod bounds;
 pub mod cover;
@@ -36,8 +47,12 @@ pub mod duality;
 pub mod experiments;
 pub mod infection;
 pub mod report;
+pub mod sim;
 
+#[allow(deprecated)]
 pub use cover::{cobra_cover_samples, CoverConfig, CoverEstimate};
 pub use duality::{duality_check, DualityConfig, DualityReport};
+#[allow(deprecated)]
 pub use infection::{bips_infection_samples, infection_trajectory, InfectionConfig};
 pub use report::Table;
+pub use sim::{Estimate, GraphSource, Objective, SimError, SimSpec};

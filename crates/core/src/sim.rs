@@ -1,0 +1,546 @@
+//! `SimSpec` — the declarative entry point for every simulation.
+//!
+//! Every quantitative claim in the paper has the same shape: run a
+//! spreading process on a graph over many seeded trials and summarise a
+//! stopping time. A [`SimSpec`] captures that shape as a value:
+//!
+//! ```
+//! use cobra::sim::SimSpec;
+//!
+//! // COBRA b=2 cover time on the 6-dimensional hypercube, 20 trials.
+//! let est = SimSpec::parse("hypercube:6", "cobra:b2:lazy")
+//!     .unwrap()
+//!     .with_trials(20)
+//!     .run();
+//! assert_eq!(est.censored, 0);
+//! assert!(est.summary().mean >= 6.0, "cannot beat log2 n");
+//! ```
+//!
+//! Both coordinates are data — [`GraphSpec`] and
+//! [`ProcessSpec`] parse from strings — so a scenario can come from a
+//! command line (`cobra-exps run --process cobra:b2 --graph
+//! hypercube:10 --trials 30`), a config file, or code. Execution always
+//! goes through [`cobra_mc::Engine`]: one trial loop, one seeding
+//! scheme, one cap policy, identical results for any thread count.
+//!
+//! Programmatic callers that already hold a [`Graph`] borrow it instead
+//! of re-building: `SimSpec::new(&g, spec)`.
+
+use crate::bounds;
+use cobra_graph::{Graph, GraphSpec, GraphSpecError, VertexId};
+use cobra_mc::{Engine, Observer, StopWhen, Trajectory, TrialOutcome};
+use cobra_process::{Branching, ProcessSpec, ProcessSpecError};
+use cobra_stats::Summary;
+use std::fmt;
+use std::ops::Deref;
+
+/// Where the graph of a simulation comes from.
+#[derive(Debug, Clone)]
+pub enum GraphSource<'g> {
+    /// A graph the caller already built.
+    Borrowed(&'g Graph),
+    /// A family spec, materialised per run (random families derive
+    /// their randomness from the sim's master seed).
+    Spec(GraphSpec),
+}
+
+impl<'g> From<&'g Graph> for GraphSource<'g> {
+    fn from(g: &'g Graph) -> GraphSource<'g> {
+        GraphSource::Borrowed(g)
+    }
+}
+
+impl From<GraphSpec> for GraphSource<'static> {
+    fn from(spec: GraphSpec) -> GraphSource<'static> {
+        GraphSource::Spec(spec)
+    }
+}
+
+/// What the per-trial stopping time measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Rounds until every vertex is reached: cover time for COBRA and
+    /// walks, infection time for BIPS, broadcast time for gossip.
+    Completion,
+    /// Rounds until one target vertex is reached: hitting time.
+    Reach(VertexId),
+}
+
+/// Why a simulation could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    Graph(GraphSpecError),
+    Process(ProcessSpecError),
+    Invalid(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Graph(e) => write!(f, "{e}"),
+            SimError::Process(e) => write!(f, "{e}"),
+            SimError::Invalid(m) => write!(f, "invalid sim spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<GraphSpecError> for SimError {
+    fn from(e: GraphSpecError) -> SimError {
+        SimError::Graph(e)
+    }
+}
+
+impl From<ProcessSpecError> for SimError {
+    fn from(e: ProcessSpecError) -> SimError {
+        SimError::Process(e)
+    }
+}
+
+/// A borrowed or freshly built graph; derefs to [`Graph`].
+pub enum MaterializedGraph<'g> {
+    Borrowed(&'g Graph),
+    Owned(Graph),
+}
+
+impl Deref for MaterializedGraph<'_> {
+    type Target = Graph;
+    fn deref(&self) -> &Graph {
+        match self {
+            MaterializedGraph::Borrowed(g) => g,
+            MaterializedGraph::Owned(g) => g,
+        }
+    }
+}
+
+/// The declarative simulation spec: graph × process × start × objective
+/// × (trials, seed, threads, cap).
+#[derive(Debug, Clone)]
+pub struct SimSpec<'g> {
+    pub graph: GraphSource<'g>,
+    pub process: ProcessSpec,
+    /// Start set (`C_0` for COBRA; single-source processes use the
+    /// first entry). Defaults to `[0]`.
+    pub start: Vec<VertexId>,
+    pub objective: Objective,
+    /// Independent Monte-Carlo trials.
+    pub trials: usize,
+    /// Master seed: drives trial seeds and (for random families) graph
+    /// construction.
+    pub master_seed: u64,
+    /// Worker threads (0 = auto). Never changes results.
+    pub threads: usize,
+    /// Explicit per-trial round cap; `None` derives one from the
+    /// paper's bounds via [`resolve_cap`].
+    pub cap: Option<usize>,
+}
+
+impl<'g> SimSpec<'g> {
+    /// A spec with the workspace defaults: start `[0]`, objective
+    /// completion, 30 trials, seed `0xC0B7A`, auto threads, derived cap.
+    pub fn new(graph: impl Into<GraphSource<'g>>, process: ProcessSpec) -> SimSpec<'g> {
+        SimSpec {
+            graph: graph.into(),
+            process,
+            start: vec![0],
+            objective: Objective::Completion,
+            trials: 30,
+            master_seed: 0xC0B7A,
+            threads: 0,
+            cap: None,
+        }
+    }
+
+    /// Builds a spec entirely from strings — the CLI/config entry point.
+    pub fn parse(graph: &str, process: &str) -> Result<SimSpec<'static>, SimError> {
+        let graph: GraphSpec = graph.parse()?;
+        let process: ProcessSpec = process.parse()?;
+        Ok(SimSpec::new(graph, process))
+    }
+
+    /// Sets a single start vertex.
+    pub fn with_start(mut self, v: VertexId) -> Self {
+        self.start = vec![v];
+        self
+    }
+
+    /// Sets the full start set.
+    pub fn with_starts(mut self, starts: &[VertexId]) -> Self {
+        self.start = starts.to_vec();
+        self
+    }
+
+    /// Measures the hitting time of `target` instead of completion.
+    pub fn reaching(mut self, target: VertexId) -> Self {
+        self.objective = Objective::Reach(target);
+        self
+    }
+
+    /// Sets the trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (1 = sequential; results never
+    /// change).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets an explicit round cap.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Materialises the graph (no-op for borrowed graphs). Random
+    /// families are seeded from the master seed, so a spec denotes one
+    /// concrete graph.
+    pub fn graph(&self) -> Result<MaterializedGraph<'g>, SimError> {
+        match &self.graph {
+            GraphSource::Borrowed(g) => Ok(MaterializedGraph::Borrowed(g)),
+            GraphSource::Spec(spec) => Ok(MaterializedGraph::Owned(
+                spec.build(graph_seed(self.master_seed))?,
+            )),
+        }
+    }
+
+    fn check(&self, g: &Graph) -> Result<(), SimError> {
+        if self.start.is_empty() {
+            return Err(SimError::Invalid("start set is empty".into()));
+        }
+        for &v in &self.start {
+            if v as usize >= g.n() {
+                return Err(SimError::Invalid(format!(
+                    "start vertex {v} out of range for n = {}",
+                    g.n()
+                )));
+            }
+        }
+        if let Objective::Reach(t) = self.objective {
+            if t as usize >= g.n() {
+                return Err(SimError::Invalid(format!(
+                    "target vertex {t} out of range for n = {}",
+                    g.n()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine this spec resolves to, given its materialised graph.
+    pub fn engine(&self, g: &Graph) -> Engine {
+        Engine::new(
+            self.trials,
+            self.master_seed,
+            resolve_cap(g, &self.process, self.cap),
+        )
+        .with_threads(self.threads)
+    }
+
+    /// Runs the spec through the engine and aggregates the stopping
+    /// times into an [`Estimate`].
+    pub fn try_run(&self) -> Result<Estimate, SimError> {
+        let g = self.graph()?;
+        self.check(&g)?;
+        let engine = self.engine(&g);
+        let stop = match self.objective {
+            Objective::Completion => StopWhen::Complete,
+            Objective::Reach(v) => StopWhen::Reached(v),
+        };
+        let outcomes = engine.run_outcomes(stop, |_, _| self.process.build(&g, &self.start));
+        Ok(Estimate::from_outcomes(&outcomes, engine.cap))
+    }
+
+    /// [`SimSpec::try_run`], panicking on an invalid spec — the
+    /// ergonomic path for examples and experiments whose specs are
+    /// static.
+    pub fn run(&self) -> Estimate {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs with a custom per-trial [`Observer`] and an explicit stop
+    /// condition — the escape hatch composite estimators (duality,
+    /// trajectories) are built from. All trial-loop mechanics still
+    /// live in the engine.
+    pub fn run_observed<Ob, G>(
+        &self,
+        stop: StopWhen,
+        make_observer: G,
+    ) -> Result<Vec<Ob::Output>, SimError>
+    where
+        Ob: Observer,
+        G: Fn(usize) -> Ob + Sync,
+        Ob::Output: Send,
+    {
+        let g = self.graph()?;
+        self.check(&g)?;
+        let engine = self.engine(&g);
+        Ok(engine.run(
+            stop,
+            |_, _| self.process.build(&g, &self.start),
+            make_observer,
+        ))
+    }
+
+    /// Mean reached-set-size trajectory: entry `t` is the Monte-Carlo
+    /// mean of the reached count after `t` rounds, `t = 0..=rounds`.
+    pub fn trajectory(&self, rounds: usize) -> Result<Vec<f64>, SimError> {
+        let capped = self.clone().with_cap(rounds);
+        let per_trial = capped.run_observed(StopWhen::AtCap, |_| Trajectory::default())?;
+        let trials = per_trial.len().max(1) as f64;
+        Ok((0..=rounds)
+            .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
+            .collect())
+    }
+}
+
+/// The graph-construction seed for a master seed (kept distinct from
+/// trial seeds so graph sampling never correlates with trial noise).
+pub fn graph_seed(master_seed: u64) -> u64 {
+    master_seed ^ 0x6AF5_EED0_6AF5_EED0
+}
+
+/// The per-trial round cap for `process` on `g`: explicit if given,
+/// otherwise derived from the paper's bounds.
+///
+/// * Walk-like processes (`rw`, `walks:K`, `coalescing:K`, `cobra:b1`,
+///   `bips:b1`) get `32·n·m + 10 000`: the expected cover time of a
+///   random walk is at most `2·n·m` (Aleliunas et al.), so by Markov
+///   each window of `4·n·m` rounds completes with probability ≥ ½ and
+///   the cap spans 8 such windows — censoring probability at most
+///   `2⁻⁸` per trial, far below the trial counts in use.
+/// * Branching processes get `500×` the Theorem 1.1 bound, divided by
+///   `ρ²` for fractional branching `1 + ρ` (the §6 scaling), plus
+///   additive slack for small graphs.
+pub fn resolve_cap(g: &Graph, process: &ProcessSpec, explicit: Option<usize>) -> usize {
+    if let Some(c) = explicit {
+        return c;
+    }
+    let n = g.n().max(2);
+    if process.is_walk_like() {
+        return 32 * n * g.m().max(1) + 10_000;
+    }
+    let base = bounds::thm_1_1(n, g.m(), g.max_degree());
+    let rho_penalty = match process {
+        ProcessSpec::Cobra {
+            branching: Branching::Expected(rho),
+            ..
+        }
+        | ProcessSpec::Bips {
+            branching: Branching::Expected(rho),
+            ..
+        } => 1.0 / (rho * rho),
+        _ => 1.0,
+    };
+    (500.0 * base * rho_penalty) as usize + 10_000
+}
+
+/// The outcome of a batch of trials: one stopping-time sample per
+/// completed trial, plus censoring and resource accounting.
+///
+/// This is the single result type of the `SimSpec` API; the legacy
+/// `CoverEstimate`/`InfectionEstimate` names are aliases of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Stopping time (rounds) for each trial that met the objective.
+    pub samples: Vec<usize>,
+    /// Trials that hit the cap without meeting the objective.
+    pub censored: usize,
+    /// The round cap that was in force.
+    pub cap: usize,
+    /// Mean transmissions sent per trial (all trials, censored
+    /// included) — the resource COBRA is designed to bound.
+    pub mean_transmissions: f64,
+    /// Mean reached-set size at trial end (all trials).
+    pub mean_reached: f64,
+}
+
+impl Estimate {
+    /// Aggregates engine outcomes under the cap that produced them.
+    pub fn from_outcomes(outcomes: &[TrialOutcome], cap: usize) -> Estimate {
+        let mut samples = Vec::with_capacity(outcomes.len());
+        let mut censored = 0usize;
+        let mut tx = 0.0;
+        let mut reached = 0.0;
+        for o in outcomes {
+            match o.rounds {
+                Some(r) => samples.push(r),
+                None => censored += 1,
+            }
+            tx += o.transmissions as f64;
+            reached += o.reached as f64;
+        }
+        let trials = outcomes.len().max(1) as f64;
+        Estimate {
+            samples,
+            censored,
+            cap,
+            mean_transmissions: tx / trials,
+            mean_reached: reached / trials,
+        }
+    }
+
+    /// Trials that were run.
+    pub fn trials(&self) -> usize {
+        self.samples.len() + self.censored
+    }
+
+    /// Fraction of trials that met the objective.
+    pub fn completion_rate(&self) -> f64 {
+        if self.trials() == 0 {
+            return 0.0;
+        }
+        self.samples.len() as f64 / self.trials() as f64
+    }
+
+    /// Summary statistics of the completed trials. Panics if every
+    /// trial was censored (the experiment must then raise its cap).
+    pub fn summary(&self) -> Summary {
+        assert!(
+            !self.samples.is_empty(),
+            "all {} trials censored at cap {}",
+            self.censored,
+            self.cap
+        );
+        Summary::from_samples(&self.samples_f64())
+    }
+
+    /// Samples as f64 (for fits and KS tests).
+    pub fn samples_f64(&self) -> Vec<f64> {
+        self.samples.iter().map(|&s| s as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+
+    #[test]
+    fn parse_run_covers_complete_graph() {
+        let est = SimSpec::parse("complete:64", "cobra:b2")
+            .unwrap()
+            .with_trials(15)
+            .run();
+        assert_eq!(est.censored, 0);
+        let s = est.summary();
+        assert!(
+            s.mean >= 5.0 && s.mean <= 60.0,
+            "K_64 mean cover {}",
+            s.mean
+        );
+        assert_eq!(est.mean_reached, 64.0);
+        assert!(est.mean_transmissions > 0.0);
+    }
+
+    #[test]
+    fn borrowed_and_spec_graphs_agree() {
+        // A deterministic family gives identical results whether the
+        // caller builds the graph or the spec does.
+        let g = generators::torus(&[5, 5]);
+        let borrowed = SimSpec::new(&g, ProcessSpec::COBRA_B2).with_trials(8).run();
+        let speced = SimSpec::parse("torus:5x5", "cobra:b2")
+            .unwrap()
+            .with_trials(8)
+            .run();
+        assert_eq!(borrowed.samples, speced.samples);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_estimate() {
+        let spec = SimSpec::parse("cycle:32", "cobra:b2")
+            .unwrap()
+            .with_trials(12);
+        let seq = spec.clone().with_threads(1).run();
+        let par = spec.clone().with_threads(8).run();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn hitting_objective_reports_distance_consistent_times() {
+        let est = SimSpec::parse("cycle:24", "cobra:b2")
+            .unwrap()
+            .reaching(12)
+            .with_trials(10)
+            .run();
+        assert_eq!(est.censored, 0);
+        assert!(est.samples.iter().all(|&h| h >= 12), "{:?}", est.samples);
+    }
+
+    #[test]
+    fn explicit_cap_censors() {
+        let est = SimSpec::parse("path:128", "cobra:b2")
+            .unwrap()
+            .with_trials(5)
+            .with_cap(3)
+            .run();
+        assert_eq!(est.censored, 5);
+        assert_eq!(est.completion_rate(), 0.0);
+        assert!(est.samples.is_empty());
+    }
+
+    #[test]
+    fn invalid_specs_surface_errors_not_panics() {
+        assert!(SimSpec::parse("nope:1", "cobra:b2").is_err());
+        assert!(SimSpec::parse("cycle:8", "warp:9").is_err());
+        let bad_start = SimSpec::parse("cycle:8", "cobra:b2")
+            .unwrap()
+            .with_start(99);
+        assert!(matches!(bad_start.try_run(), Err(SimError::Invalid(_))));
+        let bad_target = SimSpec::parse("cycle:8", "cobra:b2").unwrap().reaching(99);
+        assert!(matches!(bad_target.try_run(), Err(SimError::Invalid(_))));
+    }
+
+    #[test]
+    fn walk_cap_derivation_is_nm_scaled() {
+        let g = generators::cycle(24);
+        let walk: ProcessSpec = "rw".parse().unwrap();
+        let b2: ProcessSpec = "cobra:b2".parse().unwrap();
+        let b1: ProcessSpec = "cobra:b1".parse().unwrap();
+        let walk_cap = resolve_cap(&g, &walk, None);
+        assert_eq!(walk_cap, 32 * 24 * 24 + 10_000);
+        // b=1 COBRA *is* a random walk: identical cap derivation.
+        assert_eq!(resolve_cap(&g, &b1, None), walk_cap);
+        // The walk cap covers the Θ(n·m) regime...
+        assert!(walk_cap >= 2 * g.n() * g.m());
+        // ...and an explicit cap always wins.
+        assert_eq!(resolve_cap(&g, &walk, Some(77)), 77);
+        // b=2 uses the Theorem 1.1-shaped cap instead.
+        let b2_cap = resolve_cap(&g, &b2, None);
+        assert!(b2_cap != walk_cap);
+    }
+
+    #[test]
+    fn trajectory_grows_to_n() {
+        let spec = SimSpec::parse("complete:64", "bips:b2")
+            .unwrap()
+            .with_trials(10);
+        let traj = spec.trajectory(40).unwrap();
+        assert_eq!(traj.len(), 41);
+        assert_eq!(traj[0], 1.0);
+        assert!(traj[40] > 60.0, "mean final size {}", traj[40]);
+    }
+
+    #[test]
+    fn random_graph_spec_is_reproducible() {
+        let spec = SimSpec::parse("gnp:64:0.2", "cobra:b2")
+            .unwrap()
+            .with_trials(6);
+        let a = spec.clone().run();
+        let b = spec.clone().run();
+        assert_eq!(a, b);
+        // A different master seed samples a different graph.
+        let c = spec.clone().with_seed(99).run();
+        assert!(a.samples != c.samples || a.mean_transmissions != c.mean_transmissions);
+    }
+}

@@ -12,9 +12,14 @@
 //!   regular ring of cliques, barbells, lollipops, and friends.
 //! * [`props`] — BFS, connectivity, components, bipartiteness, diameter,
 //!   degree statistics.
+//! * [`spec`] — [`GraphSpec`]: every family as a parseable/printable
+//!   value (`"hypercube:10"`, `"grid:32x32"`, `"gnp:2000:0.01"`, …), the
+//!   declarative entry point the `SimSpec` API builds on.
 
 pub mod csr;
 pub mod generators;
 pub mod props;
+pub mod spec;
 
 pub use csr::{Graph, GraphError, VertexId};
+pub use spec::{GraphSpec, GraphSpecError};

@@ -1,0 +1,648 @@
+//! `GraphSpec` — every graph family as a parseable, printable value.
+//!
+//! A spec is a compact string such as `"hypercube:10"`, `"grid:32x32"`
+//! or `"gnp:2000:0.01"`. [`GraphSpec`] implements [`FromStr`] and
+//! [`Display`] with exact round-tripping (`parse ∘ to_string = id`), so
+//! any scenario in the workspace can be named on a command line, in a
+//! config file, or in a log, and reconstructed bit-for-bit.
+//!
+//! Deterministic families ignore the seed passed to [`GraphSpec::build`];
+//! random families (`gnp`, `regular`, `ba`, `ws`) consume it, so a
+//! `(spec, seed)` pair always denotes one concrete graph.
+//!
+//! | family | syntax | generator |
+//! |--------|--------|-----------|
+//! | complete graph | `complete:N` | [`generators::complete`] |
+//! | cycle | `cycle:N` | [`generators::cycle`] |
+//! | path | `path:N` | [`generators::path`] |
+//! | star | `star:N` | [`generators::star`] |
+//! | wheel | `wheel:N` | [`generators::wheel`] |
+//! | Petersen graph | `petersen` | [`generators::petersen`] |
+//! | complete bipartite | `bipartite:AxB` | [`generators::complete_bipartite`] |
+//! | double star | `doublestar:AxB` | [`generators::double_star`] |
+//! | grid | `grid:AxB[x...]` | [`generators::grid`] |
+//! | torus | `torus:AxB[x...]` | [`generators::torus`] |
+//! | hypercube `Q_d` | `hypercube:D` | [`generators::hypercube`] |
+//! | complete k-ary tree | `tree:K:N` | [`generators::k_ary_tree`] |
+//! | cycle power | `cyclepower:N:K` | [`generators::cycle_power`] |
+//! | circulant | `circulant:N:O1+O2+...` | [`generators::circulant`] |
+//! | ring of cliques | `ringcliques:K:C` | [`generators::ring_of_cliques`] |
+//! | barbell | `barbell:C:P` | [`generators::barbell`] |
+//! | lollipop | `lollipop:C:P` | [`generators::lollipop`] |
+//! | Erdős–Rényi | `gnp:N:P` | [`generators::gnp`] |
+//! | random regular | `regular:N:R` | [`generators::random_regular`] |
+//! | Barabási–Albert | `ba:N:M` | [`generators::barabasi_albert`] |
+//! | Watts–Strogatz | `ws:N:K:BETA` | [`generators::watts_strogatz`] |
+
+use crate::csr::Graph;
+use crate::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::str::FromStr;
+
+/// A graph family plus its parameters, as data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    Complete {
+        n: usize,
+    },
+    Cycle {
+        n: usize,
+    },
+    Path {
+        n: usize,
+    },
+    Star {
+        n: usize,
+    },
+    Wheel {
+        n: usize,
+    },
+    Petersen,
+    CompleteBipartite {
+        a: usize,
+        b: usize,
+    },
+    DoubleStar {
+        a: usize,
+        b: usize,
+    },
+    Grid {
+        dims: Vec<usize>,
+    },
+    Torus {
+        dims: Vec<usize>,
+    },
+    Hypercube {
+        d: u32,
+    },
+    /// Complete `k`-ary tree on `n` vertices.
+    KaryTree {
+        k: usize,
+        n: usize,
+    },
+    CyclePower {
+        n: usize,
+        k: usize,
+    },
+    Circulant {
+        n: usize,
+        offsets: Vec<usize>,
+    },
+    /// `k` cliques of `c` vertices each, joined in a ring.
+    RingOfCliques {
+        k: usize,
+        c: usize,
+    },
+    /// Two `c`-cliques joined by a `p`-path.
+    Barbell {
+        c: usize,
+        p: usize,
+    },
+    /// A `c`-clique with a pendant `p`-path.
+    Lollipop {
+        c: usize,
+        p: usize,
+    },
+    Gnp {
+        n: usize,
+        p: f64,
+    },
+    /// Random `r`-regular (connected samples only).
+    RandomRegular {
+        n: usize,
+        r: usize,
+    },
+    BarabasiAlbert {
+        n: usize,
+        m: usize,
+    },
+    WattsStrogatz {
+        n: usize,
+        k: usize,
+        beta: f64,
+    },
+}
+
+/// Why a spec string failed to parse (or to build).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpecError {
+    message: String,
+}
+
+impl GraphSpecError {
+    fn new(message: impl Into<String>) -> Self {
+        GraphSpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GraphSpecError {}
+
+fn parse_num<T: FromStr>(token: &str, what: &str) -> Result<T, GraphSpecError> {
+    token
+        .parse()
+        .map_err(|_| GraphSpecError::new(format!("cannot parse {what} from {token:?}")))
+}
+
+fn parse_dims(token: &str, what: &str) -> Result<Vec<usize>, GraphSpecError> {
+    let dims: Vec<usize> = token
+        .split('x')
+        .map(|t| parse_num(t, "a dimension"))
+        .collect::<Result<_, _>>()?;
+    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        return Err(GraphSpecError::new(format!(
+            "{what} needs positive dimensions, got {token:?}"
+        )));
+    }
+    Ok(dims)
+}
+
+fn expect_arity(parts: &[&str], arity: usize, usage: &str) -> Result<(), GraphSpecError> {
+    if parts.len() != arity + 1 {
+        return Err(GraphSpecError::new(format!(
+            "{:?} takes {} parameter(s): usage {usage}",
+            parts[0], arity
+        )));
+    }
+    Ok(())
+}
+
+impl FromStr for GraphSpec {
+    type Err = GraphSpecError;
+
+    fn from_str(s: &str) -> Result<GraphSpec, GraphSpecError> {
+        let parts: Vec<&str> = s.trim().split(':').collect();
+        if parts.is_empty() || parts[0].is_empty() {
+            return Err(GraphSpecError::new("empty graph spec"));
+        }
+        let family = parts[0].to_ascii_lowercase();
+        let spec = match family.as_str() {
+            "complete" | "k" => {
+                expect_arity(&parts, 1, "complete:N")?;
+                GraphSpec::Complete {
+                    n: parse_num(parts[1], "vertex count")?,
+                }
+            }
+            "cycle" => {
+                expect_arity(&parts, 1, "cycle:N")?;
+                GraphSpec::Cycle {
+                    n: parse_num(parts[1], "vertex count")?,
+                }
+            }
+            "path" => {
+                expect_arity(&parts, 1, "path:N")?;
+                GraphSpec::Path {
+                    n: parse_num(parts[1], "vertex count")?,
+                }
+            }
+            "star" => {
+                expect_arity(&parts, 1, "star:N")?;
+                GraphSpec::Star {
+                    n: parse_num(parts[1], "vertex count")?,
+                }
+            }
+            "wheel" => {
+                expect_arity(&parts, 1, "wheel:N")?;
+                GraphSpec::Wheel {
+                    n: parse_num(parts[1], "vertex count")?,
+                }
+            }
+            "petersen" => {
+                expect_arity(&parts, 0, "petersen")?;
+                GraphSpec::Petersen
+            }
+            "bipartite" => {
+                expect_arity(&parts, 1, "bipartite:AxB")?;
+                let dims = parse_dims(parts[1], "bipartite")?;
+                if dims.len() != 2 {
+                    return Err(GraphSpecError::new(
+                        "bipartite takes exactly two sides: AxB",
+                    ));
+                }
+                GraphSpec::CompleteBipartite {
+                    a: dims[0],
+                    b: dims[1],
+                }
+            }
+            "doublestar" => {
+                expect_arity(&parts, 1, "doublestar:AxB")?;
+                let dims = parse_dims(parts[1], "doublestar")?;
+                if dims.len() != 2 {
+                    return Err(GraphSpecError::new(
+                        "doublestar takes exactly two sides: AxB",
+                    ));
+                }
+                GraphSpec::DoubleStar {
+                    a: dims[0],
+                    b: dims[1],
+                }
+            }
+            "grid" => {
+                expect_arity(&parts, 1, "grid:AxB[x...]")?;
+                GraphSpec::Grid {
+                    dims: parse_dims(parts[1], "grid")?,
+                }
+            }
+            "torus" => {
+                expect_arity(&parts, 1, "torus:AxB[x...]")?;
+                GraphSpec::Torus {
+                    dims: parse_dims(parts[1], "torus")?,
+                }
+            }
+            "hypercube" => {
+                expect_arity(&parts, 1, "hypercube:D")?;
+                let d: u32 = parse_num(parts[1], "dimension")?;
+                if d > 30 {
+                    return Err(GraphSpecError::new(format!(
+                        "hypercube dimension {d} too large"
+                    )));
+                }
+                GraphSpec::Hypercube { d }
+            }
+            "tree" => {
+                expect_arity(&parts, 2, "tree:K:N")?;
+                let k = parse_num(parts[1], "arity")?;
+                let n = parse_num(parts[2], "vertex count")?;
+                if k == 0 {
+                    return Err(GraphSpecError::new("tree arity must be positive"));
+                }
+                GraphSpec::KaryTree { k, n }
+            }
+            "cyclepower" => {
+                expect_arity(&parts, 2, "cyclepower:N:K")?;
+                GraphSpec::CyclePower {
+                    n: parse_num(parts[1], "vertex count")?,
+                    k: parse_num(parts[2], "power")?,
+                }
+            }
+            "circulant" => {
+                expect_arity(&parts, 2, "circulant:N:O1+O2+...")?;
+                let n = parse_num(parts[1], "vertex count")?;
+                let offsets: Vec<usize> = parts[2]
+                    .split('+')
+                    .map(|t| parse_num(t, "an offset"))
+                    .collect::<Result<_, _>>()?;
+                if offsets.is_empty() || offsets.iter().any(|&o| o == 0) {
+                    return Err(GraphSpecError::new("circulant needs positive offsets"));
+                }
+                GraphSpec::Circulant { n, offsets }
+            }
+            "ringcliques" => {
+                expect_arity(&parts, 2, "ringcliques:K:C")?;
+                GraphSpec::RingOfCliques {
+                    k: parse_num(parts[1], "clique count")?,
+                    c: parse_num(parts[2], "clique size")?,
+                }
+            }
+            "barbell" => {
+                expect_arity(&parts, 2, "barbell:C:P")?;
+                GraphSpec::Barbell {
+                    c: parse_num(parts[1], "clique size")?,
+                    p: parse_num(parts[2], "path length")?,
+                }
+            }
+            "lollipop" => {
+                expect_arity(&parts, 2, "lollipop:C:P")?;
+                GraphSpec::Lollipop {
+                    c: parse_num(parts[1], "clique size")?,
+                    p: parse_num(parts[2], "path length")?,
+                }
+            }
+            "gnp" => {
+                expect_arity(&parts, 2, "gnp:N:P")?;
+                let n = parse_num(parts[1], "vertex count")?;
+                let p: f64 = parse_num(parts[2], "edge probability")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(GraphSpecError::new(format!(
+                        "gnp probability {p} outside [0, 1]"
+                    )));
+                }
+                GraphSpec::Gnp { n, p }
+            }
+            "regular" => {
+                expect_arity(&parts, 2, "regular:N:R")?;
+                let n: usize = parse_num(parts[1], "vertex count")?;
+                let r: usize = parse_num(parts[2], "degree")?;
+                if n == 0 || r >= n || (n * r) % 2 != 0 {
+                    return Err(GraphSpecError::new(format!(
+                        "no simple {r}-regular graph on {n} vertices"
+                    )));
+                }
+                GraphSpec::RandomRegular { n, r }
+            }
+            "ba" => {
+                expect_arity(&parts, 2, "ba:N:M")?;
+                GraphSpec::BarabasiAlbert {
+                    n: parse_num(parts[1], "vertex count")?,
+                    m: parse_num(parts[2], "edges per arrival")?,
+                }
+            }
+            "ws" => {
+                expect_arity(&parts, 3, "ws:N:K:BETA")?;
+                let n = parse_num(parts[1], "vertex count")?;
+                let k = parse_num(parts[2], "ring degree")?;
+                let beta: f64 = parse_num(parts[3], "rewiring probability")?;
+                if !(0.0..=1.0).contains(&beta) {
+                    return Err(GraphSpecError::new(format!(
+                        "ws beta {beta} outside [0, 1]"
+                    )));
+                }
+                GraphSpec::WattsStrogatz { n, k, beta }
+            }
+            other => {
+                return Err(GraphSpecError::new(format!(
+                    "unknown graph family {other:?}"
+                )));
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphSpec::Complete { n } => write!(f, "complete:{n}"),
+            GraphSpec::Cycle { n } => write!(f, "cycle:{n}"),
+            GraphSpec::Path { n } => write!(f, "path:{n}"),
+            GraphSpec::Star { n } => write!(f, "star:{n}"),
+            GraphSpec::Wheel { n } => write!(f, "wheel:{n}"),
+            GraphSpec::Petersen => write!(f, "petersen"),
+            GraphSpec::CompleteBipartite { a, b } => write!(f, "bipartite:{a}x{b}"),
+            GraphSpec::DoubleStar { a, b } => write!(f, "doublestar:{a}x{b}"),
+            GraphSpec::Grid { dims } => write!(f, "grid:{}", join(dims, "x")),
+            GraphSpec::Torus { dims } => write!(f, "torus:{}", join(dims, "x")),
+            GraphSpec::Hypercube { d } => write!(f, "hypercube:{d}"),
+            GraphSpec::KaryTree { k, n } => write!(f, "tree:{k}:{n}"),
+            GraphSpec::CyclePower { n, k } => write!(f, "cyclepower:{n}:{k}"),
+            GraphSpec::Circulant { n, offsets } => {
+                write!(f, "circulant:{n}:{}", join(offsets, "+"))
+            }
+            GraphSpec::RingOfCliques { k, c } => write!(f, "ringcliques:{k}:{c}"),
+            GraphSpec::Barbell { c, p } => write!(f, "barbell:{c}:{p}"),
+            GraphSpec::Lollipop { c, p } => write!(f, "lollipop:{c}:{p}"),
+            GraphSpec::Gnp { n, p } => write!(f, "gnp:{n}:{p}"),
+            GraphSpec::RandomRegular { n, r } => write!(f, "regular:{n}:{r}"),
+            GraphSpec::BarabasiAlbert { n, m } => write!(f, "ba:{n}:{m}"),
+            GraphSpec::WattsStrogatz { n, k, beta } => write!(f, "ws:{n}:{k}:{beta}"),
+        }
+    }
+}
+
+fn join(xs: &[usize], sep: &str) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+impl GraphSpec {
+    /// Checks parameter sanity shared by parsing and programmatic
+    /// construction.
+    pub fn validate(&self) -> Result<(), GraphSpecError> {
+        let positive = |n: usize, what: &str| {
+            if n == 0 {
+                Err(GraphSpecError::new(format!("{what} must be positive")))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            GraphSpec::Complete { n }
+            | GraphSpec::Cycle { n }
+            | GraphSpec::Path { n }
+            | GraphSpec::Star { n }
+            | GraphSpec::Wheel { n }
+            | GraphSpec::Gnp { n, .. } => positive(*n, "vertex count"),
+            GraphSpec::Petersen | GraphSpec::Hypercube { .. } => Ok(()),
+            GraphSpec::CompleteBipartite { a, b } | GraphSpec::DoubleStar { a, b } => {
+                positive(*a, "side size")?;
+                positive(*b, "side size")
+            }
+            GraphSpec::Grid { dims } | GraphSpec::Torus { dims } => {
+                if dims.is_empty() {
+                    return Err(GraphSpecError::new("need at least one dimension"));
+                }
+                dims.iter().try_for_each(|&d| positive(d, "dimension"))
+            }
+            GraphSpec::KaryTree { k, n } => {
+                positive(*k, "arity")?;
+                positive(*n, "vertex count")
+            }
+            GraphSpec::CyclePower { n, k } => {
+                positive(*n, "vertex count")?;
+                positive(*k, "power")
+            }
+            GraphSpec::Circulant { n, offsets } => {
+                positive(*n, "vertex count")?;
+                if offsets.is_empty() || offsets.iter().any(|&o| o == 0) {
+                    return Err(GraphSpecError::new("circulant needs positive offsets"));
+                }
+                Ok(())
+            }
+            GraphSpec::RingOfCliques { k, c } => {
+                positive(*k, "clique count")?;
+                positive(*c, "clique size")
+            }
+            GraphSpec::Barbell { c, p } | GraphSpec::Lollipop { c, p } => {
+                positive(*c, "clique size")?;
+                positive(*p, "path length")
+            }
+            GraphSpec::RandomRegular { n, r } => {
+                if *n == 0 || *r >= *n || (*n * *r) % 2 != 0 {
+                    return Err(GraphSpecError::new(format!(
+                        "no simple {r}-regular graph on {n} vertices"
+                    )));
+                }
+                Ok(())
+            }
+            GraphSpec::BarabasiAlbert { n, m } => {
+                positive(*n, "vertex count")?;
+                positive(*m, "edges per arrival")
+            }
+            GraphSpec::WattsStrogatz { n, k, beta } => {
+                positive(*n, "vertex count")?;
+                positive(*k, "ring degree")?;
+                if !(0.0..=1.0).contains(beta) {
+                    return Err(GraphSpecError::new(format!(
+                        "ws beta {beta} outside [0, 1]"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True for families whose [`GraphSpec::build`] consumes the seed.
+    pub fn is_random(&self) -> bool {
+        matches!(
+            self,
+            GraphSpec::Gnp { .. }
+                | GraphSpec::RandomRegular { .. }
+                | GraphSpec::BarabasiAlbert { .. }
+                | GraphSpec::WattsStrogatz { .. }
+        )
+    }
+
+    /// Materialises the graph. Deterministic families ignore `seed`;
+    /// random families derive all their randomness from it, so equal
+    /// `(spec, seed)` pairs build equal graphs.
+    pub fn build(&self, seed: u64) -> Result<Graph, GraphSpecError> {
+        self.validate()?;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = match self {
+            GraphSpec::Complete { n } => generators::complete(*n),
+            GraphSpec::Cycle { n } => generators::cycle(*n),
+            GraphSpec::Path { n } => generators::path(*n),
+            GraphSpec::Star { n } => generators::star(*n),
+            GraphSpec::Wheel { n } => generators::wheel(*n),
+            GraphSpec::Petersen => generators::petersen(),
+            GraphSpec::CompleteBipartite { a, b } => generators::complete_bipartite(*a, *b),
+            GraphSpec::DoubleStar { a, b } => generators::double_star(*a, *b),
+            GraphSpec::Grid { dims } => generators::grid(dims),
+            GraphSpec::Torus { dims } => generators::torus(dims),
+            GraphSpec::Hypercube { d } => generators::hypercube(*d),
+            GraphSpec::KaryTree { k, n } => generators::k_ary_tree(*n, *k),
+            GraphSpec::CyclePower { n, k } => generators::cycle_power(*n, *k),
+            GraphSpec::Circulant { n, offsets } => generators::circulant(*n, offsets),
+            GraphSpec::RingOfCliques { k, c } => generators::ring_of_cliques(*k, *c),
+            GraphSpec::Barbell { c, p } => generators::barbell(*c, *p),
+            GraphSpec::Lollipop { c, p } => generators::lollipop(*c, *p),
+            GraphSpec::Gnp { n, p } => generators::gnp(*n, *p, &mut rng),
+            GraphSpec::RandomRegular { n, r } => generators::random_regular(*n, *r, true, &mut rng)
+                .map_err(|e| GraphSpecError::new(format!("regular:{n}:{r}: {e:?}")))?,
+            GraphSpec::BarabasiAlbert { n, m } => generators::barabasi_albert(*n, *m, &mut rng),
+            GraphSpec::WattsStrogatz { n, k, beta } => {
+                generators::watts_strogatz(*n, *k, *beta, &mut rng)
+            }
+        };
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> GraphSpec {
+        let spec: GraphSpec = s.parse().expect(s);
+        assert_eq!(spec.to_string(), s, "display not canonical for {s}");
+        let again: GraphSpec = spec.to_string().parse().unwrap();
+        assert_eq!(again, spec, "parse∘display not identity for {s}");
+        spec
+    }
+
+    #[test]
+    fn canonical_specs_round_trip() {
+        for s in [
+            "complete:64",
+            "cycle:32",
+            "path:64",
+            "star:17",
+            "wheel:12",
+            "petersen",
+            "bipartite:8x8",
+            "doublestar:5x7",
+            "grid:32x32",
+            "grid:4x5x6",
+            "torus:8x8",
+            "hypercube:10",
+            "tree:2:63",
+            "cyclepower:64:3",
+            "circulant:24:1+2+5",
+            "ringcliques:10:5",
+            "barbell:8:8",
+            "lollipop:8:8",
+            "gnp:2000:0.01",
+            "regular:100:3",
+            "ba:500:3",
+            "ws:500:4:0.1",
+        ] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for s in [
+            "",
+            "nope:12",
+            "complete",
+            "complete:zero",
+            "complete:0",
+            "complete:12:13",
+            "grid:",
+            "grid:3x0",
+            "grid:3xx4",
+            "hypercube:99",
+            "bipartite:3",
+            "bipartite:3x4x5",
+            "tree:0:7",
+            "gnp:100:1.5",
+            "gnp:100:-0.1",
+            "regular:5:5",
+            "regular:5:3",
+            "circulant:8:0",
+            "ws:100:4:2.0",
+            "petersen:10",
+        ] {
+            assert!(s.parse::<GraphSpec>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_family_parses_to_canonical() {
+        let spec: GraphSpec = "Hypercube:5".parse().unwrap();
+        assert_eq!(spec, GraphSpec::Hypercube { d: 5 });
+        assert_eq!(spec.to_string(), "hypercube:5");
+    }
+
+    #[test]
+    fn deterministic_families_build_ignoring_seed() {
+        let spec: GraphSpec = "torus:5x5".parse().unwrap();
+        assert!(!spec.is_random());
+        let a = spec.build(1).unwrap();
+        let b = spec.build(2).unwrap();
+        assert_eq!(a.n(), 25);
+        assert_eq!(a.m(), b.m());
+    }
+
+    #[test]
+    fn random_families_are_seed_deterministic() {
+        let spec: GraphSpec = "gnp:64:0.1".parse().unwrap();
+        assert!(spec.is_random());
+        let a = spec.build(7).unwrap();
+        let b = spec.build(7).unwrap();
+        assert_eq!(a.m(), b.m());
+        let edges_a: Vec<_> = a.edges().collect();
+        let edges_b: Vec<_> = b.edges().collect();
+        assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn regular_spec_builds_connected_regular_graph() {
+        let spec: GraphSpec = "regular:60:3".parse().unwrap();
+        let g = spec.build(3).unwrap();
+        assert_eq!(g.regularity(), Some(3));
+        assert!(crate::props::is_connected(&g));
+    }
+
+    #[test]
+    fn build_matches_direct_generator_for_hypercube() {
+        let spec: GraphSpec = "hypercube:6".parse().unwrap();
+        let g = spec.build(0).unwrap();
+        let h = generators::hypercube(6);
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.m(), h.m());
+    }
+}

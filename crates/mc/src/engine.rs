@@ -1,0 +1,300 @@
+//! The unified Monte-Carlo engine: one trial loop for every process.
+//!
+//! Before this engine existed, cover-time, infection-time, and duality
+//! estimation each owned a hand-rolled loop over [`run_trials`] with its
+//! own seeding, stepping, stop condition, and censoring bookkeeping.
+//! [`Engine::run`] centralises all of that:
+//!
+//! * trials, master seed, and thread count live in the engine;
+//! * the per-trial round cap and the [`StopWhen`] condition decide when
+//!   a trial ends (completion, reaching a target vertex, or only at the
+//!   cap — the horizon-scan mode duality checks use);
+//! * an [`Observer`] sees the process after every round and distils each
+//!   trial into whatever output the estimator needs: nothing but the
+//!   outcome ([`Completion`]), a reached-count trajectory
+//!   ([`Trajectory`]), or any custom per-round probe.
+//!
+//! Determinism is inherited from [`run_trials`]: trial `i` sees only
+//! `trial_seed(master_seed, i)`, so results are identical across thread
+//! counts.
+
+use crate::runner::{run_trials, RunConfig};
+use cobra_graph::VertexId;
+use cobra_process::SpreadProcess;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// When a trial stops stepping (the round cap always applies on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Every vertex reached — cover time, full-infection time,
+    /// broadcast time.
+    Complete,
+    /// A specific vertex reached — hitting time.
+    Reached(VertexId),
+    /// Only the cap stops the trial — fixed-horizon scans.
+    AtCap,
+}
+
+/// What happened in one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Rounds until the stop condition held, or `None` if the trial was
+    /// censored at the cap (for [`StopWhen::AtCap`] this is always
+    /// `None`: there is nothing to complete).
+    pub rounds: Option<usize>,
+    /// Rounds actually executed (equals the cap when censored).
+    pub executed: usize,
+    /// Vertices reached when the trial ended.
+    pub reached: usize,
+    /// Total transmissions sent.
+    pub transmissions: u64,
+}
+
+/// Per-trial hooks: sees the process after construction and after every
+/// round, then distils the trial into its output.
+pub trait Observer {
+    type Output: Send;
+
+    /// Called once, before the first round (the process is in its
+    /// round-0 state).
+    fn on_start(&mut self, _process: &dyn SpreadProcess) {}
+
+    /// Called after every executed round.
+    fn on_round(&mut self, _process: &dyn SpreadProcess) {}
+
+    /// Called once when the trial ends.
+    fn finish(self, outcome: TrialOutcome, process: &dyn SpreadProcess) -> Self::Output;
+}
+
+/// The no-op observer: a trial reduces to its [`TrialOutcome`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Completion;
+
+impl Observer for Completion {
+    type Output = TrialOutcome;
+    fn finish(self, outcome: TrialOutcome, _process: &dyn SpreadProcess) -> TrialOutcome {
+        outcome
+    }
+}
+
+/// Records the reached-set size after every round (index 0 is the
+/// round-0 state) — the observer behind infection/cover trajectories.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    sizes: Vec<usize>,
+}
+
+impl Observer for Trajectory {
+    type Output = Vec<usize>;
+    fn on_start(&mut self, process: &dyn SpreadProcess) {
+        self.sizes.push(process.reached_count());
+    }
+    fn on_round(&mut self, process: &dyn SpreadProcess) {
+        self.sizes.push(process.reached_count());
+    }
+    fn finish(self, _outcome: TrialOutcome, _process: &dyn SpreadProcess) -> Vec<usize> {
+        self.sizes
+    }
+}
+
+/// The unified trial executor. Owns everything the three former
+/// bespoke loops duplicated: trial count, master seed, worker threads,
+/// and the per-trial round cap.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    /// Independent Monte-Carlo trials.
+    pub trials: usize,
+    /// Master seed; trial `i` derives its own seed from it.
+    pub master_seed: u64,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+    /// Hard per-trial round cap.
+    pub cap: usize,
+}
+
+impl Engine {
+    /// An engine running `trials` trials under `master_seed` with the
+    /// given round cap, auto threading.
+    pub fn new(trials: usize, master_seed: u64, cap: usize) -> Engine {
+        Engine {
+            trials,
+            master_seed,
+            threads: 0,
+            cap,
+        }
+    }
+
+    /// Overrides the worker thread count (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Engine {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the trials. `make_process` builds a fresh process per trial
+    /// (it may draw from the trial's RNG, e.g. for random start sets);
+    /// `make_observer` builds the per-trial observer. Output order is by
+    /// trial index, identical for any thread count.
+    pub fn run<P, F, Ob, G>(
+        &self,
+        stop: StopWhen,
+        make_process: F,
+        make_observer: G,
+    ) -> Vec<Ob::Output>
+    where
+        P: SpreadProcess,
+        F: Fn(usize, &mut SmallRng) -> P + Sync,
+        Ob: Observer,
+        G: Fn(usize) -> Ob + Sync,
+        Ob::Output: Send,
+    {
+        let cap = self.cap;
+        run_trials(
+            RunConfig::new(self.trials, self.master_seed).with_threads(self.threads),
+            |seed, index| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut process = make_process(index, &mut rng);
+                let mut observer = make_observer(index);
+                observer.on_start(&process);
+                let rounds = loop {
+                    let stopped = match stop {
+                        StopWhen::Complete => process.is_complete(),
+                        StopWhen::Reached(v) => process.has_reached(v),
+                        StopWhen::AtCap => false,
+                    };
+                    if stopped {
+                        break Some(process.rounds());
+                    }
+                    if process.rounds() >= cap {
+                        break None;
+                    }
+                    process.step(&mut rng);
+                    observer.on_round(&process);
+                };
+                let outcome = TrialOutcome {
+                    rounds,
+                    executed: process.rounds(),
+                    reached: process.reached_count(),
+                    transmissions: process.transmissions(),
+                };
+                observer.finish(outcome, &process)
+            },
+        )
+    }
+
+    /// [`Engine::run`] with the no-op observer: one [`TrialOutcome`]
+    /// per trial.
+    pub fn run_outcomes<P, F>(&self, stop: StopWhen, make_process: F) -> Vec<TrialOutcome>
+    where
+        P: SpreadProcess,
+        F: Fn(usize, &mut SmallRng) -> P + Sync,
+    {
+        self.run(stop, make_process, |_| Completion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use cobra_process::{Branching, Cobra, Laziness};
+
+    fn k16_cobra(trials: usize, cap: usize) -> (Engine, cobra_graph::Graph) {
+        (Engine::new(trials, 0xE6E, cap), generators::complete(16))
+    }
+
+    #[test]
+    fn completes_and_orders_outcomes() {
+        let (engine, g) = k16_cobra(12, 10_000);
+        let outcomes = engine.run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        assert_eq!(outcomes.len(), 12);
+        for o in &outcomes {
+            assert!(o.rounds.is_some());
+            assert_eq!(o.reached, 16);
+            assert!(o.transmissions > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (engine, g) = k16_cobra(16, 10_000);
+        let seq = engine
+            .with_threads(1)
+            .run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        let par = engine
+            .with_threads(8)
+            .run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cap_censors_with_executed_rounds() {
+        let engine = Engine::new(5, 1, 3);
+        let g = generators::path(64);
+        let outcomes = engine.run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        for o in outcomes {
+            assert_eq!(o.rounds, None);
+            assert_eq!(o.executed, 3);
+        }
+    }
+
+    #[test]
+    fn reached_stop_is_hitting_time() {
+        let engine = Engine::new(10, 2, 100_000);
+        let g = generators::cycle(24);
+        let outcomes = engine.run_outcomes(StopWhen::Reached(12), |_, _| {
+            Cobra::new(&g, &[0], Branching::B2, Laziness::None)
+        });
+        for o in &outcomes {
+            let hit = o.rounds.expect("must hit within cap");
+            // Vertex 12 is 12 hops away; spreading one hop per round.
+            assert!(hit >= 12, "hit {hit} beats the distance bound");
+        }
+        // Hitting the start vertex takes zero rounds.
+        let zero = engine.run_outcomes(StopWhen::Reached(0), |_, _| {
+            Cobra::new(&g, &[0], Branching::B2, Laziness::None)
+        });
+        assert!(zero.iter().all(|o| o.rounds == Some(0)));
+    }
+
+    #[test]
+    fn at_cap_runs_exactly_cap_rounds() {
+        let engine = Engine::new(4, 3, 7);
+        let g = generators::complete(8);
+        let outcomes = engine.run_outcomes(StopWhen::AtCap, |_, _| Cobra::b2(&g, 0));
+        for o in outcomes {
+            assert_eq!(o.rounds, None);
+            assert_eq!(o.executed, 7, "AtCap must run to the cap exactly");
+        }
+    }
+
+    #[test]
+    fn trajectory_observer_records_every_round() {
+        let engine = Engine::new(6, 4, 10_000);
+        let g = generators::complete(32);
+        let trajectories = engine.run(
+            StopWhen::Complete,
+            |_, _| Cobra::b2(&g, 0),
+            |_| Trajectory::default(),
+        );
+        for t in trajectories {
+            assert_eq!(t[0], 1, "round 0 state is the start set");
+            assert_eq!(*t.last().unwrap(), 32, "last entry is full coverage");
+            assert!(
+                t.windows(2).all(|w| w[0] <= w[1]),
+                "COBRA coverage is monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn boxed_processes_run_through_the_engine() {
+        // The ProcessSpec path hands the engine Box<dyn SpreadProcess>.
+        use cobra_process::ProcessSpec;
+        let engine = Engine::new(5, 5, 100_000);
+        let g = generators::petersen();
+        let spec: ProcessSpec = "bips:b2".parse().unwrap();
+        let outcomes = engine.run_outcomes(StopWhen::Complete, |_, _| spec.build(&g, &[0]));
+        assert!(outcomes.iter().all(|o| o.rounds.is_some()));
+    }
+}

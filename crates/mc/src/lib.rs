@@ -8,13 +8,20 @@
 //!   platforms;
 //! * [`runner`] — an embarrassingly-parallel executor over
 //!   `std::thread::scope` whose output is ordered by trial index, so a
-//!   parallel run is bit-identical to a sequential one.
+//!   parallel run is bit-identical to a sequential one;
+//! * [`engine`] — the unified [`Engine`]: one trial loop driving any
+//!   [`cobra_process::SpreadProcess`] under a [`StopWhen`] condition and
+//!   a round cap, with pluggable [`Observer`] hooks (cover detection,
+//!   trajectories, transmission accounting, round snapshots). All
+//!   Monte-Carlo estimation in the workspace goes through it.
 //!
-//! No external dependencies: an atomic work counter plus scoped threads
-//! cover everything the workload needs.
+//! An atomic work counter plus scoped threads cover everything the
+//! workload needs.
 
+pub mod engine;
 pub mod runner;
 pub mod seed;
 
+pub use engine::{Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
 pub use runner::{run_trials, RunConfig};
 pub use seed::{trial_seed, SeedSequence};

@@ -236,12 +236,8 @@ impl SpreadProcess for Bips<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.infected.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.infected_count()
+    fn reached(&self) -> &BitSet {
+        &self.infected
     }
 
     fn transmissions(&self) -> u64 {

@@ -93,12 +93,8 @@ impl SpreadProcess for CoalescingWalks<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.visited.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.visited.count()
+    fn reached(&self) -> &BitSet {
+        &self.visited
     }
 
     fn transmissions(&self) -> u64 {

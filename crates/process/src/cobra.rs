@@ -134,12 +134,8 @@ impl SpreadProcess for Cobra<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.visited.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.visited_count()
+    fn reached(&self) -> &BitSet {
+        &self.visited
     }
 
     fn transmissions(&self) -> u64 {

@@ -73,12 +73,8 @@ impl SpreadProcess for PushGossip<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.informed.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.informed.count()
+    fn reached(&self) -> &BitSet {
+        &self.informed
     }
 
     fn transmissions(&self) -> u64 {
@@ -169,12 +165,8 @@ impl SpreadProcess for Gossip<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.informed.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.informed.count()
+    fn reached(&self) -> &BitSet {
+        &self.informed
     }
 
     fn transmissions(&self) -> u64 {

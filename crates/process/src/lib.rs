@@ -25,6 +25,7 @@ pub mod coalescing;
 pub mod cobra;
 pub mod gossip;
 pub mod serial;
+pub mod spec;
 pub mod walk;
 
 pub use bips::{Bips, BipsMode};
@@ -33,15 +34,21 @@ pub use coalescing::CoalescingWalks;
 pub use cobra::Cobra;
 pub use gossip::{Gossip, GossipMode, PushGossip};
 pub use serial::{SerialBips, StepRecord};
+pub use spec::{ProcessSpec, ProcessSpecError};
 pub use walk::{MultiWalk, RandomWalk};
 
+use cobra_graph::VertexId;
+use cobra_util::BitSet;
 use rand::rngs::SmallRng;
 
 /// A round-synchronous spreading process on a graph.
 ///
-/// `step` advances exactly one round. Completion means "every vertex has
-/// been reached" (visited for COBRA/walks, informed for gossip, infected
-/// for BIPS).
+/// `step` advances exactly one round. Every process maintains a *reached*
+/// set — visited for COBRA/walks, informed for gossip, infected for BIPS
+/// — and is complete once that set is the whole vertex set. The uniform
+/// read surface (`reached`, `has_reached`, `reached_count`) is what lets
+/// one Monte-Carlo engine drive cover times, hitting times, infection
+/// trajectories, and duality checks for any process.
 pub trait SpreadProcess {
     /// Advances one synchronous round.
     fn step(&mut self, rng: &mut SmallRng);
@@ -49,11 +56,25 @@ pub trait SpreadProcess {
     /// Rounds executed so far.
     fn rounds(&self) -> usize;
 
+    /// The set of vertices reached so far (cumulative for walk-like
+    /// processes; the *current* infected set for BIPS, whose membership
+    /// can fluctuate).
+    fn reached(&self) -> &BitSet;
+
     /// True once every vertex has been reached.
-    fn is_complete(&self) -> bool;
+    fn is_complete(&self) -> bool {
+        self.reached().is_full()
+    }
 
     /// Number of vertices reached so far.
-    fn reached_count(&self) -> usize;
+    fn reached_count(&self) -> usize {
+        self.reached().count()
+    }
+
+    /// True iff `v` is currently in the reached set.
+    fn has_reached(&self, v: VertexId) -> bool {
+        self.reached().contains(v as usize)
+    }
 
     /// Total point-to-point transmissions so far (the resource COBRA is
     /// designed to limit).
@@ -70,5 +91,29 @@ pub trait SpreadProcess {
             self.step(rng);
         }
         Some(self.rounds())
+    }
+}
+
+impl<P: SpreadProcess + ?Sized> SpreadProcess for Box<P> {
+    fn step(&mut self, rng: &mut SmallRng) {
+        (**self).step(rng)
+    }
+    fn rounds(&self) -> usize {
+        (**self).rounds()
+    }
+    fn reached(&self) -> &BitSet {
+        (**self).reached()
+    }
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
+    }
+    fn reached_count(&self) -> usize {
+        (**self).reached_count()
+    }
+    fn has_reached(&self, v: VertexId) -> bool {
+        (**self).has_reached(v)
+    }
+    fn transmissions(&self) -> u64 {
+        (**self).transmissions()
     }
 }

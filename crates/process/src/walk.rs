@@ -74,12 +74,8 @@ impl SpreadProcess for RandomWalk<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.visited.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.visited.count()
+    fn reached(&self) -> &BitSet {
+        &self.visited
     }
 
     fn transmissions(&self) -> u64 {
@@ -140,12 +136,8 @@ impl SpreadProcess for MultiWalk<'_> {
         self.rounds
     }
 
-    fn is_complete(&self) -> bool {
-        self.visited.is_full()
-    }
-
-    fn reached_count(&self) -> usize {
-        self.visited.count()
+    fn reached(&self) -> &BitSet {
+        &self.visited
     }
 
     fn transmissions(&self) -> u64 {

@@ -10,8 +10,7 @@
 //! ```
 
 use cobra::bounds;
-use cobra::cover::{cobra_cover_samples, CoverConfig};
-use cobra_graph::generators;
+use cobra::SimSpec;
 use cobra_stats::fit_power_law;
 
 fn main() {
@@ -20,25 +19,24 @@ fn main() {
     let mut ln_ns = Vec::new();
     let mut covers = Vec::new();
     for d in 6..=12u32 {
-        let g = generators::hypercube(d);
         // The hypercube is bipartite: the paper's remark after Theorem
         // 1.2 says to use the lazy variant, whose gap is exactly 1/d.
-        let est = cobra_cover_samples(
-            &g,
-            0,
-            CoverConfig::default().lazy().with_trials(30).with_seed(d as u64),
-        );
+        let est = SimSpec::parse(&format!("hypercube:{d}"), "cobra:b2:lazy")
+            .expect("valid specs")
+            .with_trials(30)
+            .with_seed(d as u64)
+            .run();
+        let n = 1usize << d;
         let s = est.summary();
         let (spaa16, podc16, this_paper) = bounds::hypercube_ladder(d);
         println!(
-            "{d:<4} {:<7} {:<10.1} {:<12.0} {:<12.0} {:<12.0}",
-            g.n(),
+            "{d:<4} {n:<7} {:<10.1} {:<12.0} {:<12.0} {:<12.0}",
             s.mean,
             this_paper,
             podc16,
             spaa16
         );
-        ln_ns.push((g.n() as f64).ln());
+        ln_ns.push((n as f64).ln());
         covers.push(s.mean);
     }
     let (alpha, _, fit) = fit_power_law(&ln_ns, &covers);

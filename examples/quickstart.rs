@@ -6,14 +6,16 @@
 //! ```
 
 use cobra::bounds;
-use cobra::cover::{cobra_cover_samples, CoverConfig};
-use cobra_graph::{generators, props};
+use cobra::SimSpec;
+use cobra_graph::{props, GraphSpec};
 use cobra_spectral::lanczos_edge_spectrum;
 
 fn main() {
-    // A 3-regular expander on 512 vertices.
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
-    let g = generators::random_regular(512, 3, true, &mut rng).expect("generator");
+    // A 3-regular expander on 512 vertices, named as data: the same
+    // spec string works here, in a config file, and on the CLI
+    // (`cobra-exps run --graph regular:512:3 --process cobra:b2`).
+    let spec: GraphSpec = "regular:512:3".parse().expect("valid graph spec");
+    let g = spec.build(7).expect("generator");
     println!(
         "graph: n = {}, m = {}, regular r = {:?}, diameter = {:?}",
         g.n(),
@@ -32,8 +34,11 @@ fn main() {
         spec.gap()
     );
 
-    // Estimate the COBRA b=2 cover time from vertex 0.
-    let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(50));
+    // Estimate the COBRA b=2 cover time from vertex 0 — one declarative
+    // SimSpec, executed by the unified engine.
+    let est = SimSpec::new(&g, "cobra:b2".parse().unwrap())
+        .with_trials(50)
+        .run();
     let s = est.summary();
     println!(
         "COBRA b=2 cover time over {} trials: mean {:.1}, median {:.0}, range [{}, {}]",

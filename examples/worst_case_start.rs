@@ -9,7 +9,7 @@
 //! cargo run --release --example worst_case_start
 //! ```
 
-use cobra::cover::{cobra_cover_samples, worst_start_vertex, CoverConfig};
+use cobra::cover::{worst_start_vertex, CoverConfig};
 use cobra_graph::{generators, Graph};
 
 fn scan(label: &str, g: &Graph) {
@@ -17,13 +17,13 @@ fn scan(label: &str, g: &Graph) {
     let mut best = (0u32, f64::INFINITY);
     let mut worst = (0u32, f64::NEG_INFINITY);
     for v in 0..g.n() as u32 {
-        let mean = cobra_cover_samples(
-            g,
-            v,
-            CoverConfig::default().with_trials(trials).with_seed(v as u64),
-        )
-        .summary()
-        .mean;
+        let mean = CoverConfig::default()
+            .with_trials(trials)
+            .with_seed(v as u64)
+            .to_sim(g, &[v])
+            .run()
+            .summary()
+            .mean;
         if mean < best.1 {
             best = (v, mean);
         }

@@ -2,12 +2,21 @@
 //!
 //! Re-exports the workspace crates under one roof so the runnable
 //! examples in `examples/` and the integration tests in `tests/` read
-//! like downstream user code:
+//! like downstream user code. The one-import entry point is the
+//! declarative `SimSpec`: any process spec × any graph spec, executed
+//! by the unified Monte-Carlo engine:
 //!
 //! ```
 //! use cobra_repro::prelude::*;
-//! let g = generators::complete(64);
-//! assert_eq!(g.n(), 64);
+//!
+//! // COBRA b=2 cover time on the Petersen graph, 10 seeded trials.
+//! let est = SimSpec::parse("petersen", "cobra:b2").unwrap().with_trials(10).run();
+//! assert_eq!(est.censored, 0);
+//!
+//! // The same scenario against a caller-built graph.
+//! let g = generators::petersen();
+//! let est2 = SimSpec::new(&g, "cobra:b2".parse().unwrap()).with_trials(10).run();
+//! assert_eq!(est.samples, est2.samples);
 //! ```
 
 pub use cobra;
@@ -21,6 +30,9 @@ pub use cobra_util;
 
 /// Everything an example needs, one import away.
 pub mod prelude {
-    pub use cobra_graph::{generators, props, Graph, VertexId};
+    pub use cobra::sim::{Estimate, GraphSource, Objective, SimError, SimSpec};
+    pub use cobra_graph::{generators, props, Graph, GraphSpec, VertexId};
+    pub use cobra_mc::{Engine, Observer, StopWhen};
+    pub use cobra_process::{ProcessSpec, SpreadProcess};
     pub use cobra_util::BitSet;
 }

@@ -3,12 +3,16 @@
 //! graph families spanning every generator category.
 
 use cobra::bounds;
-use cobra::cover::{cobra_cover_samples, CoverConfig};
+use cobra::cover::CoverConfig;
 use cobra_graph::{generators, props, Graph};
 use cobra_spectral::{lanczos_edge_spectrum, lazy_eigenvalue_gap};
 
 fn measured_cover(g: &Graph, trials: usize, seed: u64) -> f64 {
-    cobra_cover_samples(g, 0, CoverConfig::default().with_trials(trials).with_seed(seed))
+    CoverConfig::default()
+        .with_trials(trials)
+        .with_seed(seed)
+        .to_sim(g, &[0])
+        .run()
         .summary()
         .mean
 }
@@ -47,7 +51,11 @@ fn lower_bound_never_beaten() {
     for (label, g) in graphs {
         // Sample minimum over trials still must respect the bound with
         // the start's eccentricity (≥ diam/2).
-        let est = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(15).with_seed(1));
+        let est = CoverConfig::default()
+            .with_trials(15)
+            .with_seed(1)
+            .to_sim(&g, &[0])
+            .run();
         let min = *est.samples.iter().min().unwrap() as f64;
         let ecc = props::eccentricity(&g, 0).unwrap();
         let lb = ((g.n() as f64 + 1.0).log2() - 1.0).max(ecc as f64);
@@ -62,7 +70,10 @@ fn lower_bound_never_beaten() {
 fn thm_1_2_shape_on_regular_graphs_with_slack() {
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
     let graphs: Vec<(&str, Graph)> = vec![
-        ("rand 4-reg", generators::random_regular(128, 4, true, &mut rng).unwrap()),
+        (
+            "rand 4-reg",
+            generators::random_regular(128, 4, true, &mut rng).unwrap(),
+        ),
         ("cycle_power", generators::cycle_power(99, 3)),
         ("ring_of_cliques", generators::ring_of_cliques(8, 6)),
         ("petersen", generators::petersen()),
@@ -87,13 +98,14 @@ fn lazy_hypercube_obeys_lazy_gap_bound() {
     // Lazy gap has the closed form 1/d.
     let lazy_gap = lazy_eigenvalue_gap(&g);
     assert!((lazy_gap - 1.0 / d as f64).abs() < 1e-6);
-    let cover = cobra_cover_samples(
-        &g,
-        0,
-        CoverConfig::default().lazy().with_trials(10).with_seed(0xB3),
-    )
-    .summary()
-    .mean;
+    let cover = CoverConfig::default()
+        .lazy()
+        .with_trials(10)
+        .with_seed(0xB3)
+        .to_sim(&g, &[0])
+        .run()
+        .summary()
+        .mean;
     let bound = bounds::thm_1_2(g.n(), d as usize, lazy_gap);
     assert!(cover <= 30.0 * bound, "lazy Q_{d}: {cover} vs {bound}");
 }

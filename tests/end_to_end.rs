@@ -2,9 +2,9 @@
 //! determinism, and the public API working together the way the
 //! harness and examples use it.
 
-use cobra::cover::{cobra_cover_samples, CoverConfig};
+use cobra::cover::CoverConfig;
 use cobra::experiments;
-use cobra::infection::{bips_infection_samples, InfectionConfig};
+use cobra::infection::InfectionConfig;
 use cobra_graph::generators;
 
 #[test]
@@ -38,10 +38,16 @@ fn cover_and_infection_agree_on_order_of_magnitude() {
     // union bound; on a small expander they land in the same regime.
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
     let g = generators::random_regular(128, 4, true, &mut rng).unwrap();
-    let cover = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(20))
+    let cover = CoverConfig::default()
+        .with_trials(20)
+        .to_sim(&g, &[0])
+        .run()
         .summary()
         .mean;
-    let infect = bips_infection_samples(&g, 0, InfectionConfig::default().with_trials(20))
+    let infect = InfectionConfig::default()
+        .with_trials(20)
+        .to_sim(&g, 0)
+        .run()
         .summary()
         .mean;
     assert!(cover > 1.0 && infect > 1.0);
@@ -58,7 +64,10 @@ fn bounds_rank_processes_correctly_on_k_n() {
     // Θ(log n): measured separation must be at least ~n/ something.
     use cobra_process::{Laziness, RandomWalk};
     let g = generators::complete(64);
-    let cobra_mean = cobra_cover_samples(&g, 0, CoverConfig::default().with_trials(15))
+    let cobra_mean = CoverConfig::default()
+        .with_trials(15)
+        .to_sim(&g, &[0])
+        .run()
         .summary()
         .mean;
     let mut srw_total = 0.0;

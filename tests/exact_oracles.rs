@@ -3,7 +3,7 @@
 //! `cobra-exact` (no sampling) and the estimation layer every
 //! experiment relies on.
 
-use cobra::cover::{cobra_cover_samples, CoverConfig};
+use cobra::cover::CoverConfig;
 use cobra::duality::{duality_check, DualityConfig};
 use cobra::infection::{infection_trajectory, InfectionConfig};
 use cobra_exact::bips::bips_distributions;
@@ -50,14 +50,12 @@ fn b1_cover_estimator_matches_exact_walk_cover() {
     let g = generators::cycle(8);
     let exact = srw_cover_time(&g, 0); // = n(n−1)/2 = 28
     assert!((exact - 28.0).abs() < 1e-9, "closed form sanity");
-    let est = cobra_cover_samples(
-        &g,
-        0,
-        CoverConfig::default()
-            .with_branching(Branching::Fixed(1))
-            .with_trials(3000)
-            .with_seed(0xE2),
-    );
+    let est = CoverConfig::default()
+        .with_branching(Branching::Fixed(1))
+        .with_trials(3000)
+        .with_seed(0xE2)
+        .to_sim(&g, &[0])
+        .run();
     let s = est.summary();
     assert!(
         (s.mean - exact).abs() < 0.05 * exact + 3.0 * s.std_error(),
@@ -97,11 +95,11 @@ fn exact_full_infection_probability_bounds_mc_infection_time() {
     let t90 = (0..=12)
         .find(|&t| dists[t].prob_full() > 0.9)
         .expect("K_5 infects well within 12 rounds");
-    let est = cobra::infection::bips_infection_samples(
-        &g,
-        0,
-        InfectionConfig::default().with_trials(400).with_seed(0xE4),
-    );
+    let est = cobra::infection::InfectionConfig::default()
+        .with_trials(400)
+        .with_seed(0xE4)
+        .to_sim(&g, 0)
+        .run();
     let median = est.summary().median;
     assert!(
         median <= t90 as f64,

@@ -1,0 +1,154 @@
+//! Vendored minimal subset of the `criterion` API.
+//!
+//! The build environment has no network access, so this crate provides
+//! just enough of criterion for the workspace's bench targets to build
+//! and run: [`Criterion`], [`BenchmarkGroup`] (with `sample_size`,
+//! `warm_up_time`, `measurement_time`, `bench_function`, `finish`),
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Timing is a plain wall-clock mean over `sample_size` iterations —
+//! no statistical analysis, outlier rejection, or HTML reports. Good
+//! enough as a smoke test and a coarse performance record.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed number of
+    /// iterations instead of a target duration.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.iterations > 0 {
+            b.elapsed / b.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: mean {:?} over {} iterations",
+            self.name, id, mean, b.iterations
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (upstream runs batches; the shim times
+    /// single calls, which is adequate for the coarse workloads here).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut calls = 0;
+        group.bench_function("id", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

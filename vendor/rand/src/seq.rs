@@ -1,0 +1,18 @@
+//! Sequence utilities (`shuffle`).
+
+use crate::{Rng, RngExt};
+
+/// In-place uniform shuffling, as in upstream `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle into a uniformly random permutation.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
