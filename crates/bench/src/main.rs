@@ -36,6 +36,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("run") {
         return run_subcommand(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench_subcommand(&args[1..]);
+    }
     let mut quick = false;
     let mut plot = false;
     let mut format = Format::Plain;
@@ -244,8 +247,14 @@ fn run_subcommand(args: &[String]) -> ExitCode {
                     .map(|v| target = Some(v))
                     .map_err(|e| format!("--target: {e}"))
             }),
-            "--csv" => Ok(format = Format::Csv),
-            "--markdown" | "--md" => Ok(format = Format::Markdown),
+            "--csv" => {
+                format = Format::Csv;
+                Ok(())
+            }
+            "--markdown" | "--md" => {
+                format = Format::Markdown;
+                Ok(())
+            }
             "--help" | "-h" => {
                 print_run_help();
                 return ExitCode::SUCCESS;
@@ -323,6 +332,216 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         Format::Markdown => println!("{}", table.to_markdown()),
     }
     ExitCode::SUCCESS
+}
+
+/// `cobra-exps bench` — measure simulation throughput and record it in
+/// a machine-readable JSON file so the performance trajectory of the
+/// hot loop is tracked across PRs.
+///
+/// The default scenario is the workspace's canonical perf probe:
+/// `cobra:b2` over `hypercube:16`, 64 trials. One warm-up batch runs
+/// first (graph in cache, scratch buffers at their high-water mark),
+/// then the measured batch; `rounds_per_sec` counts executed simulation
+/// rounds over the measured wall time. Entries are keyed by `label` —
+/// re-running with an existing label replaces that entry, so the
+/// committed `pre-refactor` baseline survives while `current` tracks
+/// HEAD.
+fn bench_subcommand(args: &[String]) -> ExitCode {
+    let mut graph = "hypercube:16".to_string();
+    let mut process = "cobra:b2".to_string();
+    let mut trials: usize = 64;
+    let mut seed: u64 = 0xBE7C;
+    let mut label = "current".to_string();
+    let mut out = "BENCH_cover.json".to_string();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .cloned()
+        };
+        let parsed = match arg.as_str() {
+            "--graph" | "-g" => value("--graph").map(|v| graph = v),
+            "--process" | "-p" => value("--process").map(|v| process = v),
+            "--trials" | "-t" => value("--trials").and_then(|v| {
+                v.parse()
+                    .map(|v| trials = v)
+                    .map_err(|e| format!("--trials: {e}"))
+            }),
+            "--seed" => value("--seed").and_then(|v| {
+                v.parse()
+                    .map(|v| seed = v)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--label" => value("--label").map(|v| label = v),
+            "--out" | "-o" => value("--out").map(|v| out = v),
+            "--help" | "-h" => {
+                print_bench_help();
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            print_bench_help();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let spec = match SimSpec::parse(&graph, &process) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Materialise the graph once so graph construction never pollutes
+    // the throughput number.
+    let spec = spec.with_seed(seed);
+    let owned = match spec.graph() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (n, m) = (owned.n(), owned.m());
+    let measured = SimSpec::new(&*owned, spec.process.clone())
+        .with_seed(seed)
+        .with_trials(trials);
+
+    // Warm-up batch, then the measured batch.
+    let _ = measured.clone().with_trials(trials.div_ceil(8)).run();
+    let start = std::time::Instant::now();
+    let est = measured.run();
+    let wall = start.elapsed().as_secs_f64();
+    let total_rounds: usize = est.samples.iter().sum::<usize>() + est.censored * est.cap;
+    let rounds_per_sec = total_rounds as f64 / wall.max(1e-12);
+
+    let entry = format!(
+        "{{\"label\": {label:?}, \"scenario\": {process:?}, \"graph\": {graph:?}, \
+         \"n\": {n}, \"m\": {m}, \"trials\": {trials}, \"seed\": {seed}, \
+         \"total_rounds\": {total_rounds}, \"wall_seconds\": {wall:.4}, \
+         \"rounds_per_sec\": {rounds_per_sec:.1}}}"
+    );
+
+    // Merge into the benchmark file, keyed by label. Existing entries
+    // are recovered with a brace-balanced scan, so a pretty-printed or
+    // hand-edited file never silently loses its baseline records.
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&out) {
+        for obj in scan_entry_objects(&existing) {
+            if extract_str(&obj, "label").as_deref() != Some(label.as_str()) {
+                entries.push(obj);
+            }
+        }
+    }
+    entries.push(entry.clone());
+    let body = entries
+        .iter()
+        .map(|e| format!("    {e}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("{entry}");
+    // Report against the committed pre-refactor baseline when the same
+    // scenario is present.
+    let baseline = entries.iter().find(|e| {
+        extract_str(e, "label").as_deref() == Some("pre-refactor")
+            && extract_str(e, "scenario").as_deref() == Some(process.as_str())
+            && extract_str(e, "graph").as_deref() == Some(graph.as_str())
+    });
+    if let Some(base) = baseline {
+        if let Some(base_rps) = extract_f64(base, "rounds_per_sec") {
+            println!(
+                "speedup vs pre-refactor baseline ({base_rps:.1} rounds/s): {:.2}x",
+                rounds_per_sec / base_rps
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Collects the depth-2 JSON objects of a benchmark file (the entries
+/// of the top-level array), tolerant of arbitrary formatting. Each
+/// entry is normalised back to a single line for rewriting.
+fn scan_entry_objects(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                depth += 1;
+                if depth == 2 && start.is_none() {
+                    start = Some(i);
+                }
+            }
+            '}' => {
+                if depth == 2 {
+                    if let Some(s) = start.take() {
+                        let obj: Vec<&str> = text[s..=i].split_whitespace().collect();
+                        out.push(obj.join(" "));
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Pulls `"key": "value"` out of a JSON object, whitespace-tolerant.
+fn extract_str(obj: &str, key: &str) -> Option<String> {
+    let idx = obj.find(&format!("\"{key}\""))?;
+    let rest = &obj[idx + key.len() + 2..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Pulls `"key": <number>` out of a single-line JSON object.
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let idx = line.find(&format!("\"{key}\":"))?;
+    let rest = &line[idx + key.len() + 3..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn print_bench_help() {
+    eprintln!(
+        "cobra-exps bench — measure rounds/sec and record it in BENCH_cover.json\n\
+         \n\
+         usage: cobra-exps bench [options]\n\
+         \n\
+         options: --graph G (hypercube:16)  --process P (cobra:b2)  --trials N (64)\n\
+         \u{20}        --seed S (0xBE7C)  --label L (current)  --out FILE (BENCH_cover.json)\n\
+         \n\
+         Entries are keyed by label; rerunning a label replaces its entry. When a\n\
+         'pre-refactor' entry for the same scenario exists the speedup is printed."
+    );
 }
 
 fn print_run_help() {

@@ -1,10 +1,11 @@
 //! COBRA cover-time and hitting-time estimation.
 //!
-//! This module is now a thin layer over the declarative
+//! This module is a thin layer over the declarative
 //! [`SimSpec`](crate::sim::SimSpec) API — it contains no trial loop of
 //! its own. [`CoverConfig`] survives as the legacy configuration
-//! carrier (it converts via [`CoverConfig::to_sim`]), and the historical
-//! entry points are deprecated shims.
+//! carrier (it converts via [`CoverConfig::to_sim`]); the deprecated
+//! `cobra_cover_samples`/`cobra_hit_samples` shims from the pre-`SimSpec`
+//! API have been removed.
 
 use crate::sim::{resolve_cap, Estimate, SimSpec};
 use cobra_graph::{Graph, VertexId};
@@ -104,25 +105,6 @@ impl CoverConfig {
 /// unified [`Estimate`].
 pub type CoverEstimate = Estimate;
 
-/// Estimates `cover(start)` for the COBRA process on `g` by independent
-/// trials (parallelised, deterministic in `cfg.master_seed`).
-#[deprecated(note = "build a SimSpec (e.g. `cfg.to_sim(g, &[start])`) and call .run()")]
-pub fn cobra_cover_samples(g: &Graph, start: VertexId, cfg: CoverConfig) -> CoverEstimate {
-    cfg.to_sim(g, &[start]).run()
-}
-
-/// Estimates the hitting time `Hit_C(target)` of COBRA started from the
-/// set `C`.
-#[deprecated(note = "build a SimSpec with .reaching(target) and call .run()")]
-pub fn cobra_hit_samples(
-    g: &Graph,
-    start_set: &[VertexId],
-    target: VertexId,
-    cfg: CoverConfig,
-) -> CoverEstimate {
-    cfg.to_sim(g, start_set).reaching(target).run()
-}
-
 /// Scans all start vertices with a few trials each and returns
 /// `(worst_vertex, its mean cover)` — the `max_u COVER(u)` of the
 /// paper's cover-time definition, at estimation fidelity `probe_trials`.
@@ -168,21 +150,6 @@ mod tests {
         let a = cover(&g, 0, CoverConfig::default().with_trials(8));
         let b = cover(&g, 0, CoverConfig::default().with_trials(8));
         assert_eq!(a.samples, b.samples);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    // Pins that the shims remain thin delegations (see the fuller note
-    // in tests/sim_spec_api.rs); not an old-vs-new equivalence proof.
-    fn deprecated_shims_match_the_sim_spec_path() {
-        let g = generators::torus(&[5, 5]);
-        let cfg = CoverConfig::default().with_trials(8);
-        let via_shim = cobra_cover_samples(&g, 0, cfg);
-        let via_sim = cfg.to_sim(&g, &[0]).run();
-        assert_eq!(via_shim, via_sim);
-        let hit_shim = cobra_hit_samples(&g, &[0, 3], 12, cfg);
-        let hit_sim = cfg.to_sim(&g, &[0, 3]).reaching(12).run();
-        assert_eq!(hit_shim, hit_sim);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::report::{fmt_f, Table};
 use crate::sim::SimSpec;
 use cobra_graph::{Graph, VertexId};
 use cobra_mc::{Observer, StopWhen, TrialOutcome};
-use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, SpreadProcess};
+use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, ProcessView};
 use cobra_util::BitSet;
 
 /// Configuration of a duality check.
@@ -131,7 +131,7 @@ impl<'a> HorizonDisjoint<'a> {
         }
     }
 
-    fn capture(&mut self, p: &dyn SpreadProcess) {
+    fn capture(&mut self, p: &dyn ProcessView) {
         while self.idx < self.horizons.len() && self.horizons[self.idx] == self.round {
             self.flags.push(!self.c_set.intersects(p.reached()));
             self.idx += 1;
@@ -141,14 +141,14 @@ impl<'a> HorizonDisjoint<'a> {
 
 impl Observer for HorizonDisjoint<'_> {
     type Output = Vec<bool>;
-    fn on_start(&mut self, p: &dyn SpreadProcess) {
+    fn on_start(&mut self, p: &dyn ProcessView) {
         self.capture(p);
     }
-    fn on_round(&mut self, p: &dyn SpreadProcess) {
+    fn on_round(&mut self, p: &dyn ProcessView) {
         self.round += 1;
         self.capture(p);
     }
-    fn finish(self, _outcome: TrialOutcome, _p: &dyn SpreadProcess) -> Vec<bool> {
+    fn finish(self, _outcome: TrialOutcome, _p: &dyn ProcessView) -> Vec<bool> {
         debug_assert_eq!(self.flags.len(), self.horizons.len());
         self.flags
     }

@@ -9,7 +9,7 @@
 
 use crate::report::{fmt_f, Table};
 use cobra_graph::{generators, props, Graph, VertexId};
-use cobra_process::{Bips, BipsMode, Branching, Laziness, SpreadProcess};
+use cobra_process::{Bips, BipsMode, Branching, Laziness, ProcessState, StepCtx};
 use cobra_spectral::lanczos_edge_spectrum;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -20,7 +20,10 @@ fn cases(quick: bool) -> Vec<(&'static str, Graph)> {
     let n = if quick { 48 } else { 128 };
     vec![
         ("petersen", generators::petersen()),
-        ("rand 4-reg", generators::random_regular(n, 4, true, &mut rng).unwrap()),
+        (
+            "rand 4-reg",
+            generators::random_regular(n, 4, true, &mut rng).unwrap(),
+        ),
         ("cycle_power k=3", generators::cycle_power(n, 3)),
         ("ring_of_cliques", generators::ring_of_cliques(n / 6, 6)),
     ]
@@ -43,7 +46,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F10",
         "Lemma 4.1: measured E(|A_{t+1}| | A) vs |A|(1+(1−λ²)(1−|A|/n))",
-        &["graph", "set shape", "|A|/n", "measured E", "Lemma 4.1 bound", "margin"],
+        &[
+            "graph",
+            "set shape",
+            "|A|/n",
+            "measured E",
+            "Lemma 4.1 bound",
+            "margin",
+        ],
     );
     for (ci, (label, g)) in cases(quick).into_iter().enumerate() {
         let lambda = lanczos_edge_spectrum(&g, 0).lambda_abs();
@@ -51,15 +61,14 @@ pub fn run(quick: bool) -> Table {
         for (shape_idx, shape) in ["uniform", "bfs ball"].iter().enumerate() {
             for (si, &frac) in sizes.iter().enumerate() {
                 let size = ((n as f64 * frac).round() as usize).clamp(1, n);
-                let mut rng =
-                    SmallRng::seed_from_u64(0x000F_1010 + (ci * 64 + shape_idx * 8 + si) as u64);
+                let mut ctx = StepCtx::seeded(0x000F_1010 + (ci * 64 + shape_idx * 8 + si) as u64);
                 let mut total_next = 0.0f64;
                 let mut total_bound = 0.0f64;
                 for _ in 0..reps {
-                    let source = rng.random_range(0..n as u32);
+                    let source = ctx.rng.random_range(0..n as u32);
                     let set: Vec<VertexId> = if *shape == "uniform" {
                         let mut all: Vec<VertexId> = (0..n as VertexId).collect();
-                        all.shuffle(&mut rng);
+                        all.shuffle(&mut ctx.rng);
                         all.truncate(size);
                         if !all.contains(&source) {
                             all[0] = source;
@@ -68,12 +77,17 @@ pub fn run(quick: bool) -> Table {
                     } else {
                         bfs_ball(&g, source, size)
                     };
-                    let mut p =
-                        Bips::new(&g, source, Branching::B2, Laziness::None, BipsMode::Bernoulli);
+                    let mut p = Bips::new(
+                        &g,
+                        source,
+                        Branching::B2,
+                        Laziness::None,
+                        BipsMode::Bernoulli,
+                    );
                     p.set_infected_state(&set);
                     let a = p.infected_count() as f64;
                     total_bound += a * (1.0 + (1.0 - lambda * lambda) * (1.0 - a / n as f64));
-                    p.step(&mut rng);
+                    p.step(&mut ctx);
                     total_next += p.infected_count() as f64;
                 }
                 let measured = total_next / reps as f64;

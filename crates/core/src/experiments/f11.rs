@@ -18,7 +18,10 @@ fn cases(quick: bool) -> Vec<(&'static str, Graph)> {
     let n = if quick { 60 } else { 120 };
     vec![
         ("petersen", generators::petersen()),
-        ("rand 3-reg", generators::random_regular(n, 3, true, &mut rng).unwrap()),
+        (
+            "rand 3-reg",
+            generators::random_regular(n, 3, true, &mut rng).unwrap(),
+        ),
         ("cycle_power k=2", generators::cycle_power(n, 2)),
         ("ring_of_cliques", generators::ring_of_cliques(n / 6, 6)),
     ]
@@ -30,16 +33,26 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F11",
         "Corollary 5.2: |C_t| ≥ |A_{t−1}|(1−λ)/2 while |A_{t−1}| ≤ n/2",
-        &["graph", "n", "1-λ", "qualifying rounds", "min |C_t|/bound", "violations"],
+        &[
+            "graph",
+            "n",
+            "1-λ",
+            "qualifying rounds",
+            "min |C_t|/bound",
+            "violations",
+        ],
     );
     for (ci, (label, g)) in cases(quick).into_iter().enumerate() {
         let gap = lanczos_edge_spectrum(&g, 0).gap();
-        assert!(gap > 0.0, "{label}: corollary needs non-bipartite connected graph");
+        assert!(
+            gap > 0.0,
+            "{label}: corollary needs non-bipartite connected graph"
+        );
         let mut min_ratio = f64::INFINITY;
         let mut qualifying = 0usize;
         let mut violations = 0usize;
         for run_idx in 0..runs {
-            let mut rng = SmallRng::seed_from_u64(0x000F_1110 + (ci * 64 + run_idx) as u64);
+            let mut ctx = cobra_process::StepCtx::seeded(0x000F_1110 + (ci * 64 + run_idx) as u64);
             let mut s = SerialBips::new(&g, 0, Branching::B2);
             let cap = 400 * g.n() + 10_000;
             while !s.is_complete() && s.rounds() < cap {
@@ -54,7 +67,7 @@ pub fn run(quick: bool) -> Table {
                     }
                     qualifying += 1;
                 }
-                s.step_round(&mut rng);
+                s.step_round(&mut ctx);
             }
         }
         table.push_row(vec![

@@ -8,7 +8,7 @@
 
 use crate::report::{fmt_f, Table};
 use cobra_graph::{generators, Graph};
-use cobra_process::{Bips, BipsMode, Branching, Laziness, SpreadProcess};
+use cobra_process::{Bips, BipsMode, Branching, Laziness, ProcessState, ProcessView, StepCtx};
 use cobra_spectral::lanczos_edge_spectrum;
 use cobra_util::math::ln_usize;
 use rand::rngs::SmallRng;
@@ -18,13 +18,19 @@ fn cases(quick: bool) -> Vec<(&'static str, Graph)> {
     let mut rng = SmallRng::seed_from_u64(0xF13_001);
     if quick {
         vec![
-            ("rand 4-reg n=128", generators::random_regular(128, 4, true, &mut rng).unwrap()),
+            (
+                "rand 4-reg n=128",
+                generators::random_regular(128, 4, true, &mut rng).unwrap(),
+            ),
             ("ring_of_cliques 8x6", generators::ring_of_cliques(8, 6)),
             ("cycle_power n=120 k=2", generators::cycle_power(120, 2)),
         ]
     } else {
         vec![
-            ("rand 4-reg n=1024", generators::random_regular(1024, 4, true, &mut rng).unwrap()),
+            (
+                "rand 4-reg n=1024",
+                generators::random_regular(1024, 4, true, &mut rng).unwrap(),
+            ),
             ("ring_of_cliques 32x6", generators::ring_of_cliques(32, 6)),
             ("cycle_power n=960 k=2", generators::cycle_power(960, 2)),
         ]
@@ -38,8 +44,14 @@ pub fn run(quick: bool) -> Table {
         "F13",
         "BIPS phase structure: first-passage rounds at phase boundaries",
         &[
-            "graph", "1-λ", "t(|A|≥log n)", "t(|A|≥n/4)", "t(|A|≥n/2)", "t(full)",
-            "tail = t(full)−t(n/2)", "tail·(1−λ)/ln n",
+            "graph",
+            "1-λ",
+            "t(|A|≥log n)",
+            "t(|A|≥n/4)",
+            "t(|A|≥n/2)",
+            "t(full)",
+            "tail = t(full)−t(n/2)",
+            "tail·(1−λ)/ln n",
         ],
     );
     for (ci, (label, g)) in cases(quick).into_iter().enumerate() {
@@ -53,12 +65,12 @@ pub fn run(quick: bool) -> Table {
         ];
         let mut sums = [0.0f64; 4];
         for trial in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(0xF13_100 + (ci * 128 + trial) as u64);
+            let mut ctx = StepCtx::seeded(0xF13_100 + (ci * 128 + trial) as u64);
             let mut p = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::Bernoulli);
             let mut reached = [None::<usize>; 4];
             let cap = 4000 * n + 100_000;
             while reached.iter().any(Option::is_none) && p.rounds() < cap {
-                p.step(&mut rng);
+                p.step(&mut ctx);
                 let sz = p.infected_count();
                 for (i, &th) in thresholds.iter().enumerate() {
                     if reached[i].is_none() && sz >= th {

@@ -107,7 +107,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F14",
         "Exact duality (Thm 1.3) by subset-space DP: max |gap| over T = 0..8",
-        &["case", "n", "P(Hit>4) COBRA", "P(disjoint,4) BIPS", "max |gap|", "verdict"],
+        &[
+            "case",
+            "n",
+            "P(Hit>4) COBRA",
+            "P(disjoint,4) BIPS",
+            "max |gap|",
+            "verdict",
+        ],
     );
     for case in cases(quick) {
         let report = exact_duality_report(

@@ -10,7 +10,7 @@
 
 use crate::report::{fmt_f, Table};
 use cobra_graph::{generators, VertexId};
-use cobra_process::{Bips, BipsMode, Branching, Laziness, SpreadProcess};
+use cobra_process::{Bips, BipsMode, Branching, Laziness, ProcessState, StepCtx};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -27,8 +27,13 @@ pub fn run(quick: bool) -> Table {
         "F15",
         "Ablation: BIPS round engines at controlled |A| (literal vs Bernoulli)",
         &[
-            "|A|/n", "E|A'| (exact)", "E|A'| (fast)", "rel. diff", "µs/round (exact)",
-            "µs/round (fast)", "exact/fast",
+            "|A|/n",
+            "E|A'| (exact)",
+            "E|A'| (fast)",
+            "rel. diff",
+            "µs/round (exact)",
+            "µs/round (fast)",
+            "exact/fast",
         ],
     );
     for (i, &frac) in fractions.iter().enumerate() {
@@ -41,13 +46,13 @@ pub fn run(quick: bool) -> Table {
         all.truncate(size);
 
         let run_engine = |mode: BipsMode, salt: u64| -> (f64, f64) {
-            let mut rng = SmallRng::seed_from_u64(0x0F15_0200 + salt);
+            let mut ctx = StepCtx::seeded(0x0F15_0200 + salt);
             let mut p = Bips::new(&g, all[0], Branching::B2, Laziness::None, mode);
             let mut next_sizes = 0.0f64;
             let start = Instant::now();
             for _ in 0..rounds {
                 p.set_infected_state(&all);
-                p.step(&mut rng);
+                p.step(&mut ctx);
                 next_sizes += p.infected_count() as f64;
             }
             let micros = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;

@@ -95,7 +95,9 @@ pub fn run(quick: bool) -> Table {
             verdict.to_string(),
         ]);
     }
-    table.note(format!("{trials} trials per side; z compares two binomial proportions"));
+    table.note(format!(
+        "{trials} trials per side; z compares two binomial proportions"
+    ));
     table.note(
         "Theorem 1.3 is an exact identity: every row must read `equal` (|z| within noise)"
             .to_string(),
@@ -121,7 +123,10 @@ mod tests {
         let t = run(true);
         for row in &t.rows {
             let diff: f64 = row[3].parse().unwrap();
-            assert!(diff < 0.08, "max diff {diff} too large at quick fidelity: {row:?}");
+            assert!(
+                diff < 0.08,
+                "max diff {diff} too large at quick fidelity: {row:?}"
+            );
         }
     }
 }

@@ -75,7 +75,13 @@ pub fn run(quick: bool) -> Table {
         "F8",
         "Serialised BIPS (§3): drift floor (ineq. 18) and eq. (14) reconstruction",
         &[
-            "graph", "n", "steps", "min E(Y|hist)", "floor", "frac ≥ floor", "mean Y",
+            "graph",
+            "n",
+            "steps",
+            "min E(Y|hist)",
+            "floor",
+            "frac ≥ floor",
+            "mean Y",
             "eq.14 exact",
         ],
     );
@@ -86,13 +92,13 @@ pub fn run(quick: bool) -> Table {
         let mut y_sum_all = 0.0f64;
         let mut eq14_ok = true;
         for run_idx in 0..runs {
-            let mut rng = SmallRng::seed_from_u64(0xF8_10 + (ci * 64 + run_idx) as u64);
+            let mut ctx = cobra_process::StepCtx::seeded(0xF8_10 + (ci * 64 + run_idx) as u64);
             let source = 0u32;
             let mut s = SerialBips::new(&case.graph, source, case.branching);
             let mut y_sum: i64 = case.graph.degree(source) as i64;
             let cap = 40 * case.graph.n() + 4000;
             while !s.is_complete() && s.rounds() < cap {
-                let report = s.step_round(&mut rng);
+                let report = s.step_round(&mut ctx);
                 for st in &report.steps {
                     min_drift = min_drift.min(st.expected_y);
                     if st.expected_y < case.drift_floor - 1e-9 {

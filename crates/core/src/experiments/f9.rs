@@ -9,11 +9,9 @@
 
 use crate::report::{fmt_f, Table};
 use cobra_graph::{generators, Graph};
-use cobra_process::{Bips, BipsMode, Branching, Laziness, SpreadProcess};
+use cobra_process::{Bips, BipsMode, Branching, Laziness, ProcessState, ProcessView, StepCtx};
 use cobra_stats::fit_line;
 use cobra_util::math::ln_usize;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn cases(quick: bool) -> Vec<(&'static str, Graph)> {
     let n = if quick { 96 } else { 256 };
@@ -32,7 +30,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F9",
         "Lemma 3.1: rounds until d(A_t) ≥ d(v)+k vs t(k) = 4k + dmax²·ln n",
-        &["graph", "k/2m", "k", "mean t_emp(k)", "t(k) shape", "t_emp/t(k)"],
+        &[
+            "graph",
+            "k/2m",
+            "k",
+            "mean t_emp(k)",
+            "t(k) shape",
+            "t_emp/t(k)",
+        ],
     );
     for (label, g) in cases(quick) {
         let source = 0u32;
@@ -47,12 +52,18 @@ pub fn run(quick: bool) -> Table {
         // Per-trial first-passage rounds for each target.
         let mut sums = vec![0.0f64; targets.len()];
         for trial in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(0xF9_00 + trial as u64);
-            let mut p = Bips::new(&g, source, Branching::B2, Laziness::None, BipsMode::Bernoulli);
+            let mut ctx = StepCtx::seeded(0xF9_00 + trial as u64);
+            let mut p = Bips::new(
+                &g,
+                source,
+                Branching::B2,
+                Laziness::None,
+                BipsMode::Bernoulli,
+            );
             let mut reached = vec![None; targets.len()];
             let cap = 100 * two_m + 100_000;
             while reached.iter().any(Option::is_none) && p.rounds() < cap {
-                p.step(&mut rng);
+                p.step(&mut ctx);
                 let d_now = p.infected_degree();
                 for (i, &k) in targets.iter().enumerate() {
                     if reached[i].is_none() && d_now >= d_v + k {
@@ -106,7 +117,10 @@ mod tests {
         let t = run(true);
         for row in &t.rows {
             let ratio: f64 = row[5].parse().unwrap();
-            assert!(ratio < 2.0, "t_emp/t(k) = {ratio}: Lemma 3.1 shape violated at {row:?}");
+            assert!(
+                ratio < 2.0,
+                "t_emp/t(k) = {ratio}: Lemma 3.1 shape violated at {row:?}"
+            );
         }
     }
 
@@ -123,7 +137,10 @@ mod tests {
                 .unwrap()
                 .parse()
                 .unwrap();
-            assert!(slope <= 4.5, "slope {slope} above Lemma 3.1's 4 (+noise): {note}");
+            assert!(
+                slope <= 4.5,
+                "slope {slope} above Lemma 3.1's 4 (+noise): {note}"
+            );
             assert!(slope > 0.0);
         }
     }

@@ -51,8 +51,8 @@ use crate::report::Table;
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: [&str; 17] = [
-    "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
-    "f14", "f15", "f16",
+    "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14",
+    "f15", "f16",
 ];
 
 /// Runs an experiment by id (case-insensitive). `quick` selects the

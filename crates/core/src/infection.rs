@@ -2,13 +2,15 @@
 //!
 //! Like [`crate::cover`], this module is a thin layer over the
 //! [`SimSpec`](crate::sim::SimSpec) API — every Monte-Carlo loop runs in
-//! the engine. The degree trajectory shows the [`Observer`] hook in
-//! action: a tiny per-round probe, no bespoke trial loop.
+//! the engine (the deprecated `bips_infection_samples` shim from the
+//! pre-`SimSpec` API has been removed). The degree trajectory shows the
+//! [`Observer`] hook in action: a tiny per-round probe, no bespoke trial
+//! loop.
 
 use crate::sim::{Estimate, SimSpec};
 use cobra_graph::{Graph, VertexId};
 use cobra_mc::{Observer, StopWhen, TrialOutcome};
-use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, SpreadProcess};
+use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, ProcessView};
 
 /// Configuration for infection-time estimation (legacy; prefer building
 /// a [`SimSpec`] directly).
@@ -93,17 +95,6 @@ impl InfectionConfig {
 /// [`Estimate`] (same censoring semantics as cover estimation).
 pub type InfectionEstimate = Estimate;
 
-/// Estimates `infec(source)` — rounds until `A_t = V` — by independent
-/// trials.
-#[deprecated(note = "build a SimSpec (e.g. `cfg.to_sim(g, source)`) and call .run()")]
-pub fn bips_infection_samples(
-    g: &Graph,
-    source: VertexId,
-    cfg: InfectionConfig,
-) -> InfectionEstimate {
-    cfg.to_sim(g, source).run()
-}
-
 /// Mean infection-size trajectory: entry `t` is the Monte-Carlo mean of
 /// `|A_t|` over `cfg.trials` runs, for `t = 0..=rounds`.
 pub fn infection_trajectory(
@@ -125,7 +116,7 @@ struct DegreeTrajectory<'g> {
 }
 
 impl DegreeTrajectory<'_> {
-    fn record(&mut self, p: &dyn SpreadProcess) {
+    fn record(&mut self, p: &dyn ProcessView) {
         let total: usize = p
             .reached()
             .iter()
@@ -137,13 +128,13 @@ impl DegreeTrajectory<'_> {
 
 impl Observer for DegreeTrajectory<'_> {
     type Output = Vec<usize>;
-    fn on_start(&mut self, p: &dyn SpreadProcess) {
+    fn on_start(&mut self, p: &dyn ProcessView) {
         self.record(p);
     }
-    fn on_round(&mut self, p: &dyn SpreadProcess) {
+    fn on_round(&mut self, p: &dyn ProcessView) {
         self.record(p);
     }
-    fn finish(self, _outcome: TrialOutcome, _p: &dyn SpreadProcess) -> Vec<usize> {
+    fn finish(self, _outcome: TrialOutcome, _p: &dyn ProcessView) -> Vec<usize> {
         self.degs
     }
 }
@@ -188,14 +179,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_sim_spec_path() {
-        let g = generators::petersen();
-        let cfg = InfectionConfig::default().with_trials(10);
-        assert_eq!(bips_infection_samples(&g, 0, cfg), cfg.to_sim(&g, 0).run());
-    }
-
-    #[test]
     fn exact_and_bernoulli_summaries_agree() {
         let g = generators::petersen();
         let mut cfg = InfectionConfig::default().with_trials(200);
@@ -233,16 +216,15 @@ mod tests {
         // The observer's per-round probe must agree with what a manual
         // run of the same seeded process reports.
         use cobra_mc::trial_seed;
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use cobra_process::{ProcessState, StepCtx};
         let g = generators::petersen();
         let cfg = InfectionConfig::default().with_trials(1);
         let traj = degree_trajectory(&g, 0, 12, cfg);
-        let mut rng = SmallRng::seed_from_u64(trial_seed(cfg.master_seed, 0));
+        let mut ctx = StepCtx::seeded(trial_seed(cfg.master_seed, 0));
         let mut p = Bips::new(&g, 0, cfg.branching, cfg.laziness, cfg.mode);
         let mut expect = vec![p.infected_degree() as f64];
         for _ in 0..12 {
-            p.step(&mut rng);
+            p.step(&mut ctx);
             expect.push(p.infected_degree() as f64);
         }
         assert_eq!(traj, expect);

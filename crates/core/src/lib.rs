@@ -49,10 +49,8 @@ pub mod infection;
 pub mod report;
 pub mod sim;
 
-#[allow(deprecated)]
-pub use cover::{cobra_cover_samples, CoverConfig, CoverEstimate};
+pub use cover::{CoverConfig, CoverEstimate};
 pub use duality::{duality_check, DualityConfig, DualityReport};
-#[allow(deprecated)]
-pub use infection::{bips_infection_samples, infection_trajectory, InfectionConfig};
+pub use infection::{infection_trajectory, InfectionConfig};
 pub use report::Table;
 pub use sim::{Estimate, GraphSource, Objective, SimError, SimSpec};

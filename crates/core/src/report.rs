@@ -22,11 +22,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Table {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             id: id.into(),
             title: title.into(),
@@ -91,10 +87,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            " --- |".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", " --- |".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

@@ -257,7 +257,7 @@ impl<'g> SimSpec<'g> {
             Objective::Completion => StopWhen::Complete,
             Objective::Reach(v) => StopWhen::Reached(v),
         };
-        let outcomes = engine.run_outcomes(stop, |_, _| self.process.build(&g, &self.start));
+        let outcomes = engine.run_spec_outcomes(&g, &self.process, &self.start, stop);
         Ok(Estimate::from_outcomes(&outcomes, engine.cap))
     }
 
@@ -285,11 +285,7 @@ impl<'g> SimSpec<'g> {
         let g = self.graph()?;
         self.check(&g)?;
         let engine = self.engine(&g);
-        Ok(engine.run(
-            stop,
-            |_, _| self.process.build(&g, &self.start),
-            make_observer,
-        ))
+        Ok(engine.run_spec(&g, &self.process, &self.start, stop, make_observer))
     }
 
     /// Mean reached-set-size trajectory: entry `t` is the Monte-Carlo

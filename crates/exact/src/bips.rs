@@ -21,7 +21,10 @@ pub struct SubsetDistribution {
 impl SubsetDistribution {
     /// Point mass on `mask`.
     pub fn point(n: usize, mask: usize) -> SubsetDistribution {
-        assert!(n <= MAX_EXACT_VERTICES, "subset DP limited to {MAX_EXACT_VERTICES} vertices");
+        assert!(
+            n <= MAX_EXACT_VERTICES,
+            "subset DP limited to {MAX_EXACT_VERTICES} vertices"
+        );
         assert!(mask < (1usize << n), "mask out of range");
         let mut probs = vec![0.0; 1 << n];
         probs[mask] = 1.0;
@@ -78,7 +81,10 @@ pub fn bips_distributions(
     rounds: usize,
 ) -> Vec<SubsetDistribution> {
     let n = g.n();
-    assert!(n <= MAX_EXACT_VERTICES, "exact BIPS limited to {MAX_EXACT_VERTICES} vertices");
+    assert!(
+        n <= MAX_EXACT_VERTICES,
+        "exact BIPS limited to {MAX_EXACT_VERTICES} vertices"
+    );
     assert!((source as usize) < n, "source out of range");
     branching.validate();
 
@@ -156,23 +162,27 @@ pub fn bips_disjoint_probabilities(
 ) -> Vec<f64> {
     let max_t = horizons.iter().copied().max().unwrap_or(0);
     let dists = bips_distributions(g, source, branching, laziness, max_t);
-    horizons.iter().map(|&t| dists[t].prob_disjoint(c_mask)).collect()
+    horizons
+        .iter()
+        .map(|&t| dists[t].prob_disjoint(c_mask))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cobra_graph::generators;
-    use cobra_process::{Bips, BipsMode, SpreadProcess};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cobra_process::{Bips, BipsMode, ProcessState, StepCtx};
 
     #[test]
     fn mass_is_conserved() {
         let g = generators::cycle(6);
         let dists = bips_distributions(&g, 0, Branching::B2, Laziness::None, 5);
         for (t, d) in dists.iter().enumerate() {
-            assert!((d.total_mass() - 1.0).abs() < 1e-12, "mass leak at round {t}");
+            assert!(
+                (d.total_mass() - 1.0).abs() < 1e-12,
+                "mass leak at round {t}"
+            );
         }
     }
 
@@ -221,11 +231,17 @@ mod tests {
         let trials = 4000;
         let mut mean = [0.0f64; 5];
         for i in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(50_000 + i);
-            let mut p = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::ExactSampling);
+            let mut ctx = StepCtx::seeded(50_000 + i);
+            let mut p = Bips::new(
+                &g,
+                0,
+                Branching::B2,
+                Laziness::None,
+                BipsMode::ExactSampling,
+            );
             mean[0] += p.infected_count() as f64;
             for m in mean.iter_mut().skip(1) {
-                p.step(&mut rng);
+                p.step(&mut ctx);
                 *m += p.infected_count() as f64;
             }
         }
@@ -261,9 +277,8 @@ mod tests {
     fn rho_branching_interpolates() {
         // P(u infected) with b = 1+ρ sits between b = 1 and b = 2.
         let g = generators::complete(4);
-        let size = |b: Branching| {
-            bips_distributions(&g, 0, b, Laziness::None, 1)[1].expected_size()
-        };
+        let size =
+            |b: Branching| bips_distributions(&g, 0, b, Laziness::None, 1)[1].expected_size();
         let s1 = size(Branching::Fixed(1));
         let s15 = size(Branching::Expected(0.5));
         let s2 = size(Branching::Fixed(2));

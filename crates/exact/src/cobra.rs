@@ -27,9 +27,15 @@ pub fn cobra_survival_probabilities(
     horizons: &[usize],
 ) -> Vec<f64> {
     let n = g.n();
-    assert!(n <= MAX_EXACT_VERTICES, "exact COBRA limited to {MAX_EXACT_VERTICES} vertices");
+    assert!(
+        n <= MAX_EXACT_VERTICES,
+        "exact COBRA limited to {MAX_EXACT_VERTICES} vertices"
+    );
     assert!((target as usize) < n, "target out of range");
-    assert!(start_mask > 0 && start_mask < (1 << n), "start mask must be a nonempty subset");
+    assert!(
+        start_mask > 0 && start_mask < (1 << n),
+        "start mask must be a nonempty subset"
+    );
     branching.validate();
     if let Branching::Fixed(b) = branching {
         assert!(b <= 3, "exact COBRA enumerates pushes only up to b = 3");
@@ -50,8 +56,7 @@ pub fn cobra_survival_probabilities(
         .map(|u| push_set_distribution(g, u, branching, laziness))
         .collect();
 
-    let survival_now =
-        |alive: &[f64]| -> f64 { alive.iter().sum() };
+    let survival_now = |alive: &[f64]| -> f64 { alive.iter().sum() };
 
     let mut out = vec![0.0f64; horizons.len()];
     for (i, &t) in horizons.iter().enumerate() {
@@ -77,8 +82,7 @@ pub fn cobra_survival_probabilities(
                 let mut new_support: Vec<usize> = Vec::with_capacity(support.len() * 4);
                 // Drain the current support into a temporary, then
                 // scatter through u's push distribution.
-                let entries: Vec<(usize, f64)> =
-                    support.iter().map(|&s| (s, scratch[s])).collect();
+                let entries: Vec<(usize, f64)> = support.iter().map(|&s| (s, scratch[s])).collect();
                 for &s in &support {
                     scratch[s] = 0.0;
                 }
@@ -182,9 +186,7 @@ fn merge(mut entries: Vec<(usize, f64)>) -> Vec<(usize, f64)> {
 mod tests {
     use super::*;
     use cobra_graph::generators;
-    use cobra_process::{Cobra, SpreadProcess};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cobra_process::{Cobra, ProcessState, ProcessView, StepCtx};
 
     #[test]
     fn push_distribution_k3_b2() {
@@ -192,7 +194,12 @@ mod tests {
         // {1} w.p. 1/4, {2} w.p. 1/4, {1,2} w.p. 1/2.
         let g = generators::complete(3);
         let d = push_set_distribution(&g, 0, Branching::B2, Laziness::None);
-        let lookup = |m: usize| d.iter().find(|&&(mm, _)| mm == m).map(|&(_, p)| p).unwrap_or(0.0);
+        let lookup = |m: usize| {
+            d.iter()
+                .find(|&&(mm, _)| mm == m)
+                .map(|&(_, p)| p)
+                .unwrap_or(0.0)
+        };
         assert!((lookup(0b010) - 0.25).abs() < 1e-12);
         assert!((lookup(0b100) - 0.25).abs() < 1e-12);
         assert!((lookup(0b110) - 0.5).abs() < 1e-12);
@@ -232,7 +239,10 @@ mod tests {
         for w in s.windows(2) {
             assert!(w[1] <= w[0] + 1e-12, "survival increased: {s:?}");
         }
-        assert!(s[7] < 0.1, "Petersen should be nearly hit by round 7: {s:?}");
+        assert!(
+            s[7] < 0.1,
+            "Petersen should be nearly hit by round 7: {s:?}"
+        );
     }
 
     #[test]
@@ -249,15 +259,16 @@ mod tests {
     fn matches_monte_carlo_on_k4() {
         let g = generators::complete(4);
         let horizons = [1usize, 2, 3];
-        let exact = cobra_survival_probabilities(&g, 3, 0b0001, Branching::B2, Laziness::None, &horizons);
+        let exact =
+            cobra_survival_probabilities(&g, 3, 0b0001, Branching::B2, Laziness::None, &horizons);
         let trials = 40_000u64;
         let mut counts = [0u64; 3];
         for i in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(70_000 + i);
+            let mut ctx = StepCtx::seeded(70_000 + i);
             let mut c = Cobra::new(&g, &[0], Branching::B2, Laziness::None);
             for (k, &t) in horizons.iter().enumerate() {
                 while c.rounds() < t {
-                    c.step(&mut rng);
+                    c.step(&mut ctx);
                 }
                 if !c.has_visited(3) {
                     counts[k] += 1;
@@ -281,7 +292,14 @@ mod tests {
         // (distance 2), P(Hit(2) > 2) = 1/2 (two steps reach the
         // antipode with prob 1/2).
         let g = generators::cycle(4);
-        let s = cobra_survival_probabilities(&g, 2, 0b0001, Branching::Fixed(1), Laziness::None, &[1, 2]);
+        let s = cobra_survival_probabilities(
+            &g,
+            2,
+            0b0001,
+            Branching::Fixed(1),
+            Laziness::None,
+            &[1, 2],
+        );
         assert!((s[0] - 1.0).abs() < 1e-12);
         assert!((s[1] - 0.5).abs() < 1e-12);
     }

@@ -53,10 +53,13 @@ pub fn exact_duality_report(
         assert!((u as usize) < g.n(), "start vertex out of range");
         c_mask |= 1usize << u;
     }
-    let cobra_side =
-        cobra_survival_probabilities(g, v, c_mask, branching, laziness, horizons);
+    let cobra_side = cobra_survival_probabilities(g, v, c_mask, branching, laziness, horizons);
     let bips_side = bips_disjoint_probabilities(g, v, branching, laziness, c_mask, horizons);
-    ExactDualityReport { horizons: horizons.to_vec(), cobra_side, bips_side }
+    ExactDualityReport {
+        horizons: horizons.to_vec(),
+        cobra_side,
+        bips_side,
+    }
 }
 
 /// Convenience: the maximum gap between the exact sides (0 up to float

@@ -15,13 +15,24 @@ use cobra_graph::{Graph, VertexId};
 #[allow(clippy::needless_range_loop)]
 pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
-    assert!(a.len() == n && a.iter().all(|r| r.len() == n), "system shape mismatch");
+    assert!(
+        a.len() == n && a.iter().all(|r| r.len() == n),
+        "system shape mismatch"
+    );
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("nonempty");
-        assert!(a[pivot][col].abs() > 1e-12, "singular system at column {col}");
+        assert!(
+            a[pivot][col].abs() > 1e-12,
+            "singular system at column {col}"
+        );
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
@@ -98,9 +109,15 @@ pub fn srw_hitting_times(g: &Graph, target: VertexId) -> Vec<f64> {
 /// `n ≤ 14`.
 pub fn srw_cover_time(g: &Graph, start: VertexId) -> f64 {
     let n = g.n();
-    assert!(n <= crate::MAX_EXACT_VERTICES, "exact cover limited to small graphs");
+    assert!(
+        n <= crate::MAX_EXACT_VERTICES,
+        "exact cover limited to small graphs"
+    );
     assert!((start as usize) < n, "start out of range");
-    assert!(cobra_graph::props::is_connected(g), "cover undefined on disconnected graphs");
+    assert!(
+        cobra_graph::props::is_connected(g),
+        "cover undefined on disconnected graphs"
+    );
     if n == 1 {
         return 0.0;
     }
@@ -195,7 +212,11 @@ mod tests {
         let n = 8;
         let g = generators::path(n);
         let h = srw_hitting_times(&g, (n - 1) as u32);
-        assert!((h[0] - ((n - 1) * (n - 1)) as f64).abs() < 1e-8, "h[0] = {}", h[0]);
+        assert!(
+            (h[0] - ((n - 1) * (n - 1)) as f64).abs() < 1e-8,
+            "h[0] = {}",
+            h[0]
+        );
     }
 
     #[test]
@@ -217,7 +238,10 @@ mod tests {
         let g = generators::complete(n);
         let want = (n - 1) as f64 * harmonic(n - 1);
         let got = srw_cover_time(&g, 0);
-        assert!((got - want).abs() < 1e-8, "cover {got} vs coupon-collector {want}");
+        assert!(
+            (got - want).abs() < 1e-8,
+            "cover {got} vs coupon-collector {want}"
+        );
     }
 
     #[test]
@@ -254,22 +278,17 @@ mod tests {
 
     #[test]
     fn monte_carlo_walk_agrees_with_exact_cover() {
-        use cobra_process::{Laziness, RandomWalk};
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use cobra_process::{Laziness, RandomWalk, StepCtx};
         let g = generators::lollipop(4, 3);
         let exact = srw_cover_time(&g, 0);
         let trials = 3000u64;
         let mut total = 0.0;
         for i in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(90_000 + i);
+            let mut ctx = StepCtx::seeded(90_000 + i);
             let mut w = RandomWalk::new(&g, 0, Laziness::None);
-            total += w.run_until_cover(&mut rng, 10_000_000).unwrap() as f64;
+            total += w.run_until_cover(&mut ctx, 10_000_000).unwrap() as f64;
         }
         let mc = total / trials as f64;
-        assert!(
-            (mc - exact).abs() < 0.1 * exact,
-            "MC {mc} vs exact {exact}"
-        );
+        assert!((mc - exact).abs() < 0.1 * exact, "MC {mc} vs exact {exact}");
     }
 }

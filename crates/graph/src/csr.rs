@@ -14,7 +14,10 @@ pub type VertexId = u32;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// An endpoint was `>= n`.
-    VertexOutOfRange { edge: (VertexId, VertexId), n: usize },
+    VertexOutOfRange {
+        edge: (VertexId, VertexId),
+        n: usize,
+    },
     /// An edge `{u, u}`.
     SelfLoop { vertex: VertexId },
     /// The same undirected edge appeared twice (only in strict building).
@@ -27,7 +30,11 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { edge, n } => {
-                write!(f, "edge ({}, {}) has endpoint outside 0..{}", edge.0, edge.1, n)
+                write!(
+                    f,
+                    "edge ({}, {}) has endpoint outside 0..{}",
+                    edge.0, edge.1, n
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::DuplicateEdge { edge } => {
@@ -175,6 +182,34 @@ impl Graph {
         nbrs[rng.random_range(0..nbrs.len())]
     }
 
+    /// The CSR position and length of `v`'s adjacency list, as
+    /// `(offset, degree)`. Together with [`Graph::neighbor_flat`] this
+    /// lets batched samplers split "pick a neighbour index" from
+    /// "resolve it", which the hot simulation kernels exploit to keep
+    /// several independent memory accesses in flight.
+    #[inline]
+    pub fn neighbor_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        let base = self.offsets[v];
+        (base, self.offsets[v + 1] - base)
+    }
+
+    /// Pointer to the start of `v`'s adjacency metadata, for software
+    /// prefetching a few vertices ahead of the sampling loop. Reading
+    /// through it is only valid via the safe accessors.
+    #[inline]
+    pub fn neighbor_range_ptr(&self, v: VertexId) -> *const u8 {
+        self.offsets[v as usize..].as_ptr() as *const u8
+    }
+
+    /// The concatenated adjacency array underlying the CSR layout.
+    /// `neighbor_flat()[neighbor_range(v).0 + j]` is the `j`-th
+    /// neighbour of `v`.
+    #[inline]
+    pub fn neighbor_flat(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
     /// Membership test via binary search: `O(log deg)`.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         if (u as usize) < self.n() && (v as usize) < self.n() {
@@ -200,12 +235,18 @@ impl Graph {
 
     /// Maximum vertex degree `dmax` (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum vertex degree (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// `Some(r)` if the graph is `r`-regular, else `None`.
@@ -336,7 +377,10 @@ mod tests {
         }
         for &c in &counts[1..] {
             // Each neighbour expected 1000 times; allow generous slack.
-            assert!((700..1300).contains(&c), "non-uniform sample counts {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "non-uniform sample counts {counts:?}"
+            );
         }
     }
 

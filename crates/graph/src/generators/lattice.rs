@@ -55,7 +55,10 @@ fn lattice(dims: &[usize], periodic: bool) -> Graph {
 /// exactly one bit. `d`-regular and bipartite (so the paper's results
 /// apply through the lazy variant).
 pub fn hypercube(d: u32) -> Graph {
-    assert!((1..31).contains(&d), "hypercube dimension out of supported range");
+    assert!(
+        (1..31).contains(&d),
+        "hypercube dimension out of supported range"
+    );
     let n = 1usize << d;
     let mut edges = Vec::with_capacity(n * d as usize / 2);
     for v in 0..n {

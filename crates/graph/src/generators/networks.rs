@@ -20,9 +20,13 @@ use rand::{Rng, RngExt};
 /// comparable to `m = Θ(n)`.
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_edges: usize, rng: &mut R) -> Graph {
     assert!(m_edges >= 1, "need at least one edge per new vertex");
-    assert!(n > m_edges, "need n > m_edges (got n={n}, m_edges={m_edges})");
+    assert!(
+        n > m_edges,
+        "need n > m_edges (got n={n}, m_edges={m_edges})"
+    );
     let m0 = m_edges + 1;
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m0 * (m0 - 1) / 2 + (n - m0) * m_edges);
+    let mut edges: Vec<(VertexId, VertexId)> =
+        Vec::with_capacity(m0 * (m0 - 1) / 2 + (n - m0) * m_edges);
     // Seed clique.
     for u in 0..m0 as VertexId {
         for v in (u + 1)..m0 as VertexId {
@@ -108,7 +112,10 @@ mod tests {
         assert_eq!(g.n(), n);
         let m0 = m_edges + 1;
         assert_eq!(g.m(), m0 * (m0 - 1) / 2 + (n - m0) * m_edges);
-        assert!(props::is_connected(&g), "attachment keeps the graph connected");
+        assert!(
+            props::is_connected(&g),
+            "attachment keeps the graph connected"
+        );
         assert!(g.min_degree() >= m_edges);
     }
 

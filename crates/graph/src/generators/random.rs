@@ -33,7 +33,11 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     loop {
         // Geometric skip: number of failures before next success.
         let u: f64 = rng.random::<f64>();
-        let skip = if u <= 0.0 { 0 } else { (u.ln() / log_q).floor() as usize };
+        let skip = if u <= 0.0 {
+            0
+        } else {
+            (u.ln() / log_q).floor() as usize
+        };
         pos = match pos.checked_add(skip) {
             Some(p) => p,
             None => break,
@@ -84,7 +88,10 @@ impl fmt::Display for RandomRegularError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RandomRegularError::InfeasibleDegree { n, r } => {
-                write!(f, "no r-regular graph with n={n}, r={r} (need nr even, r<n)")
+                write!(
+                    f,
+                    "no r-regular graph with n={n}, r={r} (need nr even, r<n)"
+                )
             }
             RandomRegularError::RetriesExhausted { attempts } => {
                 write!(f, "configuration model failed after {attempts} attempts")
@@ -142,7 +149,9 @@ pub fn random_regular<R: Rng + ?Sized>(
         }
         return Ok(g);
     }
-    Err(RandomRegularError::RetriesExhausted { attempts: TOTAL_ATTEMPTS })
+    Err(RandomRegularError::RetriesExhausted {
+        attempts: TOTAL_ATTEMPTS,
+    })
 }
 
 /// Pairs stubs sequentially; `None` on any self-loop or duplicate
@@ -168,10 +177,8 @@ fn pair_repair<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Option<Vec<(VertexId, VertexId)>> {
     let m = stubs.len() / 2;
-    let mut edges: Vec<(VertexId, VertexId)> = stubs
-        .chunks_exact(2)
-        .map(|p| (p[0], p[1]))
-        .collect();
+    let mut edges: Vec<(VertexId, VertexId)> =
+        stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
     let canon = |u: VertexId, v: VertexId| (u.min(v), u.max(v));
     let mut count: std::collections::HashMap<(VertexId, VertexId), u32> =
         std::collections::HashMap::with_capacity(m);

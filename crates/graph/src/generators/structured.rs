@@ -13,7 +13,11 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
     assert!(n >= 3, "circulant needs n >= 3");
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     for &s in offsets {
-        assert!(s >= 1 && s <= n / 2, "offset {s} out of range 1..={}", n / 2);
+        assert!(
+            s >= 1 && s <= n / 2,
+            "offset {s} out of range 1..={}",
+            n / 2
+        );
         for i in 0..n {
             let j = (i + s) % n;
             edges.push((i as VertexId, j as VertexId));

@@ -184,7 +184,11 @@ pub struct DegreeStats {
 /// Computes min/max/mean degree in one pass.
 pub fn degree_stats(g: &Graph) -> DegreeStats {
     if g.n() == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
     }
     DegreeStats {
         min: g.min_degree(),
@@ -283,7 +287,11 @@ mod tests {
     fn double_sweep_exact_on_trees_and_lower_bound_generally() {
         let t = generators::k_ary_tree(31, 2);
         assert_eq!(diameter_double_sweep(&t, 0), diameter(&t));
-        for g in [generators::cycle(12), generators::petersen(), generators::barbell(4, 3)] {
+        for g in [
+            generators::cycle(12),
+            generators::petersen(),
+            generators::barbell(4, 3),
+        ] {
             let ds = diameter_double_sweep(&g, 0).unwrap();
             let ex = diameter(&g).unwrap();
             assert!(ds <= ex);

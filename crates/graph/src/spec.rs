@@ -158,7 +158,7 @@ fn parse_dims(token: &str, what: &str) -> Result<Vec<usize>, GraphSpecError> {
         .split('x')
         .map(|t| parse_num(t, "a dimension"))
         .collect::<Result<_, _>>()?;
-    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+    if dims.is_empty() || dims.contains(&0) {
         return Err(GraphSpecError::new(format!(
             "{what} needs positive dimensions, got {token:?}"
         )));
@@ -291,7 +291,7 @@ impl FromStr for GraphSpec {
                     .split('+')
                     .map(|t| parse_num(t, "an offset"))
                     .collect::<Result<_, _>>()?;
-                if offsets.is_empty() || offsets.iter().any(|&o| o == 0) {
+                if offsets.is_empty() || offsets.contains(&0) {
                     return Err(GraphSpecError::new("circulant needs positive offsets"));
                 }
                 GraphSpec::Circulant { n, offsets }
@@ -332,7 +332,7 @@ impl FromStr for GraphSpec {
                 expect_arity(&parts, 2, "regular:N:R")?;
                 let n: usize = parse_num(parts[1], "vertex count")?;
                 let r: usize = parse_num(parts[2], "degree")?;
-                if n == 0 || r >= n || (n * r) % 2 != 0 {
+                if n == 0 || r >= n || !(n * r).is_multiple_of(2) {
                     return Err(GraphSpecError::new(format!(
                         "no simple {r}-regular graph on {n} vertices"
                     )));
@@ -445,7 +445,7 @@ impl GraphSpec {
             }
             GraphSpec::Circulant { n, offsets } => {
                 positive(*n, "vertex count")?;
-                if offsets.is_empty() || offsets.iter().any(|&o| o == 0) {
+                if offsets.is_empty() || offsets.contains(&0) {
                     return Err(GraphSpecError::new("circulant needs positive offsets"));
                 }
                 Ok(())

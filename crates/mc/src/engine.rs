@@ -14,15 +14,26 @@
 //!   outcome ([`Completion`]), a reached-count trajectory
 //!   ([`Trajectory`]), or any custom per-round probe.
 //!
+//! # Zero-allocation trial loop
+//!
+//! The trial loop is generic over `P:`[`ProcessState`], so stepping and
+//! stop checks monomorphize (no virtual dispatch per round). Each worker
+//! thread builds **one** process state and **one** [`StepCtx`] via
+//! [`run_trials_with`]; every trial reseeds the context and
+//! [`ProcessState::reset`]s the state, so steady-state trials perform no
+//! heap allocation at all. The string-spec path still works — a
+//! [`cobra_process::BoxedProcess`] is itself a `ProcessState` — and even
+//! there the `Box` is built once per worker, not once per trial.
+//!
 //! Determinism is inherited from [`run_trials`]: trial `i` sees only
 //! `trial_seed(master_seed, i)`, so results are identical across thread
 //! counts.
+//!
+//! [`run_trials`]: crate::runner::run_trials
 
-use crate::runner::{run_trials, RunConfig};
-use cobra_graph::VertexId;
-use cobra_process::SpreadProcess;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::runner::{run_trials_with, RunConfig};
+use cobra_graph::{Graph, VertexId};
+use cobra_process::{BoxedProcess, ProcessSpec, ProcessState, ProcessView, StepCtx};
 
 /// When a trial stops stepping (the round cap always applies on top).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,18 +64,22 @@ pub struct TrialOutcome {
 
 /// Per-trial hooks: sees the process after construction and after every
 /// round, then distils the trial into its output.
+///
+/// Hooks read through the object-safe [`ProcessView`] surface, so one
+/// observer type serves every process the (monomorphized) trial loop
+/// drives.
 pub trait Observer {
     type Output: Send;
 
     /// Called once, before the first round (the process is in its
     /// round-0 state).
-    fn on_start(&mut self, _process: &dyn SpreadProcess) {}
+    fn on_start(&mut self, _process: &dyn ProcessView) {}
 
     /// Called after every executed round.
-    fn on_round(&mut self, _process: &dyn SpreadProcess) {}
+    fn on_round(&mut self, _process: &dyn ProcessView) {}
 
     /// Called once when the trial ends.
-    fn finish(self, outcome: TrialOutcome, process: &dyn SpreadProcess) -> Self::Output;
+    fn finish(self, outcome: TrialOutcome, process: &dyn ProcessView) -> Self::Output;
 }
 
 /// The no-op observer: a trial reduces to its [`TrialOutcome`].
@@ -73,7 +88,7 @@ pub struct Completion;
 
 impl Observer for Completion {
     type Output = TrialOutcome;
-    fn finish(self, outcome: TrialOutcome, _process: &dyn SpreadProcess) -> TrialOutcome {
+    fn finish(self, outcome: TrialOutcome, _process: &dyn ProcessView) -> TrialOutcome {
         outcome
     }
 }
@@ -87,13 +102,13 @@ pub struct Trajectory {
 
 impl Observer for Trajectory {
     type Output = Vec<usize>;
-    fn on_start(&mut self, process: &dyn SpreadProcess) {
+    fn on_start(&mut self, process: &dyn ProcessView) {
         self.sizes.push(process.reached_count());
     }
-    fn on_round(&mut self, process: &dyn SpreadProcess) {
+    fn on_round(&mut self, process: &dyn ProcessView) {
         self.sizes.push(process.reached_count());
     }
-    fn finish(self, _outcome: TrialOutcome, _process: &dyn SpreadProcess) -> Vec<usize> {
+    fn finish(self, _outcome: TrialOutcome, _process: &dyn ProcessView) -> Vec<usize> {
         self.sizes
     }
 }
@@ -131,31 +146,41 @@ impl Engine {
         self
     }
 
-    /// Runs the trials. `make_process` builds a fresh process per trial
-    /// (it may draw from the trial's RNG, e.g. for random start sets);
-    /// `make_observer` builds the per-trial observer. Output order is by
-    /// trial index, identical for any thread count.
-    pub fn run<P, F, Ob, G>(
+    /// Runs the trials over a reusable process state per worker.
+    ///
+    /// `make_state` builds the worker's process state (once per worker
+    /// thread); `reset` restores it to round 0 for a trial — it receives
+    /// the trial index and the freshly reseeded [`StepCtx`] and may draw
+    /// from `ctx.rng` (e.g. for random start sets) before stepping
+    /// begins. `make_observer` builds the per-trial observer. Output
+    /// order is by trial index, identical for any thread count.
+    ///
+    /// The trial loop monomorphizes over `P`, so the per-round stop
+    /// check and `step` call compile to direct, inlinable code.
+    pub fn run<'g, P, F, R, Ob, G>(
         &self,
         stop: StopWhen,
-        make_process: F,
+        make_state: F,
+        reset: R,
         make_observer: G,
     ) -> Vec<Ob::Output>
     where
-        P: SpreadProcess,
-        F: Fn(usize, &mut SmallRng) -> P + Sync,
+        P: ProcessState<'g>,
+        F: Fn() -> P + Sync,
+        R: Fn(&mut P, usize, &mut StepCtx) + Sync,
         Ob: Observer,
         G: Fn(usize) -> Ob + Sync,
         Ob::Output: Send,
     {
         let cap = self.cap;
-        run_trials(
+        run_trials_with(
             RunConfig::new(self.trials, self.master_seed).with_threads(self.threads),
-            |seed, index| {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let mut process = make_process(index, &mut rng);
+            || (make_state(), StepCtx::new()),
+            |(process, ctx), seed, index| {
+                ctx.reseed(seed);
+                reset(process, index, ctx);
                 let mut observer = make_observer(index);
-                observer.on_start(&process);
+                observer.on_start(process);
                 let rounds = loop {
                     let stopped = match stop {
                         StopWhen::Complete => process.is_complete(),
@@ -168,8 +193,8 @@ impl Engine {
                     if process.rounds() >= cap {
                         break None;
                     }
-                    process.step(&mut rng);
-                    observer.on_round(&process);
+                    process.step(ctx);
+                    observer.on_round(process);
                 };
                 let outcome = TrialOutcome {
                     rounds,
@@ -177,19 +202,60 @@ impl Engine {
                     reached: process.reached_count(),
                     transmissions: process.transmissions(),
                 };
-                observer.finish(outcome, &process)
+                observer.finish(outcome, process)
             },
         )
     }
 
     /// [`Engine::run`] with the no-op observer: one [`TrialOutcome`]
     /// per trial.
-    pub fn run_outcomes<P, F>(&self, stop: StopWhen, make_process: F) -> Vec<TrialOutcome>
+    pub fn run_outcomes<'g, P, F, R>(
+        &self,
+        stop: StopWhen,
+        make_state: F,
+        reset: R,
+    ) -> Vec<TrialOutcome>
     where
-        P: SpreadProcess,
-        F: Fn(usize, &mut SmallRng) -> P + Sync,
+        P: ProcessState<'g>,
+        F: Fn() -> P + Sync,
+        R: Fn(&mut P, usize, &mut StepCtx) + Sync,
     {
-        self.run(stop, make_process, |_| Completion)
+        self.run(stop, make_state, reset, |_| Completion)
+    }
+
+    /// [`Engine::run`] for a parsed [`ProcessSpec`] — the type-erased
+    /// path string-driven entry points (CLI, config files) use. The
+    /// [`BoxedProcess`] is built once per worker and reset per trial.
+    pub fn run_spec<'g, Ob, G>(
+        &self,
+        g: &'g Graph,
+        spec: &ProcessSpec,
+        start: &[VertexId],
+        stop: StopWhen,
+        make_observer: G,
+    ) -> Vec<Ob::Output>
+    where
+        Ob: Observer,
+        G: Fn(usize) -> Ob + Sync,
+        Ob::Output: Send,
+    {
+        self.run(
+            stop,
+            || spec.build(g, start),
+            |p: &mut BoxedProcess<'g>, _, _| p.reset(g, start),
+            make_observer,
+        )
+    }
+
+    /// [`Engine::run_spec`] with the no-op observer.
+    pub fn run_spec_outcomes(
+        &self,
+        g: &Graph,
+        spec: &ProcessSpec,
+        start: &[VertexId],
+        stop: StopWhen,
+    ) -> Vec<TrialOutcome> {
+        self.run_spec(g, spec, start, stop, |_| Completion)
     }
 }
 
@@ -206,7 +272,11 @@ mod tests {
     #[test]
     fn completes_and_orders_outcomes() {
         let (engine, g) = k16_cobra(12, 10_000);
-        let outcomes = engine.run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        let outcomes = engine.run_outcomes(
+            StopWhen::Complete,
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
+        );
         assert_eq!(outcomes.len(), 12);
         for o in &outcomes {
             assert!(o.rounds.is_some());
@@ -218,12 +288,16 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let (engine, g) = k16_cobra(16, 10_000);
-        let seq = engine
-            .with_threads(1)
-            .run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
-        let par = engine
-            .with_threads(8)
-            .run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        let seq = engine.with_threads(1).run_outcomes(
+            StopWhen::Complete,
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
+        );
+        let par = engine.with_threads(8).run_outcomes(
+            StopWhen::Complete,
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
+        );
         assert_eq!(seq, par);
     }
 
@@ -231,7 +305,11 @@ mod tests {
     fn cap_censors_with_executed_rounds() {
         let engine = Engine::new(5, 1, 3);
         let g = generators::path(64);
-        let outcomes = engine.run_outcomes(StopWhen::Complete, |_, _| Cobra::b2(&g, 0));
+        let outcomes = engine.run_outcomes(
+            StopWhen::Complete,
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
+        );
         for o in outcomes {
             assert_eq!(o.rounds, None);
             assert_eq!(o.executed, 3);
@@ -242,18 +320,16 @@ mod tests {
     fn reached_stop_is_hitting_time() {
         let engine = Engine::new(10, 2, 100_000);
         let g = generators::cycle(24);
-        let outcomes = engine.run_outcomes(StopWhen::Reached(12), |_, _| {
-            Cobra::new(&g, &[0], Branching::B2, Laziness::None)
-        });
+        let make = || Cobra::new(&g, &[0], Branching::B2, Laziness::None);
+        let outcomes =
+            engine.run_outcomes(StopWhen::Reached(12), make, |p, _, _| p.reset(&g, &[0]));
         for o in &outcomes {
             let hit = o.rounds.expect("must hit within cap");
             // Vertex 12 is 12 hops away; spreading one hop per round.
             assert!(hit >= 12, "hit {hit} beats the distance bound");
         }
         // Hitting the start vertex takes zero rounds.
-        let zero = engine.run_outcomes(StopWhen::Reached(0), |_, _| {
-            Cobra::new(&g, &[0], Branching::B2, Laziness::None)
-        });
+        let zero = engine.run_outcomes(StopWhen::Reached(0), make, |p, _, _| p.reset(&g, &[0]));
         assert!(zero.iter().all(|o| o.rounds == Some(0)));
     }
 
@@ -261,7 +337,11 @@ mod tests {
     fn at_cap_runs_exactly_cap_rounds() {
         let engine = Engine::new(4, 3, 7);
         let g = generators::complete(8);
-        let outcomes = engine.run_outcomes(StopWhen::AtCap, |_, _| Cobra::b2(&g, 0));
+        let outcomes = engine.run_outcomes(
+            StopWhen::AtCap,
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
+        );
         for o in outcomes {
             assert_eq!(o.rounds, None);
             assert_eq!(o.executed, 7, "AtCap must run to the cap exactly");
@@ -274,7 +354,8 @@ mod tests {
         let g = generators::complete(32);
         let trajectories = engine.run(
             StopWhen::Complete,
-            |_, _| Cobra::b2(&g, 0),
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
             |_| Trajectory::default(),
         );
         for t in trajectories {
@@ -288,13 +369,44 @@ mod tests {
     }
 
     #[test]
-    fn boxed_processes_run_through_the_engine() {
-        // The ProcessSpec path hands the engine Box<dyn SpreadProcess>.
-        use cobra_process::ProcessSpec;
+    fn trial_index_can_vary_the_reset() {
+        // Per-trial start vertices through the reset hook: hitting
+        // vertex 0 takes zero rounds only for the trial starting there.
+        let engine = Engine::new(6, 5, 100_000);
+        let g = generators::cycle(12);
+        let outcomes = engine.run_outcomes(
+            StopWhen::Reached(0),
+            || Cobra::b2(&g, 0),
+            |p, i, _| p.reset(&g, &[(i as u32 % 12)]),
+        );
+        assert_eq!(outcomes[0].rounds, Some(0));
+        for o in &outcomes[1..] {
+            assert!(o.rounds.unwrap() > 0, "non-zero start hit instantly");
+        }
+    }
+
+    #[test]
+    fn spec_path_runs_through_the_engine() {
+        // The ProcessSpec path hands the engine a BoxedProcess.
         let engine = Engine::new(5, 5, 100_000);
         let g = generators::petersen();
         let spec: ProcessSpec = "bips:b2".parse().unwrap();
-        let outcomes = engine.run_outcomes(StopWhen::Complete, |_, _| spec.build(&g, &[0]));
+        let outcomes = engine.run_spec_outcomes(&g, &spec, &[0], StopWhen::Complete);
         assert!(outcomes.iter().all(|o| o.rounds.is_some()));
+    }
+
+    #[test]
+    fn spec_path_matches_monomorphic_path_exactly() {
+        // Boxed-and-reset must be bit-identical to concrete-and-reset.
+        let engine = Engine::new(8, 9, 100_000);
+        let g = generators::torus(&[5, 5]);
+        let spec: ProcessSpec = "cobra:b2".parse().unwrap();
+        let boxed = engine.run_spec_outcomes(&g, &spec, &[0], StopWhen::Complete);
+        let concrete = engine.run_outcomes(
+            StopWhen::Complete,
+            || Cobra::b2(&g, 0),
+            |p, _, _| p.reset(&g, &[0]),
+        );
+        assert_eq!(boxed, concrete);
     }
 }

@@ -9,11 +9,15 @@
 //! * [`runner`] — an embarrassingly-parallel executor over
 //!   `std::thread::scope` whose output is ordered by trial index, so a
 //!   parallel run is bit-identical to a sequential one;
-//! * [`engine`] — the unified [`Engine`]: one trial loop driving any
-//!   [`cobra_process::SpreadProcess`] under a [`StopWhen`] condition and
-//!   a round cap, with pluggable [`Observer`] hooks (cover detection,
-//!   trajectories, transmission accounting, round snapshots). All
-//!   Monte-Carlo estimation in the workspace goes through it.
+//! * [`engine`] — the unified [`Engine`]: one monomorphized trial loop
+//!   driving any [`cobra_process::ProcessState`] under a [`StopWhen`]
+//!   condition and a round cap, with pluggable [`Observer`] hooks
+//!   (cover detection, trajectories, transmission accounting, round
+//!   snapshots) reading through [`cobra_process::ProcessView`]. All
+//!   Monte-Carlo estimation in the workspace goes through it. Each
+//!   worker thread owns one reusable process state and one
+//!   [`cobra_process::StepCtx`] (RNG + scratch buffers), so
+//!   steady-state trials perform zero heap allocation.
 //!
 //! An atomic work counter plus scoped threads cover everything the
 //! workload needs.

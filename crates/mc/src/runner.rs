@@ -18,7 +18,11 @@ pub struct RunConfig {
 impl RunConfig {
     /// `trials` trials under `master_seed` with automatic thread count.
     pub fn new(trials: usize, master_seed: u64) -> RunConfig {
-        RunConfig { trials, master_seed, threads: 0 }
+        RunConfig {
+            trials,
+            master_seed,
+            threads: 0,
+        }
     }
 
     /// Overrides the thread count (1 = sequential).
@@ -28,8 +32,14 @@ impl RunConfig {
     }
 
     fn effective_threads(&self) -> usize {
-        let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let t = if self.threads == 0 { auto } else { self.threads };
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let t = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
         t.min(self.trials.max(1))
     }
 }
@@ -45,13 +55,34 @@ where
     T: Send,
     F: Fn(u64, usize) -> T + Sync,
 {
+    run_trials_with(config, || (), |(), seed, index| f(seed, index))
+}
+
+/// [`run_trials`] with per-worker state: `init` runs once on each worker
+/// thread and the resulting value is threaded through every trial that
+/// worker executes.
+///
+/// This is the hook the Monte-Carlo engine uses to allocate one process
+/// state and one `StepCtx` per worker and recycle them across trials —
+/// the worker state is deliberately *not* part of the determinism
+/// contract, so `f` must derive every observable output from `(seed,
+/// index)` alone (reusing buffers is fine; leaking results between
+/// trials is not). Outputs are ordered by trial index, identical for any
+/// thread count.
+pub fn run_trials_with<S, T, I, F>(config: RunConfig, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64, usize) -> T + Sync,
+{
     if config.trials == 0 {
         return Vec::new();
     }
     let threads = config.effective_threads();
     if threads <= 1 {
+        let mut state = init();
         return (0..config.trials)
-            .map(|i| f(trial_seed(config.master_seed, i as u64), i))
+            .map(|i| f(&mut state, trial_seed(config.master_seed, i as u64), i))
             .collect();
     }
 
@@ -61,14 +92,19 @@ where
         for _ in 0..threads {
             scope.spawn(|| {
                 // Each worker drains the shared counter and buffers its
-                // outputs locally; one lock per worker at the end.
+                // outputs locally; one lock per worker at the end. The
+                // worker state lives for the whole drain.
+                let mut state = init();
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = counter.fetch_add(1, Ordering::Relaxed);
                     if i >= config.trials {
                         break;
                     }
-                    local.push((i, f(trial_seed(config.master_seed, i as u64), i)));
+                    local.push((
+                        i,
+                        f(&mut state, trial_seed(config.master_seed, i as u64), i),
+                    ));
                 }
                 results
                     .lock()
@@ -134,6 +170,37 @@ mod tests {
         let out: Vec<u64> = run_trials(RunConfig::new(10, 2024).with_threads(3), |s, _| s);
         let want: Vec<u64> = (0..10).map(|i| crate::seed::trial_seed(2024, i)).collect();
         assert_eq!(out, want);
+    }
+
+    #[test]
+    fn worker_state_is_initialised_per_worker_and_reused() {
+        // Sequential: exactly one init, state threaded through trials.
+        let inits = AtomicU64::new(0);
+        let out: Vec<u64> = run_trials_with(
+            RunConfig::new(10, 3).with_threads(1),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |state, _seed, _i| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+
+        // Parallel: at most one init per worker, every trial served.
+        let inits = AtomicU64::new(0);
+        let out: Vec<usize> = run_trials_with(
+            RunConfig::new(64, 3).with_threads(4),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_state, _seed, i| i,
+        );
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+        assert_eq!(out, (0..64).collect::<Vec<usize>>());
     }
 
     #[test]

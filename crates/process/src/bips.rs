@@ -20,9 +20,13 @@
 //! The equivalence is property-tested in this module (KS test on
 //! infection trajectories) — it is the implementation detail the fast
 //! experiments lean on.
+//!
+//! The state owns a double-buffered pair of infected-set bit sets plus
+//! the `d_A` counters, so steady-state rounds and trial resets perform
+//! no heap allocation.
 
 use crate::branching::{Branching, Laziness};
-use crate::SpreadProcess;
+use crate::state::{ProcessState, ProcessView, StepCtx};
 use cobra_graph::{Graph, VertexId};
 use cobra_util::BitSet;
 use rand::rngs::SmallRng;
@@ -46,6 +50,8 @@ pub struct Bips<'g> {
     laziness: Laziness,
     mode: BipsMode,
     infected: BitSet,
+    /// Back buffer for the next infected set (double-buffered).
+    next: BitSet,
     /// `A_t` as a sorted duplicate-free list (kept in sync with the set).
     infected_list: Vec<VertexId>,
     rounds: usize,
@@ -66,31 +72,33 @@ impl<'g> Bips<'g> {
         mode: BipsMode,
     ) -> Self {
         branching.validate();
-        assert!((source as usize) < g.n(), "source vertex out of range");
-        assert!(
-            g.n() == 1 || g.degree(source) > 0,
-            "source must not be isolated"
-        );
-        let mut infected = BitSet::new(g.n());
-        infected.insert(source as usize);
-        Bips {
+        let mut bips = Bips {
             g,
             source,
             branching,
             laziness,
             mode,
-            infected,
-            infected_list: vec![source],
+            infected: BitSet::new(g.n()),
+            next: BitSet::new(g.n()),
+            infected_list: Vec::new(),
             rounds: 0,
             transmissions: 0,
             d_a: vec![0; g.n()],
             touched: Vec::new(),
-        }
+        };
+        bips.reset(g, &[source]);
+        bips
     }
 
     /// The canonical process of the paper: `b = 2`, non-lazy, fast path.
     pub fn b2(g: &'g Graph, source: VertexId) -> Self {
-        Bips::new(g, source, Branching::B2, Laziness::None, BipsMode::Bernoulli)
+        Bips::new(
+            g,
+            source,
+            Branching::B2,
+            Laziness::None,
+            BipsMode::Bernoulli,
+        )
     }
 
     /// Current infected set `A_t`.
@@ -129,24 +137,27 @@ impl<'g> Bips<'g> {
     /// check per-configuration statements like Lemma 4.1
     /// (`E(|A_{t+1}| | A_t = A)`), which quantify over arbitrary sets `A`.
     pub fn set_infected_state(&mut self, vertices: &[VertexId]) {
-        self.infected = BitSet::new(self.g.n());
+        self.infected.clear();
         self.infected.insert(self.source as usize);
         for &u in vertices {
             assert!((u as usize) < self.g.n(), "vertex {u} out of range");
             self.infected.insert(u as usize);
         }
-        self.infected_list = self.infected.iter().map(|u| u as VertexId).collect();
+        self.infected_list.clear();
+        self.infected_list
+            .extend(self.infected.iter().map(|u| u as VertexId));
     }
 
     /// Runs until the whole graph is infected; `Some(infec(v))` or `None`
     /// if censored at `cap` rounds.
-    pub fn run_until_full_infection(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_full_infection(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 
     fn step_exact(&mut self, rng: &mut SmallRng) {
         let n = self.g.n();
-        let mut next = BitSet::new(n);
+        let mut next = std::mem::replace(&mut self.next, BitSet::new(0));
+        next.clear();
         next.insert(self.source as usize);
         for u in 0..n as VertexId {
             if u == self.source {
@@ -176,7 +187,8 @@ impl<'g> Bips<'g> {
                 self.d_a[u as usize] += 1;
             }
         }
-        let mut next = BitSet::new(n);
+        let mut next = std::mem::replace(&mut self.next, BitSet::new(0));
+        next.clear();
         next.insert(self.source as usize);
         let lazy = self.laziness == Laziness::Half;
         // Candidates: vertices with an infected neighbour; under
@@ -215,23 +227,18 @@ impl<'g> Bips<'g> {
         self.commit(next);
     }
 
+    /// Installs `next` as `A_{t+1}`, recycling the old set as the next
+    /// round's back buffer.
     fn commit(&mut self, next: BitSet) {
+        self.next = std::mem::replace(&mut self.infected, next);
         self.infected_list.clear();
         self.infected_list
-            .extend(next.iter().map(|u| u as VertexId));
-        self.infected = next;
+            .extend(self.infected.iter().map(|u| u as VertexId));
         self.rounds += 1;
     }
 }
 
-impl SpreadProcess for Bips<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        match self.mode {
-            BipsMode::ExactSampling => self.step_exact(rng),
-            BipsMode::Bernoulli => self.step_bernoulli(rng),
-        }
-    }
-
+impl ProcessView for Bips<'_> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -245,15 +252,50 @@ impl SpreadProcess for Bips<'_> {
     }
 }
 
+impl<'g> ProcessState<'g> for Bips<'g> {
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "BIPS needs a source");
+        let source = start[0];
+        assert!((source as usize) < g.n(), "source vertex out of range");
+        assert!(
+            g.n() == 1 || g.degree(source) > 0,
+            "source must not be isolated"
+        );
+        self.g = g;
+        self.source = source;
+        if self.infected.len() != g.n() {
+            self.infected = BitSet::new(g.n());
+            self.next = BitSet::new(g.n());
+            self.d_a = vec![0; g.n()];
+        } else {
+            self.infected.clear();
+            self.next.clear();
+            debug_assert!(self.d_a.iter().all(|&c| c == 0), "d_a left dirty");
+        }
+        self.infected.insert(source as usize);
+        self.infected_list.clear();
+        self.infected_list.push(source);
+        self.touched.clear();
+        self.rounds = 0;
+        self.transmissions = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        match self.mode {
+            BipsMode::ExactSampling => self.step_exact(&mut ctx.rng),
+            BipsMode::Bernoulli => self.step_bernoulli(&mut ctx.rng),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cobra_graph::generators;
     use proptest::prelude::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    fn ctx(seed: u64) -> StepCtx {
+        StepCtx::seeded(seed)
     }
 
     #[test]
@@ -261,9 +303,9 @@ mod tests {
         let g = generators::cycle(8);
         for mode in [BipsMode::ExactSampling, BipsMode::Bernoulli] {
             let mut b = Bips::new(&g, 3, Branching::B2, Laziness::None, mode);
-            let mut r = rng(1);
+            let mut cx = ctx(1);
             for _ in 0..50 {
-                b.step(&mut r);
+                b.step(&mut cx);
                 assert!(b.is_infected(3), "{mode:?}: source dropped out");
             }
         }
@@ -274,13 +316,19 @@ mod tests {
         // On a star with source at a leaf, the centre flickers: verify
         // |A_t| both grows and shrinks over a long run (SIS behaviour).
         let g = generators::star(12);
-        let mut b = Bips::new(&g, 1, Branching::B2, Laziness::None, BipsMode::ExactSampling);
-        let mut r = rng(2);
+        let mut b = Bips::new(
+            &g,
+            1,
+            Branching::B2,
+            Laziness::None,
+            BipsMode::ExactSampling,
+        );
+        let mut cx = ctx(2);
         let mut grew = false;
         let mut shrank = false;
         let mut prev = b.infected_count();
         for _ in 0..400 {
-            b.step(&mut r);
+            b.step(&mut cx);
             let now = b.infected_count();
             grew |= now > prev;
             shrank |= now < prev;
@@ -295,7 +343,7 @@ mod tests {
         for mode in [BipsMode::ExactSampling, BipsMode::Bernoulli] {
             let mut b = Bips::new(&g, 0, Branching::B2, Laziness::None, mode);
             let t = b
-                .run_until_full_infection(&mut rng(3), 10_000)
+                .run_until_full_infection(&mut ctx(3), 10_000)
                 .expect("infects");
             assert!(t < 100, "{mode:?}: K_64 infection took {t}");
         }
@@ -305,9 +353,9 @@ mod tests {
     fn infected_list_matches_set() {
         let g = generators::torus(&[5, 5]);
         let mut b = Bips::b2(&g, 0);
-        let mut r = rng(4);
+        let mut cx = ctx(4);
         for _ in 0..30 {
-            b.step(&mut r);
+            b.step(&mut cx);
             let from_set: Vec<u32> = b.infected().to_vec();
             assert_eq!(b.infected_list(), from_set.as_slice());
             assert_eq!(b.infected_count(), from_set.len());
@@ -332,9 +380,9 @@ mod tests {
             (0..trials)
                 .map(|i| {
                     let mut b = Bips::new(&g, 0, Branching::B2, Laziness::None, mode);
-                    let mut r = rng(1000 + salt * 7919 + i);
+                    let mut cx = ctx(1000 + salt * 7919 + i);
                     for _ in 0..rounds {
-                        b.step(&mut r);
+                        b.step(&mut cx);
                     }
                     b.infected_count() as f64
                 })
@@ -358,11 +406,10 @@ mod tests {
         let collect = |mode: BipsMode, salt: u64| -> Vec<f64> {
             (0..trials)
                 .map(|i| {
-                    let mut b =
-                        Bips::new(&g, 0, Branching::Expected(0.4), Laziness::None, mode);
-                    let mut r = rng(5000 + salt * 104_729 + i);
+                    let mut b = Bips::new(&g, 0, Branching::Expected(0.4), Laziness::None, mode);
+                    let mut cx = ctx(5000 + salt * 104_729 + i);
                     for _ in 0..3 {
-                        b.step(&mut r);
+                        b.step(&mut cx);
                     }
                     b.infected_count() as f64
                 })
@@ -383,9 +430,9 @@ mod tests {
             (0..trials)
                 .map(|i| {
                     let mut b = Bips::new(&g, 0, Branching::B2, Laziness::Half, mode);
-                    let mut r = rng(9000 + salt * 31 + i);
+                    let mut cx = ctx(9000 + salt * 31 + i);
                     for _ in 0..6 {
-                        b.step(&mut r);
+                        b.step(&mut cx);
                     }
                     b.infected_count() as f64
                 })
@@ -409,17 +456,32 @@ mod tests {
     fn censoring_reports_none() {
         let g = generators::path(256);
         let mut b = Bips::b2(&g, 0);
-        assert_eq!(b.run_until_full_infection(&mut rng(6), 5), None);
+        assert_eq!(b.run_until_full_infection(&mut ctx(6), 5), None);
         assert_eq!(b.rounds(), 5);
     }
 
     #[test]
     fn deterministic_under_seed() {
-        let g = generators::random_regular(40, 3, true, &mut rng(7)).unwrap();
-        let a = Bips::b2(&g, 0).run_until_full_infection(&mut rng(8), 1_000_000);
-        let b = Bips::b2(&g, 0).run_until_full_infection(&mut rng(8), 1_000_000);
+        let mut cx = ctx(7);
+        let g = generators::random_regular(40, 3, true, &mut cx.rng).unwrap();
+        let a = Bips::b2(&g, 0).run_until_full_infection(&mut ctx(8), 1_000_000);
+        let b = Bips::b2(&g, 0).run_until_full_infection(&mut ctx(8), 1_000_000);
         assert_eq!(a, b);
         assert!(a.is_some());
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_state_bit_for_bit() {
+        let g = generators::petersen();
+        for mode in [BipsMode::ExactSampling, BipsMode::Bernoulli] {
+            let mut reused = Bips::new(&g, 0, Branching::B2, Laziness::Half, mode);
+            let mut cx = ctx(55);
+            let a = reused.run_until_full_infection(&mut cx, 100_000);
+            reused.reset(&g, &[0]);
+            cx.reseed(55);
+            let b = reused.run_until_full_infection(&mut cx, 100_000);
+            assert_eq!(a, b, "{mode:?}");
+        }
     }
 
     proptest! {
@@ -428,15 +490,15 @@ mod tests {
         /// Theorem 1.4 cap shape (with a generous constant).
         #[test]
         fn infects_random_connected_graphs(seed in 0u64..10_000) {
-            let mut r = rng(seed);
-            let g0 = generators::gnp(36, 0.14, &mut r);
+            let mut cx = ctx(seed);
+            let g0 = generators::gnp(36, 0.14, &mut cx.rng);
             let (g, _) = cobra_graph::props::largest_component(&g0);
             prop_assume!(g.n() >= 3);
             let mut b = Bips::b2(&g, 0);
             let n = g.n();
             let dmax = g.max_degree();
             let cap = 200 * (g.m() + dmax * dmax * (cobra_util::math::log2_ceil(n) as usize + 1)) + 10_000;
-            prop_assert!(b.run_until_full_infection(&mut r, cap).is_some());
+            prop_assert!(b.run_until_full_infection(&mut cx, cap).is_some());
         }
     }
 }

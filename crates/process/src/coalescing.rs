@@ -7,16 +7,17 @@
 //! *why* COBRA needs the branching step to keep its parallelism alive.
 
 use crate::branching::Laziness;
-use crate::SpreadProcess;
+use crate::state::{ProcessState, ProcessView, StepCtx};
 use cobra_graph::{Graph, VertexId};
 use cobra_util::BitSet;
-use rand::rngs::SmallRng;
 
 /// `k` coalescing random walks tracking their joint visited set.
 #[derive(Debug, Clone)]
 pub struct CoalescingWalks<'g> {
     g: &'g Graph,
     laziness: Laziness,
+    /// Particle count a single-vertex reset re-derives (spaced starts).
+    k: usize,
     /// Current particle positions (duplicate-free: one particle per
     /// occupied vertex).
     particles: Vec<VertexId>,
@@ -29,18 +30,37 @@ pub struct CoalescingWalks<'g> {
 impl<'g> CoalescingWalks<'g> {
     /// Starts particles at `starts` (duplicates coalesce immediately).
     pub fn new(g: &'g Graph, starts: &[VertexId], laziness: Laziness) -> Self {
-        assert!(!starts.is_empty(), "need at least one particle");
-        let mut occupied = BitSet::new(g.n());
-        let mut visited = BitSet::new(g.n());
-        let mut particles = Vec::with_capacity(starts.len());
-        for &s in starts {
-            assert!((s as usize) < g.n(), "start vertex out of range");
-            visited.insert(s as usize);
-            if occupied.insert(s as usize) {
-                particles.push(s);
-            }
-        }
-        CoalescingWalks { g, laziness, particles, occupied, visited, rounds: 0, merges: 0 }
+        let mut walks = CoalescingWalks {
+            g,
+            laziness,
+            k: starts.len(),
+            particles: Vec::new(),
+            occupied: BitSet::new(g.n()),
+            visited: BitSet::new(g.n()),
+            rounds: 0,
+            merges: 0,
+        };
+        walks.reset(g, starts);
+        walks
+    }
+
+    /// `k` particles at vertices evenly spaced from `start` — the
+    /// deterministic placement [`crate::ProcessSpec::build`] uses when a
+    /// multi-particle spec is given a single start vertex.
+    pub fn new_spaced(g: &'g Graph, start: VertexId, k: usize, laziness: Laziness) -> Self {
+        assert!(k >= 1, "need at least one particle");
+        let mut walks = CoalescingWalks {
+            g,
+            laziness,
+            k,
+            particles: Vec::new(),
+            occupied: BitSet::new(g.n()),
+            visited: BitSet::new(g.n()),
+            rounds: 0,
+            merges: 0,
+        };
+        walks.reset(g, &[start]);
+        walks
     }
 
     /// Surviving particle count.
@@ -54,41 +74,30 @@ impl<'g> CoalescingWalks<'g> {
     }
 
     /// Runs until the visited union covers the graph (or `None` at cap).
-    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_cover(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 
     /// Runs until a single particle survives (coalescence time), or
     /// `None` at the cap. Returns the rounds taken.
-    pub fn run_until_coalesced(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
+    pub fn run_until_coalesced(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
         while self.particles.len() > 1 {
             if self.rounds >= cap {
                 return None;
             }
-            self.step(rng);
+            self.step(ctx);
         }
         Some(self.rounds)
     }
 }
 
-impl SpreadProcess for CoalescingWalks<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        let mut next: Vec<VertexId> = Vec::with_capacity(self.particles.len());
-        // Clear occupancy of the departing particles, then re-occupy.
-        self.occupied.clear_indices(&self.particles);
-        for i in 0..self.particles.len() {
-            let w = self.laziness.pick(self.g, self.particles[i], rng);
-            self.visited.insert(w as usize);
-            if self.occupied.insert(w as usize) {
-                next.push(w);
-            } else {
-                self.merges += 1;
-            }
-        }
-        self.particles = next;
-        self.rounds += 1;
-    }
+/// `k` vertices evenly spaced around the vertex-id ring starting at
+/// `start`, yielded lazily so resets place them without a buffer.
+pub(crate) fn spaced_starts(n: usize, start: VertexId, k: usize) -> impl Iterator<Item = VertexId> {
+    (0..k).map(move |i| (((start as usize) + i * n / k) % n) as VertexId)
+}
 
+impl ProcessView for CoalescingWalks<'_> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -106,14 +115,69 @@ impl SpreadProcess for CoalescingWalks<'_> {
     }
 }
 
+impl<'g> ProcessState<'g> for CoalescingWalks<'g> {
+    /// Several starts place one particle each (duplicates coalesce); a
+    /// single start re-derives `k` evenly spaced particles, matching
+    /// [`crate::ProcessSpec::build`]'s convention.
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "need at least one particle");
+        self.g = g;
+        if self.visited.len() != g.n() {
+            self.visited = BitSet::new(g.n());
+            self.occupied = BitSet::new(g.n());
+        } else {
+            self.visited.clear();
+            self.occupied.clear();
+        }
+        self.particles.clear();
+        let place = |slf: &mut Self, s: VertexId| {
+            assert!((s as usize) < g.n(), "start vertex out of range");
+            slf.visited.insert(s as usize);
+            if slf.occupied.insert(s as usize) {
+                slf.particles.push(s);
+            }
+        };
+        if start.len() > 1 || self.k == 1 {
+            self.k = start.len();
+            for &s in start {
+                place(self, s);
+            }
+        } else {
+            for s in spaced_starts(g.n(), start[0], self.k) {
+                place(self, s);
+            }
+        }
+        self.rounds = 0;
+        self.merges = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        let StepCtx { rng, scratch } = ctx;
+        let parts = scratch.parts(self.g.n());
+        let next = parts.frontier;
+        // Clear occupancy of the departing particles, then re-occupy.
+        self.occupied.clear_indices(&self.particles);
+        for i in 0..self.particles.len() {
+            let w = self.laziness.pick(self.g, self.particles[i], rng);
+            self.visited.insert(w as usize);
+            if self.occupied.insert(w as usize) {
+                next.push(w);
+            } else {
+                self.merges += 1;
+            }
+        }
+        std::mem::swap(&mut self.particles, next);
+        self.rounds += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cobra_graph::generators;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    fn ctx(seed: u64) -> StepCtx {
+        StepCtx::seeded(seed)
     }
 
     #[test]
@@ -127,11 +191,14 @@ mod tests {
     fn particle_count_never_increases() {
         let g = generators::complete(16);
         let mut c = CoalescingWalks::new(&g, &(0..8u32).collect::<Vec<_>>(), Laziness::None);
-        let mut r = rng(1);
+        let mut cx = ctx(1);
         let mut prev = c.particle_count();
         for _ in 0..100 {
-            c.step(&mut r);
-            assert!(c.particle_count() <= prev, "particles multiplied without branching");
+            c.step(&mut cx);
+            assert!(
+                c.particle_count() <= prev,
+                "particles multiplied without branching"
+            );
             assert!(c.particle_count() >= 1, "all particles vanished");
             prev = c.particle_count();
         }
@@ -141,7 +208,9 @@ mod tests {
     fn eventually_coalesces_on_complete_graph() {
         let g = generators::complete(12);
         let mut c = CoalescingWalks::new(&g, &(0..12u32).collect::<Vec<_>>(), Laziness::None);
-        let t = c.run_until_coalesced(&mut rng(2), 1_000_000).expect("coalesces");
+        let t = c
+            .run_until_coalesced(&mut ctx(2), 1_000_000)
+            .expect("coalesces");
         assert!(t > 0);
         assert_eq!(c.particle_count(), 1);
         assert_eq!(c.merges(), 11, "12 particles merge 11 times");
@@ -154,7 +223,7 @@ mod tests {
         // but same-class particles can. Laziness breaks parity entirely.
         let g = generators::cycle(10);
         let mut c = CoalescingWalks::new(&g, &[0, 1], Laziness::Half);
-        assert!(c.run_until_coalesced(&mut rng(3), 1_000_000).is_some());
+        assert!(c.run_until_coalesced(&mut ctx(3), 1_000_000).is_some());
     }
 
     #[test]
@@ -163,9 +232,9 @@ mod tests {
         // laziness (each step flips both parities in the same way).
         let g = generators::cycle(8);
         let mut c = CoalescingWalks::new(&g, &[0, 1], Laziness::None);
-        let mut r = rng(4);
+        let mut cx = ctx(4);
         for _ in 0..5000 {
-            c.step(&mut r);
+            c.step(&mut cx);
             assert_eq!(c.particle_count(), 2, "parity-violating merge");
         }
     }
@@ -174,7 +243,19 @@ mod tests {
     fn covers_like_multiwalk_until_merges_bite() {
         let g = generators::torus(&[5, 5]);
         let mut c = CoalescingWalks::new(&g, &[0, 6, 12, 18], Laziness::None);
-        assert!(c.run_until_cover(&mut rng(5), 10_000_000).is_some());
+        assert!(c.run_until_cover(&mut ctx(5), 10_000_000).is_some());
         assert!(c.is_complete());
+    }
+
+    #[test]
+    fn spaced_reset_matches_spaced_construction() {
+        let g = generators::cycle(20);
+        let fresh = CoalescingWalks::new_spaced(&g, 3, 4, Laziness::None);
+        let mut reused = CoalescingWalks::new_spaced(&g, 0, 4, Laziness::None);
+        reused.step(&mut ctx(6));
+        reused.reset(&g, &[3]);
+        assert_eq!(fresh.particles, reused.particles);
+        assert_eq!(reused.merges(), 0);
+        assert_eq!(reused.rounds(), 0);
     }
 }

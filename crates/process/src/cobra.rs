@@ -5,12 +5,41 @@
 //! neighbours uniformly at random with replacement, and `C_{t+1}` is the
 //! *set* of chosen vertices (coalescing is implicit in the set union).
 //! `cover(u) = min{T : ∪_{t≤T} C_t = V}` with `C_0 = {u}`.
+//!
+//! # The batched round kernel
+//!
+//! A round is executed in three passes over the [`StepCtx`] scratch
+//! buffers, preserving the exact RNG draw order of the naive
+//! pick-mark-push loop (the draws never depend on the marks, so the
+//! trajectory is bit-identical):
+//!
+//! 1. **draw** — for every active vertex, sample its `b` neighbour
+//!    indices into the pick buffer (absolute CSR positions);
+//! 2. **resolve** — gather the destination vertices from the CSR
+//!    adjacency array;
+//! 3. **coalesce** — mark destinations first-wins into the next
+//!    frontier and the visited set.
+//!
+//! Splitting the passes removes the unpredictable coalescing branch
+//! from the memory-bound sampling loop and lets software prefetch keep
+//! several independent CSR loads in flight — about twice the per-pick
+//! throughput of the fused loop on large graphs.
 
 use crate::branching::{Branching, Laziness};
-use crate::SpreadProcess;
+use crate::state::{prefetch_read, ProcessState, ProcessView, StepCtx};
 use cobra_graph::{Graph, VertexId};
 use cobra_util::BitSet;
-use rand::rngs::SmallRng;
+
+/// Distance ahead of the current position the sampling loops prefetch.
+const PREFETCH_AHEAD: usize = 8;
+
+/// Pick-buffer tag for a lazy self-pick of vertex `v`, encoded as
+/// `usize::MAX - v`. CSR indices are bounded by `2m` which is far below
+/// `usize::MAX - n`, so the encodings cannot collide.
+#[inline]
+fn self_pick(v: VertexId) -> usize {
+    usize::MAX - v as usize
+}
 
 /// A running COBRA process.
 #[derive(Debug, Clone)]
@@ -20,8 +49,6 @@ pub struct Cobra<'g> {
     laziness: Laziness,
     /// `C_t` as a duplicate-free list.
     active: Vec<VertexId>,
-    /// Scratch mark set for coalescing; empty between rounds.
-    mark: BitSet,
     /// `∪_{t' ≤ t} C_{t'}`.
     visited: BitSet,
     rounds: usize,
@@ -36,25 +63,17 @@ impl<'g> Cobra<'g> {
     /// from it).
     pub fn new(g: &'g Graph, start: &[VertexId], branching: Branching, laziness: Laziness) -> Self {
         branching.validate();
-        assert!(!start.is_empty(), "COBRA needs a nonempty start set");
-        let mut visited = BitSet::new(g.n());
-        let mut active = Vec::with_capacity(start.len());
-        for &v in start {
-            assert!((v as usize) < g.n(), "start vertex {v} out of range");
-            if visited.insert(v as usize) {
-                active.push(v);
-            }
-        }
-        Cobra {
+        let mut cobra = Cobra {
             g,
             branching,
             laziness,
-            active,
-            mark: BitSet::new(g.n()),
-            visited,
+            active: Vec::new(),
+            visited: BitSet::new(g.n()),
             rounds: 0,
             transmissions: 0,
-        }
+        };
+        cobra.reset(g, start);
+        cobra
     }
 
     /// Convenience constructor for the paper's canonical process:
@@ -88,48 +107,26 @@ impl<'g> Cobra<'g> {
     pub fn run_until_hit(
         &mut self,
         target: VertexId,
-        rng: &mut SmallRng,
+        ctx: &mut StepCtx,
         cap: usize,
     ) -> Option<usize> {
         while !self.has_visited(target) {
             if self.rounds >= cap {
                 return None;
             }
-            self.step(rng);
+            self.step(ctx);
         }
         Some(self.rounds)
     }
 
     /// Runs until all vertices are visited; `Some(cover_rounds)` or
     /// `None` if censored at `cap`.
-    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_cover(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 }
 
-impl SpreadProcess for Cobra<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        debug_assert!(!self.active.is_empty(), "COBRA active set vanished");
-        let mut next: Vec<VertexId> = Vec::with_capacity(self.active.len() * 2);
-        for &v in &self.active {
-            let copies = self.branching.sample(rng);
-            self.transmissions += copies as u64;
-            for _ in 0..copies {
-                let w = self.laziness.pick(self.g, v, rng);
-                // Coalescing: at most one particle survives per vertex.
-                if self.mark.insert(w as usize) {
-                    next.push(w);
-                    self.visited.insert(w as usize);
-                }
-            }
-        }
-        // Reset the scratch marks for the next round (cheaper than a full
-        // clear when |C_t| ≪ n).
-        self.mark.clear_indices(&next);
-        self.active = next;
-        self.rounds += 1;
-    }
-
+impl ProcessView for Cobra<'_> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -143,15 +140,119 @@ impl SpreadProcess for Cobra<'_> {
     }
 }
 
+impl<'g> ProcessState<'g> for Cobra<'g> {
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "COBRA needs a nonempty start set");
+        self.g = g;
+        if self.visited.len() != g.n() {
+            self.visited = BitSet::new(g.n());
+        } else {
+            self.visited.clear();
+        }
+        self.active.clear();
+        for &v in start {
+            assert!((v as usize) < g.n(), "start vertex {v} out of range");
+            if self.visited.insert(v as usize) {
+                self.active.push(v);
+            }
+        }
+        self.rounds = 0;
+        self.transmissions = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        debug_assert!(!self.active.is_empty(), "COBRA active set vanished");
+        let g = self.g;
+        let StepCtx { rng, scratch } = ctx;
+        let parts = scratch.parts(g.n());
+        let (next, picks, dests) = (parts.frontier, parts.picks, parts.dests);
+
+        // Phase 1: draw every pick of the round, in the same order the
+        // fused loop would (active order, `b` picks per vertex).
+        match (self.branching, self.laziness) {
+            (Branching::Fixed(b), Laziness::None) => {
+                use rand::RngExt;
+                for (i, &v) in self.active.iter().enumerate() {
+                    if let Some(&vp) = self.active.get(i + PREFETCH_AHEAD) {
+                        prefetch_read(g.neighbor_range_ptr(vp));
+                    }
+                    let (base, deg) = g.neighbor_range(v);
+                    assert!(deg > 0, "COBRA cannot push from isolated vertex {v}");
+                    for _ in 0..b {
+                        picks.push(base + rng.random_range(0..deg));
+                    }
+                }
+                self.transmissions += self.active.len() as u64 * b as u64;
+            }
+            _ => {
+                use rand::RngExt;
+                for &v in &self.active {
+                    let copies = self.branching.sample(rng);
+                    self.transmissions += copies as u64;
+                    let (base, deg) = g.neighbor_range(v);
+                    for _ in 0..copies {
+                        match self.laziness {
+                            Laziness::None => {
+                                assert!(deg > 0, "COBRA cannot push from isolated vertex {v}");
+                                picks.push(base + rng.random_range(0..deg));
+                            }
+                            Laziness::Half => {
+                                if rng.random_bool(0.5) {
+                                    picks.push(self_pick(v));
+                                } else {
+                                    assert!(deg > 0, "COBRA cannot push from isolated vertex {v}");
+                                    picks.push(base + rng.random_range(0..deg));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: gather destinations from the CSR adjacency array.
+        let flat = g.neighbor_flat();
+        dests.reserve(picks.len());
+        for (i, &k) in picks.iter().enumerate() {
+            if let Some(&kp) = picks.get(i + PREFETCH_AHEAD) {
+                if kp < flat.len() {
+                    prefetch_read(unsafe { flat.as_ptr().add(kp) });
+                }
+            }
+            let w = if k < flat.len() {
+                flat[k]
+            } else {
+                (usize::MAX - k) as VertexId
+            };
+            dests.push(w);
+        }
+
+        // Phase 3: coalesce in pick order — at most one particle
+        // survives per vertex.
+        next.reserve(dests.len());
+        let mark = parts.mark;
+        for &w in dests.iter() {
+            if mark.insert(w as usize) {
+                next.push(w);
+                self.visited.insert(w as usize);
+            }
+        }
+        // Reset the scratch marks for the next round (cheaper than a
+        // full clear when |C_t| ≪ n).
+        mark.clear_indices(next);
+        std::mem::swap(&mut self.active, next);
+        self.rounds += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cobra_graph::generators;
     use proptest::prelude::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    fn ctx(seed: u64) -> StepCtx {
+        StepCtx::seeded(seed)
     }
 
     #[test]
@@ -176,7 +277,7 @@ mod tests {
     fn covers_complete_graph_quickly() {
         let g = generators::complete(64);
         let mut c = Cobra::b2(&g, 0);
-        let rounds = c.run_until_cover(&mut rng(1), 10_000).expect("covers");
+        let rounds = c.run_until_cover(&mut ctx(1), 10_000).expect("covers");
         // O(log n) on K_n: 6 doublings minimum, generous upper slack.
         assert!(rounds >= 6, "cannot beat doubling: {rounds}");
         assert!(rounds < 60, "K_64 should cover in tens of rounds: {rounds}");
@@ -188,7 +289,7 @@ mod tests {
     fn covers_path_graph() {
         let g = generators::path(24);
         let mut c = Cobra::b2(&g, 0);
-        let rounds = c.run_until_cover(&mut rng(2), 1_000_000).expect("covers");
+        let rounds = c.run_until_cover(&mut ctx(2), 1_000_000).expect("covers");
         assert!(rounds >= 23, "must at least reach the far end");
     }
 
@@ -197,9 +298,9 @@ mod tests {
         // b = 1 is a single random walk: |C_t| stays 1 forever.
         let g = generators::cycle(12);
         let mut c = Cobra::new(&g, &[0], Branching::Fixed(1), Laziness::None);
-        let mut r = rng(3);
+        let mut cx = ctx(3);
         for _ in 0..200 {
-            c.step(&mut r);
+            c.step(&mut cx);
             assert_eq!(c.active().len(), 1);
         }
     }
@@ -208,10 +309,10 @@ mod tests {
     fn active_set_is_duplicate_free_and_visited_is_monotone() {
         let g = generators::torus(&[5, 5]);
         let mut c = Cobra::b2(&g, 7);
-        let mut r = rng(4);
+        let mut cx = ctx(4);
         let mut prev_visited = c.visited_count();
         for _ in 0..60 {
-            c.step(&mut r);
+            c.step(&mut cx);
             let mut seen = std::collections::HashSet::new();
             for &v in c.active() {
                 assert!(seen.insert(v), "duplicate {v} in active set");
@@ -226,10 +327,10 @@ mod tests {
     fn active_set_growth_bounded_by_branching() {
         let g = generators::complete(100);
         let mut c = Cobra::b2(&g, 0);
-        let mut r = rng(5);
+        let mut cx = ctx(5);
         let mut prev = 1usize;
         for _ in 0..20 {
-            c.step(&mut r);
+            c.step(&mut cx);
             assert!(c.active().len() <= prev * 2, "|C_{{t+1}}| ≤ 2|C_t|");
             prev = c.active().len().max(1);
         }
@@ -239,14 +340,14 @@ mod tests {
     fn hit_time_of_start_vertex_is_zero() {
         let g = generators::cycle(9);
         let mut c = Cobra::b2(&g, 3);
-        assert_eq!(c.run_until_hit(3, &mut rng(6), 10), Some(0));
+        assert_eq!(c.run_until_hit(3, &mut ctx(6), 10), Some(0));
     }
 
     #[test]
     fn censoring_returns_none_and_preserves_state() {
         let g = generators::path(64);
         let mut c = Cobra::b2(&g, 0);
-        let out = c.run_until_cover(&mut rng(7), 3);
+        let out = c.run_until_cover(&mut ctx(7), 3);
         assert_eq!(out, None);
         assert_eq!(c.rounds(), 3);
         assert!(!c.is_complete());
@@ -256,7 +357,7 @@ mod tests {
     fn lazy_cobra_covers_bipartite_graphs() {
         let g = generators::hypercube(5);
         let mut c = Cobra::new(&g, &[0], Branching::B2, Laziness::Half);
-        let rounds = c.run_until_cover(&mut rng(8), 100_000).expect("covers");
+        let rounds = c.run_until_cover(&mut ctx(8), 100_000).expect("covers");
         assert!(rounds >= 5, "diameter lower bound");
     }
 
@@ -264,11 +365,11 @@ mod tests {
     fn transmissions_accounting_b2() {
         let g = generators::complete(16);
         let mut c = Cobra::b2(&g, 0);
-        let mut r = rng(9);
-        c.step(&mut r);
+        let mut cx = ctx(9);
+        c.step(&mut cx);
         assert_eq!(c.transmissions(), 2, "one particle pushed two copies");
         let active_after_1 = c.active().len() as u64;
-        c.step(&mut r);
+        c.step(&mut cx);
         assert_eq!(c.transmissions(), 2 + 2 * active_after_1);
     }
 
@@ -290,9 +391,42 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = generators::torus(&[6, 6]);
-        let a = Cobra::b2(&g, 0).run_until_cover(&mut rng(10), 100_000);
-        let b = Cobra::b2(&g, 0).run_until_cover(&mut rng(10), 100_000);
+        let a = Cobra::b2(&g, 0).run_until_cover(&mut ctx(10), 100_000);
+        let b = Cobra::b2(&g, 0).run_until_cover(&mut ctx(10), 100_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_state_bit_for_bit() {
+        // One state reused across trials must equal fresh construction.
+        let g = generators::torus(&[6, 6]);
+        let mut reused = Cobra::b2(&g, 0);
+        let mut cx = ctx(77);
+        let first = reused.run_until_cover(&mut cx, 100_000);
+        let tx_first = reused.transmissions();
+        reused.reset(&g, &[0]);
+        assert_eq!(reused.rounds(), 0);
+        assert_eq!(reused.transmissions(), 0);
+        cx.reseed(77);
+        let second = reused.run_until_cover(&mut cx, 100_000);
+        assert_eq!(first, second);
+        assert_eq!(tx_first, reused.transmissions());
+        // And against an entirely fresh state + context.
+        let fresh = Cobra::b2(&g, 0).run_until_cover(&mut ctx(77), 100_000);
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn reset_rebinds_to_a_different_graph() {
+        let g1 = generators::cycle(8);
+        let g2 = generators::complete(32);
+        let mut c = Cobra::b2(&g1, 0);
+        c.step(&mut ctx(1));
+        c.reset(&g2, &[3]);
+        assert_eq!(c.reached().len(), 32);
+        assert!(c.has_visited(3));
+        assert_eq!(c.visited_count(), 1);
+        assert!(c.run_until_cover(&mut ctx(2), 10_000).is_some());
     }
 
     proptest! {
@@ -302,13 +436,13 @@ mod tests {
         /// respects the max(log2 n, diam) lower bound.
         #[test]
         fn covers_random_connected_graphs(seed in 0u64..10_000) {
-            let mut r = rng(seed);
-            let g0 = generators::gnp(40, 0.12, &mut r);
+            let mut cx = ctx(seed);
+            let g0 = generators::gnp(40, 0.12, &mut cx.rng);
             let (g, _) = cobra_graph::props::largest_component(&g0);
             prop_assume!(g.n() >= 3);
             let mut c = Cobra::b2(&g, 0);
             let cap = 200 * g.n() + 10_000;
-            let rounds = c.run_until_cover(&mut r, cap);
+            let rounds = c.run_until_cover(&mut cx, cap);
             prop_assert!(rounds.is_some(), "censored on n={}", g.n());
             let rounds = rounds.unwrap();
             // Visited count after t rounds is ≤ 2^{t+1} − 1, so covering

@@ -1,18 +1,17 @@
-//! Round-synchronous PUSH rumour spreading.
+//! Round-synchronous PUSH/PULL rumour spreading.
 //!
 //! The classic epidemic baseline: once informed, a vertex pushes the
-//! rumour to `fanout` uniformly random neighbours in *every* subsequent
-//! round and never forgets. COBRA's design point is matching PUSH-like
-//! speed while keeping per-round transmissions bounded by the active
-//! set (vertices stop pushing until re-hit) — this baseline quantifies
-//! the other end of that trade-off.
+//! rumour to random neighbours in *every* subsequent round and never
+//! forgets. COBRA's design point is matching PUSH-like speed while
+//! keeping per-round transmissions bounded by the active set (vertices
+//! stop pushing until re-hit) — this baseline quantifies the other end
+//! of that trade-off.
 
-use crate::SpreadProcess;
+use crate::state::{ProcessState, ProcessView, StepCtx};
 use cobra_graph::{Graph, VertexId};
 use cobra_util::BitSet;
-use rand::rngs::SmallRng;
 
-/// A running PUSH process.
+/// A running PUSH process with configurable fanout.
 #[derive(Debug, Clone)]
 pub struct PushGossip<'g> {
     g: &'g Graph,
@@ -28,17 +27,16 @@ impl<'g> PushGossip<'g> {
     /// per round.
     pub fn new(g: &'g Graph, start: VertexId, fanout: u32) -> Self {
         assert!(fanout >= 1, "fanout must be >= 1");
-        assert!((start as usize) < g.n(), "start vertex out of range");
-        let mut informed = BitSet::new(g.n());
-        informed.insert(start as usize);
-        PushGossip {
+        let mut gossip = PushGossip {
             g,
             fanout,
-            informed,
-            informed_list: vec![start],
+            informed: BitSet::new(g.n()),
+            informed_list: Vec::new(),
             rounds: 0,
             transmissions: 0,
-        }
+        };
+        gossip.reset(g, &[start]);
+        gossip
     }
 
     /// Informed set.
@@ -48,27 +46,12 @@ impl<'g> PushGossip<'g> {
 
     /// Runs until everyone is informed (broadcast time), or `None` at
     /// the cap.
-    pub fn run_until_broadcast(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_broadcast(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 }
 
-impl SpreadProcess for PushGossip<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        let mut newly: Vec<VertexId> = Vec::new();
-        for &v in &self.informed_list {
-            for _ in 0..self.fanout {
-                let w = self.g.random_neighbor(v, rng);
-                self.transmissions += 1;
-                if self.informed.insert(w as usize) {
-                    newly.push(w);
-                }
-            }
-        }
-        self.informed_list.extend(newly);
-        self.rounds += 1;
-    }
-
+impl ProcessView for PushGossip<'_> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -79,6 +62,41 @@ impl SpreadProcess for PushGossip<'_> {
 
     fn transmissions(&self) -> u64 {
         self.transmissions
+    }
+}
+
+impl<'g> ProcessState<'g> for PushGossip<'g> {
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "gossip needs a start vertex");
+        let start = start[0];
+        assert!((start as usize) < g.n(), "start vertex out of range");
+        self.g = g;
+        if self.informed.len() != g.n() {
+            self.informed = BitSet::new(g.n());
+        } else {
+            self.informed.clear();
+        }
+        self.informed.insert(start as usize);
+        self.informed_list.clear();
+        self.informed_list.push(start);
+        self.rounds = 0;
+        self.transmissions = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        let StepCtx { rng, scratch } = ctx;
+        let newly = scratch.parts(self.g.n()).frontier;
+        for &v in &self.informed_list {
+            for _ in 0..self.fanout {
+                let w = self.g.random_neighbor(v, rng);
+                self.transmissions += 1;
+                if self.informed.insert(w as usize) {
+                    newly.push(w);
+                }
+            }
+        }
+        self.informed_list.extend_from_slice(newly);
+        self.rounds += 1;
     }
 }
 
@@ -109,10 +127,16 @@ pub struct Gossip<'g> {
 impl<'g> Gossip<'g> {
     /// Starts with a single informed vertex.
     pub fn new(g: &'g Graph, start: VertexId, mode: GossipMode) -> Self {
-        assert!((start as usize) < g.n(), "start vertex out of range");
-        let mut informed = BitSet::new(g.n());
-        informed.insert(start as usize);
-        Gossip { g, mode, informed, informed_list: vec![start], rounds: 0, transmissions: 0 }
+        let mut gossip = Gossip {
+            g,
+            mode,
+            informed: BitSet::new(g.n()),
+            informed_list: Vec::new(),
+            rounds: 0,
+            transmissions: 0,
+        };
+        gossip.reset(g, &[start]);
+        gossip
     }
 
     /// Informed set.
@@ -121,14 +145,46 @@ impl<'g> Gossip<'g> {
     }
 
     /// Runs until everyone is informed, or `None` at the cap.
-    pub fn run_until_broadcast(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_broadcast(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 }
 
-impl SpreadProcess for Gossip<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        let mut newly: Vec<VertexId> = Vec::new();
+impl ProcessView for Gossip<'_> {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn reached(&self) -> &BitSet {
+        &self.informed
+    }
+
+    fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+impl<'g> ProcessState<'g> for Gossip<'g> {
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "gossip needs a start vertex");
+        let start = start[0];
+        assert!((start as usize) < g.n(), "start vertex out of range");
+        self.g = g;
+        if self.informed.len() != g.n() {
+            self.informed = BitSet::new(g.n());
+        } else {
+            self.informed.clear();
+        }
+        self.informed.insert(start as usize);
+        self.informed_list.clear();
+        self.informed_list.push(start);
+        self.rounds = 0;
+        self.transmissions = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        let StepCtx { rng, scratch } = ctx;
+        let newly = scratch.parts(self.g.n()).frontier;
         let push = matches!(self.mode, GossipMode::Push | GossipMode::PushPull);
         let pull = matches!(self.mode, GossipMode::Pull | GossipMode::PushPull);
         if push {
@@ -154,23 +210,11 @@ impl SpreadProcess for Gossip<'_> {
         }
         // Synchronous semantics: all of this round's infections use the
         // round-start informed set; commit afterwards.
-        for &w in &newly {
+        for &w in newly.iter() {
             self.informed.insert(w as usize);
         }
-        self.informed_list.extend(newly);
+        self.informed_list.extend_from_slice(newly);
         self.rounds += 1;
-    }
-
-    fn rounds(&self) -> usize {
-        self.rounds
-    }
-
-    fn reached(&self) -> &BitSet {
-        &self.informed
-    }
-
-    fn transmissions(&self) -> u64 {
-        self.transmissions
     }
 }
 
@@ -178,20 +222,19 @@ impl SpreadProcess for Gossip<'_> {
 mod tests {
     use super::*;
     use cobra_graph::generators;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    fn ctx(seed: u64) -> StepCtx {
+        StepCtx::seeded(seed)
     }
 
     #[test]
     fn informed_set_is_monotone() {
         let g = generators::torus(&[6, 6]);
         let mut p = PushGossip::new(&g, 0, 1);
-        let mut r = rng(1);
+        let mut cx = ctx(1);
         let mut prev = 1;
         for _ in 0..100 {
-            p.step(&mut r);
+            p.step(&mut cx);
             assert!(p.reached_count() >= prev, "gossip forgot something");
             prev = p.reached_count();
         }
@@ -201,7 +244,7 @@ mod tests {
     fn broadcasts_complete_graph_in_logarithmic_rounds() {
         let g = generators::complete(256);
         let mut p = PushGossip::new(&g, 0, 1);
-        let t = p.run_until_broadcast(&mut rng(2), 10_000).unwrap();
+        let t = p.run_until_broadcast(&mut ctx(2), 10_000).unwrap();
         // Push on K_n: ~log2 n + ln n ≈ 13.5 expected; allow wide slack.
         assert!((8..60).contains(&t), "broadcast took {t}");
     }
@@ -210,11 +253,11 @@ mod tests {
     fn transmissions_grow_with_informed_set() {
         let g = generators::complete(32);
         let mut p = PushGossip::new(&g, 0, 2);
-        let mut r = rng(3);
-        p.step(&mut r);
+        let mut cx = ctx(3);
+        p.step(&mut cx);
         assert_eq!(p.transmissions(), 2);
         let informed_now = p.reached_count() as u64;
-        p.step(&mut r);
+        p.step(&mut cx);
         assert_eq!(p.transmissions(), 2 + 2 * informed_now);
     }
 
@@ -222,7 +265,7 @@ mod tests {
     fn gossip_eventually_informs_path() {
         let g = generators::path(40);
         let mut p = PushGossip::new(&g, 0, 1);
-        assert!(p.run_until_broadcast(&mut rng(4), 100_000).is_some());
+        assert!(p.run_until_broadcast(&mut ctx(4), 100_000).is_some());
     }
 
     #[test]
@@ -237,8 +280,11 @@ mod tests {
         // Star with informed centre: every leaf pulls from the centre.
         let g = generators::star(10);
         let mut p = Gossip::new(&g, 0, GossipMode::Pull);
-        p.step(&mut rng(10));
-        assert!(p.is_complete(), "pull from the hub must finish in one round");
+        p.step(&mut ctx(10));
+        assert!(
+            p.is_complete(),
+            "pull from the hub must finish in one round"
+        );
     }
 
     #[test]
@@ -246,9 +292,13 @@ mod tests {
         // Same star, push-only from the centre: one leaf per round.
         let g = generators::star(10);
         let mut p = Gossip::new(&g, 0, GossipMode::Push);
-        let mut r = rng(11);
-        p.step(&mut r);
-        assert_eq!(p.reached_count(), 2, "push informs exactly one leaf per round");
+        let mut cx = ctx(11);
+        p.step(&mut cx);
+        assert_eq!(
+            p.reached_count(),
+            2,
+            "push informs exactly one leaf per round"
+        );
     }
 
     #[test]
@@ -258,14 +308,17 @@ mod tests {
             let mut total = 0.0;
             for i in 0..20u64 {
                 let mut p = Gossip::new(&g, 0, mode);
-                total += p.run_until_broadcast(&mut rng(salt + i), 100_000).unwrap() as f64;
+                total += p.run_until_broadcast(&mut ctx(salt + i), 100_000).unwrap() as f64;
             }
             total / 20.0
         };
         let push = mean_rounds(GossipMode::Push, 100);
         let pull = mean_rounds(GossipMode::Pull, 200);
         let both = mean_rounds(GossipMode::PushPull, 300);
-        assert!(both <= push && both <= pull, "push-pull {both} vs push {push}, pull {pull}");
+        assert!(
+            both <= push && both <= pull,
+            "push-pull {both} vs push {push}, pull {pull}"
+        );
     }
 
     #[test]
@@ -273,7 +326,7 @@ mod tests {
         let g = generators::complete(64);
         for mode in [GossipMode::Push, GossipMode::Pull, GossipMode::PushPull] {
             let mut p = Gossip::new(&g, 0, mode);
-            let t = p.run_until_broadcast(&mut rng(12), 10_000).unwrap();
+            let t = p.run_until_broadcast(&mut ctx(12), 10_000).unwrap();
             assert!(t < 100, "{mode:?} took {t}");
         }
     }
@@ -282,7 +335,7 @@ mod tests {
     fn pull_transmissions_counted_per_uninformed_vertex() {
         let g = generators::complete(8);
         let mut p = Gossip::new(&g, 0, GossipMode::Pull);
-        p.step(&mut rng(13));
+        p.step(&mut ctx(13));
         assert_eq!(p.transmissions(), 7, "7 uninformed vertices pulled once");
     }
 
@@ -294,11 +347,23 @@ mod tests {
         let g = generators::path(3);
         for seed in 0..50 {
             let mut p = Gossip::new(&g, 0, GossipMode::Pull);
-            p.step(&mut rng(1000 + seed));
+            p.step(&mut ctx(1000 + seed));
             assert!(
                 !p.informed().contains(2),
                 "vertex 2 informed in one round: pull is not synchronous"
             );
         }
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_broadcast() {
+        let g = generators::complete(32);
+        let mut p = Gossip::new(&g, 0, GossipMode::PushPull);
+        let mut cx = ctx(21);
+        let a = p.run_until_broadcast(&mut cx, 10_000);
+        p.reset(&g, &[0]);
+        cx.reseed(21);
+        let b = p.run_until_broadcast(&mut cx, 10_000);
+        assert_eq!(a, b);
     }
 }

@@ -13,11 +13,28 @@
 //!   into per-vertex steps over the candidate set, recording the
 //!   martingale increments `Y_l = d(u)·X_u − d_A(u)` of equation (14).
 //! * [`walk`] — simple random walk and `k` independent random walks.
-//! * [`gossip`] — round-synchronous PUSH rumour spreading (informed
+//! * [`coalescing`] — `k` coalescing (non-branching) walks, the
+//!   ablation for COBRA's branching step.
+//! * [`gossip`] — round-synchronous PUSH/PULL rumour spreading (informed
 //!   vertices stay informed), the classic comparison point.
 //!
-//! All processes implement [`SpreadProcess`], the round-synchronous
-//! interface the experiment harness drives.
+//! # The spec / state split
+//!
+//! Every process exists at two layers:
+//!
+//! * **Description** — constructor parameters, or a parsed
+//!   [`ProcessSpec`] (`"cobra:b2"`, `"bips:rho0.5:lazy"`, …). Cheap,
+//!   cloneable, serialisable data.
+//! * **State** — a long-lived [`ProcessState`]: `reset(g, start)`
+//!   restores round 0 without reallocating, `step(&mut StepCtx)`
+//!   advances one round drawing randomness and scratch buffers from the
+//!   per-worker [`StepCtx`]. Observers and stop conditions read through
+//!   the object-safe [`ProcessView`] surface.
+//!
+//! The Monte-Carlo engine in `cobra-mc` monomorphizes its trial loop
+//! over `P: ProcessState`; [`ProcessSpec::build`] returns the
+//! [`BoxedProcess`] adapter for string-driven entry points. See
+//! [`state`] for the `StepCtx` ownership rules.
 
 pub mod bips;
 pub mod branching;
@@ -26,6 +43,7 @@ pub mod cobra;
 pub mod gossip;
 pub mod serial;
 pub mod spec;
+pub mod state;
 pub mod walk;
 
 pub use bips::{Bips, BipsMode};
@@ -35,85 +53,5 @@ pub use cobra::Cobra;
 pub use gossip::{Gossip, GossipMode, PushGossip};
 pub use serial::{SerialBips, StepRecord};
 pub use spec::{ProcessSpec, ProcessSpecError};
+pub use state::{BoxedProcess, ProcessState, ProcessView, Scratch, ScratchParts, StepCtx};
 pub use walk::{MultiWalk, RandomWalk};
-
-use cobra_graph::VertexId;
-use cobra_util::BitSet;
-use rand::rngs::SmallRng;
-
-/// A round-synchronous spreading process on a graph.
-///
-/// `step` advances exactly one round. Every process maintains a *reached*
-/// set — visited for COBRA/walks, informed for gossip, infected for BIPS
-/// — and is complete once that set is the whole vertex set. The uniform
-/// read surface (`reached`, `has_reached`, `reached_count`) is what lets
-/// one Monte-Carlo engine drive cover times, hitting times, infection
-/// trajectories, and duality checks for any process.
-pub trait SpreadProcess {
-    /// Advances one synchronous round.
-    fn step(&mut self, rng: &mut SmallRng);
-
-    /// Rounds executed so far.
-    fn rounds(&self) -> usize;
-
-    /// The set of vertices reached so far (cumulative for walk-like
-    /// processes; the *current* infected set for BIPS, whose membership
-    /// can fluctuate).
-    fn reached(&self) -> &BitSet;
-
-    /// True once every vertex has been reached.
-    fn is_complete(&self) -> bool {
-        self.reached().is_full()
-    }
-
-    /// Number of vertices reached so far.
-    fn reached_count(&self) -> usize {
-        self.reached().count()
-    }
-
-    /// True iff `v` is currently in the reached set.
-    fn has_reached(&self, v: VertexId) -> bool {
-        self.reached().contains(v as usize)
-    }
-
-    /// Total point-to-point transmissions so far (the resource COBRA is
-    /// designed to limit).
-    fn transmissions(&self) -> u64;
-
-    /// Runs until complete or until `cap` rounds have been executed.
-    /// Returns `Some(rounds)` on completion, `None` if censored at the
-    /// cap. A cap of 0 only succeeds if already complete.
-    fn run_to_completion(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        while !self.is_complete() {
-            if self.rounds() >= cap {
-                return None;
-            }
-            self.step(rng);
-        }
-        Some(self.rounds())
-    }
-}
-
-impl<P: SpreadProcess + ?Sized> SpreadProcess for Box<P> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        (**self).step(rng)
-    }
-    fn rounds(&self) -> usize {
-        (**self).rounds()
-    }
-    fn reached(&self) -> &BitSet {
-        (**self).reached()
-    }
-    fn is_complete(&self) -> bool {
-        (**self).is_complete()
-    }
-    fn reached_count(&self) -> usize {
-        (**self).reached_count()
-    }
-    fn has_reached(&self, v: VertexId) -> bool {
-        (**self).has_reached(v)
-    }
-    fn transmissions(&self) -> u64 {
-        (**self).transmissions()
-    }
-}

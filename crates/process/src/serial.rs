@@ -18,9 +18,9 @@
 //! also property-tested here.
 
 use crate::branching::Branching;
+use crate::state::StepCtx;
 use cobra_graph::{Graph, VertexId};
 use cobra_util::BitSet;
-use rand::rngs::SmallRng;
 use rand::RngExt;
 
 /// One step of the serialised process (one candidate's decision).
@@ -133,7 +133,8 @@ impl<'g> SerialBips<'g> {
     }
 
     /// Executes one serialised round and returns its step records.
-    pub fn step_round(&mut self, rng: &mut SmallRng) -> RoundReport {
+    pub fn step_round(&mut self, ctx: &mut StepCtx) -> RoundReport {
+        let rng = &mut ctx.rng;
         let (cand, fix) = self.candidates();
         let mut next = fix.clone();
         let mut steps = Vec::with_capacity(cand.len());
@@ -161,7 +162,11 @@ impl<'g> SerialBips<'g> {
                 degree: d,
                 infected_neighbors: d_a,
                 infected_next: x,
-                y: if x { d as i64 - d_a as i64 } else { -(d_a as i64) },
+                y: if x {
+                    d as i64 - d_a as i64
+                } else {
+                    -(d_a as i64)
+                },
                 expected_y,
             });
         }
@@ -171,7 +176,8 @@ impl<'g> SerialBips<'g> {
             steps,
         };
         self.infected_list.clear();
-        self.infected_list.extend(next.iter().map(|u| u as VertexId));
+        self.infected_list
+            .extend(next.iter().map(|u| u as VertexId));
         self.infected = next;
         self.rounds += 1;
         report
@@ -182,7 +188,7 @@ impl<'g> SerialBips<'g> {
     /// concatenated steps.
     pub fn run_recording(
         &mut self,
-        rng: &mut SmallRng,
+        ctx: &mut StepCtx,
         cap: usize,
     ) -> (Vec<RoundReport>, Option<usize>) {
         let mut reports = Vec::new();
@@ -190,7 +196,7 @@ impl<'g> SerialBips<'g> {
             if self.rounds >= cap {
                 return (reports, None);
             }
-            reports.push(self.step_round(rng));
+            reports.push(self.step_round(ctx));
         }
         (reports, Some(self.rounds))
     }
@@ -201,10 +207,9 @@ mod tests {
     use super::*;
     use cobra_graph::generators;
     use proptest::prelude::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> StepCtx {
+        StepCtx::seeded(seed)
     }
 
     #[test]
@@ -354,10 +359,16 @@ mod tests {
             .collect();
         let plain: Vec<f64> = (0..trials)
             .map(|i| {
-                let mut b = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::ExactSampling);
+                let mut b = Bips::new(
+                    &g,
+                    0,
+                    Branching::B2,
+                    Laziness::None,
+                    BipsMode::ExactSampling,
+                );
                 let mut r = rng(7000 + i);
                 for _ in 0..rounds {
-                    use crate::SpreadProcess;
+                    use crate::ProcessState;
                     b.step(&mut r);
                 }
                 b.infected_count() as f64
@@ -373,7 +384,7 @@ mod tests {
         #[test]
         fn reconstruction_on_random_graphs(seed in 0u64..10_000) {
             let mut r = rng(seed);
-            let g0 = generators::gnp(24, 0.18, &mut r);
+            let g0 = generators::gnp(24, 0.18, &mut r.rng);
             let (g, _) = cobra_graph::props::largest_component(&g0);
             prop_assume!(g.n() >= 3);
             let mut s = SerialBips::new(&g, 0, Branching::B2);

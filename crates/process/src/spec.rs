@@ -20,10 +20,8 @@
 //! then `lazy` — what [`Display`] prints and the round-trip tests pin.
 
 use crate::branching::{Branching, Laziness};
-use crate::{
-    Bips, BipsMode, CoalescingWalks, Cobra, Gossip, GossipMode, MultiWalk, RandomWalk,
-    SpreadProcess,
-};
+use crate::state::BoxedProcess;
+use crate::{Bips, BipsMode, CoalescingWalks, Cobra, Gossip, GossipMode, MultiWalk, RandomWalk};
 use cobra_graph::{Graph, VertexId};
 use std::fmt;
 use std::str::FromStr;
@@ -303,17 +301,22 @@ impl ProcessSpec {
         }
     }
 
-    /// Instantiates the process on `g` from the given start set.
+    /// Instantiates the process on `g` from the given start set, as a
+    /// type-erased [`BoxedProcess`] ready to step (the thin adapter the
+    /// string-driven CLI path hands to the engine; build once per
+    /// worker, then [`crate::ProcessState::reset`] per trial).
     ///
     /// Single-source processes (BIPS, random walk, gossip) use
     /// `start[0]`. `walks:K`/`coalescing:K` given a single start place
-    /// their `K` particles at vertices evenly spaced from it (a
-    /// deterministic function of `(g, start[0], K)`); given several
-    /// starts they use exactly those.
+    /// their `K` particles by the process's own convention (all at the
+    /// start for independent walks, evenly spaced for coalescing walks);
+    /// given several starts they use exactly those. `reset` re-applies
+    /// the same interpretation, so a recycled state is indistinguishable
+    /// from a fresh build.
     ///
     /// Panics if `start` is empty or contains out-of-range vertices (the
     /// same contract as the process constructors).
-    pub fn build<'g>(&self, g: &'g Graph, start: &[VertexId]) -> Box<dyn SpreadProcess + 'g> {
+    pub fn build<'g>(&self, g: &'g Graph, start: &[VertexId]) -> BoxedProcess<'g> {
         assert!(!start.is_empty(), "process needs a nonempty start set");
         match self {
             ProcessSpec::Cobra {
@@ -336,33 +339,22 @@ impl ProcessSpec {
                 }
             }
             ProcessSpec::CoalescingWalks { k, laziness } => {
-                let starts = if start.len() > 1 {
-                    start.to_vec()
+                if start.len() > 1 {
+                    Box::new(CoalescingWalks::new(g, start, *laziness))
                 } else {
-                    spaced_starts(g.n(), start[0], *k)
-                };
-                Box::new(CoalescingWalks::new(g, &starts, *laziness))
+                    Box::new(CoalescingWalks::new_spaced(g, start[0], *k, *laziness))
+                }
             }
             ProcessSpec::Gossip { mode } => Box::new(Gossip::new(g, start[0], *mode)),
         }
     }
 }
 
-/// `k` vertices evenly spaced around the vertex-id ring starting at
-/// `start` — the deterministic multi-particle placement used when a
-/// multi-walk spec is given a single start vertex.
-fn spaced_starts(n: usize, start: VertexId, k: usize) -> Vec<VertexId> {
-    (0..k)
-        .map(|i| (((start as usize) + i * n / k) % n) as VertexId)
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::{ProcessState, StepCtx};
     use cobra_graph::generators;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn roundtrip(s: &str) -> ProcessSpec {
         let spec: ProcessSpec = s.parse().expect(s);
@@ -449,8 +441,8 @@ mod tests {
         ] {
             let spec: ProcessSpec = s.parse().unwrap();
             let mut p = spec.build(&g, &[0]);
-            let mut rng = SmallRng::seed_from_u64(1);
-            let rounds = p.run_to_completion(&mut rng, 100_000);
+            let mut ctx = StepCtx::seeded(1);
+            let rounds = p.run_to_completion(&mut ctx, 100_000);
             assert!(rounds.is_some(), "{s} censored on K_16");
             assert!(p.is_complete());
             assert_eq!(p.reached_count(), 16);
@@ -464,13 +456,13 @@ mod tests {
         let g = generators::hypercube(4);
         let spec: ProcessSpec = "cobra:b2:lazy".parse().unwrap();
         let mut p = spec.build(&g, &[0]);
-        let mut rng = SmallRng::seed_from_u64(2);
-        assert!(p.run_to_completion(&mut rng, 100_000).is_some());
+        let mut ctx = StepCtx::seeded(2);
+        assert!(p.run_to_completion(&mut ctx, 100_000).is_some());
     }
 
     #[test]
     fn spaced_starts_are_distinct_and_in_range() {
-        let starts = spaced_starts(100, 17, 4);
+        let starts: Vec<u32> = crate::coalescing::spaced_starts(100, 17, 4).collect();
         assert_eq!(starts.len(), 4);
         let mut sorted = starts.clone();
         sorted.sort_unstable();
@@ -487,5 +479,33 @@ mod tests {
         // Three explicit starts override k = 2.
         let p = spec.build(&g, &[0, 4, 8]);
         assert_eq!(p.reached_count(), 3);
+    }
+
+    #[test]
+    fn reset_boxed_process_matches_fresh_build() {
+        // The engine builds once per worker and resets per trial; the
+        // recycled state must reproduce a fresh build's run exactly.
+        let g = generators::petersen();
+        for s in [
+            "cobra:b2",
+            "bips:b2",
+            "rw",
+            "walks:4",
+            "coalescing:4:lazy",
+            "gossip:pushpull",
+        ] {
+            let spec: ProcessSpec = s.parse().unwrap();
+            let mut reused = spec.build(&g, &[0]);
+            let mut ctx = StepCtx::seeded(31);
+            let a = reused.run_to_completion(&mut ctx, 100_000);
+            reused.reset(&g, &[0]);
+            ctx.reseed(31);
+            let b = reused.run_to_completion(&mut ctx, 100_000);
+            let fresh = spec
+                .build(&g, &[0])
+                .run_to_completion(&mut StepCtx::seeded(31), 100_000);
+            assert_eq!(a, b, "{s}: reset diverged from first run");
+            assert_eq!(a, fresh, "{s}: reset diverged from fresh build");
+        }
     }
 }

@@ -1,0 +1,317 @@
+//! The zero-allocation stepping API: [`ProcessState`], [`ProcessView`],
+//! and the per-worker [`StepCtx`].
+//!
+//! The paper's experiments run millions of rounds across thousands of
+//! trials per scenario. Under the original API every trial rebuilt its
+//! process from scratch (two `BitSet`s plus frontier `Vec`s per
+//! construction) and every COBRA round allocated a fresh `next` vector,
+//! so the inner loop was dominated by allocator traffic rather than
+//! neighbour sampling. This module splits the process API in two:
+//!
+//! * a cheap, cloneable **description** — constructor parameters or a
+//!   parsed [`crate::ProcessSpec`];
+//! * a long-lived **state** — a [`ProcessState`] that is allocated once
+//!   per worker thread and recycled across trials via
+//!   [`ProcessState::reset`].
+//!
+//! All transient per-round storage lives in the [`StepCtx`] handed to
+//! [`ProcessState::step`]: the RNG, the double-buffered frontier
+//! vectors, the per-round coalescing mark [`BitSet`], and the
+//! pick-index/destination buffers the batched samplers use. One
+//! `StepCtx` per worker thread serves every trial and every round, so
+//! steady-state stepping performs **zero heap allocation** (pinned by
+//! `tests/zero_alloc.rs` with a counting allocator).
+//!
+//! # Ownership rules
+//!
+//! * A `StepCtx` is exclusive to one worker thread; it is never shared
+//!   or sent between trials running concurrently.
+//! * [`Scratch`] buffers are valid only within a single `step` call.
+//!   Processes must leave the mark bit set empty when they return
+//!   (cheapest via [`BitSet::clear_indices`] over the bits they set);
+//!   [`Scratch::parts`] debug-asserts that invariant on entry.
+//! * Persistent process state (visited/infected sets, walker positions)
+//!   lives in the `ProcessState` implementor itself and is recycled by
+//!   `reset` without reallocating.
+
+use cobra_graph::{Graph, VertexId};
+use cobra_util::BitSet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The read surface of a running process: what observers and stop
+/// conditions may inspect. Object-safe and lifetime-free, so the
+/// Monte-Carlo engine's hooks take `&dyn ProcessView` regardless of the
+/// concrete process the (monomorphized) trial loop drives.
+pub trait ProcessView {
+    /// Rounds executed so far.
+    fn rounds(&self) -> usize;
+
+    /// The set of vertices reached so far (cumulative for walk-like
+    /// processes; the *current* infected set for BIPS, whose membership
+    /// can fluctuate).
+    fn reached(&self) -> &BitSet;
+
+    /// Total point-to-point transmissions so far (the resource COBRA is
+    /// designed to limit).
+    fn transmissions(&self) -> u64;
+
+    /// True once every vertex has been reached.
+    fn is_complete(&self) -> bool {
+        self.reached().is_full()
+    }
+
+    /// Number of vertices reached so far.
+    fn reached_count(&self) -> usize {
+        self.reached().count()
+    }
+
+    /// True iff `v` is currently in the reached set.
+    fn has_reached(&self, v: VertexId) -> bool {
+        self.reached().contains(v as usize)
+    }
+}
+
+/// A round-synchronous spreading process as reusable state.
+///
+/// Constructors build a state ready to step; [`ProcessState::reset`]
+/// returns it to that condition for the next trial without reallocating
+/// its persistent buffers. `step` advances exactly one round, drawing
+/// randomness from the [`StepCtx`] and borrowing its scratch buffers.
+///
+/// `reset` must not draw from the context RNG: the trial seed's stream
+/// belongs entirely to the rounds, which is what keeps outcomes
+/// bit-identical to the historical build-per-trial API.
+pub trait ProcessState<'g>: ProcessView {
+    /// Restores the state to round 0 on `g` with the given start set,
+    /// reusing existing allocations wherever the graph size allows.
+    ///
+    /// Start-set interpretation follows the process's constructor
+    /// convention (single-source processes use `start[0]`; the
+    /// multi-particle walks re-derive their placements from a single
+    /// start exactly as [`crate::ProcessSpec::build`] does).
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]);
+
+    /// Advances one synchronous round.
+    fn step(&mut self, ctx: &mut StepCtx);
+
+    /// Runs until complete or until `cap` rounds have been executed.
+    /// Returns `Some(rounds)` on completion, `None` if censored at the
+    /// cap. A cap of 0 only succeeds if already complete.
+    fn run_to_completion(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        while !self.is_complete() {
+            if self.rounds() >= cap {
+                return None;
+            }
+            self.step(ctx);
+        }
+        Some(self.rounds())
+    }
+}
+
+/// A type-erased process state — the thin adapter the string-spec
+/// ([`crate::ProcessSpec`]) CLI entry point hands to the engine. Built
+/// once per worker and reset per trial, so even the dynamic path
+/// allocates only at worker start-up.
+pub type BoxedProcess<'g> = Box<dyn ProcessState<'g> + 'g>;
+
+impl<'g> ProcessView for BoxedProcess<'g> {
+    fn rounds(&self) -> usize {
+        (**self).rounds()
+    }
+    fn reached(&self) -> &BitSet {
+        (**self).reached()
+    }
+    fn transmissions(&self) -> u64 {
+        (**self).transmissions()
+    }
+    fn is_complete(&self) -> bool {
+        (**self).is_complete()
+    }
+    fn reached_count(&self) -> usize {
+        (**self).reached_count()
+    }
+    fn has_reached(&self, v: VertexId) -> bool {
+        (**self).has_reached(v)
+    }
+}
+
+impl<'g> ProcessState<'g> for BoxedProcess<'g> {
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        (**self).reset(g, start)
+    }
+    fn step(&mut self, ctx: &mut StepCtx) {
+        (**self).step(ctx)
+    }
+}
+
+/// Per-worker stepping context: the trial RNG plus the shared scratch
+/// buffers. Allocated once per worker thread, reused by every trial and
+/// round that worker executes.
+#[derive(Debug, Clone)]
+pub struct StepCtx {
+    /// The trial's random stream. Reseeded (not reconstructed) at each
+    /// trial boundary via [`StepCtx::reseed`], which reproduces exactly
+    /// the stream `SmallRng::seed_from_u64` would give a fresh process.
+    pub rng: SmallRng,
+    /// Round-transient buffers; see [`Scratch`].
+    pub scratch: Scratch,
+}
+
+impl StepCtx {
+    /// A context seeded with `seed`.
+    pub fn seeded(seed: u64) -> StepCtx {
+        StepCtx {
+            rng: SmallRng::seed_from_u64(seed),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// An unseeded context (seed 0) — callers that drive trials
+    /// themselves should [`StepCtx::reseed`] before each trial.
+    pub fn new() -> StepCtx {
+        StepCtx::seeded(0)
+    }
+
+    /// Restarts the RNG stream for a new trial, keeping the scratch
+    /// buffers (and their capacity) intact.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+}
+
+impl Default for StepCtx {
+    fn default() -> StepCtx {
+        StepCtx::new()
+    }
+}
+
+/// Round-transient scratch storage shared by all processes on a worker.
+///
+/// The buffers grow to the high-water mark of the scenarios the worker
+/// runs and are never shrunk, so steady-state rounds perform no heap
+/// allocation. Contents are meaningless between `step` calls except for
+/// the invariant that `mark` is empty.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Back buffer for the next frontier (double-buffered against the
+    /// process's own frontier via `mem::swap`).
+    frontier: Vec<VertexId>,
+    /// Absolute CSR pick indices (or self-pick tags) drawn in phase 1 of
+    /// the batched samplers.
+    picks: Vec<usize>,
+    /// Resolved pick destinations (phase 2).
+    dests: Vec<VertexId>,
+    /// Per-round coalescing marks; empty between rounds.
+    mark: BitSet,
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch {
+            frontier: Vec::new(),
+            picks: Vec::new(),
+            dests: Vec::new(),
+            mark: BitSet::new(0),
+        }
+    }
+}
+
+/// Mutable views of the scratch buffers, borrowed for one `step` call.
+pub struct ScratchParts<'a> {
+    /// Next-frontier back buffer (cleared).
+    pub frontier: &'a mut Vec<VertexId>,
+    /// Pick-index buffer (cleared).
+    pub picks: &'a mut Vec<usize>,
+    /// Destination buffer (cleared).
+    pub dests: &'a mut Vec<VertexId>,
+    /// Mark bit set over `0..n`, guaranteed empty.
+    pub mark: &'a mut BitSet,
+}
+
+impl Scratch {
+    /// Borrows all scratch buffers for a universe of `n` vertices. The
+    /// vectors come back cleared with their capacity intact; `mark` is
+    /// resized (only when the universe changes) and guaranteed empty.
+    pub fn parts(&mut self, n: usize) -> ScratchParts<'_> {
+        if self.mark.len() != n {
+            self.mark = BitSet::new(n);
+        }
+        debug_assert_eq!(self.mark.count(), 0, "mark left dirty by a prior step");
+        self.frontier.clear();
+        self.picks.clear();
+        self.dests.clear();
+        // The frontier is empty here, so this guarantees capacity ≥ n —
+        // a frontier is duplicate-free and can never outgrow it.
+        self.frontier.reserve(n);
+        ScratchParts {
+            frontier: &mut self.frontier,
+            picks: &mut self.picks,
+            dests: &mut self.dests,
+            mark: &mut self.mark,
+        }
+    }
+}
+
+/// Issues a best-effort prefetch of the cache line holding `p`. The
+/// batched phase-1/phase-2 sampling loops use it to keep several
+/// independent CSR loads in flight; a no-op on non-x86 targets.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reseed_matches_fresh_seeding() {
+        use rand::Rng;
+        let mut ctx = StepCtx::seeded(7);
+        let _ = ctx.rng.next_u64();
+        ctx.reseed(42);
+        let mut fresh = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(ctx.rng.next_u64(), fresh.next_u64());
+        }
+    }
+
+    #[test]
+    fn parts_resizes_mark_and_clears_vecs() {
+        let mut s = Scratch::default();
+        {
+            let p = s.parts(100);
+            p.frontier.push(1);
+            p.picks.push(2);
+            p.dests.push(3);
+            p.mark.insert(5);
+            p.mark.remove(5);
+            assert_eq!(p.mark.len(), 100);
+        }
+        let p = s.parts(64);
+        assert_eq!(p.mark.len(), 64);
+        assert!(p.frontier.is_empty() && p.picks.is_empty() && p.dests.is_empty());
+    }
+
+    #[test]
+    fn parts_keeps_capacity() {
+        let mut s = Scratch::default();
+        {
+            let p = s.parts(32);
+            for i in 0..1000 {
+                p.picks.push(i);
+            }
+        }
+        let cap_before = {
+            let p = s.parts(32);
+            p.picks.capacity()
+        };
+        assert!(cap_before >= 1000, "capacity shrank: {cap_before}");
+    }
+}

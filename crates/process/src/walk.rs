@@ -6,10 +6,9 @@
 //! walk literature [1, 3, 7] cited in the related work).
 
 use crate::branching::Laziness;
-use crate::SpreadProcess;
+use crate::state::{ProcessState, ProcessView, StepCtx};
 use cobra_graph::{Graph, VertexId};
 use cobra_util::BitSet;
-use rand::rngs::SmallRng;
 
 /// A single random walk tracking its visited set.
 #[derive(Debug, Clone)]
@@ -24,10 +23,15 @@ pub struct RandomWalk<'g> {
 impl<'g> RandomWalk<'g> {
     /// Starts a walk at `start`.
     pub fn new(g: &'g Graph, start: VertexId, laziness: Laziness) -> Self {
-        assert!((start as usize) < g.n(), "start vertex out of range");
-        let mut visited = BitSet::new(g.n());
-        visited.insert(start as usize);
-        RandomWalk { g, laziness, position: start, visited, rounds: 0 }
+        let mut walk = RandomWalk {
+            g,
+            laziness,
+            position: start,
+            visited: BitSet::new(g.n()),
+            rounds: 0,
+        };
+        walk.reset(g, &[start]);
+        walk
     }
 
     /// Current position.
@@ -42,34 +46,28 @@ impl<'g> RandomWalk<'g> {
 
     /// Runs until every vertex is visited (classic cover time), or
     /// `None` at the cap.
-    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_cover(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 
     /// Runs until `target` is visited (hitting time), or `None` at cap.
     pub fn run_until_hit(
         &mut self,
         target: VertexId,
-        rng: &mut SmallRng,
+        ctx: &mut StepCtx,
         cap: usize,
     ) -> Option<usize> {
         while !self.visited.contains(target as usize) {
             if self.rounds >= cap {
                 return None;
             }
-            self.step(rng);
+            self.step(ctx);
         }
         Some(self.rounds)
     }
 }
 
-impl SpreadProcess for RandomWalk<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        self.position = self.laziness.pick(self.g, self.position, rng);
-        self.visited.insert(self.position as usize);
-        self.rounds += 1;
-    }
-
+impl ProcessView for RandomWalk<'_> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -83,12 +81,37 @@ impl SpreadProcess for RandomWalk<'_> {
     }
 }
 
+impl<'g> ProcessState<'g> for RandomWalk<'g> {
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "walk needs a start vertex");
+        let start = start[0];
+        assert!((start as usize) < g.n(), "start vertex out of range");
+        self.g = g;
+        if self.visited.len() != g.n() {
+            self.visited = BitSet::new(g.n());
+        } else {
+            self.visited.clear();
+        }
+        self.position = start;
+        self.visited.insert(start as usize);
+        self.rounds = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        self.position = self.laziness.pick(self.g, self.position, &mut ctx.rng);
+        self.visited.insert(self.position as usize);
+        self.rounds += 1;
+    }
+}
+
 /// `k` independent random walks advanced in synchronous rounds; the
 /// visited set is the union.
 #[derive(Debug, Clone)]
 pub struct MultiWalk<'g> {
     g: &'g Graph,
     laziness: Laziness,
+    /// Number of walkers a single-vertex reset re-creates.
+    k: usize,
     positions: Vec<VertexId>,
     visited: BitSet,
     rounds: usize,
@@ -98,18 +121,31 @@ impl<'g> MultiWalk<'g> {
     /// Starts `starts.len()` walkers at the given vertices (duplicates
     /// allowed: walkers are distinguishable and never coalesce).
     pub fn new(g: &'g Graph, starts: &[VertexId], laziness: Laziness) -> Self {
-        assert!(!starts.is_empty(), "need at least one walker");
-        let mut visited = BitSet::new(g.n());
-        for &s in starts {
-            assert!((s as usize) < g.n(), "start vertex out of range");
-            visited.insert(s as usize);
-        }
-        MultiWalk { g, laziness, positions: starts.to_vec(), visited, rounds: 0 }
+        let mut walk = MultiWalk {
+            g,
+            laziness,
+            k: starts.len(),
+            positions: Vec::new(),
+            visited: BitSet::new(g.n()),
+            rounds: 0,
+        };
+        walk.reset(g, starts);
+        walk
     }
 
     /// All walkers at the same start vertex.
     pub fn new_at(g: &'g Graph, start: VertexId, k: usize, laziness: Laziness) -> Self {
-        MultiWalk::new(g, &vec![start; k], laziness)
+        assert!(k >= 1, "need at least one walker");
+        let mut walk = MultiWalk {
+            g,
+            laziness,
+            k,
+            positions: Vec::new(),
+            visited: BitSet::new(g.n()),
+            rounds: 0,
+        };
+        walk.reset(g, &[start]);
+        walk
     }
 
     /// Walker positions.
@@ -118,20 +154,12 @@ impl<'g> MultiWalk<'g> {
     }
 
     /// Runs until covered or censored.
-    pub fn run_until_cover(&mut self, rng: &mut SmallRng, cap: usize) -> Option<usize> {
-        self.run_to_completion(rng, cap)
+    pub fn run_until_cover(&mut self, ctx: &mut StepCtx, cap: usize) -> Option<usize> {
+        self.run_to_completion(ctx, cap)
     }
 }
 
-impl SpreadProcess for MultiWalk<'_> {
-    fn step(&mut self, rng: &mut SmallRng) {
-        for p in self.positions.iter_mut() {
-            *p = self.laziness.pick(self.g, *p, rng);
-            self.visited.insert(*p as usize);
-        }
-        self.rounds += 1;
-    }
-
+impl ProcessView for MultiWalk<'_> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -145,26 +173,60 @@ impl SpreadProcess for MultiWalk<'_> {
     }
 }
 
+impl<'g> ProcessState<'g> for MultiWalk<'g> {
+    /// Several starts place one walker each; a single start re-creates
+    /// the construction-time walker count `k` there (matching
+    /// [`crate::ProcessSpec::build`]'s convention).
+    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+        assert!(!start.is_empty(), "need at least one walker");
+        self.g = g;
+        if self.visited.len() != g.n() {
+            self.visited = BitSet::new(g.n());
+        } else {
+            self.visited.clear();
+        }
+        self.positions.clear();
+        if start.len() > 1 {
+            self.k = start.len();
+            self.positions.extend_from_slice(start);
+        } else {
+            self.positions.resize(self.k, start[0]);
+        }
+        for &s in &self.positions {
+            assert!((s as usize) < g.n(), "start vertex out of range");
+            self.visited.insert(s as usize);
+        }
+        self.rounds = 0;
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx) {
+        for p in self.positions.iter_mut() {
+            *p = self.laziness.pick(self.g, *p, &mut ctx.rng);
+            self.visited.insert(*p as usize);
+        }
+        self.rounds += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cobra_graph::generators;
     use cobra_stats::Summary;
     use cobra_util::math::harmonic;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    fn ctx(seed: u64) -> StepCtx {
+        StepCtx::seeded(seed)
     }
 
     #[test]
     fn walk_stays_on_edges() {
         let g = generators::petersen();
         let mut w = RandomWalk::new(&g, 0, Laziness::None);
-        let mut r = rng(1);
+        let mut cx = ctx(1);
         let mut prev = w.position();
         for _ in 0..200 {
-            w.step(&mut r);
+            w.step(&mut cx);
             assert!(g.has_edge(prev, w.position()));
             prev = w.position();
         }
@@ -174,11 +236,11 @@ mod tests {
     fn lazy_walk_may_stay() {
         let g = generators::cycle(6);
         let mut w = RandomWalk::new(&g, 0, Laziness::Half);
-        let mut r = rng(2);
+        let mut cx = ctx(2);
         let mut stayed = false;
         let mut prev = w.position();
         for _ in 0..100 {
-            w.step(&mut r);
+            w.step(&mut cx);
             if w.position() == prev {
                 stayed = true;
             }
@@ -196,7 +258,7 @@ mod tests {
         let samples: Vec<f64> = (0..300)
             .map(|i| {
                 let mut w = RandomWalk::new(&g, 0, Laziness::None);
-                w.run_until_cover(&mut rng(100 + i), 1_000_000).unwrap() as f64
+                w.run_until_cover(&mut ctx(100 + i), 1_000_000).unwrap() as f64
             })
             .collect();
         let s = Summary::from_samples(&samples);
@@ -212,14 +274,14 @@ mod tests {
     fn hitting_start_is_zero_rounds() {
         let g = generators::cycle(7);
         let mut w = RandomWalk::new(&g, 3, Laziness::None);
-        assert_eq!(w.run_until_hit(3, &mut rng(3), 10), Some(0));
+        assert_eq!(w.run_until_hit(3, &mut ctx(3), 10), Some(0));
     }
 
     #[test]
     fn censoring_on_path() {
         let g = generators::path(1000);
         let mut w = RandomWalk::new(&g, 0, Laziness::None);
-        assert_eq!(w.run_until_cover(&mut rng(4), 100), None);
+        assert_eq!(w.run_until_cover(&mut ctx(4), 100), None);
     }
 
     #[test]
@@ -229,7 +291,7 @@ mod tests {
             let samples: Vec<f64> = (0..40)
                 .map(|i| {
                     let mut w = RandomWalk::new(&g, 0, Laziness::None);
-                    w.run_until_cover(&mut rng(500 + i), 10_000_000).unwrap() as f64
+                    w.run_until_cover(&mut ctx(500 + i), 10_000_000).unwrap() as f64
                 })
                 .collect();
             Summary::from_samples(&samples).mean
@@ -238,21 +300,24 @@ mod tests {
             let samples: Vec<f64> = (0..40)
                 .map(|i| {
                     let mut w = MultiWalk::new_at(&g, 0, 8, Laziness::None);
-                    w.run_until_cover(&mut rng(900 + i), 10_000_000).unwrap() as f64
+                    w.run_until_cover(&mut ctx(900 + i), 10_000_000).unwrap() as f64
                 })
                 .collect();
             Summary::from_samples(&samples).mean
         };
-        assert!(multi < single / 2.0, "8 walkers not even 2x faster: {multi} vs {single}");
+        assert!(
+            multi < single / 2.0,
+            "8 walkers not even 2x faster: {multi} vs {single}"
+        );
     }
 
     #[test]
     fn multiwalk_walker_count_is_preserved() {
         let g = generators::torus(&[4, 4]);
         let mut w = MultiWalk::new(&g, &[0, 0, 5], Laziness::None);
-        let mut r = rng(5);
+        let mut cx = ctx(5);
         for _ in 0..50 {
-            w.step(&mut r);
+            w.step(&mut cx);
             assert_eq!(w.positions().len(), 3, "walkers never coalesce");
         }
         assert_eq!(w.transmissions(), 150);
@@ -262,10 +327,21 @@ mod tests {
     fn walk_transmissions_equal_rounds() {
         let g = generators::cycle(5);
         let mut w = RandomWalk::new(&g, 0, Laziness::None);
-        let mut r = rng(6);
+        let mut cx = ctx(6);
         for _ in 0..17 {
-            w.step(&mut r);
+            w.step(&mut cx);
         }
         assert_eq!(w.transmissions(), 17);
+    }
+
+    #[test]
+    fn multiwalk_single_vertex_reset_restores_k_walkers() {
+        let g = generators::cycle(12);
+        let mut w = MultiWalk::new_at(&g, 0, 5, Laziness::None);
+        w.step(&mut ctx(7));
+        w.reset(&g, &[4]);
+        assert_eq!(w.positions(), &[4; 5]);
+        assert_eq!(w.rounds(), 0);
+        assert_eq!(w.reached_count(), 1);
     }
 }

@@ -1,0 +1,102 @@
+//! Regression: steady-state stepping performs **zero heap allocation**.
+//!
+//! The historical `Cobra::step` allocated a fresh `next` vector every
+//! round (and every trial rebuilt two `BitSet`s); the `StepCtx` scratch
+//! buffers exist precisely to eliminate that. This test installs a
+//! counting global allocator, warms a state + context with one full
+//! trial (buffers grow to their high-water mark), then replays the
+//! identical trial and asserts the allocation counter does not move —
+//! for the batched COBRA kernel and for the BIPS double-buffered round.
+//!
+//! The file contains a single #[test] so no concurrent test can touch
+//! the global counter.
+
+use cobra_graph::generators;
+use cobra_process::{Bips, BipsMode, Branching, Cobra, Laziness, ProcessState, StepCtx};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every allocation and reallocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warmed_state_and_ctx_step_without_allocating() {
+    let g = generators::hypercube(10);
+    let mut ctx = StepCtx::new();
+
+    // --- COBRA (batched kernel, the satellite's named hot path) ---
+    let mut cobra = Cobra::new(&g, &[0], Branching::B2, Laziness::None);
+    ctx.reseed(7);
+    let warm = cobra
+        .run_to_completion(&mut ctx, 1_000_000)
+        .expect("warm-up trial covers");
+
+    // Replay the identical trial: same seed → same frontier sizes, and
+    // every buffer is already at capacity.
+    cobra.reset(&g, &[0]);
+    ctx.reseed(7);
+    let before = allocs();
+    let replay = cobra
+        .run_to_completion(&mut ctx, 1_000_000)
+        .expect("replay covers");
+    let delta = allocs() - before;
+    assert_eq!(replay, warm, "replay diverged from warm-up");
+    assert_eq!(
+        delta, 0,
+        "steady-state COBRA trial performed {delta} heap allocations"
+    );
+
+    // A different seed stays allocation-free too once the high-water
+    // mark is in (frontier capacity is reserved to n up front).
+    cobra.reset(&g, &[0]);
+    ctx.reseed(8);
+    let before = allocs();
+    cobra
+        .run_to_completion(&mut ctx, 1_000_000)
+        .expect("fresh-seed trial covers");
+    assert_eq!(allocs() - before, 0, "fresh-seed COBRA trial allocated");
+
+    // --- BIPS (double-buffered infected sets) ---
+    // The sorted infected_list shrinks and regrows within its capacity;
+    // the bit sets swap back and forth. Warm one trial, replay it.
+    let mut bips = Bips::new(&g, 0, Branching::B2, Laziness::None, BipsMode::Bernoulli);
+    ctx.reseed(9);
+    let warm = bips
+        .run_to_completion(&mut ctx, 1_000_000)
+        .expect("warm-up infection completes");
+    bips.reset(&g, &[0]);
+    ctx.reseed(9);
+    let before = allocs();
+    let replay = bips
+        .run_to_completion(&mut ctx, 1_000_000)
+        .expect("replay completes");
+    let delta = allocs() - before;
+    assert_eq!(replay, warm);
+    assert_eq!(
+        delta, 0,
+        "steady-state BIPS trial performed {delta} heap allocations"
+    );
+}

@@ -18,7 +18,9 @@ pub fn complete(n: usize) -> Vec<f64> {
 /// `cos(2πk/n)`, `k = 0..n`.
 pub fn cycle(n: usize) -> Vec<f64> {
     assert!(n >= 3);
-    let mut v: Vec<f64> = (0..n).map(|k| (2.0 * PI * k as f64 / n as f64).cos()).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|k| (2.0 * PI * k as f64 / n as f64).cos())
+        .collect();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     v
 }
@@ -64,10 +66,15 @@ pub fn petersen() -> Vec<f64> {
 /// `(Σ_d cos(2π k_d / s_d)) / D`.
 pub fn torus(dims: &[usize]) -> Vec<f64> {
     assert!(!dims.is_empty());
-    assert!(dims.iter().all(|&s| s >= 3), "closed form needs all sides ≥ 3");
+    assert!(
+        dims.iter().all(|&s| s >= 3),
+        "closed form needs all sides ≥ 3"
+    );
     let mut eigs = vec![0.0f64];
     for &s in dims {
-        let factor: Vec<f64> = (0..s).map(|k| (2.0 * PI * k as f64 / s as f64).cos()).collect();
+        let factor: Vec<f64> = (0..s)
+            .map(|k| (2.0 * PI * k as f64 / s as f64).cos())
+            .collect();
         let mut next = Vec::with_capacity(eigs.len() * s);
         for &e in &eigs {
             for &f in &factor {
@@ -135,15 +142,30 @@ mod tests {
         assert_eq!(complete_bipartite(3, 4).len(), 7);
         assert_eq!(petersen().len(), 10);
         assert_eq!(torus(&[3, 5]).len(), 15);
-        for spec in [complete(7), cycle(9), hypercube(5), petersen(), torus(&[3, 5])] {
-            assert!((spec.last().unwrap() - 1.0).abs() < 1e-12, "top eigenvalue is 1");
+        for spec in [
+            complete(7),
+            cycle(9),
+            hypercube(5),
+            petersen(),
+            torus(&[3, 5]),
+        ] {
+            assert!(
+                (spec.last().unwrap() - 1.0).abs() < 1e-12,
+                "top eigenvalue is 1"
+            );
         }
     }
 
     #[test]
     fn spectra_sum_to_trace_zero() {
         // Walk matrices of graphs without self-loops have zero trace.
-        for spec in [complete(6), cycle(8), hypercube(4), complete_bipartite(2, 5), petersen()] {
+        for spec in [
+            complete(6),
+            cycle(8),
+            hypercube(4),
+            complete_bipartite(2, 5),
+            petersen(),
+        ] {
             let s: f64 = spec.iter().sum();
             assert!(s.abs() < 1e-9, "trace {s}");
         }
@@ -155,7 +177,10 @@ mod tests {
             (generators::complete(8), complete(8)),
             (generators::cycle(9), cycle(9)),
             (generators::hypercube(4), hypercube(4)),
-            (generators::complete_bipartite(3, 5), complete_bipartite(3, 5)),
+            (
+                generators::complete_bipartite(3, 5),
+                complete_bipartite(3, 5),
+            ),
             (generators::petersen(), petersen()),
             (generators::torus(&[4, 5]), torus(&[4, 5])),
         ];
@@ -163,8 +188,18 @@ mod tests {
             let s = lanczos_edge_spectrum(&g, 0);
             let want2 = spec[spec.len() - 2];
             let wantmin = spec[0];
-            assert!((s.lambda2 - want2).abs() < 1e-7, "λ2 {} vs {}", s.lambda2, want2);
-            assert!((s.lambda_min - wantmin).abs() < 1e-7, "λmin {} vs {}", s.lambda_min, wantmin);
+            assert!(
+                (s.lambda2 - want2).abs() < 1e-7,
+                "λ2 {} vs {}",
+                s.lambda2,
+                want2
+            );
+            assert!(
+                (s.lambda_min - wantmin).abs() < 1e-7,
+                "λmin {} vs {}",
+                s.lambda_min,
+                wantmin
+            );
         }
     }
 

@@ -19,7 +19,10 @@ use rand::{RngExt, SeedableRng};
 pub fn cut_conductance(g: &Graph, side: &BitSet) -> f64 {
     assert_eq!(side.len(), g.n(), "side set universe mismatch");
     let s_count = side.count();
-    assert!(s_count > 0 && s_count < g.n(), "conductance needs a proper cut");
+    assert!(
+        s_count > 0 && s_count < g.n(),
+        "conductance needs a proper cut"
+    );
     let mut boundary = 0usize;
     let mut d_s = 0usize;
     for u in side.iter() {
@@ -85,7 +88,10 @@ pub fn sweep_cut(g: &Graph, scores: &[f64]) -> SweepCut {
     }
     let mut side: Vec<VertexId> = order[..best_k].to_vec();
     side.sort_unstable();
-    SweepCut { conductance: best, side }
+    SweepCut {
+        conductance: best,
+        side,
+    }
 }
 
 /// Approximates the second eigenvector of `P` (the "Fiedler direction"
@@ -177,9 +183,17 @@ mod tests {
         // The optimal cut severs the bar: conductance ≈ 1/d(S) with
         // d(S) ≈ clique volume. Anything below 0.05 means the bottleneck
         // was found (clique-internal cuts are ≫ 0.1).
-        assert!(cut.conductance < 0.05, "sweep conductance {}", cut.conductance);
+        assert!(
+            cut.conductance < 0.05,
+            "sweep conductance {}",
+            cut.conductance
+        );
         // The side should be (roughly) one clique plus part of the bar.
-        assert!(cut.side.len() >= 7 && cut.side.len() <= 11, "side {:?}", cut.side);
+        assert!(
+            cut.side.len() >= 7 && cut.side.len() <= 11,
+            "side {:?}",
+            cut.side
+        );
     }
 
     #[test]
@@ -187,7 +201,11 @@ mod tests {
         let g = generators::cycle(16);
         let cut = spectral_sweep(&g, 3);
         // Optimal cut: contiguous arc of 8 vertices, φ = 2/16 = 0.125.
-        assert!((cut.conductance - 0.125).abs() < 1e-9, "{}", cut.conductance);
+        assert!(
+            (cut.conductance - 0.125).abs() < 1e-9,
+            "{}",
+            cut.conductance
+        );
     }
 
     #[test]

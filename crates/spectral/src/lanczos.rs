@@ -48,10 +48,16 @@ const BREAKDOWN: f64 = 1e-13;
 /// edgeless graphs. For `n == 1` returns the empty-spectrum convention
 /// `λ₂ = λ_min = 0`.
 pub fn lanczos_edge_spectrum(g: &Graph, seed: u64) -> EdgeSpectrum {
-    assert!(g.m() > 0 || g.n() <= 1, "edge spectrum undefined for edgeless graph");
+    assert!(
+        g.m() > 0 || g.n() <= 1,
+        "edge spectrum undefined for edgeless graph"
+    );
     let n = g.n();
     if n <= 1 {
-        return EdgeSpectrum { lambda2: 0.0, lambda_min: 0.0 };
+        return EdgeSpectrum {
+            lambda2: 0.0,
+            lambda_min: 0.0,
+        };
     }
     let isd = inv_sqrt_degrees(g);
     // Deflation target: φ₁(u) = √(d(u)/2m), unit-norm top eigenvector of N.
@@ -249,7 +255,11 @@ mod tests {
         for n in [3usize, 5, 10, 20] {
             let s = spec(&generators::complete(n));
             let want = -1.0 / (n as f64 - 1.0);
-            assert!((s.lambda2 - want).abs() < 1e-8, "K_{n} λ2: {} vs {want}", s.lambda2);
+            assert!(
+                (s.lambda2 - want).abs() < 1e-8,
+                "K_{n} λ2: {} vs {want}",
+                s.lambda2
+            );
             assert!((s.lambda_min - want).abs() < 1e-8);
             assert!((s.lambda_abs() - want.abs()).abs() < 1e-8);
         }
@@ -262,8 +272,18 @@ mod tests {
         let s = spec(&generators::cycle(n));
         let want2 = (2.0 * std::f64::consts::PI / n as f64).cos();
         let wantmin = (2.0 * std::f64::consts::PI * 5.0 / n as f64).cos();
-        assert!((s.lambda2 - want2).abs() < 1e-8, "λ2 {} vs {}", s.lambda2, want2);
-        assert!((s.lambda_min - wantmin).abs() < 1e-8, "λmin {} vs {}", s.lambda_min, wantmin);
+        assert!(
+            (s.lambda2 - want2).abs() < 1e-8,
+            "λ2 {} vs {}",
+            s.lambda2,
+            want2
+        );
+        assert!(
+            (s.lambda_min - wantmin).abs() < 1e-8,
+            "λmin {} vs {}",
+            s.lambda_min,
+            wantmin
+        );
     }
 
     #[test]
@@ -279,7 +299,11 @@ mod tests {
     fn petersen_spectrum() {
         let s = spec(&generators::petersen());
         assert!((s.lambda2 - 1.0 / 3.0).abs() < 1e-9, "λ2 {}", s.lambda2);
-        assert!((s.lambda_min + 2.0 / 3.0).abs() < 1e-9, "λmin {}", s.lambda_min);
+        assert!(
+            (s.lambda_min + 2.0 / 3.0).abs() < 1e-9,
+            "λmin {}",
+            s.lambda_min
+        );
     }
 
     #[test]
@@ -287,7 +311,11 @@ mod tests {
         for d in [3u32, 5, 7] {
             let s = spec(&generators::hypercube(d));
             let want2 = 1.0 - 2.0 / d as f64;
-            assert!((s.lambda2 - want2).abs() < 1e-8, "Q_{d} λ2 {} vs {want2}", s.lambda2);
+            assert!(
+                (s.lambda2 - want2).abs() < 1e-8,
+                "Q_{d} λ2 {} vs {want2}",
+                s.lambda2
+            );
             assert!((s.lambda_min + 1.0).abs() < 1e-8, "Q_{d} bipartite");
         }
     }
@@ -303,19 +331,23 @@ mod tests {
     #[test]
     fn two_vertex_path() {
         let s = spec(&generators::path(2));
-        assert!((s.lambda2 + 1.0).abs() < 1e-9, "deflated spectrum is {{−1}}");
+        assert!(
+            (s.lambda2 + 1.0).abs() < 1e-9,
+            "deflated spectrum is {{−1}}"
+        );
         assert!((s.lambda_min + 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn disconnected_graph_has_unit_lambda2() {
-        let g = cobra_graph::Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            cobra_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+                .unwrap();
         let s = spec(&g);
-        assert!((s.lambda2 - 1.0).abs() < 1e-8, "second component carries eigenvalue 1");
+        assert!(
+            (s.lambda2 - 1.0).abs() < 1e-8,
+            "second component carries eigenvalue 1"
+        );
     }
 
     #[test]
@@ -337,8 +369,18 @@ mod tests {
         eigs.sort_by(|x, y| x.partial_cmp(y).unwrap());
         let want2 = eigs[eigs.len() - 2];
         let wantmin = eigs[0];
-        assert!((s.lambda2 - want2).abs() < 1e-7, "λ2 {} vs {}", s.lambda2, want2);
-        assert!((s.lambda_min - wantmin).abs() < 1e-7, "λmin {} vs {}", s.lambda_min, wantmin);
+        assert!(
+            (s.lambda2 - want2).abs() < 1e-7,
+            "λ2 {} vs {}",
+            s.lambda2,
+            want2
+        );
+        assert!(
+            (s.lambda_min - wantmin).abs() < 1e-7,
+            "λmin {} vs {}",
+            s.lambda_min,
+            wantmin
+        );
     }
 
     #[test]

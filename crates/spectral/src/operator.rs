@@ -23,7 +23,11 @@ pub fn apply_walk(g: &Graph, x: &[f64], y: &mut [f64]) {
         for &w in nbrs {
             acc += x[w as usize];
         }
-        y[u as usize] = if nbrs.is_empty() { 0.0 } else { acc / nbrs.len() as f64 };
+        y[u as usize] = if nbrs.is_empty() {
+            0.0
+        } else {
+            acc / nbrs.len() as f64
+        };
     }
 }
 
@@ -54,7 +58,11 @@ pub fn inv_sqrt_degrees(g: &Graph) -> Vec<f64> {
     (0..g.n() as u32)
         .map(|u| {
             let d = g.degree(u);
-            if d == 0 { 0.0 } else { 1.0 / (d as f64).sqrt() }
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / (d as f64).sqrt()
+            }
         })
         .collect()
 }
@@ -62,13 +70,22 @@ pub fn inv_sqrt_degrees(g: &Graph) -> Vec<f64> {
 /// Stationary distribution `π(u) = d(u)/2m`.
 pub fn stationary(g: &Graph) -> Vec<f64> {
     let two_m = g.degree_sum() as f64;
-    assert!(two_m > 0.0, "stationary distribution undefined on edgeless graph");
-    (0..g.n() as u32).map(|u| g.degree(u) as f64 / two_m).collect()
+    assert!(
+        two_m > 0.0,
+        "stationary distribution undefined on edgeless graph"
+    );
+    (0..g.n() as u32)
+        .map(|u| g.degree(u) as f64 / two_m)
+        .collect()
 }
 
 /// π-weighted inner product `Σ π(u) x(u) y(u)`.
 pub fn dot_pi(pi: &[f64], x: &[f64], y: &[f64]) -> f64 {
-    pi.iter().zip(x).zip(y).map(|((&p, &a), &b)| p * a * b).sum()
+    pi.iter()
+        .zip(x)
+        .zip(y)
+        .map(|((&p, &a), &b)| p * a * b)
+        .sum()
 }
 
 /// π-weighted norm.

@@ -31,7 +31,11 @@ pub struct PowerOptions {
 
 impl Default for PowerOptions {
     fn default() -> Self {
-        PowerOptions { max_iterations: 20_000, tolerance: 1e-10, seed: 0x5EED }
+        PowerOptions {
+            max_iterations: 20_000,
+            tolerance: 1e-10,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ pub fn second_eigenvalue_abs(g: &Graph, opts: PowerOptions) -> PowerResult {
     assert!(g.m() > 0, "second eigenvalue undefined for edgeless graph");
     let n = g.n();
     if n <= 1 {
-        return PowerResult { lambda_abs: 0.0, iterations: 0, converged: true };
+        return PowerResult {
+            lambda_abs: 0.0,
+            iterations: 0,
+            converged: true,
+        };
     }
     let pi = stationary(g);
     let mut rng = SmallRng::seed_from_u64(opts.seed);
@@ -52,7 +60,9 @@ pub fn second_eigenvalue_abs(g: &Graph, opts: PowerOptions) -> PowerResult {
     let nx = norm_pi(&pi, &x);
     if nx < f64::MIN_POSITIVE {
         // Degenerate random start (essentially impossible); restart flat.
-        x.iter_mut().enumerate().for_each(|(i, v)| *v = if i % 2 == 0 { 1.0 } else { -1.0 });
+        x.iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = if i % 2 == 0 { 1.0 } else { -1.0 });
         deflate_constant(&pi, &mut x);
     }
     scale(1.0 / norm_pi(&pi, &x), &mut x);
@@ -69,13 +79,21 @@ pub fn second_eigenvalue_abs(g: &Graph, opts: PowerOptions) -> PowerResult {
             // all non-top eigenvalues come in {0, -1} pairs collapsing):
             // the remaining spectrum radius is 0 in this direction.
             // Return the best estimate so far.
-            return PowerResult { lambda_abs: estimate, iterations: it, converged: true };
+            return PowerResult {
+                lambda_abs: estimate,
+                iterations: it,
+                converged: true,
+            };
         }
         let new_estimate = ny; // ‖P x‖_π with ‖x‖_π = 1 → spectral radius est.
         scale(1.0 / ny, &mut y);
         std::mem::swap(&mut x, &mut y);
         if (new_estimate - estimate).abs() <= opts.tolerance * new_estimate.max(1e-12) {
-            return PowerResult { lambda_abs: new_estimate.min(1.0), iterations: it, converged: true };
+            return PowerResult {
+                lambda_abs: new_estimate.min(1.0),
+                iterations: it,
+                converged: true,
+            };
         }
         estimate = new_estimate;
     }
@@ -101,7 +119,11 @@ mod tests {
         for n in [4usize, 8, 16] {
             let g = generators::complete(n);
             let want = 1.0 / (n as f64 - 1.0);
-            assert!((lam(&g) - want).abs() < 1e-6, "K_{n}: got {} want {want}", lam(&g));
+            assert!(
+                (lam(&g) - want).abs() < 1e-6,
+                "K_{n}: got {} want {want}",
+                lam(&g)
+            );
         }
     }
 
@@ -114,7 +136,12 @@ mod tests {
         let c1 = (2.0 * std::f64::consts::PI / n as f64).cos();
         let c2 = (2.0 * std::f64::consts::PI * 4.0 / n as f64).cos().abs();
         let want = c1.max(c2);
-        assert!((lam(&g) - want).abs() < 1e-6, "got {} want {}", lam(&g), want);
+        assert!(
+            (lam(&g) - want).abs() < 1e-6,
+            "got {} want {}",
+            lam(&g),
+            want
+        );
     }
 
     #[test]
@@ -137,8 +164,9 @@ mod tests {
 
     #[test]
     fn disconnected_graph_lambda_one() {
-        let g = cobra_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g =
+            cobra_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+                .unwrap();
         assert!((lam(&g) - 1.0).abs() < 1e-6);
     }
 

@@ -96,7 +96,11 @@ pub fn normal_mean_ci(samples: &[f64], level: f64) -> ConfidenceInterval {
     let s = Summary::from_samples(samples);
     let z = z_for_level(level);
     let half = z * s.std_error();
-    ConfidenceInterval { lo: s.mean - half, hi: s.mean + half, level }
+    ConfidenceInterval {
+        lo: s.mean - half,
+        hi: s.mean + half,
+        level,
+    }
 }
 
 /// Bootstrap percentile CI for the mean: `resamples` bootstrap means,
@@ -152,7 +156,9 @@ mod tests {
 
     #[test]
     fn normal_ci_contains_true_mean_for_tight_sample() {
-        let samples: Vec<f64> = (0..1000).map(|i| 10.0 + ((i % 7) as f64 - 3.0) * 0.1).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| 10.0 + ((i % 7) as f64 - 3.0) * 0.1)
+            .collect();
         let ci = normal_mean_ci(&samples, 0.95);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(ci.contains(mean));

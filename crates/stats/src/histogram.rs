@@ -17,7 +17,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins >= 1, "need at least one bin");
         assert!(lo < hi, "invalid range [{lo}, {hi})");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Adds an observation.

@@ -16,7 +16,10 @@ impl Ecdf {
     /// Builds an ECDF. Panics on empty or non-finite input.
     pub fn new(samples: &[f64]) -> Ecdf {
         assert!(!samples.is_empty(), "ECDF of empty sample");
-        assert!(samples.iter().all(|x| x.is_finite()), "ECDF needs finite samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF needs finite samples"
+        );
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Ecdf { sorted }
@@ -77,7 +80,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
     let ne = (fa.len() as f64 * fb.len() as f64) / (fa.len() + fb.len()) as f64;
     let sqrt_ne = ne.sqrt();
     let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * stat;
-    KsResult { statistic: stat, p_value: kolmogorov_sf(lambda) }
+    KsResult {
+        statistic: stat,
+        p_value: kolmogorov_sf(lambda),
+    }
 }
 
 /// Kolmogorov survival function `Q(λ)`.

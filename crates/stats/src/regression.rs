@@ -52,7 +52,13 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
     } else {
         0.0
     };
-    LineFit { slope, intercept, r_squared, slope_std_error, n }
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_std_error,
+        n,
+    }
 }
 
 /// Fits `y = c·x^alpha` by OLS in log–log space; returns

@@ -14,7 +14,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -54,12 +60,20 @@ impl RunningStats {
 
     /// Sample mean (NaN if empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { f64::NAN } else { self.mean }
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
     }
 
     /// Unbiased sample variance (NaN if fewer than 2 observations).
     pub fn variance(&self) -> f64 {
-        if self.count < 2 { f64::NAN } else { self.m2 / (self.count - 1) as f64 }
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
     }
 
     /// Sample standard deviation.
@@ -114,7 +128,11 @@ impl Summary {
         Summary {
             count: samples.len(),
             mean: rs.mean(),
-            std_dev: if samples.len() >= 2 { rs.std_dev() } else { 0.0 },
+            std_dev: if samples.len() >= 2 {
+                rs.std_dev()
+            } else {
+                0.0
+            },
             min: sorted[0],
             q25: quantile_sorted(&sorted, 0.25),
             median: quantile_sorted(&sorted, 0.5),

@@ -55,14 +55,22 @@ impl BitSet {
     /// Tests membership of `idx`.
     #[inline]
     pub fn contains(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "BitSet index {idx} out of range {}",
+            self.len
+        );
         (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
     }
 
     /// Inserts `idx`; returns true if it was newly inserted.
     #[inline]
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "BitSet index {idx} out of range {}",
+            self.len
+        );
         let w = &mut self.words[idx / WORD_BITS];
         let mask = 1u64 << (idx % WORD_BITS);
         if *w & mask == 0 {
@@ -77,7 +85,11 @@ impl BitSet {
     /// Removes `idx`; returns true if it was present.
     #[inline]
     pub fn remove(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "BitSet index {idx} out of range {}",
+            self.len
+        );
         let w = &mut self.words[idx / WORD_BITS];
         let mask = 1u64 << (idx % WORD_BITS);
         if *w & mask != 0 {

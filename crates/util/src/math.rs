@@ -64,7 +64,8 @@ pub fn ln_usize(n: usize) -> f64 {
 
 /// Integer power with overflow panic (used for grid sizing: side^dim).
 pub fn checked_pow(base: usize, exp: u32) -> usize {
-    base.checked_pow(exp).expect("integer overflow in checked_pow")
+    base.checked_pow(exp)
+        .expect("integer overflow in checked_pow")
 }
 
 #[cfg(test)]
@@ -105,7 +106,12 @@ mod tests {
     fn harmonic_matches_direct_sum() {
         assert_eq!(harmonic(0), 0.0);
         assert!(approx_eq(harmonic(1), 1.0, 1e-12, 0.0));
-        assert!(approx_eq(harmonic(4), 1.0 + 0.5 + 1.0 / 3.0 + 0.25, 1e-12, 0.0));
+        assert!(approx_eq(
+            harmonic(4),
+            1.0 + 0.5 + 1.0 / 3.0 + 0.25,
+            1e-12,
+            0.0
+        ));
         // Asymptotic branch vs direct sum at the crossover.
         let direct: f64 = (1..=1000).map(|k| 1.0 / k as f64).sum();
         assert!(approx_eq(harmonic(1000), direct, 1e-9, 0.0));

@@ -35,7 +35,11 @@ impl Series {
             points.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
             "series contains non-finite points"
         );
-        Series { label: label.into(), marker, points }
+        Series {
+            label: label.into(),
+            marker,
+            points,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ impl Plot {
             .iter()
             .flat_map(|s| {
                 s.points.iter().map(move |&(x, y)| {
-                    (self.x_scale.transform(x), self.y_scale.transform(y), s.marker)
+                    (
+                        self.x_scale.transform(x),
+                        self.y_scale.transform(y),
+                        s.marker,
+                    )
                 })
             })
             .collect();
@@ -146,7 +154,11 @@ impl Plot {
         out.push_str(&format!(
             "y: {}{}\n",
             self.y_label,
-            if self.y_scale == Scale::Log { " (log)" } else { "" }
+            if self.y_scale == Scale::Log {
+                " (log)"
+            } else {
+                ""
+            }
         ));
         for (i, row) in canvas.iter().enumerate() {
             let tick = if i == 0 {
@@ -156,24 +168,29 @@ impl Plot {
             } else {
                 String::new()
             };
-            out.push_str(&format!("{tick:>10} |{}|\n", row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{tick:>10} |{}|\n",
+                row.iter().collect::<String>()
+            ));
         }
-        out.push_str(&format!(
-            "{:>10} +{}+\n",
-            "",
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{:>10} +{}+\n", "", "-".repeat(self.width)));
         out.push_str(&format!(
             "{:>10}  {:<w$}{}\n",
             "",
             fmt_tick(self.x_scale, x_lo),
             fmt_tick(self.x_scale, x_hi),
-            w = self.width.saturating_sub(fmt_tick(self.x_scale, x_hi).len())
+            w = self
+                .width
+                .saturating_sub(fmt_tick(self.x_scale, x_hi).len())
         ));
         out.push_str(&format!(
             "x: {}{}\n",
             self.x_label,
-            if self.x_scale == Scale::Log { " (log)" } else { "" }
+            if self.x_scale == Scale::Log {
+                " (log)"
+            } else {
+                ""
+            }
         ));
         for s in &self.series {
             out.push_str(&format!("  {} {}\n", s.marker, s.label));
@@ -187,7 +204,11 @@ mod tests {
     use super::*;
 
     fn line_series() -> Series {
-        Series::new("line", '*', (1..=10).map(|i| (i as f64, 2.0 * i as f64)).collect())
+        Series::new(
+            "line",
+            '*',
+            (1..=10).map(|i| (i as f64, 2.0 * i as f64)).collect(),
+        )
     }
 
     #[test]
@@ -214,7 +235,10 @@ mod tests {
             .collect();
         assert!(!cols.is_empty());
         for w in cols.windows(2) {
-            assert!(w[1] <= w[0], "positive-slope line rendered non-monotone: {cols:?}");
+            assert!(
+                w[1] <= w[0],
+                "positive-slope line rendered non-monotone: {cols:?}"
+            );
         }
     }
 
@@ -233,9 +257,16 @@ mod tests {
             .lines()
             .find(|l| l.contains('|') && l.contains('o'))
             .unwrap();
-        let cols: Vec<usize> = row.char_indices().filter(|&(_, c)| c == 'o').map(|(i, _)| i).collect();
+        let cols: Vec<usize> = row
+            .char_indices()
+            .filter(|&(_, c)| c == 'o')
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(cols.len(), 8, "markers collided under log scaling: {row}");
-        let diffs: Vec<isize> = cols.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        let diffs: Vec<isize> = cols
+            .windows(2)
+            .map(|w| w[1] as isize - w[0] as isize)
+            .collect();
         let (dmin, dmax) = (diffs.iter().min().unwrap(), diffs.iter().max().unwrap());
         assert!(dmax - dmin <= 1, "uneven spacing {diffs:?}");
     }

@@ -25,7 +25,11 @@ fn print_curve(label: &str, traj: &[f64], n: usize) {
             continue;
         }
         let bar = (size / n as f64 * width as f64).round() as usize;
-        println!("  t={t:>4}  |{}{}| {size:>7.1}", "#".repeat(bar), " ".repeat(width - bar.min(width)));
+        println!(
+            "  t={t:>4}  |{}{}| {size:>7.1}",
+            "#".repeat(bar),
+            " ".repeat(width - bar.min(width))
+        );
         if size >= n as f64 {
             break;
         }
@@ -51,6 +55,9 @@ fn main() {
     println!("reading: on the expander the curve shows the §5 phase structure —");
     println!("a slow start, a doubling middle, and an O(log n/(1−λ)) completion tail.");
     println!("On the bottlenecked ring the infection crawls clique-by-clique: the gap");
-    println!("is ~{:.0}x smaller and the completion time stretches accordingly,", gap_e / gap_r);
+    println!(
+        "is ~{:.0}x smaller and the completion time stretches accordingly,",
+        gap_e / gap_r
+    );
     println!("exactly the r/(1−λ) dependence of Theorem 1.2.");
 }

@@ -29,7 +29,10 @@ fn main() {
             (report.cobra_side[i] - report.bips_side[i]).abs()
         );
     }
-    println!("  max gap = {:.2e}  (pure rounding — the identity is exact)\n", report.max_abs_gap());
+    println!(
+        "  max gap = {:.2e}  (pure rounding — the identity is exact)\n",
+        report.max_abs_gap()
+    );
 
     // --- Exact SRW oracles ----------------------------------------------
     let n = 9;
@@ -38,7 +41,10 @@ fn main() {
     println!("SRW hitting times on C_{n} (target 0) vs the closed form k(n−k):");
     for (u, &hu) in h.iter().enumerate() {
         let k = u.min(n - u);
-        println!("  from {u}: exact {hu:>6.2}, closed form {:>6.2}", (k * (n - k)) as f64);
+        println!(
+            "  from {u}: exact {hu:>6.2}, closed form {:>6.2}",
+            (k * (n - k)) as f64
+        );
     }
     println!();
     let k8 = generators::complete(8);

@@ -31,10 +31,7 @@ fn main() {
         let (spaa16, podc16, this_paper) = bounds::hypercube_ladder(d);
         println!(
             "{d:<4} {n:<7} {:<10.1} {:<12.0} {:<12.0} {:<12.0}",
-            s.mean,
-            this_paper,
-            podc16,
-            spaa16
+            s.mean, this_paper, podc16, spaa16
         );
         ln_ns.push((n as f64).ln());
         covers.push(s.mean);

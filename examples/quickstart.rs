@@ -47,9 +47,18 @@ fn main() {
 
     // The paper's bounds for this graph.
     let r = g.regularity().expect("regular");
-    println!("Theorem 1.1 shape  m + dmax²·ln n          = {:.0}", bounds::thm_1_1(g.n(), g.m(), g.max_degree()));
-    println!("Theorem 1.2 shape  (r/(1−λ) + r²)·ln n     = {:.0}", bounds::thm_1_2(g.n(), r, spec.gap()));
-    println!("PODC'16 shape      (1/(1−λ))³·ln n          = {:.0}", bounds::podc16(g.n(), spec.gap()));
+    println!(
+        "Theorem 1.1 shape  m + dmax²·ln n          = {:.0}",
+        bounds::thm_1_1(g.n(), g.m(), g.max_degree())
+    );
+    println!(
+        "Theorem 1.2 shape  (r/(1−λ) + r²)·ln n     = {:.0}",
+        bounds::thm_1_2(g.n(), r, spec.gap())
+    );
+    println!(
+        "PODC'16 shape      (1/(1−λ))³·ln n          = {:.0}",
+        bounds::podc16(g.n(), spec.gap())
+    );
     println!(
         "lower bound        max(log₂ n, Diam)         = {:.0}",
         bounds::lower_bound(g.n(), props::diameter(&g).unwrap())

@@ -13,7 +13,7 @@
 
 use cobra_graph::{generators, props};
 use cobra_process::{
-    Branching, Cobra, Laziness, MultiWalk, PushGossip, RandomWalk, SpreadProcess,
+    Branching, Cobra, Laziness, MultiWalk, ProcessView, PushGossip, RandomWalk, StepCtx,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -35,12 +35,15 @@ fn main() {
 
     let cap = 50_000_000;
     let trials = 10u64;
-    let race = |label: &str, f: &dyn Fn(&mut SmallRng) -> (usize, u64)| {
+    let race = |label: &str, f: &dyn Fn(&mut StepCtx) -> (usize, u64)| {
         let mut rounds = 0.0;
         let mut tx = 0.0;
+        // One context for all racers: the scratch buffers warm up once
+        // and every subsequent trial steps allocation-free.
+        let mut ctx = StepCtx::new();
         for t in 0..trials {
-            let mut rng = SmallRng::seed_from_u64(0xBEEF + t);
-            let (r, x) = f(&mut rng);
+            ctx.reseed(0xBEEF + t);
+            let (r, x) = f(&mut ctx);
             rounds += r as f64;
             tx += x as f64;
         }
@@ -52,29 +55,29 @@ fn main() {
         );
     };
 
-    race("single random walk", &|rng| {
+    race("single random walk", &|ctx| {
         let mut p = RandomWalk::new(&g, 0, Laziness::None);
-        let r = p.run_until_cover(rng, cap).expect("cover");
+        let r = p.run_until_cover(ctx, cap).expect("cover");
         (r, p.transmissions())
     });
-    race("8 independent walks", &|rng| {
+    race("8 independent walks", &|ctx| {
         let mut p = MultiWalk::new_at(&g, 0, 8, Laziness::None);
-        let r = p.run_until_cover(rng, cap).expect("cover");
+        let r = p.run_until_cover(ctx, cap).expect("cover");
         (r, p.transmissions())
     });
-    race("PUSH gossip", &|rng| {
+    race("PUSH gossip", &|ctx| {
         let mut p = PushGossip::new(&g, 0, 1);
-        let r = p.run_until_broadcast(rng, cap).expect("broadcast");
+        let r = p.run_until_broadcast(ctx, cap).expect("broadcast");
         (r, p.transmissions())
     });
-    race("COBRA b=2", &|rng| {
+    race("COBRA b=2", &|ctx| {
         let mut p = Cobra::new(&g, &[0], Branching::Fixed(2), Laziness::None);
-        let r = p.run_until_cover(rng, cap).expect("cover");
+        let r = p.run_until_cover(ctx, cap).expect("cover");
         (r, p.transmissions())
     });
-    race("COBRA b=1+0.5", &|rng| {
+    race("COBRA b=1+0.5", &|ctx| {
         let mut p = Cobra::new(&g, &[0], Branching::Expected(0.5), Laziness::None);
-        let r = p.run_until_cover(rng, cap).expect("cover");
+        let r = p.run_until_cover(ctx, cap).expect("cover");
         (r, p.transmissions())
     });
 

@@ -33,6 +33,6 @@ pub mod prelude {
     pub use cobra::sim::{Estimate, GraphSource, Objective, SimError, SimSpec};
     pub use cobra_graph::{generators, props, Graph, GraphSpec, VertexId};
     pub use cobra_mc::{Engine, Observer, StopWhen};
-    pub use cobra_process::{ProcessSpec, SpreadProcess};
+    pub use cobra_process::{ProcessSpec, ProcessState, ProcessView, StepCtx};
     pub use cobra_util::BitSet;
 }

@@ -38,7 +38,11 @@ fn duality_with_multi_vertex_start_set_on_torus() {
     let g = generators::torus(&[5, 5]);
     let c: Vec<u32> = vec![6, 12, 18, 24];
     let report = duality_check(&g, 0, &c, &cfg(4000, 22));
-    assert!(report.max_abs_z() < 4.5, "torus duality violated: {:?}", report.rows);
+    assert!(
+        report.max_abs_z() < 4.5,
+        "torus duality violated: {:?}",
+        report.rows
+    );
 }
 
 #[test]
@@ -47,7 +51,11 @@ fn duality_with_fractional_branching_on_ring_of_cliques() {
     let mut c = cfg(4000, 23);
     c.branching = Branching::Expected(0.3);
     let report = duality_check(&g, 2, &[17], &c);
-    assert!(report.max_abs_z() < 4.5, "ρ-duality violated: {:?}", report.rows);
+    assert!(
+        report.max_abs_z() < 4.5,
+        "ρ-duality violated: {:?}",
+        report.rows
+    );
 }
 
 #[test]

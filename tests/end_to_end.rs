@@ -62,7 +62,7 @@ fn cover_and_infection_agree_on_order_of_magnitude() {
 fn bounds_rank_processes_correctly_on_k_n() {
     // The b=1 baseline (SRW) is Θ(n log n) on K_n while COBRA b=2 is
     // Θ(log n): measured separation must be at least ~n/ something.
-    use cobra_process::{Laziness, RandomWalk};
+    use cobra_process::{Laziness, RandomWalk, StepCtx};
     let g = generators::complete(64);
     let cobra_mean = CoverConfig::default()
         .with_trials(15)
@@ -72,9 +72,9 @@ fn bounds_rank_processes_correctly_on_k_n() {
         .mean;
     let mut srw_total = 0.0;
     for i in 0..15u64 {
-        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(100 + i);
+        let mut ctx = StepCtx::seeded(100 + i);
         let mut w = RandomWalk::new(&g, 0, Laziness::None);
-        srw_total += w.run_until_cover(&mut rng, 10_000_000).unwrap() as f64;
+        srw_total += w.run_until_cover(&mut ctx, 10_000_000).unwrap() as f64;
     }
     let srw_mean = srw_total / 15.0;
     assert!(

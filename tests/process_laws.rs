@@ -5,11 +5,9 @@
 
 use cobra_graph::generators;
 use cobra_process::{
-    Bips, BipsMode, Branching, Cobra, Laziness, RandomWalk, SerialBips, SpreadProcess,
+    Bips, BipsMode, Branching, Cobra, Laziness, ProcessState, RandomWalk, SerialBips, StepCtx,
 };
 use cobra_stats::ks_two_sample;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 #[test]
 fn cobra_b1_hits_like_a_random_walk() {
@@ -20,14 +18,14 @@ fn cobra_b1_hits_like_a_random_walk() {
     let cap = 1_000_000;
     let cobra: Vec<f64> = (0..trials)
         .map(|i| {
-            let mut rng = SmallRng::seed_from_u64(1000 + i);
+            let mut rng = StepCtx::seeded(1000 + i);
             let mut p = Cobra::new(&g, &[0], Branching::Fixed(1), Laziness::None);
             p.run_until_hit(target, &mut rng, cap).unwrap() as f64
         })
         .collect();
     let walk: Vec<f64> = (0..trials)
         .map(|i| {
-            let mut rng = SmallRng::seed_from_u64(500_000 + i);
+            let mut rng = StepCtx::seeded(500_000 + i);
             let mut p = RandomWalk::new(&g, 0, Laziness::None);
             p.run_until_hit(target, &mut rng, cap).unwrap() as f64
         })
@@ -50,7 +48,7 @@ fn three_bips_implementations_share_one_law() {
     let rounds = 5;
     let serial: Vec<f64> = (0..trials)
         .map(|i| {
-            let mut rng = SmallRng::seed_from_u64(2000 + i);
+            let mut rng = StepCtx::seeded(2000 + i);
             let mut p = SerialBips::new(&g, 0, Branching::B2);
             for _ in 0..rounds {
                 p.step_round(&mut rng);
@@ -61,7 +59,7 @@ fn three_bips_implementations_share_one_law() {
     let sample = |mode: BipsMode, salt: u64| -> Vec<f64> {
         (0..trials)
             .map(|i| {
-                let mut rng = SmallRng::seed_from_u64(salt + i);
+                let mut rng = StepCtx::seeded(salt + i);
                 let mut p = Bips::new(&g, 0, Branching::B2, Laziness::None, mode);
                 for _ in 0..rounds {
                     p.step(&mut rng);
@@ -78,7 +76,12 @@ fn three_bips_implementations_share_one_law() {
         (&exact, &fast, "exact vs fast"),
     ] {
         let ks = ks_two_sample(a, b);
-        assert!(ks.p_value > 0.001, "{label}: D = {}, p = {}", ks.statistic, ks.p_value);
+        assert!(
+            ks.p_value > 0.001,
+            "{label}: D = {}, p = {}",
+            ks.statistic,
+            ks.p_value
+        );
     }
 }
 
@@ -93,7 +96,7 @@ fn lazy_and_plain_cobra_differ_on_bipartite_graphs() {
     let sample = |lazy: Laziness, salt: u64| -> Vec<f64> {
         (0..trials)
             .map(|i| {
-                let mut rng = SmallRng::seed_from_u64(salt + i);
+                let mut rng = StepCtx::seeded(salt + i);
                 let mut p = Cobra::new(&g, &[0], Branching::B2, lazy);
                 for _ in 0..rounds {
                     p.step(&mut rng);
@@ -122,7 +125,7 @@ fn fixed2_equals_expected_rho_one() {
     let sample = |b: Branching, salt: u64| -> Vec<f64> {
         (0..trials)
             .map(|i| {
-                let mut rng = SmallRng::seed_from_u64(salt + i);
+                let mut rng = StepCtx::seeded(salt + i);
                 let mut p = Cobra::new(&g, &[0], b, Laziness::None);
                 p.run_until_cover(&mut rng, 1_000_000).unwrap() as f64
             })

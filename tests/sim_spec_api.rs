@@ -1,7 +1,7 @@
 //! Integration coverage for the declarative `SimSpec` API: spec
 //! round-trips (including rejection of malformed specs), engine
-//! determinism across thread counts, and equivalence of the legacy
-//! shims with the unified path.
+//! determinism across thread counts, and the legacy config carriers
+//! delegating to the unified path.
 
 use cobra_repro::prelude::*;
 
@@ -132,26 +132,28 @@ fn hitting_time_objective_is_distance_bounded() {
 }
 
 #[test]
-fn legacy_shims_stay_thin_delegations() {
-    // Not an equivalence proof (the shims *are* one-line delegations to
-    // `to_sim(...).run()`, so old-loop behavior is gone by design) —
-    // this pins that they remain delegations: if someone reintroduces a
-    // bespoke trial loop or a different seeding path inside a shim,
-    // these comparisons start failing.
+fn legacy_configs_delegate_to_the_unified_path() {
+    // The deprecated `cobra_cover_samples`/`bips_infection_samples`
+    // shims are gone; the config carriers convert via `to_sim` and must
+    // agree with a hand-built SimSpec on every knob they set.
     use cobra::cover::CoverConfig;
     use cobra::infection::InfectionConfig;
     let g = generators::torus(&[6, 6]);
     let cover_cfg = CoverConfig::default().with_trials(10);
-    #[allow(deprecated)]
-    let legacy = cobra::cover::cobra_cover_samples(&g, 0, cover_cfg);
-    let unified = cover_cfg.to_sim(&g, &[0]).run();
-    assert_eq!(legacy, unified);
+    let via_cfg = cover_cfg.to_sim(&g, &[0]).run();
+    let via_spec = SimSpec::new(&g, cover_cfg.process_spec())
+        .with_trials(10)
+        .with_seed(cover_cfg.master_seed)
+        .run();
+    assert_eq!(via_cfg, via_spec);
 
     let infect_cfg = InfectionConfig::default().with_trials(10);
-    #[allow(deprecated)]
-    let legacy = cobra::infection::bips_infection_samples(&g, 0, infect_cfg);
-    let unified = infect_cfg.to_sim(&g, 0).run();
-    assert_eq!(legacy, unified);
+    let via_cfg = infect_cfg.to_sim(&g, 0).run();
+    let via_spec = SimSpec::new(&g, infect_cfg.process_spec())
+        .with_trials(10)
+        .with_seed(infect_cfg.master_seed)
+        .run();
+    assert_eq!(via_cfg, via_spec);
 }
 
 #[test]
@@ -164,12 +166,12 @@ fn custom_observer_runs_through_the_engine() {
     }
     impl Observer for BigFrontier {
         type Output = usize;
-        fn on_round(&mut self, p: &dyn SpreadProcess) {
+        fn on_round(&mut self, p: &dyn ProcessView) {
             if p.reached_count() * 2 > self.n {
                 self.hits += 1;
             }
         }
-        fn finish(self, _outcome: cobra_mc::TrialOutcome, _p: &dyn SpreadProcess) -> usize {
+        fn finish(self, _outcome: cobra_mc::TrialOutcome, _p: &dyn ProcessView) -> usize {
             self.hits
         }
     }
