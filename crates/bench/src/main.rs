@@ -15,11 +15,18 @@
 //! # any process × graph × estimator, no Rust required:
 //! cobra-exps run --process cobra:b2 --graph hypercube:10 --trials 30
 //! cobra-exps run --process bips:rho0.5 --graph gnp:2000:0.01 --target 7
+//!
+//! # whole parameter grids, cached and resumable:
+//! cobra-exps sweep 'cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64'
+//! cobra-exps sweep @grid.sweep --dry-run
 //! ```
 
 use cobra::experiments;
 use cobra::{SimSpec, Table};
+use cobra_campaign::{artifact, plan_sweep, run_sweep, Store, SweepSpec};
+use cobra_util::json::{obj, Json};
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cobra_viz::{Plot, Scale, Series};
@@ -38,6 +45,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench") {
         return bench_subcommand(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return sweep_subcommand(&args[1..]);
     }
     let mut quick = false;
     let mut plot = false;
@@ -334,6 +344,250 @@ fn run_subcommand(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `cobra-exps sweep` — run a whole parameter grid through the
+/// campaign layer: declarative expansion, content-addressed caching,
+/// resumable scheduling, table/plot artifacts.
+fn sweep_subcommand(args: &[String]) -> ExitCode {
+    let mut spec_arg: Option<String> = None;
+    let mut dry_run = false;
+    let mut threads: usize = 0;
+    let mut store_root = PathBuf::from("campaigns");
+    let mut no_store = false;
+    let mut plot = false;
+    let mut format = Format::Plain;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .cloned()
+        };
+        let parsed = match arg.as_str() {
+            "--dry-run" | "-n" => {
+                dry_run = true;
+                Ok(())
+            }
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|v| threads = v)
+                    .map_err(|e| format!("--threads: {e}"))
+            }),
+            "--store" => value("--store").map(|v| store_root = PathBuf::from(v)),
+            "--no-store" => {
+                no_store = true;
+                Ok(())
+            }
+            "--plot" | "-p" => {
+                plot = true;
+                Ok(())
+            }
+            "--csv" => {
+                format = Format::Csv;
+                Ok(())
+            }
+            "--markdown" | "--md" => {
+                format = Format::Markdown;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                print_sweep_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => Err(format!("unknown argument: {other}")),
+            other if spec_arg.is_none() => {
+                spec_arg = Some(other.to_string());
+                Ok(())
+            }
+            other => Err(format!("unexpected extra argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            print_sweep_help();
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(spec_arg) = spec_arg else {
+        eprintln!("sweep needs a spec (inline, @file, or a path to a spec file)");
+        print_sweep_help();
+        return ExitCode::FAILURE;
+    };
+    let spec_text = match load_sweep_text(&spec_arg) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: SweepSpec = match spec_text.parse() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = spec.name();
+    let store_dir = store_root.join(&name);
+    // The cap policy of the SimSpec layer: the paper's bounds decide
+    // each point's round budget unless the spec pins `cap=`.
+    let cap_policy = |g: &cobra_graph::Graph, p: &cobra_process::ProcessSpec| {
+        cobra::sim::resolve_cap(g, p, None)
+    };
+
+    if dry_run {
+        // Read-only: a dry run inspects the store without creating it.
+        let store = if no_store {
+            Store::in_memory()
+        } else {
+            Store::load(&store_dir)
+        };
+        let plan = match plan_sweep(&spec, &store, &cap_policy) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let dup_note = if plan.duplicates.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({} duplicate expansions fold away)",
+                plan.duplicates.len()
+            )
+        };
+        println!(
+            "sweep {name}: {} points ({} distinct graphs) — {} cached, {} to compute{dup_note}",
+            plan.len(),
+            plan.distinct_graphs,
+            plan.cached.len(),
+            plan.missing.len()
+        );
+        let cached: HashSet<usize> = plan.cached.iter().copied().collect();
+        let dups: HashSet<usize> = plan.duplicates.iter().copied().collect();
+        const SHOW: usize = 64;
+        for (i, planned) in plan.points.iter().take(SHOW).enumerate() {
+            let p = &planned.point;
+            let marker = if dups.contains(&i) {
+                "dup "
+            } else if cached.contains(&i) {
+                "hit "
+            } else {
+                "miss"
+            };
+            println!(
+                "  [{marker}] {} × {} trials={} cap={} key={}",
+                p.graph,
+                p.process,
+                p.trials,
+                p.cap,
+                p.digest_hex()
+            );
+        }
+        if plan.len() > SHOW {
+            println!("  ... {} more", plan.len() - SHOW);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut store = if no_store {
+        Store::in_memory()
+    } else {
+        match Store::open(&store_dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("cannot open store {}: {e}", store_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let outcome = match run_sweep(&spec, &mut store, threads, &cap_policy) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sweep {name}: {} points — {} cached, {} computed",
+        outcome.records.len(),
+        outcome.cached,
+        outcome.computed
+    );
+    let table = artifact::table(&name, &outcome.records);
+    match format {
+        Format::Plain => println!("{}", table.render()),
+        Format::Csv => print!("{}", table.to_csv()),
+        Format::Markdown => println!("{}", table.to_markdown()),
+    }
+    if plot {
+        if let Some(fig) = artifact::scaling_plot(&name, &outcome.records) {
+            println!("{fig}");
+        }
+    }
+    if !no_store {
+        match artifact::write_artifacts(&store_dir, &name, &outcome.records) {
+            Ok(written) => {
+                for path in written {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write artifacts: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Resolves the sweep-spec argument: inline text, `@file`, or a path to
+/// an existing file. Files may spread segments over several lines and
+/// use `#` comment lines.
+fn load_sweep_text(arg: &str) -> Result<String, String> {
+    let path = arg.strip_prefix('@').map(PathBuf::from).or_else(|| {
+        let p = PathBuf::from(arg);
+        p.is_file().then_some(p)
+    });
+    let Some(path) = path else {
+        return Ok(arg.to_string());
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read sweep file {}: {e}", path.display()))?;
+    let joined = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect::<Vec<_>>()
+        .join(" ");
+    if joined.is_empty() {
+        return Err(format!("sweep file {} holds no spec", path.display()));
+    }
+    Ok(joined)
+}
+
+fn print_sweep_help() {
+    eprintln!(
+        "cobra-exps sweep — run a parameter grid with caching and resumability\n\
+         \n\
+         usage: cobra-exps sweep '<spec>' [options]\n\
+         \u{20}      cobra-exps sweep @grid.sweep [options]\n\
+         \n\
+         spec grammar: objective; graph=<patterns>; process=<patterns>; trials=N\n\
+         \u{20}             [; start=V] [; seed=S] [; cap=C] [; name=N]\n\
+         \u{20} e.g.  'cover; graph=hypercube:{{10..16}}; process=cobra:b{{1,2,3}}; trials=64'\n\
+         \u{20} patterns brace-expand ({{a..b}} ranges, {{x,y,z}} lists) and |-alternate\n\
+         \n\
+         options: --dry-run (show expansion + cache hits, run nothing)\n\
+         \u{20}        --threads N (auto)  --store DIR (campaigns)  --no-store\n\
+         \u{20}        --csv | --markdown  --plot\n\
+         \n\
+         Results persist one JSON line per point under <store>/<name>/results.jsonl,\n\
+         keyed by a content hash of the resolved point; re-runs and killed runs only\n\
+         compute missing points."
+    );
+}
+
 /// `cobra-exps bench` — measure simulation throughput and record it in
 /// a machine-readable JSON file so the performance trajectory of the
 /// hot loop is tracked across PRs.
@@ -351,8 +605,12 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     let mut process = "cobra:b2".to_string();
     let mut trials: usize = 64;
     let mut seed: u64 = 0xBE7C;
-    let mut label = "current".to_string();
+    let mut label: Option<String> = None;
     let mut out = "BENCH_cover.json".to_string();
+    let mut sweep_mode = false;
+    // Engine-probe flags that are meaningless under --sweep (which
+    // measures a fixed grid); mixing them is rejected, not ignored.
+    let mut engine_flags: Vec<&str> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -362,11 +620,20 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
                 .cloned()
         };
         let parsed = match arg.as_str() {
-            "--graph" | "-g" => value("--graph").map(|v| graph = v),
-            "--process" | "-p" => value("--process").map(|v| process = v),
+            "--graph" | "-g" => value("--graph").map(|v| {
+                graph = v;
+                engine_flags.push("--graph");
+            }),
+            "--process" | "-p" => value("--process").map(|v| {
+                process = v;
+                engine_flags.push("--process");
+            }),
             "--trials" | "-t" => value("--trials").and_then(|v| {
                 v.parse()
-                    .map(|v| trials = v)
+                    .map(|v| {
+                        trials = v;
+                        engine_flags.push("--trials");
+                    })
                     .map_err(|e| format!("--trials: {e}"))
             }),
             "--seed" => value("--seed").and_then(|v| {
@@ -374,8 +641,12 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
                     .map(|v| seed = v)
                     .map_err(|e| format!("--seed: {e}"))
             }),
-            "--label" => value("--label").map(|v| label = v),
+            "--label" => value("--label").map(|v| label = Some(v)),
             "--out" | "-o" => value("--out").map(|v| out = v),
+            "--sweep" => {
+                sweep_mode = true;
+                Ok(())
+            }
             "--help" | "-h" => {
                 print_bench_help();
                 return ExitCode::SUCCESS;
@@ -388,6 +659,18 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    if sweep_mode {
+        if !engine_flags.is_empty() {
+            eprintln!(
+                "bench --sweep measures a fixed grid; {} cannot apply (use --seed/--label/--out)",
+                engine_flags.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        return bench_sweep(seed, &label.unwrap_or_else(|| "sweep".to_string()), &out);
+    }
+    let label = label.unwrap_or_else(|| "current".to_string());
 
     let spec = match SimSpec::parse(&graph, &process) {
         Ok(spec) => spec,
@@ -419,115 +702,132 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     let total_rounds: usize = est.samples.iter().sum::<usize>() + est.censored * est.cap;
     let rounds_per_sec = total_rounds as f64 / wall.max(1e-12);
 
-    let entry = format!(
-        "{{\"label\": {label:?}, \"scenario\": {process:?}, \"graph\": {graph:?}, \
-         \"n\": {n}, \"m\": {m}, \"trials\": {trials}, \"seed\": {seed}, \
-         \"total_rounds\": {total_rounds}, \"wall_seconds\": {wall:.4}, \
-         \"rounds_per_sec\": {rounds_per_sec:.1}}}"
-    );
-
-    // Merge into the benchmark file, keyed by label. Existing entries
-    // are recovered with a brace-balanced scan, so a pretty-printed or
-    // hand-edited file never silently loses its baseline records.
-    let mut entries: Vec<String> = Vec::new();
-    if let Ok(existing) = std::fs::read_to_string(&out) {
-        for obj in scan_entry_objects(&existing) {
-            if extract_str(&obj, "label").as_deref() != Some(label.as_str()) {
-                entries.push(obj);
-            }
-        }
-    }
-    entries.push(entry.clone());
-    let body = entries
-        .iter()
-        .map(|e| format!("    {e}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n");
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
-
+    let entry = obj([
+        ("label", Json::Str(label.clone())),
+        ("scenario", Json::Str(process.clone())),
+        ("graph", Json::Str(graph.clone())),
+        ("n", Json::Int(n as i128)),
+        ("m", Json::Int(m as i128)),
+        ("trials", Json::Int(trials as i128)),
+        ("seed", Json::Int(seed as i128)),
+        ("total_rounds", Json::Int(total_rounds as i128)),
+        ("wall_seconds", Json::Float(round_places(wall, 4))),
+        (
+            "rounds_per_sec",
+            Json::Float(round_places(rounds_per_sec, 1)),
+        ),
+    ]);
     println!("{entry}");
+    let entries = match merge_bench_file(&out, &label, entry) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // Report against the committed pre-refactor baseline when the same
     // scenario is present.
-    let baseline = entries.iter().find(|e| {
-        extract_str(e, "label").as_deref() == Some("pre-refactor")
-            && extract_str(e, "scenario").as_deref() == Some(process.as_str())
-            && extract_str(e, "graph").as_deref() == Some(graph.as_str())
-    });
-    if let Some(base) = baseline {
-        if let Some(base_rps) = extract_f64(base, "rounds_per_sec") {
-            println!(
-                "speedup vs pre-refactor baseline ({base_rps:.1} rounds/s): {:.2}x",
-                rounds_per_sec / base_rps
-            );
-        }
+    let base_rps = entries
+        .iter()
+        .find(|e| {
+            e.get("label").and_then(Json::as_str) == Some("pre-refactor")
+                && e.get("scenario").and_then(Json::as_str) == Some(process.as_str())
+                && e.get("graph").and_then(Json::as_str) == Some(graph.as_str())
+        })
+        .and_then(|e| e.get("rounds_per_sec"))
+        .and_then(Json::as_f64);
+    if let Some(base_rps) = base_rps {
+        println!(
+            "speedup vs pre-refactor baseline ({base_rps:.1} rounds/s): {:.2}x",
+            rounds_per_sec / base_rps
+        );
     }
     ExitCode::SUCCESS
 }
 
-/// Collects the depth-2 JSON objects of a benchmark file (the entries
-/// of the top-level array), tolerant of arbitrary formatting. Each
-/// entry is normalised back to a single line for rewriting.
-fn scan_entry_objects(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut in_str = false;
-    let mut escaped = false;
-    let mut start: Option<usize> = None;
-    for (i, c) in text.char_indices() {
-        if in_str {
-            if escaped {
-                escaped = false;
-            } else if c == '\\' {
-                escaped = true;
-            } else if c == '"' {
-                in_str = false;
-            }
-            continue;
+/// `cobra-exps bench --sweep` — campaign-layer throughput: points/sec
+/// over a fixed small grid, recorded alongside the engine probe so the
+/// scheduling layer's overhead is tracked across PRs. Both the warm-up
+/// and the measured run use fresh in-memory stores (a disk store would
+/// make the second run all cache hits and measure nothing).
+fn bench_sweep(seed: u64, label: &str, out: &str) -> ExitCode {
+    let spec_text =
+        format!("cover; graph=cycle:{{32..47}}; process=cobra:b2|rw; trials=8; seed={seed}");
+    let spec: SweepSpec = spec_text.parse().expect("static bench sweep parses");
+    let cap_policy = |g: &cobra_graph::Graph, p: &cobra_process::ProcessSpec| {
+        cobra::sim::resolve_cap(g, p, None)
+    };
+    let run = |store: &mut Store| run_sweep(&spec, store, 0, &cap_policy);
+    if let Err(e) = run(&mut Store::in_memory()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let start = std::time::Instant::now();
+    let outcome = match run(&mut Store::in_memory()) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-        match c {
-            '"' => in_str = true,
-            '{' => {
-                depth += 1;
-                if depth == 2 && start.is_none() {
-                    start = Some(i);
-                }
-            }
-            '}' => {
-                if depth == 2 {
-                    if let Some(s) = start.take() {
-                        let obj: Vec<&str> = text[s..=i].split_whitespace().collect();
-                        out.push(obj.join(" "));
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let points_per_sec = outcome.computed as f64 / wall.max(1e-12);
+    let entry = obj([
+        ("label", Json::Str(label.to_string())),
+        ("scenario", Json::Str(spec_text.clone())),
+        ("points", Json::Int(outcome.computed as i128)),
+        ("trials", Json::Int(spec.trials as i128)),
+        ("seed", Json::Int(seed as i128)),
+        ("wall_seconds", Json::Float(round_places(wall, 4))),
+        (
+            "points_per_sec",
+            Json::Float(round_places(points_per_sec, 1)),
+        ),
+    ]);
+    println!("{entry}");
+    if let Err(e) = merge_bench_file(out, label, entry) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Merges `entry` into the label-keyed benchmark file (replacing any
+/// entry with the same label) and rewrites it, one entry per line.
+/// Returns the resulting entry list. A file that fails to parse is
+/// started over — baselines live in version control.
+fn merge_bench_file(out: &str, label: &str, entry: Json) -> std::io::Result<Vec<Json>> {
+    let mut entries: Vec<Json> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(out) {
+        match Json::parse(&existing) {
+            Ok(parsed) => {
+                for e in parsed
+                    .get("benchmarks")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                {
+                    if e.get("label").and_then(Json::as_str) != Some(label) {
+                        entries.push(e.clone());
                     }
                 }
-                depth = depth.saturating_sub(1);
             }
-            _ => {}
+            Err(e) => eprintln!("warning: {out} is not valid JSON ({e}); rewriting"),
         }
     }
-    out
+    entries.push(entry);
+    let body = entries
+        .iter()
+        .map(|e| format!("    {}", e.to_string_compact()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(out, format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n"))?;
+    Ok(entries)
 }
 
-/// Pulls `"key": "value"` out of a JSON object, whitespace-tolerant.
-fn extract_str(obj: &str, key: &str) -> Option<String> {
-    let idx = obj.find(&format!("\"{key}\""))?;
-    let rest = &obj[idx + key.len() + 2..];
-    let rest = rest[rest.find(':')? + 1..].trim_start();
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-/// Pulls `"key": <number>` out of a single-line JSON object.
-fn extract_f64(line: &str, key: &str) -> Option<f64> {
-    let idx = line.find(&format!("\"{key}\":"))?;
-    let rest = &line[idx + key.len() + 3..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
-        .unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+/// Rounds to `places` decimal digits (for tidy recorded numbers).
+fn round_places(x: f64, places: u32) -> f64 {
+    let scale = 10f64.powi(places as i32);
+    (x * scale).round() / scale
 }
 
 fn print_bench_help() {
@@ -538,6 +838,8 @@ fn print_bench_help() {
          \n\
          options: --graph G (hypercube:16)  --process P (cobra:b2)  --trials N (64)\n\
          \u{20}        --seed S (0xBE7C)  --label L (current)  --out FILE (BENCH_cover.json)\n\
+         \u{20}        --sweep (measure campaign points/sec over a fixed small grid\n\
+         \u{20}                 instead of engine rounds/sec; default label 'sweep')\n\
          \n\
          Entries are keyed by label; rerunning a label replaces its entry. When a\n\
          'pre-refactor' entry for the same scenario exists the speedup is printed."
@@ -567,6 +869,8 @@ fn print_help() {
          \n\
          usage: cobra-exps [--quick|--full] [--csv|--markdown] [--plot] <id>... | all | --list\n\
          \u{20}      cobra-exps run --graph <spec> --process <spec> [options]\n\
+         \u{20}      cobra-exps sweep '<sweep spec>' [options]   (see sweep --help)\n\
+         \u{20}      cobra-exps bench [--sweep] [options]        (see bench --help)\n\
          \n\
          ids: {}",
         experiments::ALL_IDS.join(", ")

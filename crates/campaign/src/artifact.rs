@@ -1,0 +1,222 @@
+//! The artifact layer: finished points → tables, CSV, scaling plots.
+//!
+//! Records fold through [`cobra_stats::Summary`] into the same
+//! [`Table`] type the experiment suite renders, plus an optional
+//! log–log scaling figure (mean stopping time versus `n`, one series
+//! per process) via `cobra-viz`. [`write_artifacts`] drops the rendered
+//! forms next to the result store, so `campaigns/<name>/` is a
+//! self-contained record of the sweep.
+
+use crate::store::PointRecord;
+use cobra_stats::report::{fmt_f, Table};
+use cobra_stats::Summary;
+use cobra_viz::{Plot, Scale, Series};
+use std::path::{Path, PathBuf};
+
+/// Folds records (expansion order) into the campaign table.
+pub fn table(name: &str, records: &[PointRecord]) -> Table {
+    let mut table = Table::new(
+        "SWEEP",
+        format!("campaign {name}"),
+        &[
+            "graph",
+            "n",
+            "m",
+            "process",
+            "objective",
+            "trials",
+            "censored",
+            "mean",
+            "std",
+            "min",
+            "median",
+            "max",
+            "mean tx",
+        ],
+    );
+    for rec in records {
+        let (mean, std, min, median, max) = if rec.samples.is_empty() {
+            ("-".into(), "-".into(), "-".into(), "-".into(), "-".into())
+        } else {
+            let s = Summary::from_samples(&rec.samples_f64());
+            (
+                fmt_f(s.mean),
+                fmt_f(s.std_dev),
+                fmt_f(s.min),
+                fmt_f(s.median),
+                fmt_f(s.max),
+            )
+        };
+        table.push_row(vec![
+            rec.graph.clone(),
+            rec.n.to_string(),
+            rec.m.to_string(),
+            rec.process.clone(),
+            rec.objective.clone(),
+            rec.trials.to_string(),
+            rec.censored.to_string(),
+            mean,
+            std,
+            min,
+            median,
+            max,
+            fmt_f(rec.mean_transmissions()),
+        ]);
+    }
+    let censored: usize = records.iter().map(|r| r.censored).sum();
+    if censored > 0 {
+        table.note(format!(
+            "{censored} trial(s) censored at the cap across the grid"
+        ));
+    }
+    table
+}
+
+/// A log–log scaling figure (mean stopping time vs `n`, one series per
+/// graph *family* × process — mixing families into one curve would
+/// draw a zigzag through incomparable scaling laws), when the grid
+/// spans at least two sizes with completed trials. Points with no
+/// completed trials (or zero means, which a log axis cannot place) are
+/// dropped.
+pub fn scaling_plot(name: &str, records: &[PointRecord]) -> Option<String> {
+    const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut groups: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for rec in records {
+        let Some(mean) = rec.mean_rounds() else {
+            continue;
+        };
+        if mean <= 0.0 || rec.n == 0 {
+            continue;
+        }
+        let family = rec.graph.split(':').next().unwrap_or(&rec.graph);
+        let series = format!("{family} {}", rec.process);
+        let entry = (rec.n as f64, mean);
+        match groups.iter_mut().find(|(k, _)| *k == series) {
+            Some((_, pts)) => pts.push(entry),
+            None => groups.push((series, vec![entry])),
+        }
+    }
+    let distinct_n: std::collections::HashSet<u64> = groups
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x as u64))
+        .collect();
+    if distinct_n.len() < 2 {
+        return None;
+    }
+    let mut plot = Plot::new(format!("campaign {name} — scaling"))
+        .labels("n", "mean rounds")
+        .scales(Scale::Log, Scale::Log)
+        .size(68, 18);
+    for (i, (label, mut pts)) in groups.into_iter().enumerate() {
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        plot = plot.series(Series::new(label, MARKERS[i % MARKERS.len()], pts));
+    }
+    Some(plot.render())
+}
+
+/// Writes `table.txt`, `table.csv`, `table.md`, and (when a scaling
+/// figure exists) `plot.txt` into `dir`; returns the paths written.
+pub fn write_artifacts(
+    dir: impl AsRef<Path>,
+    name: &str,
+    records: &[PointRecord],
+) -> std::io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let t = table(name, records);
+    let mut written = Vec::new();
+    for (file, body) in [
+        ("table.txt", t.render()),
+        ("table.csv", t.to_csv()),
+        ("table.md", t.to_markdown()),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, body)?;
+        written.push(path);
+    }
+    if let Some(fig) = scaling_plot(name, records) {
+        let path = dir.join("plot.txt");
+        std::fs::write(&path, fig)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{default_cap, run_sweep};
+    use crate::store::Store;
+    use crate::sweep::SweepSpec;
+
+    fn records() -> Vec<PointRecord> {
+        let spec: SweepSpec = "cover; graph=cycle:{12,24}; process=cobra:b2|rw; trials=4"
+            .parse()
+            .unwrap();
+        run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap)
+            .unwrap()
+            .records
+    }
+
+    #[test]
+    fn table_has_one_row_per_point() {
+        let recs = records();
+        let t = table("demo", &recs);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0][0], "cycle:12");
+        assert_eq!(t.rows[0][3], "cobra:b2");
+        // Means are numeric when trials completed.
+        assert!(t.rows[0][7].parse::<f64>().is_ok(), "{:?}", t.rows[0]);
+        assert!(t.render().contains("campaign demo"));
+        assert!(t.to_csv().lines().count() >= 5);
+    }
+
+    #[test]
+    fn fully_censored_points_render_dashes() {
+        let mut rec = records().remove(0);
+        rec.samples.clear();
+        rec.censored = rec.trials;
+        let t = table("demo", &[rec]);
+        assert_eq!(t.rows[0][7], "-");
+        assert!(t.notes[0].contains("censored"));
+    }
+
+    #[test]
+    fn scaling_plot_needs_two_sizes() {
+        let recs = records();
+        let fig = scaling_plot("demo", &recs).expect("two sizes present");
+        assert!(fig.contains("cycle cobra:b2"));
+        assert!(fig.contains("mean rounds"));
+        let one_size: Vec<PointRecord> =
+            recs.into_iter().filter(|r| r.graph == "cycle:12").collect();
+        assert!(scaling_plot("demo", &one_size).is_none());
+    }
+
+    #[test]
+    fn scaling_plot_separates_graph_families() {
+        // Mixed families must not share a series: cycle:16 and
+        // hypercube:4 both have n = 16 but incomparable scaling.
+        let spec: SweepSpec = "cover; graph=cycle:{16,24}|hypercube:{3,4}; process=cobra:b2; \
+                               trials=3"
+            .parse()
+            .unwrap();
+        let recs = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap)
+            .unwrap()
+            .records;
+        let fig = scaling_plot("demo", &recs).unwrap();
+        assert!(fig.contains("cycle cobra:b2"), "{fig}");
+        assert!(fig.contains("hypercube cobra:b2"), "{fig}");
+    }
+
+    #[test]
+    fn artifacts_land_on_disk() {
+        let dir = std::env::temp_dir().join(format!("cobra-artifacts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_artifacts(&dir, "demo", &records()).unwrap();
+        assert_eq!(written.len(), 4, "table ×3 + plot");
+        for path in &written {
+            assert!(path.exists());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

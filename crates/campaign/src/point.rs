@@ -1,0 +1,195 @@
+//! Resolved sweep points and their content-addressed identity.
+//!
+//! A [`SweepPoint`] is one fully-resolved cell of a sweep grid: a
+//! concrete graph spec × process spec × objective, with the trial
+//! count, round cap, and RNG seed pinned. Its identity is the
+//! [`SweepPoint::spec_key`] string — every parameter that can change
+//! the result, spelled out — and the result store addresses records by
+//! a stable hash of that key plus the seed and [`CODE_VERSION`].
+//!
+//! The seed itself derives from the key (via [`cobra_mc::key_seed`]),
+//! not from the point's position in the expansion, so results are
+//! independent of expansion order, thread count, and whatever other
+//! points share the run.
+
+use cobra_graph::{GraphSpec, VertexId};
+use cobra_mc::key_seed;
+use cobra_process::ProcessSpec;
+use cobra_util::hash::{fnv1a_str, hex16};
+use std::fmt;
+use std::str::FromStr;
+
+/// Bump to invalidate every stored result (a semantic change to the
+/// simulation or seeding makes old records incomparable; the store
+/// keeps them on disk but no key will ever match them again).
+pub const CODE_VERSION: &str = "cobra-campaign/1";
+
+/// What each point of a sweep measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepObjective {
+    /// Rounds until every vertex is reached (cover / full infection /
+    /// broadcast time).
+    Cover,
+    /// Rounds until one target vertex is reached (hitting time).
+    Hit(VertexId),
+}
+
+impl fmt::Display for SweepObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepObjective::Cover => write!(f, "cover"),
+            SweepObjective::Hit(v) => write!(f, "hit:{v}"),
+        }
+    }
+}
+
+impl FromStr for SweepObjective {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SweepObjective, String> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("cover") {
+            return Ok(SweepObjective::Cover);
+        }
+        if let Some(v) = s.strip_prefix("hit:") {
+            return v
+                .parse()
+                .map(SweepObjective::Hit)
+                .map_err(|_| format!("bad hit target {v:?} (usage: hit:V)"));
+        }
+        Err(format!(
+            "unknown objective {s:?} (valid objectives: cover, hit:V)"
+        ))
+    }
+}
+
+/// One fully-resolved cell of a sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    pub graph: GraphSpec,
+    pub process: ProcessSpec,
+    pub objective: SweepObjective,
+    /// Start vertex (`C_0 = {start}`).
+    pub start: VertexId,
+    /// Independent trials at this point.
+    pub trials: usize,
+    /// Resolved per-trial round cap (explicit or from the cap policy).
+    pub cap: usize,
+    /// Key-derived master seed for this point's trials.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// Resolves a point and derives its seed from `(master, key)`.
+    pub fn resolve(
+        graph: GraphSpec,
+        process: ProcessSpec,
+        objective: SweepObjective,
+        start: VertexId,
+        trials: usize,
+        cap: usize,
+        master_seed: u64,
+    ) -> SweepPoint {
+        let mut point = SweepPoint {
+            graph,
+            process,
+            objective,
+            start,
+            trials,
+            cap,
+            seed: 0,
+        };
+        point.seed = key_seed(master_seed, &point.spec_key());
+        point
+    }
+
+    /// The seedless content key: every result-affecting parameter in
+    /// canonical spelling, plus the code-version tag.
+    pub fn spec_key(&self) -> String {
+        format!(
+            "{};graph={};process={};start={};trials={};cap={};{}",
+            self.objective,
+            self.graph,
+            self.process,
+            self.start,
+            self.trials,
+            self.cap,
+            CODE_VERSION
+        )
+    }
+
+    /// The full key the store addresses: spec key plus the seed.
+    pub fn full_key(&self) -> String {
+        format!("{};seed={}", self.spec_key(), self.seed)
+    }
+
+    /// Fixed-width hex digest of [`SweepPoint::full_key`] — the
+    /// store's lookup key. The full key string is stored alongside it,
+    /// so a hash collision cannot silently alias two points.
+    pub fn digest_hex(&self) -> String {
+        hex16(fnv1a_str(&self.full_key()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(graph: &str, process: &str, trials: usize) -> SweepPoint {
+        SweepPoint::resolve(
+            graph.parse().unwrap(),
+            process.parse().unwrap(),
+            SweepObjective::Cover,
+            0,
+            trials,
+            10_000,
+            0xC0B7A,
+        )
+    }
+
+    #[test]
+    fn objective_round_trips() {
+        for s in ["cover", "hit:7"] {
+            let o: SweepObjective = s.parse().unwrap();
+            assert_eq!(o.to_string(), s);
+        }
+        assert!("hit".parse::<SweepObjective>().is_err());
+        assert!("hit:x".parse::<SweepObjective>().is_err());
+        assert!("reach:3".parse::<SweepObjective>().is_err());
+    }
+
+    #[test]
+    fn seed_derives_from_content_not_position() {
+        let a = point("hypercube:6", "cobra:b2", 8);
+        let b = point("hypercube:6", "cobra:b2", 8);
+        assert_eq!(a, b);
+        assert_eq!(a.digest_hex(), b.digest_hex());
+        // Any parameter change moves the seed and the key.
+        let c = point("hypercube:7", "cobra:b2", 8);
+        let d = point("hypercube:6", "cobra:b3", 8);
+        let e = point("hypercube:6", "cobra:b2", 9);
+        for other in [&c, &d, &e] {
+            assert_ne!(a.seed, other.seed);
+            assert_ne!(a.digest_hex(), other.digest_hex());
+        }
+    }
+
+    #[test]
+    fn keys_spell_out_every_parameter() {
+        let p = point("hypercube:6", "cobra:b2", 8);
+        let key = p.full_key();
+        for needle in [
+            "cover",
+            "graph=hypercube:6",
+            "process=cobra:b2",
+            "start=0",
+            "trials=8",
+            "cap=10000",
+            CODE_VERSION,
+            &format!("seed={}", p.seed),
+        ] {
+            assert!(key.contains(needle), "{needle:?} missing from {key:?}");
+        }
+        assert_eq!(p.digest_hex().len(), 16);
+    }
+}

@@ -1,0 +1,437 @@
+//! The point-level scheduler: expand → skip cached → run → persist.
+//!
+//! A sweep run is a plan (every point resolved, graphs memoized, caps
+//! fixed, keys derived) followed by a job-level parallel section over
+//! only the points the store does not already hold. Each worker thread
+//! owns one long-lived [`StepCtx`] reused across every job it executes;
+//! within a job the process is built once and reset per trial, so the
+//! zero-allocation steady state of the engine extends across whole
+//! campaign points. Each finished record is appended (and flushed) to
+//! the store immediately, which is what makes a killed campaign
+//! resumable.
+//!
+//! Determinism: a point's trials are seeded `trial_seed(point.seed, i)`
+//! with `point.seed` derived from the point's content key — never from
+//! scheduling. Per-point results are therefore bit-identical whatever
+//! the thread count, whichever points are cached, and however the grid
+//! around them changes. (The equivalence with `Engine::run_spec` under
+//! `master_seed = point.seed` is pinned by tests.)
+
+use crate::point::{SweepObjective, SweepPoint};
+use crate::store::{PointRecord, Store};
+use crate::sweep::SweepSpec;
+use crate::CampaignError;
+use cobra_graph::{Graph, GraphCache, GraphSpec};
+use cobra_mc::{key_seed, run_jobs, run_trial, trial_seed, Completion, StopWhen};
+use cobra_process::{ProcessSpec, ProcessState, StepCtx};
+use std::sync::{Arc, Mutex};
+
+/// How a point with no explicit cap resolves one, given its
+/// materialised graph. The CLI injects the paper-bound policy from
+/// `cobra::sim::resolve_cap`; [`default_cap`] is the standalone
+/// fallback.
+pub type CapPolicy<'a> = &'a (dyn Fn(&Graph, &ProcessSpec) -> usize + Sync);
+
+/// The standalone cap fallback: the random-walk-regime bound
+/// `32·n·m + 10 000`, which dominates every process family's expected
+/// completion time (branching processes finish much earlier).
+pub fn default_cap(g: &Graph, _process: &ProcessSpec) -> usize {
+    32 * g.n().max(2) * g.m().max(1) + 10_000
+}
+
+/// One fully-resolved point plus its shared graph.
+#[derive(Debug, Clone)]
+pub struct PlannedPoint {
+    pub point: SweepPoint,
+    pub graph: Arc<Graph>,
+}
+
+/// The resolved expansion of a sweep against a store.
+#[derive(Debug)]
+pub struct Plan {
+    /// Every point, in expansion order (graph-major).
+    pub points: Vec<PlannedPoint>,
+    /// Indices into `points` that the store already holds.
+    pub cached: Vec<usize>,
+    /// Indices into `points` that must be computed (distinct content
+    /// keys only — duplicates in the expansion schedule one job).
+    pub missing: Vec<usize>,
+    /// Indices whose content key equals an earlier point in this plan
+    /// (e.g. overlapping ranges like `cycle:{8..10}|cycle:{9..11}`);
+    /// they are served by that point's record, never recomputed.
+    pub duplicates: Vec<usize>,
+    /// Distinct graphs materialised (memoization across points).
+    pub distinct_graphs: usize,
+}
+
+impl Plan {
+    /// Total points in the expansion.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True for an empty expansion (cannot happen for a parsed spec).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// The outcome of [`run_sweep`]: every record in expansion order, plus
+/// the cache accounting.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// One record per point, in expansion order (cached and computed
+    /// alike).
+    pub records: Vec<PointRecord>,
+    /// Points served from the store.
+    pub cached: usize,
+    /// Points computed this run.
+    pub computed: usize,
+}
+
+/// Resolves a sweep into a [`Plan`]: expands the axes, materialises
+/// each distinct graph once (random families seeded from the campaign
+/// master seed and the graph spec — *not* the point — so every point
+/// on `gnp:N:P` shares one concrete graph), resolves caps, derives
+/// key-based point seeds, and partitions against the store.
+pub fn plan_sweep(
+    spec: &SweepSpec,
+    store: &Store,
+    cap_policy: CapPolicy<'_>,
+) -> Result<Plan, CampaignError> {
+    let grid = spec.expand_axes()?;
+    let mut cache = GraphCache::new();
+    let mut points = Vec::with_capacity(grid.len());
+    let mut cached = Vec::new();
+    let mut missing = Vec::new();
+    let mut duplicates = Vec::new();
+    let mut scheduled_keys = std::collections::HashSet::new();
+    for (index, (gspec, pspec)) in grid.into_iter().enumerate() {
+        let graph = cache
+            .get_or_build(&gspec, graph_build_seed(spec.seed, &gspec))
+            .map_err(CampaignError::Graph)?;
+        check_vertices(spec, &gspec, &graph)?;
+        let cap = spec.cap.unwrap_or_else(|| cap_policy(&graph, &pspec));
+        let point = SweepPoint::resolve(
+            gspec,
+            pspec,
+            spec.objective,
+            spec.start,
+            spec.trials,
+            cap,
+            spec.seed,
+        );
+        let key = point.digest_hex();
+        if !scheduled_keys.insert(key.clone()) {
+            duplicates.push(index);
+        } else if store.get(&key, &point.full_key()).is_some() {
+            cached.push(index);
+        } else {
+            missing.push(index);
+        }
+        points.push(PlannedPoint { point, graph });
+    }
+    Ok(Plan {
+        points,
+        cached,
+        missing,
+        duplicates,
+        distinct_graphs: cache.len(),
+    })
+}
+
+/// The build seed for a graph spec under a campaign master seed —
+/// derived from the spec's stable digest alone (domain-separated from
+/// point seeds by the `graph;` prefix), so memoization across points
+/// is sound and every point on one random family shares one concrete
+/// graph.
+pub fn graph_build_seed(master_seed: u64, spec: &GraphSpec) -> u64 {
+    key_seed(master_seed, &format!("graph;{:016x}", spec.digest()))
+}
+
+fn check_vertices(spec: &SweepSpec, gspec: &GraphSpec, graph: &Graph) -> Result<(), CampaignError> {
+    let n = graph.n();
+    if spec.start as usize >= n {
+        return Err(CampaignError::Invalid(format!(
+            "start vertex {} out of range for {gspec} (n = {n})",
+            spec.start
+        )));
+    }
+    if let SweepObjective::Hit(target) = spec.objective {
+        if target as usize >= n {
+            return Err(CampaignError::Invalid(format!(
+                "hit target {target} out of range for {gspec} (n = {n})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Plans and runs a sweep: cached points are served from the store,
+/// missing points run across the worker pool (0 = one per core), and
+/// every finished record is appended to the store before the run moves
+/// on. Returns records for the full grid in expansion order.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    store: &mut Store,
+    threads: usize,
+    cap_policy: CapPolicy<'_>,
+) -> Result<RunOutcome, CampaignError> {
+    let plan = plan_sweep(spec, store, cap_policy)?;
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let fresh: Vec<PointRecord> =
+        run_jobs(threads, plan.missing.len(), StepCtx::new, |ctx, job| {
+            let planned = &plan.points[plan.missing[job]];
+            let record = run_point(&planned.point, &planned.graph, ctx);
+            if let Err(e) = store.append(&record) {
+                io_error.lock().expect("io error slot").get_or_insert(e);
+            }
+            record
+        });
+    if let Some(e) = io_error.into_inner().expect("io error slot") {
+        return Err(CampaignError::Io(format!(
+            "cannot append to result store: {e}"
+        )));
+    }
+    let computed = fresh.len();
+    store.absorb(fresh);
+    let mut records = Vec::with_capacity(plan.len());
+    for planned in &plan.points {
+        let point = &planned.point;
+        let rec = store
+            .get(&point.digest_hex(), &point.full_key())
+            .expect("every point cached or just computed");
+        records.push(rec.clone());
+    }
+    Ok(RunOutcome {
+        records,
+        // Duplicates count as cached: they are served from the record
+        // their twin produced (or the store already held), never rerun.
+        cached: plan.cached.len() + plan.duplicates.len(),
+        computed,
+    })
+}
+
+/// Job-level scheduling for custom experiment grids that don't fit the
+/// cover/hit sweep shape (duality probes, first-passage measurements,
+/// …): builds each case's graph once through a [`GraphCache`] (shared
+/// across cases that name the same spec) and dispatches one job per
+/// case across the worker pool, each worker owning a long-lived
+/// [`StepCtx`]. Output is ordered by case index for any thread count.
+///
+/// This is the entry point the migrated experiments (F6, F9) ride; a
+/// full sweep goes through [`run_sweep`], which layers the
+/// content-addressed store on top of the same machinery.
+pub fn run_graph_jobs<T, F>(
+    specs: &[GraphSpec],
+    master_seed: u64,
+    threads: usize,
+    exec: F,
+) -> Result<Vec<T>, CampaignError>
+where
+    T: Send,
+    F: Fn(usize, &Graph, &mut StepCtx) -> T + Sync,
+{
+    let mut cache = GraphCache::new();
+    let graphs: Vec<Arc<Graph>> = specs
+        .iter()
+        .map(|s| cache.get_or_build(s, graph_build_seed(master_seed, s)))
+        .collect::<Result<_, _>>()?;
+    Ok(run_jobs(threads, specs.len(), StepCtx::new, |ctx, i| {
+        exec(i, &graphs[i], ctx)
+    }))
+}
+
+/// Runs every trial of one point on the worker's context. The process
+/// is built once and reset per trial; trial `i` sees exactly
+/// `trial_seed(point.seed, i)`, the same derivation the engine uses, so
+/// this matches `Engine::run_spec` under `master_seed = point.seed`
+/// bit-for-bit.
+pub fn run_point(point: &SweepPoint, graph: &Graph, ctx: &mut StepCtx) -> PointRecord {
+    let start = [point.start];
+    let stop = match point.objective {
+        SweepObjective::Cover => StopWhen::Complete,
+        SweepObjective::Hit(v) => StopWhen::Reached(v),
+    };
+    let mut process = point.process.build(graph, &start);
+    let mut samples = Vec::new();
+    let mut censored = 0usize;
+    let mut total_transmissions = 0u64;
+    let mut total_reached = 0u64;
+    for trial in 0..point.trials {
+        ctx.reseed(trial_seed(point.seed, trial as u64));
+        process.reset(graph, &start);
+        let outcome = run_trial(&mut process, ctx, stop, point.cap, Completion);
+        match outcome.rounds {
+            Some(r) => samples.push(r),
+            None => censored += 1,
+        }
+        total_transmissions += outcome.transmissions;
+        total_reached += outcome.reached as u64;
+    }
+    PointRecord {
+        key: point.digest_hex(),
+        spec: point.full_key(),
+        graph: point.graph.to_string(),
+        process: point.process.to_string(),
+        objective: point.objective.to_string(),
+        n: graph.n(),
+        m: graph.m(),
+        trials: point.trials,
+        cap: point.cap,
+        seed: point.seed,
+        samples,
+        censored,
+        total_transmissions,
+        total_reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        "cover; graph=cycle:{12..14}|complete:16; process=cobra:b2|rw; trials=5"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_memoizes_graphs_and_partitions() {
+        let store = Store::in_memory();
+        let plan = plan_sweep(&small_spec(), &store, &default_cap).unwrap();
+        assert_eq!(plan.len(), 4 * 2);
+        assert_eq!(plan.distinct_graphs, 4, "2 processes share each graph");
+        assert_eq!(plan.cached.len(), 0);
+        assert_eq!(plan.missing.len(), 8);
+        // Graph Arcs are shared between the two points of each graph.
+        assert!(Arc::ptr_eq(&plan.points[0].graph, &plan.points[1].graph));
+    }
+
+    #[test]
+    fn second_run_is_fully_cached_and_identical() {
+        let mut store = Store::in_memory();
+        let spec = small_spec();
+        let first = run_sweep(&spec, &mut store, 1, &default_cap).unwrap();
+        assert_eq!(first.computed, 8);
+        assert_eq!(first.cached, 0);
+        let second = run_sweep(&spec, &mut store, 4, &default_cap).unwrap();
+        assert_eq!(second.computed, 0);
+        assert_eq!(second.cached, 8);
+        assert_eq!(first.records, second.records);
+    }
+
+    #[test]
+    fn thread_count_never_changes_records() {
+        let spec = small_spec();
+        let seq = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        let par = run_sweep(&spec, &mut Store::in_memory(), 8, &default_cap).unwrap();
+        assert_eq!(seq.records, par.records);
+    }
+
+    #[test]
+    fn point_results_are_independent_of_the_surrounding_grid() {
+        // The cycle:12/cobra:b2 point must be bit-identical whether it
+        // runs alone or inside a larger grid.
+        let solo: SweepSpec = "cover; graph=cycle:12; process=cobra:b2; trials=5"
+            .parse()
+            .unwrap();
+        let solo_run = run_sweep(&solo, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        let grid_run = run_sweep(&small_spec(), &mut Store::in_memory(), 0, &default_cap).unwrap();
+        let in_grid = grid_run
+            .records
+            .iter()
+            .find(|r| r.graph == "cycle:12" && r.process == "cobra:b2")
+            .unwrap();
+        assert_eq!(&solo_run.records[0], in_grid);
+    }
+
+    #[test]
+    fn run_point_matches_the_engine_bit_for_bit() {
+        use cobra_mc::Engine;
+        let spec = small_spec();
+        let plan = plan_sweep(&spec, &Store::in_memory(), &default_cap).unwrap();
+        for planned in &plan.points {
+            let p = &planned.point;
+            let mut ctx = StepCtx::new();
+            let record = run_point(p, &planned.graph, &mut ctx);
+            let outcomes = Engine::new(p.trials, p.seed, p.cap)
+                .with_threads(1)
+                .run_spec_outcomes(&planned.graph, &p.process, &[p.start], StopWhen::Complete);
+            let engine_samples: Vec<usize> = outcomes.iter().filter_map(|o| o.rounds).collect();
+            assert_eq!(record.samples, engine_samples, "{}/{}", p.graph, p.process);
+            assert_eq!(
+                record.total_transmissions,
+                outcomes.iter().map(|o| o.transmissions).sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn hit_objective_and_vertex_checks() {
+        let spec: SweepSpec = "hit:6; graph=cycle:12; process=cobra:b2; trials=4"
+            .parse()
+            .unwrap();
+        let out = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        assert!(out.records[0].samples.iter().all(|&h| h >= 6));
+        let bad: SweepSpec = "hit:99; graph=cycle:12; process=cobra:b2; trials=4"
+            .parse()
+            .unwrap();
+        assert!(matches!(
+            run_sweep(&bad, &mut Store::in_memory(), 1, &default_cap),
+            Err(CampaignError::Invalid(_))
+        ));
+        let bad_start: SweepSpec = "cover; graph=cycle:12; process=rw; trials=2; start=50"
+            .parse()
+            .unwrap();
+        assert!(matches!(
+            run_sweep(&bad_start, &mut Store::in_memory(), 1, &default_cap),
+            Err(CampaignError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn overlapping_expansions_schedule_each_key_once() {
+        // cycle:9 and cycle:10 appear in both alternatives; each key
+        // must run exactly one job and every copy sees the same record.
+        let spec: SweepSpec = "cover; graph=cycle:{8..10}|cycle:{9..11}; process=rw; trials=3"
+            .parse()
+            .unwrap();
+        let plan = plan_sweep(&spec, &Store::in_memory(), &default_cap).unwrap();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.missing.len(), 4, "4 distinct keys");
+        assert_eq!(plan.duplicates.len(), 2);
+        let mut store = Store::in_memory();
+        let out = run_sweep(&spec, &mut store, 1, &default_cap).unwrap();
+        assert_eq!((out.computed, out.cached), (4, 2));
+        assert_eq!(out.records.len(), 6, "one record per expansion cell");
+        assert_eq!(out.records[1], out.records[3], "cycle:9 twice, same record");
+        assert_eq!(out.records[2], out.records[4]);
+        assert_eq!(store.len(), 4, "store holds each key once");
+    }
+
+    #[test]
+    fn graph_jobs_are_index_ordered_and_share_graphs() {
+        let specs: Vec<cobra_graph::GraphSpec> = ["cycle:8", "cycle:12", "cycle:8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let out = run_graph_jobs(&specs, 1, 4, |i, g, _ctx| (i, g.n())).unwrap();
+        assert_eq!(out, vec![(0, 8), (1, 12), (2, 8)]);
+    }
+
+    #[test]
+    fn random_graphs_are_shared_across_points_and_stable() {
+        let spec: SweepSpec = "cover; graph=gnp:48:0.15; process=cobra:b2|rw; trials=3"
+            .parse()
+            .unwrap();
+        let plan = plan_sweep(&spec, &Store::in_memory(), &default_cap).unwrap();
+        assert_eq!(plan.distinct_graphs, 1);
+        let a = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        let b = run_sweep(&spec, &mut Store::in_memory(), 4, &default_cap).unwrap();
+        assert_eq!(a.records, b.records);
+        // Both points saw the same concrete graph.
+        assert_eq!(a.records[0].m, a.records[1].m);
+    }
+}

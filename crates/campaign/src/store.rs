@@ -1,0 +1,378 @@
+//! The content-addressed, append-only result store.
+//!
+//! Results live as JSON-lines under `campaigns/<name>/results.jsonl`.
+//! Every line is one finished [`PointRecord`], addressed by the
+//! [`SweepPoint::digest_hex`] of its resolved spec + seed +
+//! code-version; the full key string is stored alongside the hash and
+//! re-verified on lookup, so a collision (or a hand-edited line) can
+//! never silently alias a different point.
+//!
+//! Append-only is what makes campaigns resumable: the runner flushes
+//! each record the moment its job finishes, so a killed run leaves a
+//! valid store holding everything completed so far, and the next run
+//! recomputes only the missing points. Unreadable lines (e.g. a torn
+//! final write) are skipped on load and simply recomputed. When the
+//! same key appears twice, the last line wins.
+//!
+//! [`SweepPoint::digest_hex`]: crate::point::SweepPoint::digest_hex
+
+use cobra_util::json::{obj, Json};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One finished point: the resolved identity plus everything the
+/// artifact layer folds. All payload fields are integers, so a write →
+/// load round trip is bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointRecord {
+    /// `hex16` digest of `spec` — the store's address.
+    pub key: String,
+    /// The full key string (resolved point spec + seed + version).
+    pub spec: String,
+    /// Canonical graph spec string.
+    pub graph: String,
+    /// Canonical process spec string.
+    pub process: String,
+    /// Objective string (`cover` / `hit:V`).
+    pub objective: String,
+    /// Vertices of the materialised graph.
+    pub n: usize,
+    /// Edges of the materialised graph.
+    pub m: usize,
+    pub trials: usize,
+    pub cap: usize,
+    pub seed: u64,
+    /// Stopping time per completed trial, in trial order.
+    pub samples: Vec<usize>,
+    /// Trials censored at the cap.
+    pub censored: usize,
+    /// Total transmissions across all trials.
+    pub total_transmissions: u64,
+    /// Total reached-set size at trial end, summed over trials.
+    pub total_reached: u64,
+}
+
+impl PointRecord {
+    /// Mean stopping time over completed trials (`None` if all
+    /// censored).
+    pub fn mean_rounds(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<usize>() as f64 / self.samples.len() as f64)
+    }
+
+    /// Samples as `f64` for the stats layer.
+    pub fn samples_f64(&self) -> Vec<f64> {
+        self.samples.iter().map(|&s| s as f64).collect()
+    }
+
+    /// Mean transmissions per trial (censored included).
+    pub fn mean_transmissions(&self) -> f64 {
+        self.total_transmissions as f64 / self.trials.max(1) as f64
+    }
+
+    /// The JSONL encoding.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("key", Json::Str(self.key.clone())),
+            ("spec", Json::Str(self.spec.clone())),
+            ("graph", Json::Str(self.graph.clone())),
+            ("process", Json::Str(self.process.clone())),
+            ("objective", Json::Str(self.objective.clone())),
+            ("n", Json::Int(self.n as i128)),
+            ("m", Json::Int(self.m as i128)),
+            ("trials", Json::Int(self.trials as i128)),
+            ("cap", Json::Int(self.cap as i128)),
+            ("seed", Json::Int(self.seed as i128)),
+            (
+                "samples",
+                Json::Array(self.samples.iter().map(|&s| Json::Int(s as i128)).collect()),
+            ),
+            ("censored", Json::Int(self.censored as i128)),
+            (
+                "total_transmissions",
+                Json::Int(self.total_transmissions as i128),
+            ),
+            ("total_reached", Json::Int(self.total_reached as i128)),
+        ])
+    }
+
+    /// Decodes one JSONL line; `None` when any field is missing or
+    /// ill-typed (the loader skips such lines).
+    pub fn from_json(v: &Json) -> Option<PointRecord> {
+        let s = |k: &str| v.get(k)?.as_str().map(str::to_string);
+        let u = |k: &str| v.get(k)?.as_usize();
+        Some(PointRecord {
+            key: s("key")?,
+            spec: s("spec")?,
+            graph: s("graph")?,
+            process: s("process")?,
+            objective: s("objective")?,
+            n: u("n")?,
+            m: u("m")?,
+            trials: u("trials")?,
+            cap: u("cap")?,
+            seed: v.get("seed")?.as_u64()?,
+            samples: v
+                .get("samples")?
+                .as_array()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<Option<Vec<usize>>>()?,
+            censored: u("censored")?,
+            total_transmissions: v.get("total_transmissions")?.as_u64()?,
+            total_reached: v.get("total_reached")?.as_u64()?,
+        })
+    }
+}
+
+/// The campaign result store: an in-memory index over an append-only
+/// JSONL file (or purely in-memory for ephemeral runs).
+#[derive(Debug)]
+pub struct Store {
+    records: HashMap<String, PointRecord>,
+    path: Option<PathBuf>,
+    writer: Option<Mutex<File>>,
+}
+
+impl Store {
+    /// A store with no backing file — nothing persists, everything else
+    /// behaves identically (used by tests, `--no-store`, and the
+    /// in-process experiment migrations).
+    pub fn in_memory() -> Store {
+        Store {
+            records: HashMap::new(),
+            path: None,
+            writer: None,
+        }
+    }
+
+    /// Opens (creating if needed) the store directory and loads every
+    /// readable record from `results.jsonl`. Unreadable lines are
+    /// skipped; duplicate keys resolve to the last line.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Store> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("results.jsonl");
+        let records = read_records(&path);
+        let mut writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        // A kill mid-write can leave a torn final line with no newline;
+        // terminate it so the next appended record starts on a fresh
+        // line instead of gluing itself to the fragment (which would
+        // make both unreadable forever).
+        if let Ok(meta) = writer.metadata() {
+            if meta.len() > 0 {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut file = std::fs::File::open(&path)?;
+                file.seek(SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                file.read_exact(&mut last)?;
+                if last[0] != b'\n' {
+                    writer.write_all(b"\n")?;
+                }
+            }
+        }
+        Ok(Store {
+            records,
+            path: Some(path),
+            writer: Some(Mutex::new(writer)),
+        })
+    }
+
+    /// Read-only load: indexes whatever records exist under `dir`
+    /// without creating the directory or the backing file, and never
+    /// persists appends — the store a `--dry-run` inspects.
+    pub fn load(dir: impl AsRef<Path>) -> Store {
+        Store {
+            records: read_records(&dir.as_ref().join("results.jsonl")),
+            path: None,
+            writer: None,
+        }
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Records currently indexed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a record by digest, verifying the stored full-key
+    /// string — a digest collision or stale code-version never aliases.
+    pub fn get(&self, key: &str, full_key: &str) -> Option<&PointRecord> {
+        self.records.get(key).filter(|rec| rec.spec == full_key)
+    }
+
+    /// Appends one record to the backing file (no-op when in-memory)
+    /// and flushes, so a kill after this call never loses the point.
+    /// Thread-safe: the runner calls this from worker threads as jobs
+    /// finish.
+    pub fn append(&self, rec: &PointRecord) -> std::io::Result<()> {
+        if let Some(writer) = &self.writer {
+            let mut line = rec.to_json().to_string_compact();
+            line.push('\n');
+            let mut file = writer.lock().expect("store writer poisoned");
+            file.write_all(line.as_bytes())?;
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Indexes freshly computed records (call once per batch, after the
+    /// parallel section).
+    pub fn absorb(&mut self, recs: impl IntoIterator<Item = PointRecord>) {
+        for rec in recs {
+            self.records.insert(rec.key.clone(), rec);
+        }
+    }
+}
+
+/// Indexes every readable JSONL record at `path` (absent file = empty).
+fn read_records(path: &Path) -> HashMap<String, PointRecord> {
+    let mut records = HashMap::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rec) = Json::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(PointRecord::from_json)
+            {
+                records.insert(rec.key.clone(), rec);
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: &str, n: usize) -> PointRecord {
+        PointRecord {
+            key: key.to_string(),
+            spec: format!("cover;graph=cycle:{n};seed=1"),
+            graph: format!("cycle:{n}"),
+            process: "cobra:b2".into(),
+            objective: "cover".into(),
+            n,
+            m: n,
+            trials: 3,
+            cap: 1000,
+            seed: u64::MAX - 1,
+            samples: vec![4, 5, 6],
+            censored: 0,
+            total_transmissions: u64::MAX / 2,
+            total_reached: 3 * n as u64,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let rec = record("abc123", 16);
+        let line = rec.to_json().to_string_compact();
+        let back = PointRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn open_append_reload() {
+        let dir = std::env::temp_dir().join(format!("cobra-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = Store::open(&dir).unwrap();
+            assert!(store.is_empty());
+            let a = record("aaaa", 8);
+            let b = record("bbbb", 16);
+            store.append(&a).unwrap();
+            store.append(&b).unwrap();
+            store.absorb([a, b]);
+            assert_eq!(store.len(), 2);
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        let a = record("aaaa", 8);
+        assert_eq!(store.get("aaaa", &a.spec), Some(&a));
+        // Digest present but key string mismatched → treated as absent.
+        assert_eq!(store.get("aaaa", "different-spec"), None);
+        assert_eq!(store.get("cccc", &a.spec), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_and_last_duplicate_wins() {
+        let dir = std::env::temp_dir().join(format!("cobra-store-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut text = String::new();
+        text.push_str(&record("aaaa", 8).to_json().to_string_compact());
+        text.push('\n');
+        text.push_str("{\"torn\": ");
+        text.push('\n');
+        text.push_str("[1,2,3]\n"); // parses, wrong shape
+        let mut newer = record("aaaa", 8);
+        newer.samples = vec![9, 9, 9];
+        text.push_str(&newer.to_json().to_string_compact());
+        text.push('\n');
+        std::fs::write(dir.join("results.jsonl"), text).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.get("aaaa", &newer.spec).unwrap().samples,
+            vec![9, 9, 9]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readonly_load_sees_records_but_touches_nothing() {
+        let dir = std::env::temp_dir().join(format!("cobra-store-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Loading a nonexistent store creates neither directory nor file.
+        let empty = Store::load(&dir);
+        assert!(empty.is_empty());
+        assert!(!dir.exists(), "read-only load must not create the store");
+        // After a real run, load() indexes the same records.
+        {
+            let mut store = Store::open(&dir).unwrap();
+            let rec = record("aaaa", 8);
+            store.append(&rec).unwrap();
+            store.absorb([rec]);
+        }
+        let loaded = Store::load(&dir);
+        assert_eq!(loaded.len(), 1);
+        let rec = record("aaaa", 8);
+        // Appends on a loaded store never persist.
+        loaded.append(&record("bbbb", 9)).unwrap();
+        assert_eq!(Store::load(&dir).len(), 1);
+        assert_eq!(loaded.get("aaaa", &rec.spec), Some(&rec));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_accepts_appends_without_disk() {
+        let mut store = Store::in_memory();
+        let rec = record("aaaa", 8);
+        store.append(&rec).unwrap();
+        assert!(store.is_empty(), "append alone does not index");
+        store.absorb([rec.clone()]);
+        assert_eq!(store.get("aaaa", &rec.spec), Some(&rec));
+        assert_eq!(store.path(), None);
+    }
+}

@@ -1,0 +1,504 @@
+//! The declarative sweep grammar: one line names a whole grid.
+//!
+//! A [`SweepSpec`] is a `;`-separated list of segments. The first
+//! segment is the objective (`cover` or `hit:V`); the rest are
+//! `key=value` pairs in any order:
+//!
+//! ```text
+//! cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64
+//! hit:5; graph=cycle:{16,32,64}|torus:8x8; process=rw|cobra:b2; trials=32; seed=9
+//! ```
+//!
+//! | key | value | default |
+//! |-----|-------|---------|
+//! | `graph` | `\|`-separated graph-spec patterns | required |
+//! | `process` | `\|`-separated process-spec patterns | required |
+//! | `trials` | trials per point | 32 |
+//! | `start` | start vertex | 0 |
+//! | `seed` | campaign master seed | `0xC0B7A` |
+//! | `cap` | explicit per-trial round cap | derived per point |
+//! | `name` | campaign name (store directory) | `sweep-<digest>` |
+//!
+//! Patterns expand with shell-style braces: `{a..b}` is an inclusive
+//! integer range, `{x,y,z}` a list, and multiple groups in one pattern
+//! cross-product (`grid:{8,16}x{8,16}` is four graphs). The grid is the
+//! cross product graph-axis × process-axis, in writing order.
+//!
+//! [`FromStr`] and [`Display`] round-trip exactly, like [`GraphSpec`]
+//! and [`ProcessSpec`] — a sweep can be named on a command line, in a
+//! file, or in a log, and reconstructed bit-for-bit.
+
+use crate::point::SweepObjective;
+use crate::CampaignError;
+use cobra_graph::{GraphSpec, VertexId};
+use cobra_process::ProcessSpec;
+use cobra_util::hash::{fnv1a_str, hex16};
+use std::fmt;
+use std::str::FromStr;
+
+/// Default trials per point.
+pub const DEFAULT_TRIALS: usize = 32;
+/// Default campaign master seed (shared with `SimSpec` for familiarity).
+pub const DEFAULT_SEED: u64 = 0xC0B7A;
+/// Ceiling on points per sweep — a typo guard (`{1..9999999}`), not a
+/// capacity limit.
+pub const MAX_POINTS: usize = 100_000;
+
+/// A declarative sweep: objective × graph axis × process axis ×
+/// (trials, start, seed, cap, name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    pub objective: SweepObjective,
+    /// Graph-axis patterns, each possibly containing brace groups.
+    pub graphs: Vec<String>,
+    /// Process-axis patterns, each possibly containing brace groups.
+    pub processes: Vec<String>,
+    pub trials: usize,
+    pub start: VertexId,
+    pub seed: u64,
+    /// Explicit per-trial cap; `None` defers to the runner's cap policy.
+    pub cap: Option<usize>,
+    /// Explicit campaign name; `None` derives `sweep-<digest>` from the
+    /// canonical spec string.
+    pub name: Option<String>,
+}
+
+impl SweepSpec {
+    /// A sweep over the given axes with all defaults.
+    pub fn new(
+        objective: SweepObjective,
+        graphs: &[&str],
+        processes: &[&str],
+    ) -> Result<SweepSpec, CampaignError> {
+        let spec = SweepSpec {
+            objective,
+            graphs: graphs.iter().map(|s| s.trim().to_string()).collect(),
+            processes: processes.iter().map(|s| s.trim().to_string()).collect(),
+            trials: DEFAULT_TRIALS,
+            start: 0,
+            seed: DEFAULT_SEED,
+            cap: None,
+            name: None,
+        };
+        spec.expand_axes()?;
+        Ok(spec)
+    }
+
+    /// Sets the trial count per point.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the campaign master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets an explicit per-trial round cap for every point.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Sets the campaign name (the store directory under `campaigns/`).
+    /// Panics on a name that is unsafe as a directory component — the
+    /// same rule the parser enforces for `name=` segments.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        if let Err(e) = validate_name(&name) {
+            panic!("{e}");
+        }
+        self.name = Some(name);
+        self
+    }
+
+    /// The campaign name: explicit, or `sweep-<hex>` derived from the
+    /// canonical spec string (stable across runs, so an unnamed sweep
+    /// still resumes into the same store).
+    pub fn name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("sweep-{}", &hex16(fnv1a_str(&self.to_string()))[..8]),
+        }
+    }
+
+    /// Expands both axes and returns the grid (graph-major order).
+    /// Every expanded token must parse as its spec type; errors name
+    /// the offending token and pattern.
+    pub fn expand_axes(&self) -> Result<Vec<(GraphSpec, ProcessSpec)>, CampaignError> {
+        if self.graphs.is_empty() {
+            return Err(CampaignError::Spec("sweep needs a graph axis".into()));
+        }
+        if self.processes.is_empty() {
+            return Err(CampaignError::Spec("sweep needs a process axis".into()));
+        }
+        let mut graphs: Vec<GraphSpec> = Vec::new();
+        for pattern in &self.graphs {
+            for token in expand_pattern(pattern).map_err(CampaignError::Spec)? {
+                graphs.push(token.parse().map_err(CampaignError::Graph)?);
+            }
+        }
+        let mut processes: Vec<ProcessSpec> = Vec::new();
+        for pattern in &self.processes {
+            for token in expand_pattern(pattern).map_err(CampaignError::Spec)? {
+                processes.push(token.parse().map_err(CampaignError::Process)?);
+            }
+        }
+        let total = graphs.len() * processes.len();
+        if total > MAX_POINTS {
+            return Err(CampaignError::Spec(format!(
+                "sweep expands to {total} points (limit {MAX_POINTS})"
+            )));
+        }
+        let mut grid = Vec::with_capacity(total);
+        for g in &graphs {
+            for p in &processes {
+                grid.push((g.clone(), p.clone()));
+            }
+        }
+        Ok(grid)
+    }
+}
+
+impl fmt::Display for SweepSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}; graph={}; process={}; trials={}",
+            self.objective,
+            self.graphs.join("|"),
+            self.processes.join("|"),
+            self.trials
+        )?;
+        if self.start != 0 {
+            write!(f, "; start={}", self.start)?;
+        }
+        if self.seed != DEFAULT_SEED {
+            write!(f, "; seed={}", self.seed)?;
+        }
+        if let Some(cap) = self.cap {
+            write!(f, "; cap={cap}")?;
+        }
+        if let Some(name) = &self.name {
+            write!(f, "; name={name}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SweepSpec {
+    type Err = CampaignError;
+
+    fn from_str(s: &str) -> Result<SweepSpec, CampaignError> {
+        let mut segments = s.split(';').map(str::trim);
+        let objective: SweepObjective = segments
+            .next()
+            .filter(|seg| !seg.is_empty())
+            .ok_or_else(|| CampaignError::Spec("empty sweep spec".into()))?
+            .parse()
+            .map_err(CampaignError::Spec)?;
+        let mut graphs: Option<Vec<String>> = None;
+        let mut processes: Option<Vec<String>> = None;
+        let mut trials = DEFAULT_TRIALS;
+        let mut start: VertexId = 0;
+        let mut seed = DEFAULT_SEED;
+        let mut cap: Option<usize> = None;
+        let mut name: Option<String> = None;
+        for seg in segments {
+            if seg.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = seg.split_once('=') else {
+                return Err(CampaignError::Spec(format!(
+                    "segment {seg:?} is not key=value (valid keys: graph, process, \
+                     trials, start, seed, cap, name)"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let parse_num = |what: &str| {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| CampaignError::Spec(format!("cannot parse {what} from {value:?}")))
+            };
+            match key {
+                "graph" => {
+                    graphs = Some(split_axis(value, "graph")?);
+                }
+                "process" => {
+                    processes = Some(split_axis(value, "process")?);
+                }
+                "trials" => {
+                    trials = parse_num("trials")? as usize;
+                    if trials == 0 {
+                        return Err(CampaignError::Spec("trials must be >= 1".into()));
+                    }
+                }
+                "start" => start = parse_num("start vertex")? as VertexId,
+                "seed" => seed = parse_num("seed")?,
+                "cap" => cap = Some(parse_num("cap")? as usize),
+                "name" => {
+                    validate_name(value).map_err(CampaignError::Spec)?;
+                    name = Some(value.to_string());
+                }
+                other => {
+                    return Err(CampaignError::Spec(format!(
+                        "unknown sweep key {other:?} (valid keys: graph, process, trials, \
+                         start, seed, cap, name)"
+                    )));
+                }
+            }
+        }
+        let spec = SweepSpec {
+            objective,
+            graphs: graphs
+                .ok_or_else(|| CampaignError::Spec("sweep needs graph=<patterns>".into()))?,
+            processes: processes
+                .ok_or_else(|| CampaignError::Spec("sweep needs process=<patterns>".into()))?,
+            trials,
+            start,
+            seed,
+            cap,
+            name,
+        };
+        // Validate the whole expansion eagerly so a bad token fails at
+        // parse time, not mid-campaign.
+        spec.expand_axes()?;
+        Ok(spec)
+    }
+}
+
+/// A campaign name names a directory under the store root: non-empty
+/// `[A-Za-z0-9._-]` and not a path-traversal component. Shared by the
+/// parser and [`SweepSpec::with_name`], so every construction path
+/// keeps `store_root.join(name)` inside the store root and the
+/// `FromStr`/`Display` round trip intact.
+pub fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty()
+        || name == "."
+        || name == ".."
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(format!(
+            "campaign name {name:?} must be non-empty [A-Za-z0-9._-] and not \".\" or \"..\" \
+             (it names a directory)"
+        ));
+    }
+    Ok(())
+}
+
+fn split_axis(value: &str, what: &str) -> Result<Vec<String>, CampaignError> {
+    let parts: Vec<String> = value
+        .split('|')
+        .map(str::trim)
+        .map(str::to_string)
+        .collect();
+    if parts.iter().any(String::is_empty) {
+        return Err(CampaignError::Spec(format!(
+            "empty {what} pattern in {value:?}"
+        )));
+    }
+    Ok(parts)
+}
+
+/// Ceiling on expansions per pattern: bounds every brace group *and*
+/// the cross product of groups, checked before anything materializes,
+/// so a typo'd `{1..1000}x{1..1000}x{1..1000}` errors cleanly instead
+/// of exhausting memory.
+pub const MAX_PATTERN_EXPANSIONS: usize = 4096;
+
+/// Brace expansion: `{a..b}` inclusive integer ranges, `{x,y,z}` lists,
+/// cross-producting left to right. No nesting.
+pub fn expand_pattern(pattern: &str) -> Result<Vec<String>, String> {
+    let Some(open) = pattern.find('{') else {
+        if pattern.contains('}') {
+            return Err(format!("'}}' without '{{' in pattern {pattern:?}"));
+        }
+        return Ok(vec![pattern.to_string()]);
+    };
+    let close = pattern[open..]
+        .find('}')
+        .map(|i| open + i)
+        .ok_or_else(|| format!("unclosed '{{' in pattern {pattern:?}"))?;
+    let head = &pattern[..open];
+    let body = &pattern[open + 1..close];
+    let tail = &pattern[close + 1..];
+    if body.contains('{') {
+        return Err(format!("nested braces in pattern {pattern:?}"));
+    }
+    let items: Vec<String> = if let Some((a, b)) = body.split_once("..") {
+        let parse = |t: &str| {
+            t.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad range bound {t:?} in pattern {pattern:?}"))
+        };
+        let (a, b) = (parse(a)?, parse(b)?);
+        if b < a {
+            return Err(format!(
+                "descending range {{{a}..{b}}} in pattern {pattern:?}"
+            ));
+        }
+        if (b - a) as usize >= MAX_PATTERN_EXPANSIONS {
+            return Err(format!(
+                "range {{{a}..{b}}} expands to {} items (limit {MAX_PATTERN_EXPANSIONS})",
+                b - a + 1
+            ));
+        }
+        (a..=b).map(|v| v.to_string()).collect()
+    } else {
+        body.split(',').map(|t| t.trim().to_string()).collect()
+    };
+    if items.is_empty() || items.iter().any(String::is_empty) {
+        return Err(format!("empty item in brace group of pattern {pattern:?}"));
+    }
+    let tails = expand_pattern(tail)?;
+    // Bound the cross product of groups *before* materializing it (the
+    // recursion bounds `tails` the same way, so memory stays small even
+    // for adversarial patterns).
+    let total = items.len().saturating_mul(tails.len());
+    if total > MAX_PATTERN_EXPANSIONS {
+        return Err(format!(
+            "pattern {pattern:?} expands to {total} combinations (limit {MAX_PATTERN_EXPANSIONS})"
+        ));
+    }
+    let mut out = Vec::with_capacity(total);
+    for item in &items {
+        for t in &tails {
+            out.push(format!("{head}{item}{t}"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> SweepSpec {
+        let spec: SweepSpec = s.parse().expect(s);
+        assert_eq!(spec.to_string(), s, "display not canonical for {s}");
+        let again: SweepSpec = spec.to_string().parse().unwrap();
+        assert_eq!(again, spec, "parse∘display not identity for {s}");
+        spec
+    }
+
+    #[test]
+    fn canonical_specs_round_trip() {
+        for s in [
+            "cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64",
+            "cover; graph=cycle:32; process=rw; trials=32",
+            "hit:5; graph=cycle:{16,32}|torus:8x8; process=rw|cobra:b2; trials=8",
+            "cover; graph=complete:64; process=bips:b2; trials=16; start=3; seed=9; \
+             cap=1000; name=probe-1",
+        ] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn issue_example_expands_to_the_advertised_grid() {
+        let spec = roundtrip("cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64");
+        let grid = spec.expand_axes().unwrap();
+        assert_eq!(grid.len(), 7 * 3);
+        assert_eq!(grid[0].0.to_string(), "hypercube:10");
+        assert_eq!(grid[0].1.to_string(), "cobra:b1");
+        assert_eq!(grid.last().unwrap().0.to_string(), "hypercube:16");
+        assert_eq!(grid.last().unwrap().1.to_string(), "cobra:b3");
+        assert_eq!(spec.trials, 64);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_named_offenders() {
+        for (s, needle) in [
+            ("", "empty sweep spec"),
+            ("fly; graph=cycle:8; process=rw", "\"fly\""),
+            ("cover; process=rw", "graph="),
+            ("cover; graph=cycle:8", "process="),
+            ("cover; graph=cycle:8; process=rw; bogus=1", "\"bogus\""),
+            ("cover; graph=cycle:8; process=rw; trials=0", "trials"),
+            ("cover; graph=cycle:8; process=rw; trials=abc", "\"abc\""),
+            ("cover; graph=nope:8; process=rw", "\"nope\""),
+            ("cover; graph=cycle:8; process=warp:2", "\"warp\""),
+            ("cover; graph=cycle:{8..4}; process=rw", "descending"),
+            ("cover; graph=cycle:{8; process=rw", "unclosed"),
+            ("cover; graph=cycle:8}; process=rw", "without"),
+            ("cover; graph=cycle:8; process=rw; name=a/b", "directory"),
+            ("cover; graph=cycle:8; process=rw; name=..", "directory"),
+            ("cover; graph=cycle:8; process=rw; name=.", "directory"),
+            ("cover; graph=cycle:8; process=rw; 42", "key=value"),
+            ("cover; graph=cycle:8; process=rw junk", "\"rw junk\""),
+        ] {
+            let err = s.parse::<SweepSpec>().expect_err(s).to_string();
+            assert!(err.contains(needle), "{s:?}: {err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn brace_expansion_forms() {
+        assert_eq!(expand_pattern("rw").unwrap(), vec!["rw"]);
+        assert_eq!(
+            expand_pattern("hypercube:{3..5}").unwrap(),
+            vec!["hypercube:3", "hypercube:4", "hypercube:5"]
+        );
+        assert_eq!(
+            expand_pattern("cobra:b{1,2,3}").unwrap(),
+            vec!["cobra:b1", "cobra:b2", "cobra:b3"]
+        );
+        assert_eq!(
+            expand_pattern("grid:{8,16}x{8,16}").unwrap(),
+            vec!["grid:8x8", "grid:8x16", "grid:16x8", "grid:16x16"]
+        );
+        assert_eq!(
+            expand_pattern("cobra:rho{0.25,0.5}").unwrap(),
+            vec!["cobra:rho0.25", "cobra:rho0.5"]
+        );
+        assert!(expand_pattern("x{1..9000}").is_err(), "range limit");
+        // The *product* of groups is bounded before materialization:
+        // this would be 10^9 strings if checked only at the end.
+        let err = expand_pattern("torus:{1..1000}x{1..1000}x{1..1000}").unwrap_err();
+        assert!(err.contains("limit"), "{err:?}");
+    }
+
+    #[test]
+    fn derived_names_are_stable_and_explicit_names_win() {
+        let a: SweepSpec = "cover; graph=cycle:8; process=rw; trials=4"
+            .parse()
+            .unwrap();
+        let b: SweepSpec = "cover; graph=cycle:8; process=rw; trials=4"
+            .parse()
+            .unwrap();
+        assert_eq!(a.name(), b.name());
+        assert!(a.name().starts_with("sweep-"));
+        let c: SweepSpec = "cover; graph=cycle:8; process=rw; trials=4; name=mine"
+            .parse()
+            .unwrap();
+        assert_eq!(c.name(), "mine");
+        // A different grid derives a different name.
+        let d: SweepSpec = "cover; graph=cycle:9; process=rw; trials=4"
+            .parse()
+            .unwrap();
+        assert_ne!(a.name(), d.name());
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign name")]
+    fn with_name_rejects_path_traversal() {
+        let _ = SweepSpec::new(crate::point::SweepObjective::Cover, &["cycle:8"], &["rw"])
+            .unwrap()
+            .with_name("../elsewhere");
+    }
+
+    #[test]
+    fn segments_accept_any_order() {
+        let a: SweepSpec = "cover; trials=8; process=rw; graph=cycle:8"
+            .parse()
+            .unwrap();
+        let b: SweepSpec = "cover; graph=cycle:8; process=rw; trials=8"
+            .parse()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -5,15 +5,24 @@
 //! independent Monte-Carlo and compared per horizon with two-proportion
 //! z-tests. The theorem needs no connectivity of spectra assumptions and
 //! holds for every `b` — rows include bipartite graphs and `b = 1+ρ`.
+//!
+//! Runs on the campaign scheduling layer: each case names its graph as
+//! a `GraphSpec` string, graphs materialise once through the campaign
+//! graph cache, and the cases dispatch as *jobs* across the worker pool
+//! (`cobra_campaign::run_graph_jobs`) with the per-case duality engines
+//! pinned to one thread — parallelism moved from inside each case to
+//! across cases, with bit-identical values (the engine is
+//! thread-invariant and seeds are unchanged).
 
 use crate::duality::{duality_check, DualityConfig};
 use crate::report::{fmt_f, Table};
-use cobra_graph::{generators, Graph, VertexId};
+use cobra_campaign::run_graph_jobs;
+use cobra_graph::{GraphSpec, VertexId};
 use cobra_process::Branching;
 
 struct Case {
     label: &'static str,
-    graph: Graph,
+    graph: &'static str,
     source: VertexId,
     start_set: Vec<VertexId>,
     branching: Branching,
@@ -23,42 +32,42 @@ fn cases() -> Vec<Case> {
     vec![
         Case {
             label: "Petersen, C={8}",
-            graph: generators::petersen(),
+            graph: "petersen",
             source: 3,
             start_set: vec![8],
             branching: Branching::B2,
         },
         Case {
             label: "K_12, C={4,5,6}",
-            graph: generators::complete(12),
+            graph: "complete:12",
             source: 0,
             start_set: vec![4, 5, 6],
             branching: Branching::B2,
         },
         Case {
             label: "Q_4 (bipartite), C={15}",
-            graph: generators::hypercube(4),
+            graph: "hypercube:4",
             source: 0,
             start_set: vec![15],
             branching: Branching::B2,
         },
         Case {
             label: "C_9, C={4}",
-            graph: generators::cycle(9),
+            graph: "cycle:9",
             source: 0,
             start_set: vec![4],
             branching: Branching::B2,
         },
         Case {
             label: "lollipop(5,4), C={tip}",
-            graph: generators::lollipop(5, 4),
+            graph: "lollipop:5:4",
             source: 0,
             start_set: vec![8],
             branching: Branching::B2,
         },
         Case {
             label: "K_8, b=1+0.5, C={6}",
-            graph: generators::complete(8),
+            graph: "complete:8",
             source: 2,
             start_set: vec![6],
             branching: Branching::Expected(0.5),
@@ -69,26 +78,37 @@ fn cases() -> Vec<Case> {
 /// Runs F6 (`quick`: 800 trials/side; full: 8000).
 pub fn run(quick: bool) -> Table {
     let trials = if quick { 800 } else { 8000 };
-    let mut table = Table::new(
-        "F6",
-        "Duality (Thm 1.3): max deviation between the COBRA and BIPS sides",
-        &["case", "n", "horizons", "max |diff|", "max |z|", "verdict"],
-    );
-    for (i, case) in cases().into_iter().enumerate() {
+    let cases = cases();
+    let specs: Vec<GraphSpec> = cases
+        .iter()
+        .map(|c| c.graph.parse().expect("static case spec"))
+        .collect();
+    // One job per case; the inner two-sided engines run sequentially so
+    // the worker pool is spent across cases, not within them.
+    let reports = run_graph_jobs(&specs, 0, 0, |i, g, _ctx| {
+        let case = &cases[i];
         let cfg = DualityConfig {
             branching: case.branching,
             trials,
             horizons: vec![0, 1, 2, 3, 4, 6, 8, 12],
             master_seed: 0xF6_00 + i as u64,
-            threads: 0,
+            threads: 1,
         };
-        let report = duality_check(&case.graph, case.source, &case.start_set, &cfg);
+        (g.n(), duality_check(g, case.source, &case.start_set, &cfg))
+    })
+    .expect("static case specs build");
+    let mut table = Table::new(
+        "F6",
+        "Duality (Thm 1.3): max deviation between the COBRA and BIPS sides",
+        &["case", "n", "horizons", "max |diff|", "max |z|", "verdict"],
+    );
+    for (case, (n, report)) in cases.iter().zip(&reports) {
         let max_z = report.max_abs_z();
         // 8 horizons × 6 cases: Bonferroni-ish noise ceiling ~4.
         let verdict = if max_z < 4.0 { "equal" } else { "VIOLATION" };
         table.push_row(vec![
             case.label.to_string(),
-            case.graph.n().to_string(),
+            n.to_string(),
             report.rows.len().to_string(),
             fmt_f(report.max_abs_diff()),
             fmt_f(max_z),

@@ -6,40 +6,49 @@
 //! `k`, and compare against the `t(k)` shape with `C' = 1`. The slope
 //! of `t` versus `k` is the sharp part of the claim (4k dominates once
 //! `k ≫ dmax² log n`), so the fitted slope is reported per graph.
+//!
+//! Runs on the campaign scheduling layer: each graph case is a
+//! `GraphSpec`-named job dispatched through
+//! `cobra_campaign::run_graph_jobs`, the worker's long-lived `StepCtx`
+//! is reseeded per trial, and the BIPS state is built once per job and
+//! reset per trial — the same per-worker reuse the sweep runner gives
+//! every campaign point, with values bit-identical to the pre-migration
+//! per-trial constructions (reset ≡ fresh build, reseed ≡ fresh
+//! context; both pinned by the process-crate tests).
 
 use crate::report::{fmt_f, Table};
-use cobra_graph::{generators, Graph};
-use cobra_process::{Bips, BipsMode, Branching, Laziness, ProcessState, ProcessView, StepCtx};
+use cobra_campaign::run_graph_jobs;
+use cobra_graph::GraphSpec;
+use cobra_process::{Bips, BipsMode, Branching, Laziness, ProcessState, ProcessView};
 use cobra_stats::fit_line;
 use cobra_util::math::ln_usize;
 
-fn cases(quick: bool) -> Vec<(&'static str, Graph)> {
+fn cases(quick: bool) -> Vec<(&'static str, String)> {
     let n = if quick { 96 } else { 256 };
     vec![
-        ("path", generators::path(n)),
-        ("cycle", generators::cycle(n + 1)),
-        ("binary_tree", generators::k_ary_tree(n - 1, 2)),
-        ("barbell", generators::barbell(n / 4, n / 2)),
+        ("path", format!("path:{n}")),
+        ("cycle", format!("cycle:{}", n + 1)),
+        ("binary_tree", format!("tree:2:{}", n - 1)),
+        ("barbell", format!("barbell:{}:{}", n / 4, n / 2)),
     ]
+}
+
+/// Per-case measurement: mean first-passage rounds per target fraction.
+struct CaseResult {
+    rows: Vec<(f64, usize, f64, f64)>,
+    slope: f64,
 }
 
 /// Runs F9 (`quick`: n ≈ 96, 5 trials; full: n ≈ 256, 15 trials).
 pub fn run(quick: bool) -> Table {
     let trials = if quick { 5 } else { 15 };
     let fractions = [0.25f64, 0.5, 0.75, 1.0];
-    let mut table = Table::new(
-        "F9",
-        "Lemma 3.1: rounds until d(A_t) ≥ d(v)+k vs t(k) = 4k + dmax²·ln n",
-        &[
-            "graph",
-            "k/2m",
-            "k",
-            "mean t_emp(k)",
-            "t(k) shape",
-            "t_emp/t(k)",
-        ],
-    );
-    for (label, g) in cases(quick) {
+    let cases = cases(quick);
+    let specs: Vec<GraphSpec> = cases
+        .iter()
+        .map(|(_, s)| s.parse().expect("static case spec"))
+        .collect();
+    let results = run_graph_jobs(&specs, 0, 0, |_case, g, ctx| {
         let source = 0u32;
         let d_v = g.degree(source);
         let two_m = g.degree_sum();
@@ -49,21 +58,23 @@ pub fn run(quick: bool) -> Table {
             .iter()
             .map(|f| (((two_m - d_v) as f64) * f).round() as usize)
             .collect();
-        // Per-trial first-passage rounds for each target.
+        // Per-trial first-passage rounds for each target; one BIPS
+        // state per job, reset per trial on the worker's context.
+        let mut p = Bips::new(
+            g,
+            source,
+            Branching::B2,
+            Laziness::None,
+            BipsMode::Bernoulli,
+        );
         let mut sums = vec![0.0f64; targets.len()];
         for trial in 0..trials {
-            let mut ctx = StepCtx::seeded(0xF9_00 + trial as u64);
-            let mut p = Bips::new(
-                &g,
-                source,
-                Branching::B2,
-                Laziness::None,
-                BipsMode::Bernoulli,
-            );
+            ctx.reseed(0xF9_00 + trial as u64);
+            p.reset(g, &[source]);
             let mut reached = vec![None; targets.len()];
             let cap = 100 * two_m + 100_000;
             while reached.iter().any(Option::is_none) && p.rounds() < cap {
-                p.step(&mut ctx);
+                p.step(ctx);
                 let d_now = p.infected_degree();
                 for (i, &k) in targets.iter().enumerate() {
                     if reached[i].is_none() && d_now >= d_v + k {
@@ -77,25 +88,47 @@ pub fn run(quick: bool) -> Table {
         }
         let mut ks = Vec::new();
         let mut ts = Vec::new();
+        let mut rows = Vec::new();
         for (i, &k) in targets.iter().enumerate() {
             let mean_t = sums[i] / trials as f64;
             let t_shape = 4.0 * k as f64 + shape_const;
             ks.push(k as f64);
             ts.push(mean_t);
+            rows.push((fractions[i], k, mean_t, t_shape));
+        }
+        CaseResult {
+            rows,
+            slope: fit_line(&ks, &ts).slope,
+        }
+    })
+    .expect("static case specs build");
+    let mut table = Table::new(
+        "F9",
+        "Lemma 3.1: rounds until d(A_t) ≥ d(v)+k vs t(k) = 4k + dmax²·ln n",
+        &[
+            "graph",
+            "k/2m",
+            "k",
+            "mean t_emp(k)",
+            "t(k) shape",
+            "t_emp/t(k)",
+        ],
+    );
+    for ((label, _), result) in cases.iter().zip(&results) {
+        for &(fraction, k, mean_t, t_shape) in &result.rows {
             table.push_row(vec![
                 label.to_string(),
-                fmt_f(fractions[i]),
+                fmt_f(fraction),
                 k.to_string(),
                 fmt_f(mean_t),
                 fmt_f(t_shape),
                 fmt_f(mean_t / t_shape),
             ]);
         }
-        let fit = fit_line(&ks, &ts);
         table.note(format!(
             "{label}: d(A_t) first-passage slope dt/dk = {} (Lemma 3.1 shape: ≤ 4 once \
              k dominates dmax²·ln n)",
-            fmt_f(fit.slope)
+            fmt_f(result.slope)
         ));
     }
     table

@@ -46,8 +46,13 @@ pub mod cover;
 pub mod duality;
 pub mod experiments;
 pub mod infection;
-pub mod report;
 pub mod sim;
+
+/// Result tables (re-exported from [`cobra_stats::report`], where they
+/// moved so the campaign layer below this crate can produce them too).
+pub mod report {
+    pub use cobra_stats::report::{fmt_f, Table};
+}
 
 pub use cover::{CoverConfig, CoverEstimate};
 pub use duality::{duality_check, DualityConfig, DualityReport};

@@ -16,10 +16,12 @@
 //!   value (`"hypercube:10"`, `"grid:32x32"`, `"gnp:2000:0.01"`, …), the
 //!   declarative entry point the `SimSpec` API builds on.
 
+pub mod cache;
 pub mod csr;
 pub mod generators;
 pub mod props;
 pub mod spec;
 
+pub use cache::GraphCache;
 pub use csr::{Graph, GraphError, VertexId};
 pub use spec::{GraphSpec, GraphSpecError};

@@ -147,6 +147,52 @@ impl fmt::Display for GraphSpecError {
 
 impl std::error::Error for GraphSpecError {}
 
+impl GraphSpecError {
+    /// Tags the error with the full spec being parsed, so a failure
+    /// buried in a 300-point sweep expansion still names its source.
+    fn in_spec(mut self, s: &str) -> GraphSpecError {
+        let quoted = format!("{s:?}");
+        if !self.message.contains(&quoted) {
+            self.message = format!("{} (in graph spec {quoted})", self.message);
+        }
+        self
+    }
+}
+
+/// Every accepted family with its usage form, in documentation order —
+/// the source of truth for error messages and CLI help.
+pub const FAMILY_USAGES: &[(&str, &str)] = &[
+    ("complete", "complete:N"),
+    ("cycle", "cycle:N"),
+    ("path", "path:N"),
+    ("star", "star:N"),
+    ("wheel", "wheel:N"),
+    ("petersen", "petersen"),
+    ("bipartite", "bipartite:AxB"),
+    ("doublestar", "doublestar:AxB"),
+    ("grid", "grid:AxB[x...]"),
+    ("torus", "torus:AxB[x...]"),
+    ("hypercube", "hypercube:D"),
+    ("tree", "tree:K:N"),
+    ("cyclepower", "cyclepower:N:K"),
+    ("circulant", "circulant:N:O1+O2+..."),
+    ("ringcliques", "ringcliques:K:C"),
+    ("barbell", "barbell:C:P"),
+    ("lollipop", "lollipop:C:P"),
+    ("gnp", "gnp:N:P"),
+    ("regular", "regular:N:R"),
+    ("ba", "ba:N:M"),
+    ("ws", "ws:N:K:BETA"),
+];
+
+fn family_list() -> String {
+    FAMILY_USAGES
+        .iter()
+        .map(|(f, _)| *f)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn parse_num<T: FromStr>(token: &str, what: &str) -> Result<T, GraphSpecError> {
     token
         .parse()
@@ -180,9 +226,18 @@ impl FromStr for GraphSpec {
     type Err = GraphSpecError;
 
     fn from_str(s: &str) -> Result<GraphSpec, GraphSpecError> {
+        parse_graph_spec(s).map_err(|e| e.in_spec(s.trim()))
+    }
+}
+
+fn parse_graph_spec(s: &str) -> Result<GraphSpec, GraphSpecError> {
+    {
         let parts: Vec<&str> = s.trim().split(':').collect();
         if parts.is_empty() || parts[0].is_empty() {
-            return Err(GraphSpecError::new("empty graph spec"));
+            return Err(GraphSpecError::new(format!(
+                "empty graph spec (valid families: {})",
+                family_list()
+            )));
         }
         let family = parts[0].to_ascii_lowercase();
         let spec = match family.as_str() {
@@ -360,7 +415,8 @@ impl FromStr for GraphSpec {
             }
             other => {
                 return Err(GraphSpecError::new(format!(
-                    "unknown graph family {other:?}"
+                    "unknown graph family {other:?} (valid families: {})",
+                    family_list()
                 )));
             }
         };
@@ -597,6 +653,55 @@ mod tests {
             "petersen:10",
         ] {
             assert!(s.parse::<GraphSpec>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn errors_name_the_token_and_list_families() {
+        // Unknown family: names the offender and lists every valid one.
+        let e = "hyprcube:10".parse::<GraphSpec>().unwrap_err().to_string();
+        assert!(e.contains("\"hyprcube\""), "missing offender in {e:?}");
+        for (family, _) in FAMILY_USAGES {
+            assert!(e.contains(family), "family {family} not listed in {e:?}");
+        }
+        // Bad parameter: names the unparseable token and the full spec.
+        let e = "complete:zero"
+            .parse::<GraphSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("\"zero\""), "missing token in {e:?}");
+        assert!(e.contains("\"complete:zero\""), "missing spec in {e:?}");
+        // Wrong arity: states the usage form.
+        let e = "tree:7".parse::<GraphSpec>().unwrap_err().to_string();
+        assert!(e.contains("tree:K:N"), "missing usage in {e:?}");
+    }
+
+    #[test]
+    fn family_usage_listing_matches_the_parser() {
+        // Every listed usage (with placeholders instantiated) parses,
+        // and its family round-trips through the listing.
+        for (family, usage) in FAMILY_USAGES {
+            let example = usage
+                .replace("AxB[x...]", "4x5")
+                .replace("AxB", "4x5")
+                .replace("O1+O2+...", "1+2")
+                .replace(":N:P", ":64:0.1")
+                .replace(":N:K:BETA", ":64:4:0.1")
+                .replace(":N:R", ":64:3")
+                .replace(":N:M", ":64:3")
+                .replace(":N:K", ":64:2")
+                .replace(":K:N", ":2:63")
+                .replace(":K:C", ":4:5")
+                .replace(":C:P", ":5:4")
+                .replace(":N", ":64")
+                .replace(":D", ":6");
+            let spec: GraphSpec = example
+                .parse()
+                .unwrap_or_else(|e| panic!("usage example {example:?}: {e}"));
+            assert!(
+                spec.to_string().starts_with(family),
+                "{family} usage {example:?} parsed to {spec}"
+            );
         }
     }
 

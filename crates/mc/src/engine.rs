@@ -113,6 +113,51 @@ impl Observer for Trajectory {
     }
 }
 
+/// Drives one trial of an already-reset process to its stop condition.
+///
+/// This is the single trial loop of the workspace, shared by
+/// [`Engine::run`] (which parallelizes over *trials*) and the campaign
+/// scheduler (which parallelizes over *jobs*, each job running its
+/// trials sequentially on a per-worker [`StepCtx`]). The caller is
+/// responsible for reseeding `ctx` and resetting `process` beforehand;
+/// given the same post-reset state and seed, the outcome is identical
+/// whichever layer invokes it.
+pub fn run_trial<'g, P, Ob>(
+    process: &mut P,
+    ctx: &mut StepCtx,
+    stop: StopWhen,
+    cap: usize,
+    mut observer: Ob,
+) -> Ob::Output
+where
+    P: ProcessState<'g>,
+    Ob: Observer,
+{
+    observer.on_start(process);
+    let rounds = loop {
+        let stopped = match stop {
+            StopWhen::Complete => process.is_complete(),
+            StopWhen::Reached(v) => process.has_reached(v),
+            StopWhen::AtCap => false,
+        };
+        if stopped {
+            break Some(process.rounds());
+        }
+        if process.rounds() >= cap {
+            break None;
+        }
+        process.step(ctx);
+        observer.on_round(process);
+    };
+    let outcome = TrialOutcome {
+        rounds,
+        executed: process.rounds(),
+        reached: process.reached_count(),
+        transmissions: process.transmissions(),
+    };
+    observer.finish(outcome, process)
+}
+
 /// The unified trial executor. Owns everything the three former
 /// bespoke loops duplicated: trial count, master seed, worker threads,
 /// and the per-trial round cap.
@@ -179,30 +224,7 @@ impl Engine {
             |(process, ctx), seed, index| {
                 ctx.reseed(seed);
                 reset(process, index, ctx);
-                let mut observer = make_observer(index);
-                observer.on_start(process);
-                let rounds = loop {
-                    let stopped = match stop {
-                        StopWhen::Complete => process.is_complete(),
-                        StopWhen::Reached(v) => process.has_reached(v),
-                        StopWhen::AtCap => false,
-                    };
-                    if stopped {
-                        break Some(process.rounds());
-                    }
-                    if process.rounds() >= cap {
-                        break None;
-                    }
-                    process.step(ctx);
-                    observer.on_round(process);
-                };
-                let outcome = TrialOutcome {
-                    rounds,
-                    executed: process.rounds(),
-                    reached: process.reached_count(),
-                    transmissions: process.transmissions(),
-                };
-                observer.finish(outcome, process)
+                run_trial(process, ctx, stop, cap, make_observer(index))
             },
         )
     }

@@ -26,6 +26,6 @@ pub mod engine;
 pub mod runner;
 pub mod seed;
 
-pub use engine::{Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
-pub use runner::{run_trials, RunConfig};
-pub use seed::{trial_seed, SeedSequence};
+pub use engine::{run_trial, Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
+pub use runner::{run_jobs, run_trials, run_trials_with, RunConfig};
+pub use seed::{key_seed, trial_seed, SeedSequence};

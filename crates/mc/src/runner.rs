@@ -119,6 +119,31 @@ where
     collected.into_iter().map(|(_, t)| t).collect()
 }
 
+/// Runs `jobs` indexed jobs across the worker pool with reusable
+/// per-worker state — the *job-level* analogue of [`run_trials_with`].
+///
+/// Where trials derive a seed from their index, jobs own their seeding
+/// (a campaign point's seed comes from its content key via
+/// [`crate::seed::key_seed`]), so `f` receives only the worker state
+/// and the job index. Each worker thread builds its state once (`init`)
+/// and reuses it across every job it executes — this is how the
+/// campaign scheduler gives each worker one long-lived
+/// `cobra_process::StepCtx` whose scratch buffers amortize across whole
+/// sweep points, not just trials. Output is ordered by job index,
+/// identical for any thread count.
+pub fn run_jobs<S, T, I, F>(threads: usize, jobs: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_trials_with(
+        RunConfig::new(jobs, 0).with_threads(threads),
+        init,
+        |state, _seed, index| f(state, index),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +226,37 @@ mod tests {
         );
         assert!(inits.load(Ordering::Relaxed) <= 4);
         assert_eq!(out, (0..64).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn run_jobs_is_index_ordered_and_complete() {
+        let ran = AtomicU64::new(0);
+        let out: Vec<usize> = run_jobs(
+            4,
+            37,
+            || (),
+            |(), i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(out, (0..37).collect::<Vec<usize>>());
+        assert_eq!(ran.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn run_jobs_reuses_worker_state() {
+        // Sequential: one worker state threaded through all jobs.
+        let out: Vec<u64> = run_jobs(
+            1,
+            5,
+            || 0u64,
+            |state, _| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -24,6 +24,20 @@ pub fn trial_seed(master: u64, index: u64) -> u64 {
     splitmix64(&mut t)
 }
 
+/// The seed for a *keyed* job under `master` — the campaign-layer
+/// analogue of [`trial_seed`].
+///
+/// Where trial seeds derive from a positional index, a sweep point's
+/// seed derives from the stable content key of the point itself (its
+/// resolved spec string), so the seed — and therefore every per-point
+/// result — is independent of expansion order, thread count, and which
+/// other points happen to share the run. Adding a point to a sweep
+/// never perturbs the others, and a cached result stays valid however
+/// the grid around it grows.
+pub fn key_seed(master: u64, key: &str) -> u64 {
+    trial_seed(master, cobra_util::hash::fnv1a_str(key))
+}
+
 /// A stateful stream of seeds from one master seed.
 #[derive(Debug, Clone)]
 pub struct SeedSequence {
@@ -79,6 +93,21 @@ mod tests {
         let b: Vec<u64> = (0..100).map(|i| trial_seed(2, i)).collect();
         let overlap = a.iter().filter(|x| b.contains(x)).count();
         assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn key_seeds_depend_on_key_not_position() {
+        // Same key, same master → same seed, wherever the point sits in
+        // an expansion.
+        assert_eq!(
+            key_seed(7, "cover;hypercube:10"),
+            key_seed(7, "cover;hypercube:10")
+        );
+        // Distinct keys and distinct masters decorrelate.
+        let keys = ["a", "b", "cover;hypercube:10;cobra:b2", ""];
+        let seeds: HashSet<u64> = keys.iter().map(|k| key_seed(7, k)).collect();
+        assert_eq!(seeds.len(), keys.len());
+        assert_ne!(key_seed(1, "a"), key_seed(2, "a"));
     }
 
     #[test]

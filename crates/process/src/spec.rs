@@ -73,6 +73,37 @@ impl fmt::Display for ProcessSpecError {
 
 impl std::error::Error for ProcessSpecError {}
 
+impl ProcessSpecError {
+    /// Tags the error with the full spec being parsed, so a failure
+    /// buried in a sweep expansion still names its source.
+    fn in_spec(mut self, s: &str) -> ProcessSpecError {
+        let quoted = format!("{s:?}");
+        if !self.message.contains(&quoted) {
+            self.message = format!("{} (in process spec {quoted})", self.message);
+        }
+        self
+    }
+}
+
+/// Every accepted process family with its usage form — the source of
+/// truth for error messages and CLI help.
+pub const FAMILY_USAGES: &[(&str, &str)] = &[
+    ("cobra", "cobra:bB[:lazy] | cobra:rhoR[:lazy]"),
+    ("bips", "bips:bB[:exact][:lazy] | bips:rhoR[:exact][:lazy]"),
+    ("rw", "rw[:lazy]"),
+    ("walks", "walks:K[:lazy]"),
+    ("coalescing", "coalescing:K[:lazy]"),
+    ("gossip", "gossip:push|pull|pushpull"),
+];
+
+fn family_list() -> String {
+    FAMILY_USAGES
+        .iter()
+        .map(|(_, usage)| *usage)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn parse_branching(token: &str) -> Result<Branching, ProcessSpecError> {
     if let Some(b) = token.strip_prefix('b') {
         let b: u32 = b
@@ -133,9 +164,18 @@ impl FromStr for ProcessSpec {
     type Err = ProcessSpecError;
 
     fn from_str(s: &str) -> Result<ProcessSpec, ProcessSpecError> {
+        parse_process_spec(s).map_err(|e| e.in_spec(s.trim()))
+    }
+}
+
+fn parse_process_spec(s: &str) -> Result<ProcessSpec, ProcessSpecError> {
+    {
         let parts: Vec<&str> = s.trim().split(':').collect();
         if parts.is_empty() || parts[0].is_empty() {
-            return Err(ProcessSpecError::new("empty process spec"));
+            return Err(ProcessSpecError::new(format!(
+                "empty process spec (valid forms: {})",
+                family_list()
+            )));
         }
         let family = parts[0].to_ascii_lowercase();
         match family.as_str() {
@@ -211,7 +251,8 @@ impl FromStr for ProcessSpec {
                 Ok(ProcessSpec::Gossip { mode })
             }
             other => Err(ProcessSpecError::new(format!(
-                "unknown process family {other:?}"
+                "unknown process family {other:?} (valid forms: {})",
+                family_list()
             ))),
         }
     }
@@ -412,6 +453,35 @@ mod tests {
         ] {
             assert!(s.parse::<ProcessSpec>().is_err(), "{s:?} should not parse");
         }
+    }
+
+    #[test]
+    fn errors_name_the_token_and_list_forms() {
+        // Unknown family: names the offender and lists every valid form.
+        let e = "teleport:b2"
+            .parse::<ProcessSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("\"teleport\""), "missing offender in {e:?}");
+        for (family, _) in FAMILY_USAGES {
+            assert!(e.contains(family), "family {family} not listed in {e:?}");
+        }
+        // Bad branching token: names it and the enclosing spec.
+        let e = "cobra:x9".parse::<ProcessSpec>().unwrap_err().to_string();
+        assert!(e.contains("\"x9\""), "missing token in {e:?}");
+        assert!(e.contains("\"cobra:x9\""), "missing spec in {e:?}");
+        // Unexpected trailing option: names it.
+        let e = "cobra:b2:eager"
+            .parse::<ProcessSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("\"eager\""), "missing token in {e:?}");
+        // Bad gossip mode: names it.
+        let e = "gossip:shout"
+            .parse::<ProcessSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("\"shout\""), "missing mode in {e:?}");
     }
 
     #[test]

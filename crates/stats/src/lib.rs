@@ -13,16 +13,21 @@
 //!   Kolmogorov–Smirnov test, the tool behind the duality experiment:
 //!   Theorem 1.3 asserts two *distributions* coincide).
 //!
-//! [`histogram`] provides fixed-bin histograms for trajectory reports.
+//! [`histogram`] provides fixed-bin histograms for trajectory reports,
+//! and [`report`] renders results as plain/markdown/CSV tables — the
+//! artefact format shared by the experiment suite and the campaign
+//! layer.
 
 pub mod ci;
 pub mod histogram;
 pub mod ks;
 pub mod regression;
+pub mod report;
 pub mod summary;
 
 pub use ci::{bootstrap_mean_ci, normal_mean_ci, ConfidenceInterval};
 pub use histogram::Histogram;
 pub use ks::{ks_two_sample, Ecdf, KsResult};
 pub use regression::{fit_line, fit_power_law, LineFit};
+pub use report::{fmt_f, Table};
 pub use summary::{RunningStats, Summary};

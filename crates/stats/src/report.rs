@@ -1,4 +1,10 @@
-//! Result tables: the unit of output for every experiment.
+//! Result tables: the unit of output for every experiment and campaign.
+//!
+//! Lives in `cobra-stats` (rather than the top-level `cobra` crate) so
+//! that the campaign artifact layer — which sits *below* the experiment
+//! suite — can fold finished sweep points into the same tables the
+//! experiments render. The `cobra` crate re-exports this module as
+//! `cobra::report`, so downstream paths are unchanged.
 
 use std::fmt;
 

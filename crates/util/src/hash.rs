@@ -1,0 +1,64 @@
+//! Stable, dependency-free content hashing (FNV-1a).
+//!
+//! The campaign subsystem addresses results by a hash of the resolved
+//! point spec, and memoized graph builds are keyed by spec digests. Both
+//! need a hash that is **stable across runs, platforms, and compiler
+//! versions** — which rules out `std::hash` (`SipHash` with a random
+//! per-process key). FNV-1a is tiny, deterministic, and good enough for
+//! content addressing at the scale of a parameter sweep (thousands of
+//! points); full-key strings are stored alongside the hash, so even a
+//! collision cannot silently corrupt a store.
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// [`fnv1a_64`] over a string's UTF-8 bytes.
+pub fn fnv1a_str(s: &str) -> u64 {
+    fnv1a_64(s.as_bytes())
+}
+
+/// Fixed-width lowercase-hex rendering of a 64-bit digest.
+pub fn hex16(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_str(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_str("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_digests() {
+        let keys = [
+            "cover;hypercube:10;cobra:b2;trials=64",
+            "cover;hypercube:11;cobra:b2;trials=64",
+            "cover;hypercube:10;cobra:b3;trials=64",
+            "cover;hypercube:10;cobra:b2;trials=65",
+        ];
+        let digests: std::collections::HashSet<u64> = keys.iter().map(|k| fnv1a_str(k)).collect();
+        assert_eq!(digests.len(), keys.len());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hex16(0xAB), "00000000000000ab");
+    }
+}

@@ -9,10 +9,18 @@
 //!   connectivity checks.
 //! * [`math`] — tiny numeric helpers (integer logs, harmonic numbers,
 //!   approximate float comparison).
+//! * [`hash`] — stable FNV-1a content hashing (campaign result keys,
+//!   graph-spec digests).
+//! * [`json`] — a minimal exact-round-trip JSON writer/parser shared by
+//!   the benchmark records and the campaign result store.
 
 pub mod bitset;
+pub mod hash;
+pub mod json;
 pub mod math;
 pub mod unionfind;
 
 pub use bitset::BitSet;
+pub use hash::{fnv1a_64, fnv1a_str, hex16};
+pub use json::{Json, JsonError};
 pub use unionfind::UnionFind;

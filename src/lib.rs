@@ -20,6 +20,7 @@
 //! ```
 
 pub use cobra;
+pub use cobra_campaign;
 pub use cobra_exact;
 pub use cobra_graph;
 pub use cobra_mc;
@@ -31,6 +32,7 @@ pub use cobra_util;
 /// Everything an example needs, one import away.
 pub mod prelude {
     pub use cobra::sim::{Estimate, GraphSource, Objective, SimError, SimSpec};
+    pub use cobra_campaign::{run_sweep, PointRecord, Store, SweepSpec};
     pub use cobra_graph::{generators, props, Graph, GraphSpec, VertexId};
     pub use cobra_mc::{Engine, Observer, StopWhen};
     pub use cobra_process::{ProcessSpec, ProcessState, ProcessView, StepCtx};
