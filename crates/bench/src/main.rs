@@ -12,12 +12,14 @@
 //! cobra-exps --plot f1          # append an ASCII figure to the table
 //! cobra-exps --list             # available ids
 //!
-//! # any process × graph × estimator, no Rust required:
+//! # any process × graph × objective, no Rust required:
 //! cobra-exps run --process cobra:b2 --graph hypercube:10 --trials 30
-//! cobra-exps run --process bips:rho0.5 --graph gnp:2000:0.01 --target 7
+//! cobra-exps run --process bips:rho0.5 --graph gnp:2000:0.01 --objective hit:far
+//! cobra-exps run --process cobra:b2 --graph cycle:64 --objective infection:0.5 --dry-run
 //!
-//! # whole parameter grids, cached and resumable:
+//! # whole parameter grids (objective axes included), cached and resumable:
 //! cobra-exps sweep 'cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64'
+//! cobra-exps sweep 'objective={cover,hit:far,infection:1.0}; graph=hypercube:{8..12}; process=cobra:b{1,2}; trials=32'
 //! cobra-exps sweep @grid.sweep --dry-run
 //! ```
 
@@ -205,16 +207,20 @@ fn figure_for(id: &str, table: &Table) -> Option<String> {
     Some(plot.render())
 }
 
-/// `cobra-exps run` — one ad-hoc scenario through the `SimSpec` API.
+/// `cobra-exps run` — one ad-hoc scenario through the `SimSpec` API,
+/// measured via its first-class objective.
 fn run_subcommand(args: &[String]) -> ExitCode {
     let mut graph: Option<String> = None;
     let mut process: Option<String> = None;
+    let mut objective_arg: Option<String> = None;
     let mut trials: usize = 30;
     let mut seed: u64 = 0xC0B7A;
     let mut threads: usize = 0;
     let mut cap: Option<usize> = None;
     let mut start: u32 = 0;
     let mut target: Option<u32> = None;
+    let mut dry_run = false;
+    let mut verbose = false;
     let mut format = Format::Plain;
 
     let mut it = args.iter();
@@ -227,6 +233,7 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         let parsed = match arg.as_str() {
             "--graph" | "-g" => value("--graph").map(|v| graph = Some(v)),
             "--process" | "-p" => value("--process").map(|v| process = Some(v)),
+            "--objective" | "-O" => value("--objective").map(|v| objective_arg = Some(v)),
             "--trials" | "-t" => value("--trials").and_then(|v| {
                 v.parse()
                     .map(|v| trials = v)
@@ -257,6 +264,14 @@ fn run_subcommand(args: &[String]) -> ExitCode {
                     .map(|v| target = Some(v))
                     .map_err(|e| format!("--target: {e}"))
             }),
+            "--dry-run" | "-n" => {
+                dry_run = true;
+                Ok(())
+            }
+            "--verbose" | "-v" => {
+                verbose = true;
+                Ok(())
+            }
             "--csv" => {
                 format = Format::Csv;
                 Ok(())
@@ -283,6 +298,24 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    // Resolve the objective: --objective grammar, or the legacy
+    // --target V shorthand for hit:V.
+    let objective: cobra::Objective = match (&objective_arg, target) {
+        (Some(_), Some(_)) => {
+            eprintln!("--objective and --target are two spellings of one thing; pick one");
+            return ExitCode::FAILURE;
+        }
+        (Some(text), None) => match text.parse() {
+            Ok(objective) => objective,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(v)) => cobra::Objective::hit(v),
+        (None, None) => cobra::Objective::Cover,
+    };
+
     let spec = match SimSpec::parse(&graph, &process) {
         Ok(spec) => spec,
         Err(e) => {
@@ -294,48 +327,40 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         .with_start(start)
         .with_trials(trials)
         .with_seed(seed)
-        .with_threads(threads);
-    if let Some(t) = target {
-        spec = spec.reaching(t);
-    }
+        .with_threads(threads)
+        .with_objective(objective);
     spec.cap = cap;
 
-    let est = match spec.try_run() {
-        Ok(est) => est,
+    if dry_run || verbose {
+        // Resolve everything a trial would see — and reject
+        // non-terminating combos (hit: outside the graph, unreachable
+        // hit:far) before any round runs, naming the offending token.
+        if let Err(e) = print_resolved_run(&spec, &graph, &process, cap) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if dry_run {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let measurement = match spec.measure() {
+        Ok(measurement) => measurement,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
 
-    let objective = match target {
-        Some(t) => format!("hitting time of vertex {t}"),
-        None => "completion time (cover / full infection / broadcast)".to_string(),
+    let table = match measurement {
+        cobra::Measurement::Stopping(est) => stopping_table(&spec, &graph, &process, &est),
+        cobra::Measurement::Duality(report) => report.to_table("RUN", &graph),
+        cobra::Measurement::Trajectory(traj) => {
+            // Machine-readable formats get the full curve; the plain
+            // table samples it for terminal width.
+            trajectory_table(&graph, &process, &traj, format != Format::Plain)
+        }
     };
-    let mut table = Table::new(
-        "RUN",
-        format!("{process} on {graph} — {objective}"),
-        &["metric", "value"],
-    );
-    let fmt_val = |x: f64| format!("{x:.3}");
-    let mut push = |metric: &str, value: String| table.push_row(vec![metric.to_string(), value]);
-    push("trials", est.trials().to_string());
-    push("completed", est.samples.len().to_string());
-    push(
-        "censored at cap",
-        format!("{} (cap = {})", est.censored, est.cap),
-    );
-    if !est.samples.is_empty() {
-        let s = est.summary();
-        push("mean rounds", fmt_val(s.mean));
-        push("std dev", fmt_val(s.std_dev));
-        push(
-            "min / median / max",
-            format!("{} / {} / {}", s.min, s.median, s.max),
-        );
-    }
-    push("mean transmissions", fmt_val(est.mean_transmissions));
-    push("mean reached", fmt_val(est.mean_reached));
     match format {
         Format::Plain => println!("{}", table.render()),
         Format::Csv => print!("{}", table.to_csv()),
@@ -344,11 +369,114 @@ fn run_subcommand(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints the fully-resolved scenario (objective, stop condition, cap)
+/// without running a round; errors on specs that cannot terminate.
+fn print_resolved_run(
+    spec: &SimSpec<'_>,
+    graph: &str,
+    process: &str,
+    explicit_cap: Option<usize>,
+) -> Result<(), String> {
+    let g = spec.graph().map_err(|e| e.to_string())?;
+    let engine = spec.engine(&g);
+    // Full spec validation (start set in range, objective can
+    // terminate) — exactly what every run path checks, so a clean dry
+    // run means the real run starts.
+    spec.check(&g).map_err(|e| e.to_string())?;
+    let stop = spec
+        .objective
+        .stop_when(&g, &spec.start)
+        .map_err(|e| e.to_string())?;
+    println!("run: {process} on {graph} (n = {}, m = {})", g.n(), g.m());
+    println!("  objective: {}", spec.objective);
+    println!("  stop when: {stop:?}");
+    println!(
+        "  cap:       {} rounds/trial ({})",
+        engine.cap,
+        if explicit_cap.is_some() {
+            "explicit"
+        } else {
+            "derived from the paper's bounds"
+        }
+    );
+    println!(
+        "  trials:    {} (seed {:#x}, threads {})",
+        spec.trials,
+        spec.master_seed,
+        if spec.threads == 0 {
+            "auto".to_string()
+        } else {
+            spec.threads.to_string()
+        }
+    );
+    Ok(())
+}
+
+/// Renders a streamed stopping-time measurement as the run table.
+fn stopping_table(
+    spec: &SimSpec<'_>,
+    graph: &str,
+    process: &str,
+    est: &cobra::StoppingEstimate,
+) -> Table {
+    let mut table = Table::new(
+        "RUN",
+        format!("{process} on {graph} — objective {}", spec.objective),
+        &["metric", "value"],
+    );
+    let fmt_val = |x: f64| format!("{x:.3}");
+    let mut push = |metric: &str, value: String| table.push_row(vec![metric.to_string(), value]);
+    push("objective", spec.objective.to_string());
+    push("trials", est.trials.to_string());
+    push("completed", est.completed().to_string());
+    push(
+        "censored at cap",
+        format!("{} (cap = {})", est.censored, est.cap),
+    );
+    if est.completed() > 0 {
+        push("mean rounds", fmt_val(est.mean));
+        push("std dev", fmt_val(est.std_dev));
+        push(
+            "min / median / max",
+            format!("{:.0} / {:.2} / {:.0}", est.min, est.median, est.max),
+        );
+    }
+    push("mean transmissions", fmt_val(est.mean_transmissions));
+    push("mean reached", fmt_val(est.mean_reached));
+    table
+}
+
+/// Renders a trajectory measurement. `full` emits every round
+/// (CSV/markdown consumers); otherwise up to 16 evenly spaced rows
+/// sketch the curve for the terminal.
+fn trajectory_table(
+    graph: &str,
+    process: &str,
+    traj: &cobra::TrajectoryEstimate,
+    full: bool,
+) -> Table {
+    let mut table = Table::new(
+        "RUN",
+        format!("{process} on {graph} — mean reached-set trajectory"),
+        &["round", "mean reached"],
+    );
+    let rounds = traj.mean_sizes.len();
+    let step = if full { 1 } else { rounds.div_ceil(16).max(1) };
+    for (t, &size) in traj.mean_sizes.iter().enumerate() {
+        if t % step == 0 || t + 1 == rounds {
+            table.push_row(vec![t.to_string(), format!("{size:.2}")]);
+        }
+    }
+    table.note(format!("{} trials averaged", traj.trials));
+    table
+}
+
 /// `cobra-exps sweep` — run a whole parameter grid through the
 /// campaign layer: declarative expansion, content-addressed caching,
 /// resumable scheduling, table/plot artifacts.
 fn sweep_subcommand(args: &[String]) -> ExitCode {
     let mut spec_arg: Option<String> = None;
+    let mut objective_axis: Option<String> = None;
     let mut dry_run = false;
     let mut threads: usize = 0;
     let mut store_root = PathBuf::from("campaigns");
@@ -364,6 +492,7 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
                 .cloned()
         };
         let parsed = match arg.as_str() {
+            "--objective" | "-O" => value("--objective").map(|v| objective_axis = Some(v)),
             "--dry-run" | "-n" => {
                 dry_run = true;
                 Ok(())
@@ -419,13 +548,22 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let spec: SweepSpec = match spec_text.parse() {
+    let mut spec: SweepSpec = match spec_text.parse() {
         Ok(spec) => spec,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(axis) = objective_axis {
+        // --objective overrides the spec's objective axis; re-validate
+        // the expansion under the new axis.
+        spec.objectives = axis.split('|').map(|s| s.trim().to_string()).collect();
+        if let Err(e) = spec.expand_axes() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let name = spec.name();
     let store_dir = store_root.join(&name);
     // The cap policy of the SimSpec layer: the paper's bounds decide
@@ -476,7 +614,8 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
                 "miss"
             };
             println!(
-                "  [{marker}] {} × {} trials={} cap={} key={}",
+                "  [{marker}] {} × {} × {} trials={} cap={} key={}",
+                p.objective,
                 p.graph,
                 p.process,
                 p.trials,
@@ -514,11 +653,13 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
         outcome.cached,
         outcome.computed
     );
-    let table = artifact::table(&name, &outcome.records);
-    match format {
-        Format::Plain => println!("{}", table.render()),
-        Format::Csv => print!("{}", table.to_csv()),
-        Format::Markdown => println!("{}", table.to_markdown()),
+    // One table per objective (a single-objective sweep prints one).
+    for (_objective, table) in artifact::tables(&name, &outcome.records) {
+        match format {
+            Format::Plain => println!("{}", table.render()),
+            Format::Csv => print!("{}", table.to_csv()),
+            Format::Markdown => println!("{}", table.to_markdown()),
+        }
     }
     if plot {
         if let Some(fig) = artifact::scaling_plot(&name, &outcome.records) {
@@ -573,18 +714,23 @@ fn print_sweep_help() {
          usage: cobra-exps sweep '<spec>' [options]\n\
          \u{20}      cobra-exps sweep @grid.sweep [options]\n\
          \n\
-         spec grammar: objective; graph=<patterns>; process=<patterns>; trials=N\n\
+         spec grammar: <objectives>; graph=<patterns>; process=<patterns>; trials=N\n\
          \u{20}             [; start=V] [; seed=S] [; cap=C] [; name=N]\n\
          \u{20} e.g.  'cover; graph=hypercube:{{10..16}}; process=cobra:b{{1,2,3}}; trials=64'\n\
+         \u{20}       'objective={{cover,hit:far,infection:1.0}}; graph=hypercube:{{8..12}};\n\
+         \u{20}        process=cobra:b{{1,2}}; trials=32'\n\
+         \u{20} objectives: cover | hit:V | hit:far | infection:T (the sweepable estimands)\n\
          \u{20} patterns brace-expand ({{a..b}} ranges, {{x,y,z}} lists) and |-alternate\n\
          \n\
-         options: --dry-run (show expansion + cache hits, run nothing)\n\
+         options: --objective AXIS (override the spec's objective axis)\n\
+         \u{20}        --dry-run (show resolved objectives/caps + cache hits, run nothing)\n\
          \u{20}        --threads N (auto)  --store DIR (campaigns)  --no-store\n\
          \u{20}        --csv | --markdown  --plot\n\
          \n\
-         Results persist one JSON line per point under <store>/<name>/results.jsonl,\n\
-         keyed by a content hash of the resolved point; re-runs and killed runs only\n\
-         compute missing points."
+         Results persist one streamed-summary JSON line per point under\n\
+         <store>/<name>/results.jsonl, keyed by a content hash of the resolved point\n\
+         (objective included); re-runs and killed runs only compute missing points.\n\
+         Multi-objective grids render one table/CSV per objective."
     );
 }
 
@@ -746,48 +892,55 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
 }
 
 /// `cobra-exps bench --sweep` — campaign-layer throughput: points/sec
-/// over a fixed small grid, recorded alongside the engine probe so the
-/// scheduling layer's overhead is tracked across PRs. Both the warm-up
-/// and the measured run use fresh in-memory stores (a disk store would
-/// make the second run all cache hits and measure nothing).
+/// over a fixed small grid, one entry per objective (`<label>:cover`,
+/// `<label>:hit:far`, `<label>:infection:1`), recorded alongside the
+/// engine probe so the scheduling layer's overhead — and the relative
+/// cost of each estimand — is tracked across PRs. Both the warm-up and
+/// the measured run use fresh in-memory stores (a disk store would make
+/// the second run all cache hits and measure nothing).
 fn bench_sweep(seed: u64, label: &str, out: &str) -> ExitCode {
-    let spec_text =
-        format!("cover; graph=cycle:{{32..47}}; process=cobra:b2|rw; trials=8; seed={seed}");
-    let spec: SweepSpec = spec_text.parse().expect("static bench sweep parses");
     let cap_policy = |g: &cobra_graph::Graph, p: &cobra_process::ProcessSpec| {
         cobra::sim::resolve_cap(g, p, None)
     };
-    let run = |store: &mut Store| run_sweep(&spec, store, 0, &cap_policy);
-    if let Err(e) = run(&mut Store::in_memory()) {
-        eprintln!("{e}");
-        return ExitCode::FAILURE;
-    }
-    let start = std::time::Instant::now();
-    let outcome = match run(&mut Store::in_memory()) {
-        Ok(outcome) => outcome,
-        Err(e) => {
+    for objective in ["cover", "hit:far", "infection:1"] {
+        let spec_text = format!(
+            "{objective}; graph=cycle:{{32..47}}; process=cobra:b2|rw; trials=8; seed={seed}"
+        );
+        let spec: SweepSpec = spec_text.parse().expect("static bench sweep parses");
+        let run = |store: &mut Store| run_sweep(&spec, store, 0, &cap_policy);
+        if let Err(e) = run(&mut Store::in_memory()) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
-    };
-    let wall = start.elapsed().as_secs_f64();
-    let points_per_sec = outcome.computed as f64 / wall.max(1e-12);
-    let entry = obj([
-        ("label", Json::Str(label.to_string())),
-        ("scenario", Json::Str(spec_text.clone())),
-        ("points", Json::Int(outcome.computed as i128)),
-        ("trials", Json::Int(spec.trials as i128)),
-        ("seed", Json::Int(seed as i128)),
-        ("wall_seconds", Json::Float(round_places(wall, 4))),
-        (
-            "points_per_sec",
-            Json::Float(round_places(points_per_sec, 1)),
-        ),
-    ]);
-    println!("{entry}");
-    if let Err(e) = merge_bench_file(out, label, entry) {
-        eprintln!("cannot write {out}: {e}");
-        return ExitCode::FAILURE;
+        let start = std::time::Instant::now();
+        let outcome = match run(&mut Store::in_memory()) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let points_per_sec = outcome.computed as f64 / wall.max(1e-12);
+        let entry_label = format!("{label}:{objective}");
+        let entry = obj([
+            ("label", Json::Str(entry_label.clone())),
+            ("scenario", Json::Str(spec_text.clone())),
+            ("objective", Json::Str(objective.to_string())),
+            ("points", Json::Int(outcome.computed as i128)),
+            ("trials", Json::Int(spec.trials as i128)),
+            ("seed", Json::Int(seed as i128)),
+            ("wall_seconds", Json::Float(round_places(wall, 4))),
+            (
+                "points_per_sec",
+                Json::Float(round_places(points_per_sec, 1)),
+            ),
+        ]);
+        println!("{entry}");
+        if let Err(e) = merge_bench_file(out, &entry_label, entry) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -856,9 +1009,13 @@ fn print_run_help() {
          \u{20}              torus:8x8, regular:512:3, barbell:8:8, ... \n\
          process specs: cobra:b2, cobra:rho0.5:lazy, bips:b2:exact, rw,\n\
          \u{20}              walks:8, coalescing:4, gossip:pushpull\n\
+         objectives:    cover (default), hit:V, hit:far, infection:T,\n\
+         \u{20}              duality:h{{T1,T2,...}}, trajectory\n\
          \n\
-         options: --trials N (30)  --seed S  --threads T (auto)  --cap C (derived)\n\
-         \u{20}        --start V (0)  --target V (hitting time instead of completion)\n\
+         options: --objective O (cover)  --target V (shorthand for hit:V)\n\
+         \u{20}        --trials N (30)  --seed S  --threads T (auto)  --cap C (derived)\n\
+         \u{20}        --start V (0)  --dry-run (print the resolved objective, stop\n\
+         \u{20}        condition, and cap; run nothing)  --verbose (print, then run)\n\
          \u{20}        --csv | --markdown"
     );
 }

@@ -1,23 +1,54 @@
 //! The artifact layer: finished points → tables, CSV, scaling plots.
 //!
-//! Records fold through [`cobra_stats::Summary`] into the same
-//! [`Table`] type the experiment suite renders, plus an optional
-//! log–log scaling figure (mean stopping time versus `n`, one series
-//! per process) via `cobra-viz`. [`write_artifacts`] drops the rendered
-//! forms next to the result store, so `campaigns/<name>/` is a
-//! self-contained record of the sweep.
+//! Records carry their streamed summary (Welford moments + P²
+//! quartiles), so rendering is a straight copy into the same [`Table`]
+//! type the experiment suite uses — no sample vectors are re-folded.
+//! Multi-objective sweeps split into one table per objective
+//! ([`tables`]) on top of the combined view ([`table`]), plus an
+//! optional log–log scaling figure (mean stopping time versus `n`, one
+//! series per graph family × process × objective) via `cobra-viz`.
+//! [`write_artifacts`] drops the rendered forms next to the result
+//! store, so `campaigns/<name>/` is a self-contained record of the
+//! sweep.
 
 use crate::store::PointRecord;
 use cobra_stats::report::{fmt_f, Table};
-use cobra_stats::Summary;
 use cobra_viz::{Plot, Scale, Series};
 use std::path::{Path, PathBuf};
 
-/// Folds records (expansion order) into the campaign table.
+/// Folds records (expansion order) into the combined campaign table.
 pub fn table(name: &str, records: &[PointRecord]) -> Table {
+    build_table("SWEEP", &format!("campaign {name}"), records)
+}
+
+/// One table per distinct objective, in first-appearance order — the
+/// per-estimand view of a multi-objective sweep. A single-objective
+/// sweep yields one table identical in content to [`table`].
+pub fn tables(name: &str, records: &[PointRecord]) -> Vec<(String, Table)> {
+    let mut groups: Vec<(String, Vec<PointRecord>)> = Vec::new();
+    for rec in records {
+        match groups.iter_mut().find(|(o, _)| *o == rec.objective) {
+            Some((_, recs)) => recs.push(rec.clone()),
+            None => groups.push((rec.objective.clone(), vec![rec.clone()])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(objective, recs)| {
+            let t = build_table(
+                "SWEEP",
+                &format!("campaign {name} — objective {objective}"),
+                &recs,
+            );
+            (objective, t)
+        })
+        .collect()
+}
+
+fn build_table(id: &str, title: &str, records: &[PointRecord]) -> Table {
     let mut table = Table::new(
-        "SWEEP",
-        format!("campaign {name}"),
+        id,
+        title.to_string(),
         &[
             "graph",
             "n",
@@ -35,16 +66,15 @@ pub fn table(name: &str, records: &[PointRecord]) -> Table {
         ],
     );
     for rec in records {
-        let (mean, std, min, median, max) = if rec.samples.is_empty() {
+        let (mean, std, min, median, max) = if rec.completed == 0 {
             ("-".into(), "-".into(), "-".into(), "-".into(), "-".into())
         } else {
-            let s = Summary::from_samples(&rec.samples_f64());
             (
-                fmt_f(s.mean),
-                fmt_f(s.std_dev),
-                fmt_f(s.min),
-                fmt_f(s.median),
-                fmt_f(s.max),
+                fmt_f(rec.mean),
+                fmt_f(rec.std_dev),
+                fmt_f(rec.min),
+                fmt_f(rec.median),
+                fmt_f(rec.max),
             )
         };
         table.push_row(vec![
@@ -80,6 +110,7 @@ pub fn table(name: &str, records: &[PointRecord]) -> Table {
 /// dropped.
 pub fn scaling_plot(name: &str, records: &[PointRecord]) -> Option<String> {
     const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let multi_objective = records.windows(2).any(|w| w[0].objective != w[1].objective);
     let mut groups: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for rec in records {
         let Some(mean) = rec.mean_rounds() else {
@@ -89,7 +120,14 @@ pub fn scaling_plot(name: &str, records: &[PointRecord]) -> Option<String> {
             continue;
         }
         let family = rec.graph.split(':').next().unwrap_or(&rec.graph);
-        let series = format!("{family} {}", rec.process);
+        // One curve per family × process — and per objective when the
+        // grid mixes estimands (a cover curve and a hit:far curve are
+        // different laws, never one zigzag).
+        let series = if multi_objective {
+            format!("{family} {} {}", rec.process, rec.objective)
+        } else {
+            format!("{family} {}", rec.process)
+        };
         let entry = (rec.n as f64, mean);
         match groups.iter_mut().find(|(k, _)| *k == series) {
             Some((_, pts)) => pts.push(entry),
@@ -114,8 +152,10 @@ pub fn scaling_plot(name: &str, records: &[PointRecord]) -> Option<String> {
     Some(plot.render())
 }
 
-/// Writes `table.txt`, `table.csv`, `table.md`, and (when a scaling
-/// figure exists) `plot.txt` into `dir`; returns the paths written.
+/// Writes `table.txt`, `table.csv`, `table.md`, per-objective CSVs
+/// (`table-<objective>.csv`, for multi-objective grids), and (when a
+/// scaling figure exists) `plot.txt` into `dir`; returns the paths
+/// written.
 pub fn write_artifacts(
     dir: impl AsRef<Path>,
     name: &str,
@@ -134,12 +174,35 @@ pub fn write_artifacts(
         std::fs::write(&path, body)?;
         written.push(path);
     }
+    let per_objective = tables(name, records);
+    if per_objective.len() > 1 {
+        for (objective, t) in &per_objective {
+            let path = dir.join(format!("table-{}.csv", objective_slug(objective)));
+            std::fs::write(&path, t.to_csv())?;
+            written.push(path);
+        }
+    }
     if let Some(fig) = scaling_plot(name, records) {
         let path = dir.join("plot.txt");
         std::fs::write(&path, fig)?;
         written.push(path);
     }
     Ok(written)
+}
+
+/// A filename-safe spelling of an objective (`hit:far` → `hit-far`,
+/// `infection:0.5` → `infection-0.5`).
+fn objective_slug(objective: &str) -> String {
+    objective
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,11 +237,46 @@ mod tests {
     #[test]
     fn fully_censored_points_render_dashes() {
         let mut rec = records().remove(0);
-        rec.samples.clear();
+        rec.completed = 0;
         rec.censored = rec.trials;
         let t = table("demo", &[rec]);
         assert_eq!(t.rows[0][7], "-");
         assert!(t.notes[0].contains("censored"));
+    }
+
+    #[test]
+    fn multi_objective_grids_split_into_per_objective_tables() {
+        let spec: SweepSpec = "{cover,hit:far}; graph=cycle:{12,24}; process=rw; trials=3"
+            .parse()
+            .unwrap();
+        let recs = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap)
+            .unwrap()
+            .records;
+        let split = tables("demo", &recs);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].0, "cover");
+        assert_eq!(split[1].0, "hit:far");
+        for (objective, t) in &split {
+            assert_eq!(t.rows.len(), 2, "{objective}");
+            assert!(t.title.contains(objective), "{}", t.title);
+            assert!(t.rows.iter().all(|r| &r[4] == objective));
+        }
+        // The combined table still holds every row.
+        assert_eq!(table("demo", &recs).rows.len(), 4);
+        // And the artifacts include one CSV per objective.
+        let dir = std::env::temp_dir().join(format!("cobra-artifacts-obj-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_artifacts(&dir, "demo", &recs).unwrap();
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.contains(&"table-cover.csv".to_string()), "{names:?}");
+        assert!(
+            names.contains(&"table-hit-far.csv".to_string()),
+            "{names:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -25,13 +25,16 @@
 //!
 //! # The sweep grammar
 //!
-//! `objective; graph=<patterns>; process=<patterns>; trials=N
+//! `<objectives>; graph=<patterns>; process=<patterns>; trials=N
 //! [; start=V] [; seed=S] [; cap=C] [; name=N]` — see [`sweep`] for the
-//! full table. Patterns brace-expand (`hypercube:{10..16}`,
+//! full table. The objective axis is first-class: any sweepable
+//! [`Objective`] (`cover`, `hit:V`, `hit:far`, `infection:T`) and any
+//! brace pattern over them (`objective={cover,hit:far,infection:0.5}`)
+//! rides the grid. Patterns brace-expand (`hypercube:{10..16}`,
 //! `cobra:b{1,2,3}`, `grid:{8,16}x{8,16}`) and `|`-alternate; the grid
-//! is the cross product of the two axes. [`SweepSpec`] round-trips
+//! is the cross product of the three axes. [`SweepSpec`] round-trips
 //! through [`FromStr`](std::str::FromStr)/[`Display`](std::fmt::Display)
-//! exactly, like `GraphSpec` and `ProcessSpec`.
+//! exactly, like `GraphSpec`, `ProcessSpec`, and `Objective`.
 //!
 //! # Content-addressed results, resumable runs
 //!
@@ -75,7 +78,8 @@ use cobra_graph::GraphSpecError;
 use cobra_process::ProcessSpecError;
 use std::fmt;
 
-pub use point::{SweepObjective, SweepPoint, CODE_VERSION};
+pub use cobra_mc::{HitTarget, Objective};
+pub use point::{SweepPoint, CODE_VERSION};
 pub use runner::{
     default_cap, plan_sweep, run_graph_jobs, run_point, run_sweep, CapPolicy, Plan, RunOutcome,
 };

@@ -1,11 +1,17 @@
 //! Resolved sweep points and their content-addressed identity.
 //!
 //! A [`SweepPoint`] is one fully-resolved cell of a sweep grid: a
-//! concrete graph spec × process spec × objective, with the trial
+//! concrete objective × graph spec × process spec, with the trial
 //! count, round cap, and RNG seed pinned. Its identity is the
 //! [`SweepPoint::spec_key`] string — every parameter that can change
 //! the result, spelled out — and the result store addresses records by
 //! a stable hash of that key plus the seed and [`CODE_VERSION`].
+//!
+//! The objective is the first-class [`cobra_mc::Objective`] — any
+//! sweepable estimand (`cover`, `hit:V`, `hit:far`, `infection:T`)
+//! rides the same machinery, keyed by its canonical spelling
+//! (`hit:far` stays `hit:far` in the key: its resolution to a concrete
+//! vertex is deterministic per graph).
 //!
 //! The seed itself derives from the key (via [`cobra_mc::key_seed`]),
 //! not from the point's position in the expansion, so results are
@@ -13,62 +19,26 @@
 //! points share the run.
 
 use cobra_graph::{GraphSpec, VertexId};
-use cobra_mc::key_seed;
+use cobra_mc::{key_seed, Objective};
 use cobra_process::ProcessSpec;
 use cobra_util::hash::{fnv1a_str, hex16};
-use std::fmt;
-use std::str::FromStr;
 
 /// Bump to invalidate every stored result (a semantic change to the
-/// simulation or seeding makes old records incomparable; the store
-/// keeps them on disk but no key will ever match them again).
-pub const CODE_VERSION: &str = "cobra-campaign/1";
-
-/// What each point of a sweep measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SweepObjective {
-    /// Rounds until every vertex is reached (cover / full infection /
-    /// broadcast time).
-    Cover,
-    /// Rounds until one target vertex is reached (hitting time).
-    Hit(VertexId),
-}
-
-impl fmt::Display for SweepObjective {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SweepObjective::Cover => write!(f, "cover"),
-            SweepObjective::Hit(v) => write!(f, "hit:{v}"),
-        }
-    }
-}
-
-impl FromStr for SweepObjective {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<SweepObjective, String> {
-        let s = s.trim();
-        if s.eq_ignore_ascii_case("cover") {
-            return Ok(SweepObjective::Cover);
-        }
-        if let Some(v) = s.strip_prefix("hit:") {
-            return v
-                .parse()
-                .map(SweepObjective::Hit)
-                .map_err(|_| format!("bad hit target {v:?} (usage: hit:V)"));
-        }
-        Err(format!(
-            "unknown objective {s:?} (valid objectives: cover, hit:V)"
-        ))
-    }
-}
+/// simulation, the seeding, or the record payload makes old records
+/// incomparable; the store keeps them on disk but no key will ever
+/// match them again).
+///
+/// `/2`: the objective became a first-class axis and records stream
+/// their summary instead of storing sample vectors.
+pub const CODE_VERSION: &str = "cobra-campaign/2";
 
 /// One fully-resolved cell of a sweep grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     pub graph: GraphSpec,
     pub process: ProcessSpec,
-    pub objective: SweepObjective,
+    /// The estimand (must be [`Objective::is_sweepable`]).
+    pub objective: Objective,
     /// Start vertex (`C_0 = {start}`).
     pub start: VertexId,
     /// Independent trials at this point.
@@ -84,7 +54,7 @@ impl SweepPoint {
     pub fn resolve(
         graph: GraphSpec,
         process: ProcessSpec,
-        objective: SweepObjective,
+        objective: Objective,
         start: VertexId,
         trials: usize,
         cap: usize,
@@ -139,23 +109,12 @@ mod tests {
         SweepPoint::resolve(
             graph.parse().unwrap(),
             process.parse().unwrap(),
-            SweepObjective::Cover,
+            Objective::Cover,
             0,
             trials,
             10_000,
             0xC0B7A,
         )
-    }
-
-    #[test]
-    fn objective_round_trips() {
-        for s in ["cover", "hit:7"] {
-            let o: SweepObjective = s.parse().unwrap();
-            assert_eq!(o.to_string(), s);
-        }
-        assert!("hit".parse::<SweepObjective>().is_err());
-        assert!("hit:x".parse::<SweepObjective>().is_err());
-        assert!("reach:3".parse::<SweepObjective>().is_err());
     }
 
     #[test]
@@ -168,7 +127,17 @@ mod tests {
         let c = point("hypercube:7", "cobra:b2", 8);
         let d = point("hypercube:6", "cobra:b3", 8);
         let e = point("hypercube:6", "cobra:b2", 9);
-        for other in [&c, &d, &e] {
+        let mut f = point("hypercube:6", "cobra:b2", 8);
+        f = SweepPoint::resolve(
+            f.graph,
+            f.process,
+            "hit:far".parse().unwrap(),
+            f.start,
+            f.trials,
+            f.cap,
+            0xC0B7A,
+        );
+        for other in [&c, &d, &e, &f] {
             assert_ne!(a.seed, other.seed);
             assert_ne!(a.digest_hex(), other.digest_hex());
         }
@@ -191,5 +160,24 @@ mod tests {
             assert!(key.contains(needle), "{needle:?} missing from {key:?}");
         }
         assert_eq!(p.digest_hex().len(), 16);
+    }
+
+    #[test]
+    fn objective_spelling_is_canonical_in_the_key() {
+        let mut p = point("cycle:12", "rw", 4);
+        p = SweepPoint::resolve(
+            p.graph,
+            p.process,
+            "infection:0.50".parse().unwrap(),
+            p.start,
+            p.trials,
+            p.cap,
+            0xC0B7A,
+        );
+        assert!(
+            p.spec_key().starts_with("infection:0.5;"),
+            "non-canonical objective spelling in {:?}",
+            p.spec_key()
+        );
     }
 }

@@ -17,12 +17,14 @@
 //! around them changes. (The equivalence with `Engine::run_spec` under
 //! `master_seed = point.seed` is pinned by tests.)
 
-use crate::point::{SweepObjective, SweepPoint};
+use crate::point::SweepPoint;
 use crate::store::{PointRecord, Store};
 use crate::sweep::SweepSpec;
 use crate::CampaignError;
 use cobra_graph::{Graph, GraphCache, GraphSpec};
-use cobra_mc::{key_seed, run_jobs, run_trial, trial_seed, Completion, StopWhen};
+use cobra_mc::{
+    key_seed, run_jobs, run_trial, trial_seed, Completion, Objective, StoppingAccumulator,
+};
 use cobra_process::{ProcessSpec, ProcessState, StepCtx};
 use std::sync::{Arc, Mutex};
 
@@ -106,16 +108,16 @@ pub fn plan_sweep(
     let mut missing = Vec::new();
     let mut duplicates = Vec::new();
     let mut scheduled_keys = std::collections::HashSet::new();
-    for (index, (gspec, pspec)) in grid.into_iter().enumerate() {
+    for (index, (objective, gspec, pspec)) in grid.into_iter().enumerate() {
         let graph = cache
             .get_or_build(&gspec, graph_build_seed(spec.seed, &gspec))
             .map_err(CampaignError::Graph)?;
-        check_vertices(spec, &gspec, &graph)?;
+        check_point(spec, &objective, &gspec, &graph)?;
         let cap = spec.cap.unwrap_or_else(|| cap_policy(&graph, &pspec));
         let point = SweepPoint::resolve(
             gspec,
             pspec,
-            spec.objective,
+            objective,
             spec.start,
             spec.trials,
             cap,
@@ -149,7 +151,12 @@ pub fn graph_build_seed(master_seed: u64, spec: &GraphSpec) -> u64 {
     key_seed(master_seed, &format!("graph;{:016x}", spec.digest()))
 }
 
-fn check_vertices(spec: &SweepSpec, gspec: &GraphSpec, graph: &Graph) -> Result<(), CampaignError> {
+fn check_point(
+    spec: &SweepSpec,
+    objective: &Objective,
+    gspec: &GraphSpec,
+    graph: &Graph,
+) -> Result<(), CampaignError> {
     let n = graph.n();
     if spec.start as usize >= n {
         return Err(CampaignError::Invalid(format!(
@@ -157,14 +164,12 @@ fn check_vertices(spec: &SweepSpec, gspec: &GraphSpec, graph: &Graph) -> Result<
             spec.start
         )));
     }
-    if let SweepObjective::Hit(target) = spec.objective {
-        if target as usize >= n {
-            return Err(CampaignError::Invalid(format!(
-                "hit target {target} out of range for {gspec} (n = {n})"
-            )));
-        }
-    }
-    Ok(())
+    // Objective-level termination checks (hit target in range, hit:far
+    // reachable, infection threshold in (0, 1]) — errors name the
+    // offending token and the graph it fails on.
+    objective
+        .validate(graph, &[spec.start])
+        .map_err(|e| CampaignError::Invalid(format!("{e} (graph {gspec})")))
 }
 
 /// Plans and runs a sweep: cached points are served from the store,
@@ -242,49 +247,37 @@ where
     }))
 }
 
-/// Runs every trial of one point on the worker's context. The process
-/// is built once and reset per trial; trial `i` sees exactly
-/// `trial_seed(point.seed, i)`, the same derivation the engine uses, so
-/// this matches `Engine::run_spec` under `master_seed = point.seed`
-/// bit-for-bit.
+/// Runs every trial of one point on the worker's context, reducing
+/// through the objective's streaming accumulator — each trial folds
+/// into Welford/P² state the moment it finishes, so a point's memory is
+/// O(1) in its trial count (no sample vector ever exists).
+///
+/// The process is built once and reset per trial; trial `i` sees
+/// exactly `trial_seed(point.seed, i)`, the same derivation the engine
+/// uses, so this matches `Engine::run_spec` under
+/// `master_seed = point.seed` bit-for-bit — and the record's summary
+/// matches `SimSpec::measure` on the equivalent spec.
 pub fn run_point(point: &SweepPoint, graph: &Graph, ctx: &mut StepCtx) -> PointRecord {
     let start = [point.start];
-    let stop = match point.objective {
-        SweepObjective::Cover => StopWhen::Complete,
-        SweepObjective::Hit(v) => StopWhen::Reached(v),
-    };
+    let stop = point
+        .objective
+        .stop_when(graph, &start)
+        .expect("plan_sweep validated every point objective");
     let mut process = point.process.build(graph, &start);
-    let mut samples = Vec::new();
-    let mut censored = 0usize;
-    let mut total_transmissions = 0u64;
-    let mut total_reached = 0u64;
+    let mut acc = StoppingAccumulator::new();
     for trial in 0..point.trials {
         ctx.reseed(trial_seed(point.seed, trial as u64));
         process.reset(graph, &start);
-        let outcome = run_trial(&mut process, ctx, stop, point.cap, Completion);
-        match outcome.rounds {
-            Some(r) => samples.push(r),
-            None => censored += 1,
-        }
-        total_transmissions += outcome.transmissions;
-        total_reached += outcome.reached as u64;
+        acc.push(&run_trial(&mut process, ctx, stop, point.cap, Completion));
     }
-    PointRecord {
-        key: point.digest_hex(),
-        spec: point.full_key(),
-        graph: point.graph.to_string(),
-        process: point.process.to_string(),
-        objective: point.objective.to_string(),
-        n: graph.n(),
-        m: graph.m(),
-        trials: point.trials,
-        cap: point.cap,
-        seed: point.seed,
-        samples,
-        censored,
+    let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
+    PointRecord::from_estimate(
+        point,
+        (graph.n(), graph.m()),
+        &acc.finish(point.cap),
         total_transmissions,
         total_reached,
-    }
+    )
 }
 
 #[cfg(test)]
@@ -356,15 +349,25 @@ mod tests {
             let p = &planned.point;
             let mut ctx = StepCtx::new();
             let record = run_point(p, &planned.graph, &mut ctx);
+            let stop = p.objective.stop_when(&planned.graph, &[p.start]).unwrap();
             let outcomes = Engine::new(p.trials, p.seed, p.cap)
                 .with_threads(1)
-                .run_spec_outcomes(&planned.graph, &p.process, &[p.start], StopWhen::Complete);
-            let engine_samples: Vec<usize> = outcomes.iter().filter_map(|o| o.rounds).collect();
-            assert_eq!(record.samples, engine_samples, "{}/{}", p.graph, p.process);
+                .run_spec_outcomes(&planned.graph, &p.process, &[p.start], stop);
+            let mut acc = StoppingAccumulator::new();
+            for o in &outcomes {
+                acc.push(o);
+            }
+            let (tx, reached) = (acc.total_transmissions(), acc.total_reached());
+            let est = acc.finish(p.cap);
             assert_eq!(
-                record.total_transmissions,
-                outcomes.iter().map(|o| o.transmissions).sum::<u64>()
+                record.to_estimate(),
+                est,
+                "{}/{}: record diverged from the engine fold",
+                p.graph,
+                p.process
             );
+            assert_eq!(record.total_transmissions, tx);
+            assert_eq!(record.total_reached, reached);
         }
     }
 
@@ -374,14 +377,15 @@ mod tests {
             .parse()
             .unwrap();
         let out = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
-        assert!(out.records[0].samples.iter().all(|&h| h >= 6));
+        assert!(out.records[0].min >= 6.0, "hitting time beats the distance");
         let bad: SweepSpec = "hit:99; graph=cycle:12; process=cobra:b2; trials=4"
             .parse()
             .unwrap();
-        assert!(matches!(
-            run_sweep(&bad, &mut Store::in_memory(), 1, &default_cap),
-            Err(CampaignError::Invalid(_))
-        ));
+        let err = run_sweep(&bad, &mut Store::in_memory(), 1, &default_cap).unwrap_err();
+        assert!(
+            err.to_string().contains("hit:99") && err.to_string().contains("cycle:12"),
+            "error must name the offending token and graph: {err}"
+        );
         let bad_start: SweepSpec = "cover; graph=cycle:12; process=rw; trials=2; start=50"
             .parse()
             .unwrap();
@@ -389,6 +393,49 @@ mod tests {
             run_sweep(&bad_start, &mut Store::in_memory(), 1, &default_cap),
             Err(CampaignError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn objective_axis_runs_and_caches_per_objective() {
+        let spec: SweepSpec =
+            "{cover,hit:far,infection:1.0}; graph=hypercube:{3,4}; process=cobra:b2; trials=4"
+                .parse()
+                .unwrap();
+        let mut store = Store::in_memory();
+        let first = run_sweep(&spec, &mut store, 0, &default_cap).unwrap();
+        assert_eq!((first.computed, first.cached), (6, 0));
+        // One record per (objective, graph) cell, objective-major.
+        let objectives: Vec<&str> = first.records.iter().map(|r| r.objective.as_str()).collect();
+        assert_eq!(
+            objectives,
+            [
+                "cover",
+                "cover",
+                "hit:far",
+                "hit:far",
+                "infection:1",
+                "infection:1"
+            ]
+        );
+        // infection:1 is cover under a different key: same stop rule,
+        // different key-derived seed, so the estimand agrees in law but
+        // the records are distinct points.
+        assert_eq!(first.records.len(), 6);
+        let second = run_sweep(&spec, &mut store, 0, &default_cap).unwrap();
+        assert_eq!((second.computed, second.cached), (0, 6));
+        assert_eq!(first.records, second.records);
+    }
+
+    #[test]
+    fn hit_far_sweeps_across_sizes() {
+        // One spelling, many graphs: hit:far resolves per graph.
+        let spec: SweepSpec = "hit:far; graph=cycle:{8,16}; process=cobra:b2; trials=4"
+            .parse()
+            .unwrap();
+        let out = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        // On cycle:n from vertex 0 the farthest vertex is n/2 hops away.
+        assert!(out.records[0].min >= 4.0);
+        assert!(out.records[1].min >= 8.0);
     }
 
     #[test]

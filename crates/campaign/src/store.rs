@@ -7,6 +7,15 @@
 //! re-verified on lookup, so a collision (or a hand-edited line) can
 //! never silently alias a different point.
 //!
+//! A record carries the *streamed* stopping-time summary (Welford
+//! moments + P² quartiles, censoring and resource tallies) rather than
+//! a sample vector, so record size — like the runner's memory — is
+//! O(1) in the trial count. Floats are written with the exact
+//! round-trip encoding of [`cobra_util::json`], so a write → load
+//! round trip is still bit-identical. Records written by earlier
+//! `CODE_VERSION`s fail the key check (and the field check) and are
+//! simply recomputed: old stores stay valid, just cold.
+//!
 //! Append-only is what makes campaigns resumable: the runner flushes
 //! each record the moment its job finishes, so a killed run leaves a
 //! valid store holding everything completed so far, and the next run
@@ -16,6 +25,7 @@
 //!
 //! [`SweepPoint::digest_hex`]: crate::point::SweepPoint::digest_hex
 
+use cobra_mc::StoppingEstimate;
 use cobra_util::json::{obj, Json};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -23,10 +33,11 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// One finished point: the resolved identity plus everything the
-/// artifact layer folds. All payload fields are integers, so a write →
-/// load round trip is bit-identical.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One finished point: the resolved identity plus the streamed
+/// stopping-time summary the artifact layer folds. Integer fields stay
+/// exact by construction; float fields use the exact round-trip float
+/// encoding, so a write → load round trip is bit-identical either way.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointRecord {
     /// `hex16` digest of `spec` — the store's address.
     pub key: String,
@@ -36,7 +47,8 @@ pub struct PointRecord {
     pub graph: String,
     /// Canonical process spec string.
     pub process: String,
-    /// Objective string (`cover` / `hit:V`).
+    /// Canonical objective string (`cover` / `hit:V` / `hit:far` /
+    /// `infection:T`).
     pub objective: String,
     /// Vertices of the materialised graph.
     pub n: usize,
@@ -45,10 +57,25 @@ pub struct PointRecord {
     pub trials: usize,
     pub cap: usize,
     pub seed: u64,
-    /// Stopping time per completed trial, in trial order.
-    pub samples: Vec<usize>,
+    /// Trials that met the objective (`trials - censored`).
+    pub completed: usize,
     /// Trials censored at the cap.
     pub censored: usize,
+    /// Mean stopping time over completed trials (0 when none
+    /// completed).
+    pub mean: f64,
+    /// Sample standard deviation of the stopping time.
+    pub std_dev: f64,
+    /// Smallest completed stopping time.
+    pub min: f64,
+    /// Largest completed stopping time.
+    pub max: f64,
+    /// First-quartile estimate (P², exact under five trials).
+    pub q25: f64,
+    /// Median estimate (P², exact under five trials).
+    pub median: f64,
+    /// Third-quartile estimate (P², exact under five trials).
+    pub q75: f64,
     /// Total transmissions across all trials.
     pub total_transmissions: u64,
     /// Total reached-set size at trial end, summed over trials.
@@ -56,18 +83,66 @@ pub struct PointRecord {
 }
 
 impl PointRecord {
+    /// Builds a record from a resolved point's identity and its
+    /// streamed estimate.
+    pub fn from_estimate(
+        point: &crate::point::SweepPoint,
+        (n, m): (usize, usize),
+        est: &StoppingEstimate,
+        total_transmissions: u64,
+        total_reached: u64,
+    ) -> PointRecord {
+        PointRecord {
+            key: point.digest_hex(),
+            spec: point.full_key(),
+            graph: point.graph.to_string(),
+            process: point.process.to_string(),
+            objective: point.objective.to_string(),
+            n,
+            m,
+            trials: est.trials,
+            cap: est.cap,
+            seed: point.seed,
+            completed: est.completed(),
+            censored: est.censored,
+            mean: est.mean,
+            std_dev: est.std_dev,
+            min: est.min,
+            max: est.max,
+            q25: est.q25,
+            median: est.median,
+            q75: est.q75,
+            total_transmissions,
+            total_reached,
+        }
+    }
+
+    /// The record's summary as a [`StoppingEstimate`] (what
+    /// `SimSpec::measure` would have returned for this point).
+    pub fn to_estimate(&self) -> StoppingEstimate {
+        StoppingEstimate {
+            trials: self.trials,
+            censored: self.censored,
+            cap: self.cap,
+            mean: self.mean,
+            std_dev: self.std_dev,
+            min: self.min,
+            max: self.max,
+            q25: self.q25,
+            median: self.median,
+            q75: self.q75,
+            mean_transmissions: self.mean_transmissions(),
+            mean_reached: self.total_reached as f64 / self.trials.max(1) as f64,
+        }
+    }
+
     /// Mean stopping time over completed trials (`None` if all
     /// censored).
     pub fn mean_rounds(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.completed == 0 {
             return None;
         }
-        Some(self.samples.iter().sum::<usize>() as f64 / self.samples.len() as f64)
-    }
-
-    /// Samples as `f64` for the stats layer.
-    pub fn samples_f64(&self) -> Vec<f64> {
-        self.samples.iter().map(|&s| s as f64).collect()
+        Some(self.mean)
     }
 
     /// Mean transmissions per trial (censored included).
@@ -88,11 +163,15 @@ impl PointRecord {
             ("trials", Json::Int(self.trials as i128)),
             ("cap", Json::Int(self.cap as i128)),
             ("seed", Json::Int(self.seed as i128)),
-            (
-                "samples",
-                Json::Array(self.samples.iter().map(|&s| Json::Int(s as i128)).collect()),
-            ),
+            ("completed", Json::Int(self.completed as i128)),
             ("censored", Json::Int(self.censored as i128)),
+            ("mean", Json::Float(self.mean)),
+            ("std_dev", Json::Float(self.std_dev)),
+            ("min", Json::Float(self.min)),
+            ("max", Json::Float(self.max)),
+            ("q25", Json::Float(self.q25)),
+            ("median", Json::Float(self.median)),
+            ("q75", Json::Float(self.q75)),
             (
                 "total_transmissions",
                 Json::Int(self.total_transmissions as i128),
@@ -102,10 +181,12 @@ impl PointRecord {
     }
 
     /// Decodes one JSONL line; `None` when any field is missing or
-    /// ill-typed (the loader skips such lines).
+    /// ill-typed (the loader skips such lines — including every record
+    /// written by a pre-`cobra-campaign/2` store).
     pub fn from_json(v: &Json) -> Option<PointRecord> {
         let s = |k: &str| v.get(k)?.as_str().map(str::to_string);
         let u = |k: &str| v.get(k)?.as_usize();
+        let f = |k: &str| v.get(k)?.as_f64();
         Some(PointRecord {
             key: s("key")?,
             spec: s("spec")?,
@@ -117,13 +198,15 @@ impl PointRecord {
             trials: u("trials")?,
             cap: u("cap")?,
             seed: v.get("seed")?.as_u64()?,
-            samples: v
-                .get("samples")?
-                .as_array()?
-                .iter()
-                .map(Json::as_usize)
-                .collect::<Option<Vec<usize>>>()?,
+            completed: u("completed")?,
             censored: u("censored")?,
+            mean: f("mean")?,
+            std_dev: f("std_dev")?,
+            min: f("min")?,
+            max: f("max")?,
+            q25: f("q25")?,
+            median: f("median")?,
+            q75: f("q75")?,
             total_transmissions: v.get("total_transmissions")?.as_u64()?,
             total_reached: v.get("total_reached")?.as_u64()?,
         })
@@ -276,8 +359,15 @@ mod tests {
             trials: 3,
             cap: 1000,
             seed: u64::MAX - 1,
-            samples: vec![4, 5, 6],
+            completed: 3,
             censored: 0,
+            mean: 5.0,
+            std_dev: 1.0,
+            min: 4.0,
+            max: 6.0,
+            q25: 4.5,
+            median: 5.0,
+            q75: 5.5,
             total_transmissions: u64::MAX / 2,
             total_reached: 3 * n as u64,
         }
@@ -285,10 +375,24 @@ mod tests {
 
     #[test]
     fn json_round_trip_is_exact() {
-        let rec = record("abc123", 16);
+        let mut rec = record("abc123", 16);
+        // Awkward floats must survive bit-for-bit, not just pretty ones.
+        rec.mean = 0.1 + 0.2;
+        rec.std_dev = f64::MIN_POSITIVE;
+        rec.q75 = 1.0 / 3.0;
         let line = rec.to_json().to_string_compact();
         let back = PointRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn to_estimate_reconstructs_the_streamed_summary() {
+        let rec = record("abc123", 16);
+        let est = rec.to_estimate();
+        assert_eq!(est.trials, 3);
+        assert_eq!(est.completed(), 3);
+        assert_eq!(est.mean, 5.0);
+        assert_eq!(est.summary().median, 5.0);
     }
 
     #[test]
@@ -327,16 +431,13 @@ mod tests {
         text.push('\n');
         text.push_str("[1,2,3]\n"); // parses, wrong shape
         let mut newer = record("aaaa", 8);
-        newer.samples = vec![9, 9, 9];
+        newer.mean = 9.0;
         text.push_str(&newer.to_json().to_string_compact());
         text.push('\n');
         std::fs::write(dir.join("results.jsonl"), text).unwrap();
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.len(), 1);
-        assert_eq!(
-            store.get("aaaa", &newer.spec).unwrap().samples,
-            vec![9, 9, 9]
-        );
+        assert_eq!(store.get("aaaa", &newer.spec).unwrap().mean, 9.0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,16 +1,18 @@
 //! The declarative sweep grammar: one line names a whole grid.
 //!
-//! A [`SweepSpec`] is a `;`-separated list of segments. The first
-//! segment is the objective (`cover` or `hit:V`); the rest are
-//! `key=value` pairs in any order:
+//! A [`SweepSpec`] is a `;`-separated list of segments. An optional
+//! leading segment carries the objective axis (any `;`-free segment
+//! without `=`); the rest are `key=value` pairs in any order:
 //!
 //! ```text
 //! cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64
 //! hit:5; graph=cycle:{16,32,64}|torus:8x8; process=rw|cobra:b2; trials=32; seed=9
+//! objective={cover,hit:far,infection:1.0}; graph=hypercube:{8..12}; process=cobra:b{1,2}; trials=32
 //! ```
 //!
 //! | key | value | default |
 //! |-----|-------|---------|
+//! | `objective` | `\|`-separated objective patterns (alias of the leading segment) | `cover` |
 //! | `graph` | `\|`-separated graph-spec patterns | required |
 //! | `process` | `\|`-separated process-spec patterns | required |
 //! | `trials` | trials per point | 32 |
@@ -21,16 +23,22 @@
 //!
 //! Patterns expand with shell-style braces: `{a..b}` is an inclusive
 //! integer range, `{x,y,z}` a list, and multiple groups in one pattern
-//! cross-product (`grid:{8,16}x{8,16}` is four graphs). The grid is the
-//! cross product graph-axis × process-axis, in writing order.
+//! cross-product (`grid:{8,16}x{8,16}` is four graphs). The grid is
+//! the cross product objective-axis × graph-axis × process-axis, in
+//! writing order. Objective tokens must parse as sweepable
+//! [`Objective`]s — the stopping estimands `cover`, `hit:V`,
+//! `hit:far`, `infection:T`; the composite estimands (`duality:h{..}`,
+//! `trajectory`) are rejected by name.
 //!
-//! [`FromStr`] and [`Display`] round-trip exactly, like [`GraphSpec`]
-//! and [`ProcessSpec`] — a sweep can be named on a command line, in a
-//! file, or in a log, and reconstructed bit-for-bit.
+//! [`FromStr`] and [`Display`](fmt::Display) round-trip exactly, like
+//! [`GraphSpec`] and [`ProcessSpec`] — a sweep can be named on a
+//! command line, in a file, or in a log, and reconstructed
+//! bit-for-bit. (The canonical display puts the objective axis in the
+//! leading segment.)
 
-use crate::point::SweepObjective;
 use crate::CampaignError;
 use cobra_graph::{GraphSpec, VertexId};
+use cobra_mc::Objective;
 use cobra_process::ProcessSpec;
 use cobra_util::hash::{fnv1a_str, hex16};
 use std::fmt;
@@ -44,11 +52,14 @@ pub const DEFAULT_SEED: u64 = 0xC0B7A;
 /// capacity limit.
 pub const MAX_POINTS: usize = 100_000;
 
-/// A declarative sweep: objective × graph axis × process axis ×
+/// A declarative sweep: objective axis × graph axis × process axis ×
 /// (trials, start, seed, cap, name).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
-    pub objective: SweepObjective,
+    /// Objective-axis patterns, each possibly containing brace groups
+    /// (`{cover,hit:far}`); every expanded token must be a sweepable
+    /// [`Objective`].
+    pub objectives: Vec<String>,
     /// Graph-axis patterns, each possibly containing brace groups.
     pub graphs: Vec<String>,
     /// Process-axis patterns, each possibly containing brace groups.
@@ -66,12 +77,12 @@ pub struct SweepSpec {
 impl SweepSpec {
     /// A sweep over the given axes with all defaults.
     pub fn new(
-        objective: SweepObjective,
+        objectives: &[&str],
         graphs: &[&str],
         processes: &[&str],
     ) -> Result<SweepSpec, CampaignError> {
         let spec = SweepSpec {
-            objective,
+            objectives: objectives.iter().map(|s| s.trim().to_string()).collect(),
             graphs: graphs.iter().map(|s| s.trim().to_string()).collect(),
             processes: processes.iter().map(|s| s.trim().to_string()).collect(),
             trials: DEFAULT_TRIALS,
@@ -124,15 +135,41 @@ impl SweepSpec {
         }
     }
 
-    /// Expands both axes and returns the grid (graph-major order).
-    /// Every expanded token must parse as its spec type; errors name
-    /// the offending token and pattern.
-    pub fn expand_axes(&self) -> Result<Vec<(GraphSpec, ProcessSpec)>, CampaignError> {
+    /// Expands the three axes and returns the grid (objective-major,
+    /// then graph-major order). Every expanded token must parse as its
+    /// spec type — and objective tokens must be sweepable — with errors
+    /// naming the offending token and pattern.
+    #[allow(clippy::type_complexity)]
+    pub fn expand_axes(&self) -> Result<Vec<(Objective, GraphSpec, ProcessSpec)>, CampaignError> {
+        if self.objectives.is_empty() {
+            return Err(CampaignError::Spec("sweep needs an objective axis".into()));
+        }
         if self.graphs.is_empty() {
             return Err(CampaignError::Spec("sweep needs a graph axis".into()));
         }
         if self.processes.is_empty() {
             return Err(CampaignError::Spec("sweep needs a process axis".into()));
+        }
+        let mut objectives: Vec<Objective> = Vec::new();
+        for pattern in &self.objectives {
+            // Reject the non-sweepable brace-carrying form before brace
+            // expansion mangles its horizon list.
+            if pattern.trim_start().starts_with("duality:") {
+                return Err(CampaignError::Spec(format!(
+                    "objective {pattern:?} cannot ride a sweep (sweepable objectives: \
+                     cover, hit:V, hit:far, infection:T)"
+                )));
+            }
+            for token in expand_pattern(pattern).map_err(CampaignError::Spec)? {
+                let objective: Objective = token.parse().map_err(CampaignError::Spec)?;
+                if !objective.is_sweepable() {
+                    return Err(CampaignError::Spec(format!(
+                        "objective {token:?} cannot ride a sweep (sweepable objectives: \
+                         cover, hit:V, hit:far, infection:T)"
+                    )));
+                }
+                objectives.push(objective);
+            }
         }
         let mut graphs: Vec<GraphSpec> = Vec::new();
         for pattern in &self.graphs {
@@ -146,16 +183,18 @@ impl SweepSpec {
                 processes.push(token.parse().map_err(CampaignError::Process)?);
             }
         }
-        let total = graphs.len() * processes.len();
+        let total = objectives.len() * graphs.len() * processes.len();
         if total > MAX_POINTS {
             return Err(CampaignError::Spec(format!(
                 "sweep expands to {total} points (limit {MAX_POINTS})"
             )));
         }
         let mut grid = Vec::with_capacity(total);
-        for g in &graphs {
-            for p in &processes {
-                grid.push((g.clone(), p.clone()));
+        for o in &objectives {
+            for g in &graphs {
+                for p in &processes {
+                    grid.push((o.clone(), g.clone(), p.clone()));
+                }
             }
         }
         Ok(grid)
@@ -164,10 +203,13 @@ impl SweepSpec {
 
 impl fmt::Display for SweepSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The canonical spelling leads with the objective axis — an
+        // objective pattern never contains '=', so the parser can tell
+        // it from a key=value segment unambiguously.
         write!(
             f,
             "{}; graph={}; process={}; trials={}",
-            self.objective,
+            self.objectives.join("|"),
             self.graphs.join("|"),
             self.processes.join("|"),
             self.trials
@@ -192,13 +234,22 @@ impl FromStr for SweepSpec {
     type Err = CampaignError;
 
     fn from_str(s: &str) -> Result<SweepSpec, CampaignError> {
-        let mut segments = s.split(';').map(str::trim);
-        let objective: SweepObjective = segments
-            .next()
-            .filter(|seg| !seg.is_empty())
-            .ok_or_else(|| CampaignError::Spec("empty sweep spec".into()))?
-            .parse()
-            .map_err(CampaignError::Spec)?;
+        if s.trim().is_empty() {
+            return Err(CampaignError::Spec("empty sweep spec".into()));
+        }
+        let mut segments = s.split(';').map(str::trim).peekable();
+        // An optional leading objective-axis segment: any first segment
+        // that is not key=value.
+        let mut objectives: Option<Vec<String>> = None;
+        if let Some(first) = segments.peek() {
+            if !first.contains('=') {
+                let first = segments.next().expect("peeked");
+                if first.is_empty() {
+                    return Err(CampaignError::Spec("empty sweep spec".into()));
+                }
+                objectives = Some(split_axis(first, "objective")?);
+            }
+        }
         let mut graphs: Option<Vec<String>> = None;
         let mut processes: Option<Vec<String>> = None;
         let mut trials = DEFAULT_TRIALS;
@@ -212,8 +263,8 @@ impl FromStr for SweepSpec {
             }
             let Some((key, value)) = seg.split_once('=') else {
                 return Err(CampaignError::Spec(format!(
-                    "segment {seg:?} is not key=value (valid keys: graph, process, \
-                     trials, start, seed, cap, name)"
+                    "segment {seg:?} is not key=value (valid keys: objective, graph, \
+                     process, trials, start, seed, cap, name)"
                 )));
             };
             let (key, value) = (key.trim(), value.trim());
@@ -223,6 +274,14 @@ impl FromStr for SweepSpec {
                     .map_err(|_| CampaignError::Spec(format!("cannot parse {what} from {value:?}")))
             };
             match key {
+                "objective" => {
+                    if objectives.is_some() {
+                        return Err(CampaignError::Spec(
+                            "objective given twice (leading segment and objective= key)".into(),
+                        ));
+                    }
+                    objectives = Some(split_axis(value, "objective")?);
+                }
                 "graph" => {
                     graphs = Some(split_axis(value, "graph")?);
                 }
@@ -244,14 +303,14 @@ impl FromStr for SweepSpec {
                 }
                 other => {
                     return Err(CampaignError::Spec(format!(
-                        "unknown sweep key {other:?} (valid keys: graph, process, trials, \
-                         start, seed, cap, name)"
+                        "unknown sweep key {other:?} (valid keys: objective, graph, process, \
+                         trials, start, seed, cap, name)"
                     )));
                 }
             }
         }
         let spec = SweepSpec {
-            objective,
+            objectives: objectives.unwrap_or_else(|| vec!["cover".to_string()]),
             graphs: graphs
                 .ok_or_else(|| CampaignError::Spec("sweep needs graph=<patterns>".into()))?,
             processes: processes
@@ -391,6 +450,9 @@ mod tests {
             "cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64",
             "cover; graph=cycle:32; process=rw; trials=32",
             "hit:5; graph=cycle:{16,32}|torus:8x8; process=rw|cobra:b2; trials=8",
+            "cover|hit:far; graph=cycle:32; process=rw; trials=4",
+            "{cover,hit:far,infection:0.5}; graph=hypercube:{3,4}; process=cobra:b2; trials=4",
+            "infection:0.5; graph=complete:32; process=bips:b2; trials=8",
             "cover; graph=complete:64; process=bips:b2; trials=16; start=3; seed=9; \
              cap=1000; name=probe-1",
         ] {
@@ -399,15 +461,56 @@ mod tests {
     }
 
     #[test]
+    fn objective_key_form_is_the_leading_segment_in_disguise() {
+        let keyed: SweepSpec = "objective={cover,hit:far,infection:1.0}; graph=hypercube:{8..9}; \
+             process=cobra:b{1,2}; trials=32"
+            .parse()
+            .unwrap();
+        let leading: SweepSpec =
+            "{cover,hit:far,infection:1.0}; graph=hypercube:{8..9}; process=cobra:b{1,2}; \
+             trials=32"
+                .parse()
+                .unwrap();
+        assert_eq!(keyed, leading);
+        // Canonical display leads with the objective axis.
+        assert!(keyed
+            .to_string()
+            .starts_with("{cover,hit:far,infection:1.0}; "));
+        // Omitting the objective entirely defaults to cover.
+        let defaulted: SweepSpec = "graph=cycle:8; process=rw; trials=4".parse().unwrap();
+        assert_eq!(defaulted.objectives, vec!["cover".to_string()]);
+        assert!(defaulted.to_string().starts_with("cover; "));
+    }
+
+    #[test]
     fn issue_example_expands_to_the_advertised_grid() {
         let spec = roundtrip("cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64");
         let grid = spec.expand_axes().unwrap();
         assert_eq!(grid.len(), 7 * 3);
-        assert_eq!(grid[0].0.to_string(), "hypercube:10");
-        assert_eq!(grid[0].1.to_string(), "cobra:b1");
-        assert_eq!(grid.last().unwrap().0.to_string(), "hypercube:16");
-        assert_eq!(grid.last().unwrap().1.to_string(), "cobra:b3");
+        assert_eq!(grid[0].0, Objective::Cover);
+        assert_eq!(grid[0].1.to_string(), "hypercube:10");
+        assert_eq!(grid[0].2.to_string(), "cobra:b1");
+        assert_eq!(grid.last().unwrap().1.to_string(), "hypercube:16");
+        assert_eq!(grid.last().unwrap().2.to_string(), "cobra:b3");
         assert_eq!(spec.trials, 64);
+    }
+
+    #[test]
+    fn objective_axis_is_outermost() {
+        let spec: SweepSpec = "{cover,hit:far}; graph=cycle:{8,9}; process=rw; trials=2"
+            .parse()
+            .unwrap();
+        let grid = spec.expand_axes().unwrap();
+        let spelled: Vec<String> = grid.iter().map(|(o, g, _)| format!("{o}/{g}")).collect();
+        assert_eq!(
+            spelled,
+            [
+                "cover/cycle:8",
+                "cover/cycle:9",
+                "hit:far/cycle:8",
+                "hit:far/cycle:9"
+            ]
+        );
     }
 
     #[test]
@@ -430,6 +533,18 @@ mod tests {
             ("cover; graph=cycle:8; process=rw; name=.", "directory"),
             ("cover; graph=cycle:8; process=rw; 42", "key=value"),
             ("cover; graph=cycle:8; process=rw junk", "\"rw junk\""),
+            // Objective-axis offenders are named too.
+            ("trajectory; graph=cycle:8; process=rw", "\"trajectory\""),
+            ("duality:h{4}; graph=cycle:8; process=cobra:b2", "sweepable"),
+            (
+                "infection:1.5; graph=cycle:8; process=bips:b2",
+                "0 < T <= 1",
+            ),
+            ("hit:x; graph=cycle:8; process=rw", "\"x\""),
+            (
+                "cover; objective=hit:far; graph=cycle:8; process=rw",
+                "twice",
+            ),
         ] {
             let err = s.parse::<SweepSpec>().expect_err(s).to_string();
             assert!(err.contains(needle), "{s:?}: {err:?} missing {needle:?}");
@@ -486,7 +601,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "campaign name")]
     fn with_name_rejects_path_traversal() {
-        let _ = SweepSpec::new(crate::point::SweepObjective::Cover, &["cycle:8"], &["rw"])
+        let _ = SweepSpec::new(&["cover"], &["cycle:8"], &["rw"])
             .unwrap()
             .with_name("../elsewhere");
     }

@@ -1,11 +1,15 @@
-//! COBRA cover-time and hitting-time estimation.
+//! COBRA cover-time and hitting-time estimation — legacy shims.
 //!
-//! This module is a thin layer over the declarative
-//! [`SimSpec`](crate::sim::SimSpec) API — it contains no trial loop of
-//! its own. [`CoverConfig`] survives as the legacy configuration
-//! carrier (it converts via [`CoverConfig::to_sim`]); the deprecated
-//! `cobra_cover_samples`/`cobra_hit_samples` shims from the pre-`SimSpec`
-//! API have been removed.
+//! The cover and hitting estimands are first-class
+//! [`Objective`](crate::sim::Objective) values now (`"cover"`,
+//! `"hit:V"`, `"hit:far"`): build a [`SimSpec`],
+//! set the objective, and call
+//! [`SimSpec::measure`](crate::sim::SimSpec::measure) — one unified run
+//! path, streamed reduction, sweepable from the campaign grammar. This
+//! module survives for one release as the thin deprecated layer over
+//! that path: [`CoverConfig`] is the legacy configuration carrier
+//! (converting via [`CoverConfig::to_sim`]) and contains no trial loop
+//! or estimator logic of its own.
 
 use crate::sim::{resolve_cap, Estimate, SimSpec};
 use cobra_graph::{Graph, VertexId};

@@ -13,8 +13,16 @@
 //! horizon; under a correct implementation every |z| stays at noise
 //! level for every `T` simultaneously (up to multiplicity).
 //!
+//! The check is a first-class [`Objective`](crate::sim::Objective) —
+//! `"duality:h{8,16,32}"` — so the usual entry point is a
+//! [`SimSpec`] with that objective and a
+//! [`SimSpec::measure`](crate::sim::SimSpec::measure) call (the spec's
+//! start set is `C`, its branching factor comes from the process, and
+//! the source `v` resolves to the BFS-farthest vertex). [`duality_check`]
+//! remains the explicit-source form the objective path delegates to.
+//!
 //! Both sides run through the unified engine: the COBRA side is a plain
-//! hitting-time [`SimSpec`](crate::sim::SimSpec) run, the BIPS side a
+//! hitting-time [`SimSpec`] run, the BIPS side a
 //! fixed-horizon run with a round-snapshot [`Observer`] checking
 //! disjointness at each horizon — no bespoke trial loop on either side.
 
@@ -52,7 +60,7 @@ impl Default for DualityConfig {
 }
 
 /// One horizon's comparison.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DualityRow {
     pub t: usize,
     /// `P̂(Hit(v) > T)` estimate (COBRA side).
@@ -64,7 +72,7 @@ pub struct DualityRow {
 }
 
 /// Full report of a duality check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DualityReport {
     pub rows: Vec<DualityRow>,
     pub trials: usize,

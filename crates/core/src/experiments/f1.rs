@@ -6,8 +6,8 @@
 //! the measured `Θ(log n)` shape). The shape check fits
 //! `cover ≈ c·(ln n)^α` and expects `α ≈ 1`.
 
-use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
+use crate::sim::SimSpec;
 use cobra_graph::generators;
 use cobra_stats::{fit_line, fit_power_law};
 
@@ -28,20 +28,23 @@ pub fn run(quick: bool) -> Table {
     for &k in &exponents {
         let n = 1usize << k;
         let g = generators::complete(n);
-        let est = CoverConfig::default()
+        // Streamed through the `cover` objective — same Welford fold
+        // the sample-vector path produced, no samples materialized.
+        let est = SimSpec::new(&g, "cobra:b2".parse().expect("static spec"))
             .with_trials(trials)
             .with_seed(0xF1 + k as u64)
-            .to_sim(&g, &[0])
-            .run();
-        let s = est.summary();
+            .measure()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_stopping()
+            .expect("cover is a stopping objective");
         ln_ns.push((n as f64).ln());
-        covers.push(s.mean);
+        covers.push(est.mean);
         table.push_row(vec![
             n.to_string(),
-            fmt_f(s.mean),
-            fmt_f(s.std_dev),
+            fmt_f(est.mean),
+            fmt_f(est.std_dev),
             k.to_string(),
-            fmt_f(s.mean / k as f64),
+            fmt_f(est.mean / k as f64),
         ]);
     }
     let (alpha, _, pfit) = fit_power_law(&ln_ns, &covers);

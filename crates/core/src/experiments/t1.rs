@@ -10,8 +10,8 @@
 //! exponent well below 3), and the ladder itself is strictly ordered.
 
 use crate::bounds;
-use crate::cover::CoverConfig;
 use crate::report::{fmt_f, Table};
+use crate::sim::SimSpec;
 use cobra_graph::generators;
 use cobra_stats::fit_power_law;
 
@@ -41,21 +41,24 @@ pub fn run(quick: bool) -> Table {
     let mut covers: Vec<f64> = Vec::new();
     for &d in &dims {
         let g = generators::hypercube(d);
-        let est = CoverConfig::default()
-            .lazy()
+        // The unified objective path: `cover` streams its reduction,
+        // no sample vector (mean/std are the same Welford fold the
+        // sample path produced).
+        let est = SimSpec::new(&g, "cobra:b2:lazy".parse().expect("static spec"))
             .with_trials(trials)
             .with_seed(0x71 + d as u64)
-            .to_sim(&g, &[0])
-            .run();
-        let s = est.summary();
+            .measure()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_stopping()
+            .expect("cover is a stopping objective");
         let (spaa16, podc, this_paper) = bounds::hypercube_ladder(d);
         ln_ns.push((g.n() as f64).ln());
-        covers.push(s.mean);
+        covers.push(est.mean);
         table.push_row(vec![
             d.to_string(),
             g.n().to_string(),
-            fmt_f(s.mean),
-            fmt_f(s.std_dev),
+            fmt_f(est.mean),
+            fmt_f(est.std_dev),
             fmt_f(spaa16),
             fmt_f(podc),
             fmt_f(this_paper),

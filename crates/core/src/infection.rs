@@ -1,11 +1,15 @@
-//! BIPS infection-time estimation and trajectories.
+//! BIPS infection-time estimation and trajectories — legacy shims.
 //!
-//! Like [`crate::cover`], this module is a thin layer over the
-//! [`SimSpec`](crate::sim::SimSpec) API — every Monte-Carlo loop runs in
-//! the engine (the deprecated `bips_infection_samples` shim from the
-//! pre-`SimSpec` API has been removed). The degree trajectory shows the
-//! [`Observer`] hook in action: a tiny per-round probe, no bespoke trial
-//! loop.
+//! Full and partial infection are first-class
+//! [`Objective`](crate::sim::Objective) values now (`"infection:1"`
+//! and `"infection:T"` for the Theorem 1.4 partial-growth regime):
+//! build a [`SimSpec`], set the objective, and
+//! call [`SimSpec::measure`](crate::sim::SimSpec::measure). Like
+//! [`crate::cover`], this module survives for one release as the thin
+//! deprecated layer over that path — [`InfectionConfig`] is the legacy
+//! configuration carrier, and every Monte-Carlo loop runs in the
+//! engine. The degree trajectory shows the [`Observer`] hook in
+//! action: a tiny per-round probe, no bespoke trial loop.
 
 use crate::sim::{Estimate, SimSpec};
 use cobra_graph::{Graph, VertexId};

@@ -25,8 +25,11 @@
 //!
 //! Modules:
 //!
-//! * [`sim`] — [`sim::SimSpec`] (the builder), [`sim::Estimate`] (the
-//!   unified result), and the shared cap policy [`sim::resolve_cap`].
+//! * [`sim`] — [`sim::SimSpec`] (the builder), [`sim::Objective`] (the
+//!   first-class estimand: `cover`, `hit:V`/`hit:far`, `infection:T`,
+//!   `duality:h{..}`, `trajectory`), [`sim::Measurement`] /
+//!   [`sim::Estimate`] (the streamed and sample-vector results), and
+//!   the shared cap policy [`sim::resolve_cap`].
 //! * [`cover`] — COBRA cover-time and hitting-time estimation
 //!   (Theorems 1.1/1.2 measure `cover(u)`); legacy shims over `SimSpec`.
 //! * [`infection`] — BIPS infection-time estimation and infection
@@ -58,4 +61,7 @@ pub use cover::{CoverConfig, CoverEstimate};
 pub use duality::{duality_check, DualityConfig, DualityReport};
 pub use infection::{infection_trajectory, InfectionConfig};
 pub use report::Table;
-pub use sim::{Estimate, GraphSource, Objective, SimError, SimSpec};
+pub use sim::{
+    Estimate, GraphSource, HitTarget, Measurement, Objective, SimError, SimSpec, StoppingEstimate,
+    TrajectoryEstimate,
+};

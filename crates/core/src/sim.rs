@@ -1,8 +1,9 @@
 //! `SimSpec` — the declarative entry point for every simulation.
 //!
 //! Every quantitative claim in the paper has the same shape: run a
-//! spreading process on a graph over many seeded trials and summarise a
-//! stopping time. A [`SimSpec`] captures that shape as a value:
+//! spreading process on a graph over many seeded trials and reduce the
+//! trials to an estimand. A [`SimSpec`] captures that shape as a value
+//! — and the estimand itself is a value too, the [`Objective`]:
 //!
 //! ```
 //! use cobra::sim::SimSpec;
@@ -14,25 +15,66 @@
 //!     .run();
 //! assert_eq!(est.censored, 0);
 //! assert!(est.summary().mean >= 6.0, "cannot beat log2 n");
+//!
+//! // The same scenario measured through a parsed objective — partial
+//! // infection to half the vertices, reduced without sample vectors.
+//! let spec = SimSpec::parse("hypercube:6", "cobra:b2:lazy")
+//!     .unwrap()
+//!     .with_trials(20)
+//!     .with_objective("infection:0.5".parse().unwrap());
+//! let m = spec.measure().unwrap().into_stopping().unwrap();
+//! assert_eq!(m.censored, 0);
+//! assert!(m.mean <= est.summary().mean);
 //! ```
 //!
-//! Both coordinates are data — [`GraphSpec`] and
-//! [`ProcessSpec`] parse from strings — so a scenario can come from a
+//! All three coordinates are data — [`GraphSpec`], [`ProcessSpec`], and
+//! [`Objective`] parse from strings — so a scenario can come from a
 //! command line (`cobra-exps run --process cobra:b2 --graph
-//! hypercube:10 --trials 30`), a config file, or code. Execution always
-//! goes through [`cobra_mc::Engine`]: one trial loop, one seeding
-//! scheme, one cap policy, identical results for any thread count.
+//! hypercube:10 --objective hit:far`), a sweep axis
+//! (`objective={cover,hit:far,infection:0.5}`), a config file, or code.
+//! Execution always goes through [`cobra_mc::Engine`]: one trial loop,
+//! one seeding scheme, one cap policy, identical results for any thread
+//! count.
+//!
+//! # How an objective executes
+//!
+//! [`SimSpec::measure`] maps each [`Objective`] variant onto the three
+//! engine ingredients it bundles:
+//!
+//! | objective | [`StopWhen`] | observer | reducer |
+//! |-----------|--------------|----------|---------|
+//! | `cover` | `Complete` | [`Completion`](cobra_mc::Completion) | [`StoppingAccumulator`] (Welford + P²) |
+//! | `hit:V` / `hit:far` | `Reached(v)` (far = BFS-farthest from the start set) | `Completion` | `StoppingAccumulator` |
+//! | `infection:T` | `ReachedCount(⌈T·n⌉)` (`T = 1` ⇒ `Complete`) | `Completion` | `StoppingAccumulator` |
+//! | `duality:h{..}` | `AtCap` at the max horizon (both sides) | horizon-disjointness probe | per-horizon two-proportion z |
+//! | `trajectory` | `AtCap` | [`Trajectory`] (pre-reserved to the cap) | running per-round mean |
+//!
+//! The stopping objectives reduce through [`StoppingAccumulator`] — no
+//! sample vector is ever materialized. `measure()` itself collects the
+//! engine's fixed-size per-trial [`TrialOutcome`]s and folds them in
+//! trial order; the campaign scheduler (`cobra_campaign::run_point`)
+//! folds each trial the moment it finishes, which is what makes a
+//! sweep point's steady-state memory O(1) in its trial count. Callers
+//! that genuinely need per-trial samples (KS tests, bootstrap CIs) use
+//! the legacy [`SimSpec::run`] path, which materializes an
+//! [`Estimate`].
 //!
 //! Programmatic callers that already hold a [`Graph`] borrow it instead
 //! of re-building: `SimSpec::new(&g, spec)`.
 
 use crate::bounds;
+use crate::duality::{duality_check, DualityConfig, DualityReport};
 use cobra_graph::{Graph, GraphSpec, GraphSpecError, VertexId};
 use cobra_mc::{Engine, Observer, StopWhen, Trajectory, TrialOutcome};
 use cobra_process::{Branching, ProcessSpec, ProcessSpecError};
+use cobra_stats::streaming::StreamingSummary;
 use cobra_stats::Summary;
 use std::fmt;
 use std::ops::Deref;
+
+pub use cobra_mc::objective::{
+    HitTarget, Objective, StoppingAccumulator, StoppingEstimate, OBJECTIVE_USAGES,
+};
 
 /// Where the graph of a simulation comes from.
 #[derive(Debug, Clone)]
@@ -54,16 +96,6 @@ impl From<GraphSpec> for GraphSource<'static> {
     fn from(spec: GraphSpec) -> GraphSource<'static> {
         GraphSource::Spec(spec)
     }
-}
-
-/// What the per-trial stopping time measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Objective {
-    /// Rounds until every vertex is reached: cover time for COBRA and
-    /// walks, infection time for BIPS, broadcast time for gossip.
-    Completion,
-    /// Rounds until one target vertex is reached: hitting time.
-    Reach(VertexId),
 }
 
 /// Why a simulation could not run.
@@ -138,13 +170,13 @@ pub struct SimSpec<'g> {
 
 impl<'g> SimSpec<'g> {
     /// A spec with the workspace defaults: start `[0]`, objective
-    /// completion, 30 trials, seed `0xC0B7A`, auto threads, derived cap.
+    /// `cover`, 30 trials, seed `0xC0B7A`, auto threads, derived cap.
     pub fn new(graph: impl Into<GraphSource<'g>>, process: ProcessSpec) -> SimSpec<'g> {
         SimSpec {
             graph: graph.into(),
             process,
             start: vec![0],
-            objective: Objective::Completion,
+            objective: Objective::Cover,
             trials: 30,
             master_seed: 0xC0B7A,
             threads: 0,
@@ -171,10 +203,16 @@ impl<'g> SimSpec<'g> {
         self
     }
 
-    /// Measures the hitting time of `target` instead of completion.
-    pub fn reaching(mut self, target: VertexId) -> Self {
-        self.objective = Objective::Reach(target);
+    /// Sets the objective (the estimand the trials reduce to).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
+    }
+
+    /// Measures the hitting time of `target` instead of cover —
+    /// shorthand for `with_objective(Objective::hit(target))`.
+    pub fn reaching(self, target: VertexId) -> Self {
+        self.with_objective(Objective::hit(target))
     }
 
     /// Sets the trial count.
@@ -214,7 +252,13 @@ impl<'g> SimSpec<'g> {
         }
     }
 
-    fn check(&self, g: &Graph) -> Result<(), SimError> {
+    /// Validates the spec against its materialised graph: non-empty
+    /// in-range start set, then the objective's own termination checks
+    /// (`hit:` target in range, `hit:far` reachable, threshold in
+    /// range). Every run path calls this; external drivers (the CLI's
+    /// `--dry-run`) can call it to reject a spec without running a
+    /// round.
+    pub fn check(&self, g: &Graph) -> Result<(), SimError> {
         if self.start.is_empty() {
             return Err(SimError::Invalid("start set is empty".into()));
         }
@@ -226,15 +270,9 @@ impl<'g> SimSpec<'g> {
                 )));
             }
         }
-        if let Objective::Reach(t) = self.objective {
-            if t as usize >= g.n() {
-                return Err(SimError::Invalid(format!(
-                    "target vertex {t} out of range for n = {}",
-                    g.n()
-                )));
-            }
-        }
-        Ok(())
+        self.objective
+            .validate(g, &self.start)
+            .map_err(SimError::Invalid)
     }
 
     /// The engine this spec resolves to, given its materialised graph.
@@ -248,15 +286,26 @@ impl<'g> SimSpec<'g> {
     }
 
     /// Runs the spec through the engine and aggregates the stopping
-    /// times into an [`Estimate`].
+    /// times into a sample-vector [`Estimate`] — the legacy
+    /// materializing path, valid only for the stopping objectives
+    /// (`cover`, `hit:*`, `infection:*`). Prefer [`SimSpec::measure`],
+    /// which handles every objective and streams its reduction; reach
+    /// for `try_run` only when downstream statistics (KS tests,
+    /// bootstrap CIs) genuinely need the per-trial samples.
     pub fn try_run(&self) -> Result<Estimate, SimError> {
         let g = self.graph()?;
         self.check(&g)?;
+        if !self.objective.is_sweepable() {
+            return Err(SimError::Invalid(format!(
+                "objective \"{}\" has no sample-vector estimate; use SimSpec::measure()",
+                self.objective
+            )));
+        }
         let engine = self.engine(&g);
-        let stop = match self.objective {
-            Objective::Completion => StopWhen::Complete,
-            Objective::Reach(v) => StopWhen::Reached(v),
-        };
+        let stop = self
+            .objective
+            .stop_when(&g, &self.start)
+            .map_err(SimError::Invalid)?;
         let outcomes = engine.run_spec_outcomes(&g, &self.process, &self.start, stop);
         Ok(Estimate::from_outcomes(&outcomes, engine.cap))
     }
@@ -266,6 +315,82 @@ impl<'g> SimSpec<'g> {
     /// static.
     pub fn run(&self) -> Estimate {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The unified measurement path: resolves the objective to its
+    /// stop condition, observer, and reducer (see the module docs for
+    /// the mapping) and returns the objective-shaped [`Measurement`].
+    ///
+    /// Stopping objectives fold their trials through a streaming
+    /// [`StoppingAccumulator`] in trial order — bit-identical to the
+    /// sample-vector path folded through the same reducer, whatever the
+    /// thread count.
+    pub fn measure(&self) -> Result<Measurement, SimError> {
+        let g = self.graph()?;
+        self.check(&g)?;
+        match &self.objective {
+            Objective::Cover | Objective::Hit(_) | Objective::Infection { .. } => {
+                let engine = self.engine(&g);
+                let stop = self
+                    .objective
+                    .stop_when(&g, &self.start)
+                    .map_err(SimError::Invalid)?;
+                let outcomes = engine.run_spec_outcomes(&g, &self.process, &self.start, stop);
+                let mut acc = StoppingAccumulator::new();
+                for o in &outcomes {
+                    acc.push(o);
+                }
+                Ok(Measurement::Stopping(acc.finish(engine.cap)))
+            }
+            Objective::Duality { horizons } => {
+                // The duality identity relates a COBRA hitting time to a
+                // BIPS infection overlap: the spec contributes its
+                // branching factor (from a cobra/bips process), its
+                // start set as `C`, and the BFS-farthest vertex as the
+                // source `v`.
+                let branching = match &self.process {
+                    ProcessSpec::Cobra { branching, .. } | ProcessSpec::Bips { branching, .. } => {
+                        *branching
+                    }
+                    other => {
+                        return Err(SimError::Invalid(format!(
+                            "objective \"{}\" needs a cobra or bips process \
+                             (got \"{other}\"): the duality identity is about \
+                             branching processes",
+                            self.objective
+                        )));
+                    }
+                };
+                let source = self
+                    .objective
+                    .resolve_hit(&g, &self.start, HitTarget::Far)
+                    .map_err(SimError::Invalid)?;
+                let cfg = DualityConfig {
+                    branching,
+                    trials: self.trials,
+                    horizons: horizons.clone(),
+                    master_seed: self.master_seed,
+                    threads: self.threads,
+                };
+                Ok(Measurement::Duality(duality_check(
+                    &g,
+                    source,
+                    &self.start,
+                    &cfg,
+                )))
+            }
+            Objective::Trajectory => {
+                let rounds = self.cap.unwrap_or_else(|| {
+                    // A full derived cap makes an absurdly long curve;
+                    // default to something trajectory-sized instead.
+                    4 * g.n().max(2)
+                });
+                Ok(Measurement::Trajectory(TrajectoryEstimate {
+                    mean_sizes: self.trajectory_on(&g, rounds),
+                    trials: self.trials,
+                }))
+            }
+        }
     }
 
     /// Runs with a custom per-trial [`Observer`] and an explicit stop
@@ -291,13 +416,72 @@ impl<'g> SimSpec<'g> {
     /// Mean reached-set-size trajectory: entry `t` is the Monte-Carlo
     /// mean of the reached count after `t` rounds, `t = 0..=rounds`.
     pub fn trajectory(&self, rounds: usize) -> Result<Vec<f64>, SimError> {
-        let capped = self.clone().with_cap(rounds);
-        let per_trial = capped.run_observed(StopWhen::AtCap, |_| Trajectory::default())?;
-        let trials = per_trial.len().max(1) as f64;
-        Ok((0..=rounds)
-            .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
-            .collect())
+        let g = self.graph()?;
+        self.check(&g)?;
+        Ok(self.trajectory_on(&g, rounds))
     }
+
+    /// [`SimSpec::trajectory`] against an already-materialised,
+    /// already-checked graph (so `measure()` never builds the graph
+    /// twice).
+    fn trajectory_on(&self, g: &Graph, rounds: usize) -> Vec<f64> {
+        let engine = Engine::new(self.trials, self.master_seed, rounds).with_threads(self.threads);
+        let per_trial = engine.run_spec(g, &self.process, &self.start, StopWhen::AtCap, |_| {
+            Trajectory::with_capacity(rounds)
+        });
+        let trials = per_trial.len().max(1) as f64;
+        (0..=rounds)
+            .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
+            .collect()
+    }
+}
+
+/// The objective-shaped result of [`SimSpec::measure`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Measurement {
+    /// `cover` / `hit:*` / `infection:*`: a streamed stopping-time
+    /// summary (no sample vector).
+    Stopping(StoppingEstimate),
+    /// `duality:h{..}`: the two-sided Theorem 1.3 comparison.
+    Duality(DualityReport),
+    /// `trajectory`: the mean reached-set-size curve.
+    Trajectory(TrajectoryEstimate),
+}
+
+impl Measurement {
+    /// The stopping-time summary, if this measurement has one.
+    pub fn into_stopping(self) -> Option<StoppingEstimate> {
+        match self {
+            Measurement::Stopping(est) => Some(est),
+            _ => None,
+        }
+    }
+
+    /// The duality report, if this measurement has one.
+    pub fn into_duality(self) -> Option<DualityReport> {
+        match self {
+            Measurement::Duality(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The trajectory estimate, if this measurement has one.
+    pub fn into_trajectory(self) -> Option<TrajectoryEstimate> {
+        match self {
+            Measurement::Trajectory(traj) => Some(traj),
+            _ => None,
+        }
+    }
+}
+
+/// Mean reached-set-size curve over the round budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEstimate {
+    /// Entry `t` is the Monte-Carlo mean reached count after `t`
+    /// rounds.
+    pub mean_sizes: Vec<f64>,
+    /// Trials averaged.
+    pub trials: usize,
 }
 
 /// The graph-construction seed for a master seed (kept distinct from
@@ -415,12 +599,32 @@ impl Estimate {
     pub fn samples_f64(&self) -> Vec<f64> {
         self.samples.iter().map(|&s| s as f64).collect()
     }
+
+    /// Folds this materialized estimate through the same streaming
+    /// reducer the objective path uses, in the same (trial) order — the
+    /// bridge the equivalence tests pin: `measure()` on a stopping
+    /// objective must equal `run()` pushed through this.
+    pub fn to_streamed(&self) -> StoppingEstimate {
+        let mut summary = StreamingSummary::new();
+        for &s in &self.samples {
+            summary.push(s as f64);
+        }
+        StoppingEstimate::from_fold(
+            &summary,
+            self.trials(),
+            self.censored,
+            self.cap,
+            self.mean_transmissions,
+            self.mean_reached,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cobra_graph::generators;
+    use proptest::prelude::*;
 
     #[test]
     fn parse_run_covers_complete_graph() {
@@ -525,6 +729,175 @@ mod tests {
         assert_eq!(traj.len(), 41);
         assert_eq!(traj[0], 1.0);
         assert!(traj[40] > 60.0, "mean final size {}", traj[40]);
+    }
+
+    #[test]
+    fn measure_streams_the_same_fold_as_the_sample_path() {
+        for objective in ["cover", "hit:far", "hit:12", "infection:0.5", "infection:1"] {
+            let spec = SimSpec::parse("cycle:24", "cobra:b2")
+                .unwrap()
+                .with_trials(12)
+                .with_objective(objective.parse().unwrap());
+            let streamed = spec.measure().unwrap().into_stopping().unwrap();
+            let materialized = spec.run().to_streamed();
+            assert_eq!(streamed, materialized, "{objective}: paths diverged");
+        }
+    }
+
+    #[test]
+    fn infection_one_is_cover_bit_for_bit() {
+        let base = SimSpec::parse("hypercube:5", "bips:b2")
+            .unwrap()
+            .with_trials(10);
+        let cover = base.clone().measure().unwrap().into_stopping().unwrap();
+        let full = base
+            .clone()
+            .with_objective("infection:1".parse().unwrap())
+            .measure()
+            .unwrap()
+            .into_stopping()
+            .unwrap();
+        assert_eq!(cover, full);
+    }
+
+    #[test]
+    fn infection_threshold_orders_means() {
+        let spec = |t: &str| {
+            SimSpec::parse("complete:64", "bips:b2")
+                .unwrap()
+                .with_trials(12)
+                .with_objective(t.parse().unwrap())
+                .measure()
+                .unwrap()
+                .into_stopping()
+                .unwrap()
+        };
+        let quarter = spec("infection:0.25");
+        let half = spec("infection:0.5");
+        let full = spec("infection:1");
+        assert!(quarter.mean <= half.mean && half.mean <= full.mean);
+        assert_eq!(full.censored, 0);
+    }
+
+    #[test]
+    fn hit_far_resolves_to_the_bfs_farthest_vertex() {
+        // On a path from vertex 0, `hit:far` is the other endpoint.
+        let far = SimSpec::parse("path:32", "cobra:b2")
+            .unwrap()
+            .with_trials(6)
+            .with_objective("hit:far".parse().unwrap())
+            .measure()
+            .unwrap()
+            .into_stopping()
+            .unwrap();
+        let explicit = SimSpec::parse("path:32", "cobra:b2")
+            .unwrap()
+            .with_trials(6)
+            .reaching(31)
+            .measure()
+            .unwrap()
+            .into_stopping()
+            .unwrap();
+        assert_eq!(far, explicit);
+        assert!(far.min >= 31.0, "path distance is a hard lower bound");
+    }
+
+    #[test]
+    fn duality_objective_matches_the_direct_check() {
+        use crate::duality::{duality_check, DualityConfig};
+        let spec = SimSpec::parse("petersen", "cobra:b2")
+            .unwrap()
+            .with_start(3)
+            .with_trials(400)
+            .with_objective("duality:h{0,1,2,3}".parse().unwrap());
+        let via_objective = spec.measure().unwrap().into_duality().unwrap();
+        let g = generators::petersen();
+        let (source, _) = cobra_graph::props::farthest_vertex(&g, &[3]).unwrap();
+        let direct = duality_check(
+            &g,
+            source,
+            &[3],
+            &DualityConfig {
+                branching: cobra_process::Branching::B2,
+                trials: 400,
+                horizons: vec![0, 1, 2, 3],
+                master_seed: 0xC0B7A,
+                threads: 0,
+            },
+        );
+        assert_eq!(via_objective.trials, direct.trials);
+        for (a, b) in via_objective.rows.iter().zip(&direct.rows) {
+            assert_eq!(
+                (a.t, a.cobra_side, a.bips_side),
+                (b.t, b.cobra_side, b.bips_side)
+            );
+        }
+        assert!(via_objective.max_abs_z() < 4.5);
+    }
+
+    #[test]
+    fn duality_objective_requires_a_branching_process() {
+        let err = SimSpec::parse("petersen", "rw")
+            .unwrap()
+            .with_objective("duality:h{2}".parse().unwrap())
+            .measure()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("cobra or bips"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn trajectory_objective_reports_the_mean_curve() {
+        let spec = SimSpec::parse("complete:64", "bips:b2")
+            .unwrap()
+            .with_trials(10)
+            .with_cap(40)
+            .with_objective(Objective::Trajectory);
+        let traj = spec.measure().unwrap().into_trajectory().unwrap();
+        assert_eq!(traj.trials, 10);
+        assert_eq!(traj.mean_sizes, spec.trajectory(40).unwrap());
+        assert_eq!(traj.mean_sizes[0], 1.0);
+    }
+
+    #[test]
+    fn non_stopping_objectives_reject_the_sample_path() {
+        let err = SimSpec::parse("petersen", "cobra:b2")
+            .unwrap()
+            .with_objective(Objective::Trajectory)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("measure"), "{err}");
+    }
+
+    proptest! {
+        /// `FromStr`/`Display` is an exact round trip over every
+        /// objective variant.
+        #[test]
+        fn objective_display_parse_round_trips(
+            variant in 0usize..6,
+            v in 0u32..10_000,
+            threshold_milli in 1u32..1001,
+            horizons in proptest::collection::vec(0usize..10_000, 1..6),
+        ) {
+            let objective = match variant {
+                0 => Objective::Cover,
+                1 => Objective::hit(v),
+                2 => Objective::Hit(HitTarget::Far),
+                3 => Objective::Infection { threshold: threshold_milli as f64 / 1000.0 },
+                4 => {
+                    let mut hs = horizons.clone();
+                    hs.sort_unstable();
+                    Objective::Duality { horizons: hs }
+                }
+                _ => Objective::Trajectory,
+            };
+            let text = objective.to_string();
+            let back: Objective = text.parse().expect("canonical display parses");
+            prop_assert_eq!(&back, &objective, "{} did not round-trip", text);
+            prop_assert_eq!(back.to_string(), text);
+        }
     }
 
     #[test]

@@ -32,6 +32,48 @@ pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
     dist
 }
 
+/// Multi-source BFS distances: entry `v` is the hop distance from the
+/// nearest source, `UNREACHABLE` outside the sources' components.
+pub fn bfs_distances_multi(g: &Graph, sources: &[VertexId]) -> Vec<u32> {
+    assert!(!sources.is_empty(), "bfs needs at least one source");
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!((s as usize) < g.n(), "bfs source out of range");
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The vertex farthest (in BFS hops) from the source set, lowest id on
+/// ties — the deterministic resolution behind the `hit:far` objective.
+/// `Err(v)` names a vertex unreachable from every source (a hitting
+/// time to it cannot terminate).
+pub fn farthest_vertex(g: &Graph, sources: &[VertexId]) -> Result<(VertexId, u32), VertexId> {
+    let dist = bfs_distances_multi(g, sources);
+    if let Some(v) = dist.iter().position(|&d| d == UNREACHABLE) {
+        return Err(v as VertexId);
+    }
+    let (v, &d) = dist
+        .iter()
+        .enumerate()
+        .max_by_key(|&(v, &d)| (d, std::cmp::Reverse(v)))
+        .expect("nonempty graph");
+    Ok((v as VertexId, d))
+}
+
 /// True iff the graph is connected. The empty graph counts as connected;
 /// a single vertex does too.
 pub fn is_connected(g: &Graph) -> bool {
@@ -223,6 +265,28 @@ mod tests {
         let g = generators::path(5);
         assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
         assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_the_nearest_source() {
+        let g = generators::path(7);
+        assert_eq!(bfs_distances_multi(&g, &[0]), bfs_distances(&g, 0));
+        assert_eq!(bfs_distances_multi(&g, &[0, 6]), vec![0, 1, 2, 3, 2, 1, 0]);
+        // Duplicate sources are harmless.
+        assert_eq!(bfs_distances_multi(&g, &[3, 3]), vec![3, 2, 1, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn farthest_vertex_is_deterministic_and_flags_unreachable() {
+        let g = generators::path(7);
+        assert_eq!(farthest_vertex(&g, &[0]), Ok((6, 6)));
+        // Ties resolve to the lowest vertex id: from the middle of the
+        // path both endpoints are 3 hops away.
+        assert_eq!(farthest_vertex(&g, &[3]), Ok((0, 3)));
+        // From both endpoints the middle is farthest.
+        assert_eq!(farthest_vertex(&g, &[0, 6]), Ok((3, 3)));
+        let two = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(farthest_vertex(&two, &[0]), Err(2));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A spec is a compact string such as `"hypercube:10"`, `"grid:32x32"`
 //! or `"gnp:2000:0.01"`. [`GraphSpec`] implements [`FromStr`] and
-//! [`Display`] with exact round-tripping (`parse ∘ to_string = id`), so
+//! [`Display`](std::fmt::Display) with exact round-tripping (`parse ∘ to_string = id`), so
 //! any scenario in the workspace can be named on a command line, in a
 //! config file, or in a log, and reconstructed bit-for-bit.
 //!

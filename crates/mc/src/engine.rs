@@ -43,6 +43,9 @@ pub enum StopWhen {
     Complete,
     /// A specific vertex reached — hitting time.
     Reached(VertexId),
+    /// At least this many vertices reached — partial-infection
+    /// (threshold) first-passage times.
+    ReachedCount(usize),
     /// Only the cap stops the trial — fixed-horizon scans.
     AtCap,
 }
@@ -98,11 +101,26 @@ impl Observer for Completion {
 #[derive(Debug, Clone, Default)]
 pub struct Trajectory {
     sizes: Vec<usize>,
+    /// Expected round count; `on_start` pre-reserves `cap + 1` entries
+    /// so long-horizon trials never re-grow the vec mid-trial.
+    cap: usize,
+}
+
+impl Trajectory {
+    /// A trajectory observer sized for a `cap`-round trial (`cap + 1`
+    /// entries: the round-0 state plus one per executed round).
+    pub fn with_capacity(cap: usize) -> Trajectory {
+        Trajectory {
+            sizes: Vec::new(),
+            cap,
+        }
+    }
 }
 
 impl Observer for Trajectory {
     type Output = Vec<usize>;
     fn on_start(&mut self, process: &dyn ProcessView) {
+        self.sizes.reserve_exact(self.cap + 1);
         self.sizes.push(process.reached_count());
     }
     fn on_round(&mut self, process: &dyn ProcessView) {
@@ -138,6 +156,7 @@ where
         let stopped = match stop {
             StopWhen::Complete => process.is_complete(),
             StopWhen::Reached(v) => process.has_reached(v),
+            StopWhen::ReachedCount(k) => process.reached_count() >= k,
             StopWhen::AtCap => false,
         };
         if stopped {
@@ -353,6 +372,49 @@ mod tests {
         // Hitting the start vertex takes zero rounds.
         let zero = engine.run_outcomes(StopWhen::Reached(0), make, |p, _, _| p.reset(&g, &[0]));
         assert!(zero.iter().all(|o| o.rounds == Some(0)));
+    }
+
+    #[test]
+    fn reached_count_stop_is_threshold_first_passage() {
+        let engine = Engine::new(8, 6, 100_000);
+        let g = generators::complete(32);
+        let make = || Cobra::b2(&g, 0);
+        let run = |stop| engine.run_outcomes(stop, make, |p, _, _| p.reset(&g, &[0]));
+        let half = run(StopWhen::ReachedCount(16));
+        let full = run(StopWhen::Complete);
+        for (h, f) in half.iter().zip(&full) {
+            assert!(h.reached >= 16, "stopped before the threshold");
+            assert!(
+                h.rounds.unwrap() <= f.rounds.unwrap(),
+                "half coverage cannot take longer than full"
+            );
+        }
+        // Threshold n is the completion condition itself.
+        let all = run(StopWhen::ReachedCount(32));
+        assert_eq!(all, full);
+        // Threshold 1 is met by the start set at round 0.
+        let trivial = run(StopWhen::ReachedCount(1));
+        assert!(trivial.iter().all(|o| o.rounds == Some(0)));
+    }
+
+    #[test]
+    fn trajectory_with_capacity_records_identically() {
+        let engine = Engine::new(4, 11, 25);
+        let g = generators::cycle(16);
+        let run = |make_ob: fn() -> Trajectory| {
+            engine.run(
+                StopWhen::AtCap,
+                || Cobra::b2(&g, 0),
+                |p, _, _| p.reset(&g, &[0]),
+                |_| make_ob(),
+            )
+        };
+        let reserved = run(|| Trajectory::with_capacity(25));
+        let lazy = run(Trajectory::default);
+        assert_eq!(reserved, lazy, "pre-reserving must not change outputs");
+        for t in &reserved {
+            assert_eq!(t.len(), 26, "cap + 1 entries");
+        }
     }
 
     #[test]

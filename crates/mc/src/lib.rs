@@ -17,15 +17,24 @@
 //!   Monte-Carlo estimation in the workspace goes through it. Each
 //!   worker thread owns one reusable process state and one
 //!   [`cobra_process::StepCtx`] (RNG + scratch buffers), so
-//!   steady-state trials perform zero heap allocation.
+//!   steady-state trials perform zero heap allocation;
+//! * [`objective`] — the first-class estimand: a parseable, sweepable
+//!   [`Objective`] value (`cover`, `hit:V`/`hit:far`, `infection:T`,
+//!   `duality:h{..}`, `trajectory`) that resolves to a [`StopWhen`] per
+//!   graph and reduces trial outcomes through a streaming
+//!   [`StoppingAccumulator`] (Welford + P² quantiles, O(1) memory).
 //!
 //! An atomic work counter plus scoped threads cover everything the
 //! workload needs.
 
 pub mod engine;
+pub mod objective;
 pub mod runner;
 pub mod seed;
 
 pub use engine::{run_trial, Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
+pub use objective::{
+    HitTarget, Objective, StoppingAccumulator, StoppingEstimate, OBJECTIVE_USAGES,
+};
 pub use runner::{run_jobs, run_trials, run_trials_with, RunConfig};
 pub use seed::{key_seed, trial_seed, SeedSequence};

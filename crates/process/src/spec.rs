@@ -3,7 +3,7 @@
 //!
 //! A spec is a compact string such as `"cobra:b2"`, `"bips:rho0.5:lazy"`
 //! or `"walks:8"`. [`ProcessSpec`] implements [`FromStr`] and
-//! [`Display`] with exact round-tripping, so any process variant the
+//! [`Display`](std::fmt::Display) with exact round-tripping, so any process variant the
 //! paper (or the related COBRA/coalescence literature) studies can be
 //! named on a command line and instantiated against any graph.
 //!
@@ -17,7 +17,7 @@
 //! | gossip | `gossip:push`, `gossip:pull`, `gossip:pushpull` | round-synchronous rumour spreading |
 //!
 //! Canonical order of the optional tokens is branching, then `exact`,
-//! then `lazy` — what [`Display`] prints and the round-trip tests pin.
+//! then `lazy` — what [`Display`](std::fmt::Display) prints and the round-trip tests pin.
 
 use crate::branching::{Branching, Laziness};
 use crate::state::BoxedProcess;

@@ -13,7 +13,9 @@
 //!   Kolmogorov–Smirnov test, the tool behind the duality experiment:
 //!   Theorem 1.3 asserts two *distributions* coincide).
 //!
-//! [`histogram`] provides fixed-bin histograms for trajectory reports,
+//! [`streaming`] provides the one-pass reducers (Welford composition +
+//! P² quantile markers) that sweep points fold their trials through in
+//! O(1) memory. [`histogram`] provides fixed-bin histograms for trajectory reports,
 //! and [`report`] renders results as plain/markdown/CSV tables — the
 //! artefact format shared by the experiment suite and the campaign
 //! layer.
@@ -23,6 +25,7 @@ pub mod histogram;
 pub mod ks;
 pub mod regression;
 pub mod report;
+pub mod streaming;
 pub mod summary;
 
 pub use ci::{bootstrap_mean_ci, normal_mean_ci, ConfidenceInterval};
@@ -30,4 +33,5 @@ pub use histogram::Histogram;
 pub use ks::{ks_two_sample, Ecdf, KsResult};
 pub use regression::{fit_line, fit_power_law, LineFit};
 pub use report::{fmt_f, Table};
+pub use streaming::{P2Quantile, StreamingSummary};
 pub use summary::{RunningStats, Summary};

@@ -1,0 +1,377 @@
+//! Streaming (one-pass, O(1)-memory) sample reducers.
+//!
+//! The campaign layer folds every trial of a sweep point the moment it
+//! finishes instead of materializing sample vectors, so a point's
+//! steady-state memory is constant in the trial count. Two pieces make
+//! that possible:
+//!
+//! * [`RunningStats`] — Welford moments (already in
+//!   [`crate::summary`]);
+//! * [`P2Quantile`] — the P² algorithm of Jain & Chlamtac (1985): a
+//!   five-marker quantile estimator that tracks any fixed quantile with
+//!   five heights and five positions, exact for the first five
+//!   observations and a parabolic interpolation after.
+//!
+//! [`StreamingSummary`] bundles one Welford accumulator with P² markers
+//! at the quartiles — the reducer every stopping-time
+//! objective folds its trials through. Folding is deterministic: the
+//! same observations in the same order produce bit-identical state, so
+//! streamed summaries are as reproducible as the sample vectors they
+//! replace.
+
+use crate::summary::{quantile_sorted, RunningStats, Summary};
+
+/// P² single-quantile estimator: O(1) memory, exact below five
+/// observations, parabolic-interpolated marker updates after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    /// The tracked quantile level, in `[0, 1]`.
+    p: f64,
+    /// Observations seen.
+    count: usize,
+    /// Marker heights `q_0..q_4` (sorted first observations until five
+    /// arrive).
+    heights: [f64; 5],
+    /// Actual marker positions `n_i` (1-based, as f64 for the update
+    /// formulas).
+    positions: [f64; 5],
+    /// Desired marker positions `n'_i`.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for quantile level `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!((0.0..=1.0).contains(&p), "quantile level out of range");
+        P2Quantile {
+            p,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// The tracked quantile level.
+    pub fn level(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Folds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "P² cannot fold non-finite values");
+        if self.count < 5 {
+            // Insertion into the sorted prefix.
+            let mut i = self.count;
+            self.heights[i] = x;
+            while i > 0 && self.heights[i - 1] > self.heights[i] {
+                self.heights.swap(i - 1, i);
+                i -= 1;
+            }
+            self.count += 1;
+            return;
+        }
+
+        // Locate the cell and clamp the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Largest i in 0..=3 with heights[i] <= x.
+            let mut k = 0;
+            for i in 1..4 {
+                if self.heights[i] <= x {
+                    k = i;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        self.count += 1;
+
+        // Adjust the three interior markers toward their desired
+        // positions (parabolic when the neighbour spacing allows it,
+        // linear otherwise).
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate: exact (linear-interpolated order
+    /// statistic) below five observations, the middle P² marker after.
+    /// `NaN` when empty.
+    pub fn value(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            c if c < 5 => quantile_sorted(&self.heights[..c], self.p),
+            _ => self.heights[2],
+        }
+    }
+}
+
+/// The streaming analogue of [`Summary`]: Welford moments plus P²
+/// quartile markers, foldable one observation at a time in O(1) memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSummary {
+    stats: RunningStats,
+    q25: P2Quantile,
+    median: P2Quantile,
+    q75: P2Quantile,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        StreamingSummary::new()
+    }
+}
+
+impl StreamingSummary {
+    /// An empty accumulator tracking mean/variance/min/max and the three
+    /// quartiles.
+    pub fn new() -> StreamingSummary {
+        StreamingSummary {
+            stats: RunningStats::new(),
+            q25: P2Quantile::new(0.25),
+            median: P2Quantile::new(0.5),
+            q75: P2Quantile::new(0.75),
+        }
+    }
+
+    /// Folds one observation into every accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.stats.push(x);
+        self.q25.push(x);
+        self.median.push(x);
+        self.q75.push(x);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> usize {
+        self.stats.count() as usize
+    }
+
+    /// The Welford moment accumulator.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// First-quartile estimate.
+    pub fn q25(&self) -> f64 {
+        self.q25.value()
+    }
+
+    /// Median estimate.
+    pub fn median(&self) -> f64 {
+        self.median.value()
+    }
+
+    /// Third-quartile estimate.
+    pub fn q75(&self) -> f64 {
+        self.q75.value()
+    }
+
+    /// Renders the accumulated state as a [`Summary`] (quantiles are P²
+    /// estimates — exact under five observations). Panics when empty,
+    /// matching [`Summary::from_samples`].
+    pub fn to_summary(&self) -> Summary {
+        assert!(self.count() > 0, "cannot summarise an empty sample");
+        Summary {
+            count: self.count(),
+            mean: self.stats.mean(),
+            std_dev: if self.count() >= 2 {
+                self.stats.std_dev()
+            } else {
+                0.0
+            },
+            min: self.stats.min(),
+            q25: self.q25(),
+            median: self.median(),
+            q75: self.q75(),
+            max: self.stats.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random f64 stream (SplitMix-style).
+    fn stream(seed: u64, len: usize) -> Vec<f64> {
+        let mut z = seed;
+        (0..len)
+            .map(|_| {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (x ^ (x >> 31)) as f64 / u64::MAX as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_below_five_observations() {
+        let mut q = P2Quantile::new(0.5);
+        assert!(q.value().is_nan());
+        for (i, x) in [5.0, 1.0, 3.0, 2.0].iter().enumerate() {
+            q.push(*x);
+            assert_eq!(q.count(), i + 1);
+        }
+        let mut sorted = [5.0, 1.0, 3.0, 2.0];
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(q.value(), quantile_sorted(&sorted, 0.5));
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantiles() {
+        let xs = stream(7, 4000);
+        for (p, want) in [(0.25, 0.25), (0.5, 0.5), (0.75, 0.75)] {
+            let mut q = P2Quantile::new(p);
+            for &x in &xs {
+                q.push(x);
+            }
+            assert!(
+                (q.value() - want).abs() < 0.03,
+                "p={p}: estimate {} vs {want}",
+                q.value()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_close_to_exact_on_skewed_data() {
+        // Exponential-ish skew via -ln(u).
+        let xs: Vec<f64> = stream(11, 3000).iter().map(|&u| -(1.0 - u).ln()).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.25, 0.5, 0.75] {
+            let mut q = P2Quantile::new(p);
+            for &x in &xs {
+                q.push(x);
+            }
+            let exact = quantile_sorted(&sorted, p);
+            assert!(
+                (q.value() - exact).abs() < 0.12 * (1.0 + exact),
+                "p={p}: {} vs exact {exact}",
+                q.value()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_is_deterministic_and_order_dependent_only() {
+        let xs = stream(3, 500);
+        let fold = || {
+            let mut q = P2Quantile::new(0.5);
+            for &x in &xs {
+                q.push(x);
+            }
+            q
+        };
+        assert_eq!(fold(), fold(), "same order must give bit-identical state");
+    }
+
+    #[test]
+    fn p2_estimate_stays_within_observed_range() {
+        let xs = stream(9, 1000);
+        let mut q = P2Quantile::new(0.9);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &xs {
+            q.push(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            assert!(q.value() >= lo && q.value() <= hi);
+        }
+    }
+
+    #[test]
+    fn streaming_summary_matches_exact_moments() {
+        let xs = stream(5, 2000);
+        let mut acc = StreamingSummary::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let exact = Summary::from_samples(&xs);
+        let streamed = acc.to_summary();
+        assert_eq!(streamed.count, exact.count);
+        // Moments and extremes are exactly the Welford/scan values.
+        assert_eq!(streamed.mean, exact.mean);
+        assert_eq!(streamed.min, exact.min);
+        assert_eq!(streamed.max, exact.max);
+        assert!((streamed.std_dev - exact.std_dev).abs() < 1e-12);
+        // Quartiles are P² estimates: close, not exact.
+        for (got, want) in [
+            (streamed.q25, exact.q25),
+            (streamed.median, exact.median),
+            (streamed.q75, exact.q75),
+        ] {
+            assert!((got - want).abs() < 0.05, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn streaming_summary_small_samples_are_exact() {
+        let xs = [4.0, 1.0, 3.0];
+        let mut acc = StreamingSummary::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.to_summary(), Summary::from_samples(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_streaming_summary_panics_like_summary() {
+        StreamingSummary::new().to_summary();
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn bad_level_is_rejected() {
+        P2Quantile::new(1.5);
+    }
+}

@@ -31,7 +31,10 @@ pub use cobra_util;
 
 /// Everything an example needs, one import away.
 pub mod prelude {
-    pub use cobra::sim::{Estimate, GraphSource, Objective, SimError, SimSpec};
+    pub use cobra::sim::{
+        Estimate, GraphSource, HitTarget, Measurement, Objective, SimError, SimSpec,
+        StoppingEstimate, TrajectoryEstimate,
+    };
     pub use cobra_campaign::{run_sweep, PointRecord, Store, SweepSpec};
     pub use cobra_graph::{generators, props, Graph, GraphSpec, VertexId};
     pub use cobra_mc::{Engine, Observer, StopWhen};

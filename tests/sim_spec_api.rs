@@ -49,6 +49,29 @@ fn process_specs_round_trip_through_strings() {
 }
 
 #[test]
+fn objectives_round_trip_through_strings() {
+    for s in [
+        "cover",
+        "hit:31",
+        "hit:far",
+        "infection:0.5",
+        "infection:1",
+        "duality:h{8,16,32}",
+        "trajectory",
+    ] {
+        let objective: Objective = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        assert_eq!(objective.to_string(), s, "canonical display for {s}");
+        assert_eq!(
+            objective.to_string().parse::<Objective>().unwrap(),
+            objective
+        );
+    }
+    for s in ["fly", "hit:", "infection:2", "duality:h{9,3}"] {
+        assert!(s.parse::<Objective>().is_err(), "{s:?} must be rejected");
+    }
+}
+
+#[test]
 fn malformed_specs_are_rejected_not_panicked() {
     for g in [
         "",
