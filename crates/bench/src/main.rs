@@ -219,6 +219,7 @@ fn run_subcommand(args: &[String]) -> ExitCode {
     let mut cap: Option<usize> = None;
     let mut start: u32 = 0;
     let mut target: Option<u32> = None;
+    let mut backend = cobra::Backend::Auto;
     let mut dry_run = false;
     let mut verbose = false;
     let mut format = Format::Plain;
@@ -264,6 +265,8 @@ fn run_subcommand(args: &[String]) -> ExitCode {
                     .map(|v| target = Some(v))
                     .map_err(|e| format!("--target: {e}"))
             }),
+            "--backend" | "-B" => value("--backend")
+                .and_then(|v| v.parse().map(|v| backend = v).map_err(|e: String| e)),
             "--dry-run" | "-n" => {
                 dry_run = true;
                 Ok(())
@@ -328,6 +331,7 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         .with_trials(trials)
         .with_seed(seed)
         .with_threads(threads)
+        .with_backend(backend)
         .with_objective(objective);
     spec.cap = cap;
 
@@ -335,7 +339,7 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         // Resolve everything a trial would see — and reject
         // non-terminating combos (hit: outside the graph, unreachable
         // hit:far) before any round runs, naming the offending token.
-        if let Err(e) = print_resolved_run(&spec, &graph, &process, cap) {
+        if let Err(e) = print_resolved_run(&spec, &graph, &process) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
@@ -371,29 +375,26 @@ fn run_subcommand(args: &[String]) -> ExitCode {
 
 /// Prints the fully-resolved scenario (objective, stop condition, cap)
 /// without running a round; errors on specs that cannot terminate.
-fn print_resolved_run(
-    spec: &SimSpec<'_>,
-    graph: &str,
-    process: &str,
-    explicit_cap: Option<usize>,
-) -> Result<(), String> {
-    let g = spec.graph().map_err(|e| e.to_string())?;
-    let engine = spec.engine(&g);
+fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<(), String> {
     // Full spec validation (start set in range, objective can
     // terminate) — exactly what every run path checks, so a clean dry
-    // run means the real run starts.
-    spec.check(&g).map_err(|e| e.to_string())?;
-    let stop = spec
-        .objective
-        .stop_when(&g, &spec.start)
-        .map_err(|e| e.to_string())?;
-    println!("run: {process} on {graph} (n = {}, m = {})", g.n(), g.m());
+    // run means the real run starts. Implicit backends resolve without
+    // materialising a single edge, so hypercube:24 dry-runs instantly.
+    let resolved = spec.resolve().map_err(|e| e.to_string())?;
+    println!(
+        "run: {process} on {graph} (n = {}, m = {})",
+        resolved.n, resolved.m
+    );
+    println!(
+        "  backend:   {} (graph resident ~{} bytes)",
+        resolved.backend, resolved.graph_bytes
+    );
     println!("  objective: {}", spec.objective);
-    println!("  stop when: {stop:?}");
+    println!("  stop when: {:?}", resolved.stop);
     println!(
         "  cap:       {} rounds/trial ({})",
-        engine.cap,
-        if explicit_cap.is_some() {
+        resolved.cap,
+        if resolved.explicit_cap {
             "explicit"
         } else {
             "derived from the paper's bounds"
@@ -477,6 +478,7 @@ fn trajectory_table(
 fn sweep_subcommand(args: &[String]) -> ExitCode {
     let mut spec_arg: Option<String> = None;
     let mut objective_axis: Option<String> = None;
+    let mut backend_override: Option<cobra::Backend> = None;
     let mut dry_run = false;
     let mut threads: usize = 0;
     let mut store_root = PathBuf::from("campaigns");
@@ -493,6 +495,11 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
         };
         let parsed = match arg.as_str() {
             "--objective" | "-O" => value("--objective").map(|v| objective_axis = Some(v)),
+            "--backend" | "-B" => value("--backend").and_then(|v| {
+                v.parse()
+                    .map(|v| backend_override = Some(v))
+                    .map_err(|e: String| e)
+            }),
             "--dry-run" | "-n" => {
                 dry_run = true;
                 Ok(())
@@ -564,12 +571,17 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(backend) = backend_override {
+        // --backend overrides the spec's backend= segment; results are
+        // identical either way, only memory/speed change.
+        spec.backend = backend;
+    }
     let name = spec.name();
     let store_dir = store_root.join(&name);
     // The cap policy of the SimSpec layer: the paper's bounds decide
     // each point's round budget unless the spec pins `cap=`.
-    let cap_policy = |g: &cobra_graph::Graph, p: &cobra_process::ProcessSpec| {
-        cobra::sim::resolve_cap(g, p, None)
+    let cap_policy = |shape: cobra_graph::GraphShape, p: &cobra_process::ProcessSpec| {
+        cobra::sim::resolve_cap_shape(shape, p, None)
     };
 
     if dry_run {
@@ -723,6 +735,8 @@ fn print_sweep_help() {
          \u{20} patterns brace-expand ({{a..b}} ranges, {{x,y,z}} lists) and |-alternate\n\
          \n\
          options: --objective AXIS (override the spec's objective axis)\n\
+         \u{20}        --backend auto|csr|implicit (override the spec's backend= segment;\n\
+         \u{20}        never changes results — backends are bit-identical)\n\
          \u{20}        --dry-run (show resolved objectives/caps + cache hits, run nothing)\n\
          \u{20}        --threads N (auto)  --store DIR (campaigns)  --no-store\n\
          \u{20}        --csv | --markdown  --plot\n\
@@ -753,6 +767,10 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     let mut seed: u64 = 0xBE7C;
     let mut label: Option<String> = None;
     let mut out = "BENCH_cover.json".to_string();
+    // Default to CSR so the throughput trajectory stays comparable with
+    // the committed pre-refactor baselines (which ran on CSR); pass
+    // --backend implicit (or auto) to measure the implicit kernels.
+    let mut backend = cobra::Backend::Csr;
     let mut sweep_mode = false;
     // Engine-probe flags that are meaningless under --sweep (which
     // measures a fixed grid); mixing them is rejected, not ignored.
@@ -789,6 +807,14 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
             }),
             "--label" => value("--label").map(|v| label = Some(v)),
             "--out" | "-o" => value("--out").map(|v| out = v),
+            "--backend" | "-B" => value("--backend").and_then(|v| {
+                v.parse()
+                    .map(|v| {
+                        backend = v;
+                        engine_flags.push("--backend");
+                    })
+                    .map_err(|e: String| e)
+            }),
             "--sweep" => {
                 sweep_mode = true;
                 Ok(())
@@ -825,20 +851,26 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Materialise the graph once so graph construction never pollutes
-    // the throughput number.
-    let spec = spec.with_seed(seed);
-    let owned = match spec.graph() {
-        Ok(g) => g,
+    // Materialise the topology once so graph construction never
+    // pollutes the throughput number. The CSR backend is measured
+    // against the borrowed graph; implicit backends rebuild per run
+    // (a few arithmetic ops) and are measured through the spec itself.
+    let spec = spec.with_seed(seed).with_backend(backend);
+    let topo = match spec.topology() {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let (n, m) = (owned.n(), owned.m());
-    let measured = SimSpec::new(&*owned, spec.process.clone())
-        .with_seed(seed)
-        .with_trials(trials);
+    let (n, m) = (topo.n(), topo.m());
+    let backend_name = topo.backend_name();
+    let measured = match topo.as_csr() {
+        Some(g) => SimSpec::new(g, spec.process.clone())
+            .with_seed(seed)
+            .with_trials(trials),
+        None => spec.clone().with_trials(trials),
+    };
 
     // Warm-up batch, then the measured batch.
     let _ = measured.clone().with_trials(trials.div_ceil(8)).run();
@@ -852,6 +884,7 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
         ("label", Json::Str(label.clone())),
         ("scenario", Json::Str(process.clone())),
         ("graph", Json::Str(graph.clone())),
+        ("backend", Json::Str(backend_name.to_string())),
         ("n", Json::Int(n as i128)),
         ("m", Json::Int(m as i128)),
         ("trials", Json::Int(trials as i128)),
@@ -899,8 +932,8 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
 /// the measured run use fresh in-memory stores (a disk store would make
 /// the second run all cache hits and measure nothing).
 fn bench_sweep(seed: u64, label: &str, out: &str) -> ExitCode {
-    let cap_policy = |g: &cobra_graph::Graph, p: &cobra_process::ProcessSpec| {
-        cobra::sim::resolve_cap(g, p, None)
+    let cap_policy = |shape: cobra_graph::GraphShape, p: &cobra_process::ProcessSpec| {
+        cobra::sim::resolve_cap_shape(shape, p, None)
     };
     for objective in ["cover", "hit:far", "infection:1"] {
         let spec_text = format!(
@@ -991,6 +1024,8 @@ fn print_bench_help() {
          \n\
          options: --graph G (hypercube:16)  --process P (cobra:b2)  --trials N (64)\n\
          \u{20}        --seed S (0xBE7C)  --label L (current)  --out FILE (BENCH_cover.json)\n\
+         \u{20}        --backend auto|csr|implicit (compare graph backends on one scenario,\n\
+         \u{20}                 e.g. labels csr:hypercube:16 / implicit:hypercube:16)\n\
          \u{20}        --sweep (measure campaign points/sec over a fixed small grid\n\
          \u{20}                 instead of engine rounds/sec; default label 'sweep')\n\
          \n\
@@ -1014,7 +1049,9 @@ fn print_run_help() {
          \n\
          options: --objective O (cover)  --target V (shorthand for hit:V)\n\
          \u{20}        --trials N (30)  --seed S  --threads T (auto)  --cap C (derived)\n\
-         \u{20}        --start V (0)  --dry-run (print the resolved objective, stop\n\
+         \u{20}        --start V (0)  --backend auto|csr|implicit (auto: implicit for\n\
+         \u{20}        structured families — hypercube:24 runs in O(1) graph memory)\n\
+         \u{20}        --dry-run (print the resolved backend, objective, stop\n\
          \u{20}        condition, and cap; run nothing)  --verbose (print, then run)\n\
          \u{20}        --csv | --markdown"
     );

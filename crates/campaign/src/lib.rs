@@ -78,10 +78,12 @@ use cobra_graph::GraphSpecError;
 use cobra_process::ProcessSpecError;
 use std::fmt;
 
+pub use cobra_graph::Backend;
 pub use cobra_mc::{HitTarget, Objective};
 pub use point::{SweepPoint, CODE_VERSION};
 pub use runner::{
-    default_cap, plan_sweep, run_graph_jobs, run_point, run_sweep, CapPolicy, Plan, RunOutcome,
+    default_cap, plan_sweep, run_graph_jobs, run_point, run_point_on, run_sweep, CapPolicy, Plan,
+    PlannedPoint, PlannedTopology, RunOutcome,
 };
 pub use store::{PointRecord, Store};
 pub use sweep::{expand_pattern, validate_name, SweepSpec};

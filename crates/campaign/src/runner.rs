@@ -21,31 +21,82 @@ use crate::point::SweepPoint;
 use crate::store::{PointRecord, Store};
 use crate::sweep::SweepSpec;
 use crate::CampaignError;
-use cobra_graph::{Graph, GraphCache, GraphSpec};
+use cobra_graph::{
+    with_topology, Backend, BuiltTopology, Graph, GraphCache, GraphShape, GraphSpec, Topology,
+};
 use cobra_mc::{
     key_seed, run_jobs, run_trial, trial_seed, Completion, Objective, StoppingAccumulator,
 };
 use cobra_process::{ProcessSpec, ProcessState, StepCtx};
 use std::sync::{Arc, Mutex};
 
-/// How a point with no explicit cap resolves one, given its
-/// materialised graph. The CLI injects the paper-bound policy from
-/// `cobra::sim::resolve_cap`; [`default_cap`] is the standalone
-/// fallback.
-pub type CapPolicy<'a> = &'a (dyn Fn(&Graph, &ProcessSpec) -> usize + Sync);
+/// How a point with no explicit cap resolves one, given its graph's
+/// size parameters. The CLI injects the paper-bound policy from
+/// `cobra::sim::resolve_cap_shape`; [`default_cap`] is the standalone
+/// fallback. Shape-based (not graph-based) so one object-safe policy
+/// serves every backend.
+pub type CapPolicy<'a> = &'a (dyn Fn(GraphShape, &ProcessSpec) -> usize + Sync);
 
 /// The standalone cap fallback: the random-walk-regime bound
 /// `32·n·m + 10 000`, which dominates every process family's expected
 /// completion time (branching processes finish much earlier).
-pub fn default_cap(g: &Graph, _process: &ProcessSpec) -> usize {
-    32 * g.n().max(2) * g.m().max(1) + 10_000
+pub fn default_cap(shape: GraphShape, _process: &ProcessSpec) -> usize {
+    32 * shape.n.max(2) * shape.m.max(1) + 10_000
 }
 
-/// One fully-resolved point plus its shared graph.
+/// The graph behind one planned point: a cache-shared CSR graph, or an
+/// implicit topology (a few bytes of parameters, never cached — see
+/// [`GraphCache`]).
+#[derive(Debug, Clone)]
+pub enum PlannedTopology {
+    /// CSR adjacency, shared across points through the plan's
+    /// [`GraphCache`].
+    Csr(Arc<Graph>),
+    /// Implicit O(1)-memory backend (guaranteed non-CSR variant).
+    Implicit(BuiltTopology),
+}
+
+/// Dispatches a generic expression over the backend inside a
+/// [`PlannedTopology`] reference.
+macro_rules! on_planned {
+    ($topo:expr, |$g:ident| $body:expr) => {
+        match $topo {
+            PlannedTopology::Csr(shared) => {
+                let $g: &Graph = shared;
+                $body
+            }
+            PlannedTopology::Implicit(built) => with_topology!(built, |$g| $body),
+        }
+    };
+}
+
+impl PlannedTopology {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        on_planned!(self, |g| g.n())
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        on_planned!(self, |g| g.m())
+    }
+
+    /// The `(n, m, max_degree)` triple for cap policies.
+    pub fn shape(&self) -> GraphShape {
+        on_planned!(self, |g| g.shape())
+    }
+
+    /// True for the O(1)-memory backends.
+    pub fn is_implicit(&self) -> bool {
+        matches!(self, PlannedTopology::Implicit(_))
+    }
+}
+
+/// One fully-resolved point plus its shared graph backend.
 #[derive(Debug, Clone)]
 pub struct PlannedPoint {
     pub point: SweepPoint,
-    pub graph: Arc<Graph>,
+    pub topology: PlannedTopology,
 }
 
 /// The resolved expansion of a sweep against a store.
@@ -103,17 +154,50 @@ pub fn plan_sweep(
 ) -> Result<Plan, CampaignError> {
     let grid = spec.expand_axes()?;
     let mut cache = GraphCache::new();
+    // Plan-local sharing memo: every point of one plan referencing a
+    // graph must hold the *same* Arc, even if the byte-capped cache
+    // evicts its own entry in between (rebuilding a live graph would
+    // duplicate it in memory — the opposite of what the cap is for).
+    // The memo holds the Arcs the points hold anyway, so it adds no
+    // resident bytes.
+    let mut planned_csr: std::collections::HashMap<String, Arc<Graph>> =
+        std::collections::HashMap::new();
     let mut points = Vec::with_capacity(grid.len());
     let mut cached = Vec::new();
     let mut missing = Vec::new();
     let mut duplicates = Vec::new();
     let mut scheduled_keys = std::collections::HashSet::new();
     for (index, (objective, gspec, pspec)) in grid.into_iter().enumerate() {
-        let graph = cache
-            .get_or_build(&gspec, graph_build_seed(spec.seed, &gspec))
-            .map_err(CampaignError::Graph)?;
-        check_point(spec, &objective, &gspec, &graph)?;
-        let cap = spec.cap.unwrap_or_else(|| cap_policy(&graph, &pspec));
+        // Implicit backends bypass the CSR cache entirely — they are a
+        // few bytes of parameters, rebuilt per point.
+        let use_implicit = match spec.backend {
+            Backend::Csr => false,
+            Backend::Implicit => true,
+            Backend::Auto => gspec.has_implicit(),
+        };
+        let topology = if use_implicit {
+            let built = gspec
+                .build_topology(graph_build_seed(spec.seed, &gspec), spec.backend)
+                .map_err(CampaignError::Graph)?;
+            debug_assert!(built.is_implicit(), "backend selection chose implicit");
+            PlannedTopology::Implicit(built)
+        } else {
+            let shared = match planned_csr.get(&gspec.to_string()) {
+                Some(arc) => Arc::clone(arc),
+                None => {
+                    let arc = cache
+                        .get_or_build(&gspec, graph_build_seed(spec.seed, &gspec))
+                        .map_err(CampaignError::Graph)?;
+                    planned_csr.insert(gspec.to_string(), Arc::clone(&arc));
+                    arc
+                }
+            };
+            PlannedTopology::Csr(shared)
+        };
+        check_point(spec, &objective, &gspec, &topology)?;
+        let cap = spec
+            .cap
+            .unwrap_or_else(|| cap_policy(topology.shape(), &pspec));
         let point = SweepPoint::resolve(
             gspec,
             pspec,
@@ -131,15 +215,27 @@ pub fn plan_sweep(
         } else {
             missing.push(index);
         }
-        points.push(PlannedPoint { point, graph });
+        points.push(PlannedPoint { point, topology });
     }
+    let distinct_graphs = planned_csr.len() + implicit_count_distinct(&points);
     Ok(Plan {
         points,
         cached,
         missing,
         duplicates,
-        distinct_graphs: cache.len(),
+        distinct_graphs,
     })
+}
+
+/// Distinct implicit graphs in a plan (CSR distinctness is the cache's
+/// entry count; implicit points are counted by distinct graph spec).
+fn implicit_count_distinct(points: &[PlannedPoint]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    points
+        .iter()
+        .filter(|p| p.topology.is_implicit())
+        .filter(|p| seen.insert(p.point.graph.to_string()))
+        .count()
 }
 
 /// The build seed for a graph spec under a campaign master seed —
@@ -155,9 +251,9 @@ fn check_point(
     spec: &SweepSpec,
     objective: &Objective,
     gspec: &GraphSpec,
-    graph: &Graph,
+    topology: &PlannedTopology,
 ) -> Result<(), CampaignError> {
-    let n = graph.n();
+    let n = topology.n();
     if spec.start as usize >= n {
         return Err(CampaignError::Invalid(format!(
             "start vertex {} out of range for {gspec} (n = {n})",
@@ -167,8 +263,7 @@ fn check_point(
     // Objective-level termination checks (hit target in range, hit:far
     // reachable, infection threshold in (0, 1]) — errors name the
     // offending token and the graph it fails on.
-    objective
-        .validate(graph, &[spec.start])
+    on_planned!(topology, |g| objective.validate(g, &[spec.start]))
         .map_err(|e| CampaignError::Invalid(format!("{e} (graph {gspec})")))
 }
 
@@ -187,7 +282,7 @@ pub fn run_sweep(
     let fresh: Vec<PointRecord> =
         run_jobs(threads, plan.missing.len(), StepCtx::new, |ctx, job| {
             let planned = &plan.points[plan.missing[job]];
-            let record = run_point(&planned.point, &planned.graph, ctx);
+            let record = run_point(&planned.point, &planned.topology, ctx);
             if let Err(e) = store.append(&record) {
                 io_error.lock().expect("io error slot").get_or_insert(e);
             }
@@ -257,7 +352,12 @@ where
 /// uses, so this matches `Engine::run_spec` under
 /// `master_seed = point.seed` bit-for-bit — and the record's summary
 /// matches `SimSpec::measure` on the equivalent spec.
-pub fn run_point(point: &SweepPoint, graph: &Graph, ctx: &mut StepCtx) -> PointRecord {
+pub fn run_point(point: &SweepPoint, topology: &PlannedTopology, ctx: &mut StepCtx) -> PointRecord {
+    on_planned!(topology, |g| run_point_on(point, g, ctx))
+}
+
+/// [`run_point`] monomorphized over a concrete backend.
+pub fn run_point_on<T: Topology>(point: &SweepPoint, graph: &T, ctx: &mut StepCtx) -> PointRecord {
     let start = [point.start];
     let stop = point
         .objective
@@ -298,8 +398,40 @@ mod tests {
         assert_eq!(plan.distinct_graphs, 4, "2 processes share each graph");
         assert_eq!(plan.cached.len(), 0);
         assert_eq!(plan.missing.len(), 8);
-        // Graph Arcs are shared between the two points of each graph.
-        assert!(Arc::ptr_eq(&plan.points[0].graph, &plan.points[1].graph));
+        // cycle/complete have implicit backends: auto bypasses the CSR
+        // cache entirely.
+        assert!(plan.points.iter().all(|p| p.topology.is_implicit()));
+
+        // Forced CSR: graph Arcs are shared between the two points of
+        // each graph through the cache.
+        let csr = small_spec().with_backend(Backend::Csr);
+        let plan = plan_sweep(&csr, &store, &default_cap).unwrap();
+        assert_eq!(plan.distinct_graphs, 4);
+        match (&plan.points[0].topology, &plan.points[1].topology) {
+            (PlannedTopology::Csr(a), PlannedTopology::Csr(b)) => {
+                assert!(Arc::ptr_eq(a, b), "cache must share the CSR graph");
+            }
+            other => panic!("backend=csr built {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_records_under_one_store() {
+        // The same grid under csr and implicit backends: identical
+        // records, and the second backend is served entirely from the
+        // first backend's store (backend is not part of the key).
+        let mut store = Store::in_memory();
+        let csr = small_spec().with_backend(Backend::Csr);
+        let implicit = small_spec().with_backend(Backend::Implicit);
+        assert_eq!(csr.name(), implicit.name(), "stores must be shared");
+        let first = run_sweep(&csr, &mut store, 1, &default_cap).unwrap();
+        assert_eq!((first.computed, first.cached), (8, 0));
+        let second = run_sweep(&implicit, &mut store, 4, &default_cap).unwrap();
+        assert_eq!((second.computed, second.cached), (0, 8));
+        assert_eq!(first.records, second.records);
+        // And computed fresh on the implicit backend, they still match.
+        let fresh = run_sweep(&implicit, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        assert_eq!(first.records, fresh.records);
     }
 
     #[test]
@@ -348,17 +480,19 @@ mod tests {
         for planned in &plan.points {
             let p = &planned.point;
             let mut ctx = StepCtx::new();
-            let record = run_point(p, &planned.graph, &mut ctx);
-            let stop = p.objective.stop_when(&planned.graph, &[p.start]).unwrap();
-            let outcomes = Engine::new(p.trials, p.seed, p.cap)
-                .with_threads(1)
-                .run_spec_outcomes(&planned.graph, &p.process, &[p.start], stop);
-            let mut acc = StoppingAccumulator::new();
-            for o in &outcomes {
-                acc.push(o);
-            }
-            let (tx, reached) = (acc.total_transmissions(), acc.total_reached());
-            let est = acc.finish(p.cap);
+            let record = run_point(p, &planned.topology, &mut ctx);
+            let (est, tx, reached) = on_planned!(&planned.topology, |g| {
+                let stop = p.objective.stop_when(g, &[p.start]).unwrap();
+                let outcomes = Engine::new(p.trials, p.seed, p.cap)
+                    .with_threads(1)
+                    .run_spec_outcomes(g, &p.process, &[p.start], stop);
+                let mut acc = StoppingAccumulator::new();
+                for o in &outcomes {
+                    acc.push(o);
+                }
+                let (tx, reached) = (acc.total_transmissions(), acc.total_reached());
+                (acc.finish(p.cap), tx, reached)
+            });
             assert_eq!(
                 record.to_estimate(),
                 est,

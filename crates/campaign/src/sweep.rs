@@ -20,6 +20,12 @@
 //! | `seed` | campaign master seed | `0xC0B7A` |
 //! | `cap` | explicit per-trial round cap | derived per point |
 //! | `name` | campaign name (store directory) | `sweep-<digest>` |
+//! | `backend` | graph backend `auto`\|`csr`\|`implicit` | `auto` |
+//!
+//! The backend is an *execution* knob, not an identity one: backends
+//! produce bit-identical results, so it never enters a point's content
+//! key — records computed under `backend=csr` serve `backend=implicit`
+//! re-runs and vice versa.
 //!
 //! Patterns expand with shell-style braces: `{a..b}` is an inclusive
 //! integer range, `{x,y,z}` a list, and multiple groups in one pattern
@@ -37,7 +43,7 @@
 //! leading segment.)
 
 use crate::CampaignError;
-use cobra_graph::{GraphSpec, VertexId};
+use cobra_graph::{Backend, GraphSpec, VertexId};
 use cobra_mc::Objective;
 use cobra_process::ProcessSpec;
 use cobra_util::hash::{fnv1a_str, hex16};
@@ -72,6 +78,10 @@ pub struct SweepSpec {
     /// Explicit campaign name; `None` derives `sweep-<digest>` from the
     /// canonical spec string.
     pub name: Option<String>,
+    /// Graph backend for every point (`auto` = implicit where
+    /// available). Excluded from point content keys: backends are
+    /// bit-identical, so the store is backend-agnostic.
+    pub backend: Backend,
 }
 
 impl SweepSpec {
@@ -90,6 +100,7 @@ impl SweepSpec {
             seed: DEFAULT_SEED,
             cap: None,
             name: None,
+            backend: Backend::Auto,
         };
         spec.expand_axes()?;
         Ok(spec)
@@ -104,6 +115,12 @@ impl SweepSpec {
     /// Sets the campaign master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the graph backend for every point (results never change).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -127,11 +144,21 @@ impl SweepSpec {
 
     /// The campaign name: explicit, or `sweep-<hex>` derived from the
     /// canonical spec string (stable across runs, so an unnamed sweep
-    /// still resumes into the same store).
+    /// still resumes into the same store). The backend is excluded from
+    /// the derivation — backends are bit-identical, so `backend=csr`
+    /// and `backend=implicit` runs of one grid share a store and serve
+    /// each other's cached records.
     pub fn name(&self) -> String {
         match &self.name {
             Some(n) => n.clone(),
-            None => format!("sweep-{}", &hex16(fnv1a_str(&self.to_string()))[..8]),
+            None => {
+                let canonical = SweepSpec {
+                    backend: Backend::Auto,
+                    ..self.clone()
+                }
+                .to_string();
+                format!("sweep-{}", &hex16(fnv1a_str(&canonical))[..8])
+            }
         }
     }
 
@@ -226,6 +253,9 @@ impl fmt::Display for SweepSpec {
         if let Some(name) = &self.name {
             write!(f, "; name={name}")?;
         }
+        if self.backend != Backend::Auto {
+            write!(f, "; backend={}", self.backend)?;
+        }
         Ok(())
     }
 }
@@ -257,6 +287,7 @@ impl FromStr for SweepSpec {
         let mut seed = DEFAULT_SEED;
         let mut cap: Option<usize> = None;
         let mut name: Option<String> = None;
+        let mut backend = Backend::Auto;
         for seg in segments {
             if seg.is_empty() {
                 continue;
@@ -264,7 +295,7 @@ impl FromStr for SweepSpec {
             let Some((key, value)) = seg.split_once('=') else {
                 return Err(CampaignError::Spec(format!(
                     "segment {seg:?} is not key=value (valid keys: objective, graph, \
-                     process, trials, start, seed, cap, name)"
+                     process, trials, start, seed, cap, name, backend)"
                 )));
             };
             let (key, value) = (key.trim(), value.trim());
@@ -301,10 +332,11 @@ impl FromStr for SweepSpec {
                     validate_name(value).map_err(CampaignError::Spec)?;
                     name = Some(value.to_string());
                 }
+                "backend" => backend = value.parse().map_err(CampaignError::Spec)?,
                 other => {
                     return Err(CampaignError::Spec(format!(
                         "unknown sweep key {other:?} (valid keys: objective, graph, process, \
-                         trials, start, seed, cap, name)"
+                         trials, start, seed, cap, name, backend)"
                     )));
                 }
             }
@@ -320,6 +352,7 @@ impl FromStr for SweepSpec {
             seed,
             cap,
             name,
+            backend,
         };
         // Validate the whole expansion eagerly so a bad token fails at
         // parse time, not mid-campaign.
@@ -455,9 +488,40 @@ mod tests {
             "infection:0.5; graph=complete:32; process=bips:b2; trials=8",
             "cover; graph=complete:64; process=bips:b2; trials=16; start=3; seed=9; \
              cap=1000; name=probe-1",
+            "cover; graph=hypercube:{8..10}; process=cobra:b2; trials=8; backend=csr",
+            "cover; graph=hypercube:8; process=cobra:b2; trials=8; backend=implicit",
         ] {
             roundtrip(s);
         }
+    }
+
+    #[test]
+    fn backend_segment_parses_and_stays_out_of_derived_names() {
+        let auto: SweepSpec = "cover; graph=cycle:8; process=rw; trials=4"
+            .parse()
+            .unwrap();
+        let csr: SweepSpec = "cover; graph=cycle:8; process=rw; trials=4; backend=csr"
+            .parse()
+            .unwrap();
+        assert_eq!(auto.backend, Backend::Auto);
+        assert_eq!(csr.backend, Backend::Csr);
+        // backend=auto is the default and displays canonically bare.
+        let explicit_auto: SweepSpec = "cover; graph=cycle:8; process=rw; trials=4; backend=auto"
+            .parse()
+            .unwrap();
+        assert_eq!(explicit_auto, auto);
+        // Derived store names ignore the backend: backends are
+        // bit-identical, so their runs share a store.
+        assert_eq!(auto.name(), csr.name());
+        // Typos name the valid choices.
+        let err = "cover; graph=cycle:8; process=rw; backend=sparse"
+            .parse::<SweepSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("\"sparse\"") && err.contains("implicit"),
+            "{err:?}"
+        );
     }
 
     #[test]

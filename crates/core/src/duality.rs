@@ -15,21 +15,22 @@
 //!
 //! The check is a first-class [`Objective`](crate::sim::Objective) —
 //! `"duality:h{8,16,32}"` — so the usual entry point is a
-//! [`SimSpec`] with that objective and a
+//! [`SimSpec`](crate::sim::SimSpec) with that objective and a
 //! [`SimSpec::measure`](crate::sim::SimSpec::measure) call (the spec's
 //! start set is `C`, its branching factor comes from the process, and
 //! the source `v` resolves to the BFS-farthest vertex). [`duality_check`]
 //! remains the explicit-source form the objective path delegates to.
 //!
 //! Both sides run through the unified engine: the COBRA side is a plain
-//! hitting-time [`SimSpec`] run, the BIPS side a
+//! hitting-time run (stop when `v` is reached), the BIPS side a
 //! fixed-horizon run with a round-snapshot [`Observer`] checking
-//! disjointness at each horizon — no bespoke trial loop on either side.
+//! disjointness at each horizon — no bespoke trial loop on either side,
+//! and both sides are generic over the graph backend.
 
 use crate::report::{fmt_f, Table};
-use crate::sim::SimSpec;
-use cobra_graph::{Graph, VertexId};
-use cobra_mc::{Observer, StopWhen, TrialOutcome};
+use crate::sim::Estimate;
+use cobra_graph::{Topology, VertexId};
+use cobra_mc::{Engine, Observer, StopWhen, TrialOutcome};
 use cobra_process::{BipsMode, Branching, Laziness, ProcessSpec, ProcessView};
 use cobra_util::BitSet;
 
@@ -162,10 +163,22 @@ impl Observer for HorizonDisjoint<'_> {
     }
 }
 
-/// Runs the two-sided estimation for source `v` and start set `c`.
-pub fn duality_check(g: &Graph, v: VertexId, c: &[VertexId], cfg: &DualityConfig) -> DualityReport {
+/// Runs the two-sided estimation for source `v` and start set `c`, on
+/// any graph backend. Both sides drive the unified [`Engine`] directly
+/// with the same trial counts, seeds, and caps the historical
+/// `SimSpec`-borrowing path used, so results are unchanged — and the
+/// check now runs on implicit topologies too.
+pub fn duality_check<T: Topology + Sync>(
+    g: &T,
+    v: VertexId,
+    c: &[VertexId],
+    cfg: &DualityConfig,
+) -> DualityReport {
     assert!(!c.is_empty(), "duality needs a nonempty start set C");
     assert!((v as usize) < g.n(), "source out of range");
+    for &u in c {
+        assert!((u as usize) < g.n(), "start vertex {u} out of range");
+    }
     assert!(
         cfg.horizons.windows(2).all(|w| w[0] <= w[1]),
         "horizons must be nondecreasing"
@@ -175,40 +188,27 @@ pub fn duality_check(g: &Graph, v: VertexId, c: &[VertexId], cfg: &DualityConfig
     // COBRA side: one sample path yields Hit(v), which answers every
     // horizon at once (Hit(v) > T is monotone in T). Censoring at the
     // max_t cap means Hit(v) > max_t ≥ T for every horizon.
-    let cobra = SimSpec::new(
-        g,
-        ProcessSpec::Cobra {
-            branching: cfg.branching,
-            laziness: Laziness::None,
-        },
-    )
-    .with_starts(c)
-    .reaching(v)
-    .with_trials(cfg.trials)
-    .with_seed(cfg.master_seed)
-    .with_threads(cfg.threads)
-    .with_cap(max_t)
-    .run();
+    let cobra_spec = ProcessSpec::Cobra {
+        branching: cfg.branching,
+        laziness: Laziness::None,
+    };
+    let cobra_engine = Engine::new(cfg.trials, cfg.master_seed, max_t).with_threads(cfg.threads);
+    let outcomes = cobra_engine.run_spec_outcomes(g, &cobra_spec, c, StopWhen::Reached(v));
+    let cobra = Estimate::from_outcomes(&outcomes, max_t);
 
     // BIPS side: run to the fixed horizon, snapshotting disjointness.
     let c_set = BitSet::from_indices(g.n(), c);
-    let disjoint: Vec<Vec<bool>> = SimSpec::new(
-        g,
-        ProcessSpec::Bips {
-            branching: cfg.branching,
-            laziness: Laziness::None,
-            mode: BipsMode::ExactSampling,
-        },
-    )
-    .with_start(v)
-    .with_trials(cfg.trials)
-    .with_seed(cfg.master_seed ^ 0xB1B5_D0A1)
-    .with_threads(cfg.threads)
-    .with_cap(max_t)
-    .run_observed(StopWhen::AtCap, |_| {
-        HorizonDisjoint::new(&cfg.horizons, &c_set)
-    })
-    .unwrap_or_else(|e| panic!("{e}"));
+    let bips_spec = ProcessSpec::Bips {
+        branching: cfg.branching,
+        laziness: Laziness::None,
+        mode: BipsMode::ExactSampling,
+    };
+    let bips_engine =
+        Engine::new(cfg.trials, cfg.master_seed ^ 0xB1B5_D0A1, max_t).with_threads(cfg.threads);
+    let disjoint: Vec<Vec<bool>> =
+        bips_engine.run_spec(g, &bips_spec, &[v], StopWhen::AtCap, |_| {
+            HorizonDisjoint::new(&cfg.horizons, &c_set)
+        });
 
     let n = cfg.trials as f64;
     let rows = cfg
@@ -242,7 +242,7 @@ pub fn duality_check(g: &Graph, v: VertexId, c: &[VertexId], cfg: &DualityConfig
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cobra_graph::generators;
+    use cobra_graph::{generators, Graph};
 
     fn check(g: &Graph, v: VertexId, c: &[VertexId], trials: usize, seed: u64) -> DualityReport {
         let cfg = DualityConfig {

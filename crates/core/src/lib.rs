@@ -57,11 +57,12 @@ pub mod report {
     pub use cobra_stats::report::{fmt_f, Table};
 }
 
+pub use cobra_graph::Backend;
 pub use cover::{CoverConfig, CoverEstimate};
 pub use duality::{duality_check, DualityConfig, DualityReport};
 pub use infection::{infection_trajectory, InfectionConfig};
 pub use report::Table;
 pub use sim::{
-    Estimate, GraphSource, HitTarget, Measurement, Objective, SimError, SimSpec, StoppingEstimate,
-    TrajectoryEstimate,
+    Estimate, GraphSource, HitTarget, MaterializedTopology, Measurement, Objective, ResolvedRun,
+    SimError, SimSpec, StoppingEstimate, TrajectoryEstimate,
 };

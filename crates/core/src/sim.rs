@@ -64,7 +64,10 @@
 
 use crate::bounds;
 use crate::duality::{duality_check, DualityConfig, DualityReport};
-use cobra_graph::{Graph, GraphSpec, GraphSpecError, VertexId};
+use cobra_graph::{
+    with_topology, Backend, BuiltTopology, Graph, GraphShape, GraphSpec, GraphSpecError, Topology,
+    VertexId,
+};
 use cobra_mc::{Engine, Observer, StopWhen, Trajectory, TrialOutcome};
 use cobra_process::{Branching, ProcessSpec, ProcessSpecError};
 use cobra_stats::streaming::StreamingSummary;
@@ -75,6 +78,21 @@ use std::ops::Deref;
 pub use cobra_mc::objective::{
     HitTarget, Objective, StoppingAccumulator, StoppingEstimate, OBJECTIVE_USAGES,
 };
+
+/// Dispatches a generic expression over the backend inside a
+/// [`MaterializedTopology`] — each arm monomorphizes, so the trial loop
+/// compiles to direct code per backend.
+macro_rules! on_topology {
+    ($topo:expr, |$g:ident| $body:expr) => {
+        match $topo {
+            MaterializedTopology::Borrowed(borrowed) => {
+                let $g = *borrowed;
+                $body
+            }
+            MaterializedTopology::Built(built) => with_topology!(built, |$g| $body),
+        }
+    };
+}
 
 /// Where the graph of a simulation comes from.
 #[derive(Debug, Clone)]
@@ -130,7 +148,9 @@ impl From<ProcessSpecError> for SimError {
     }
 }
 
-/// A borrowed or freshly built graph; derefs to [`Graph`].
+/// A borrowed or freshly built CSR graph; derefs to [`Graph`]. The
+/// legacy CSR-only materialization — callers that need the
+/// backend-resolved representation use [`SimSpec::topology`] instead.
 pub enum MaterializedGraph<'g> {
     Borrowed(&'g Graph),
     Owned(Graph),
@@ -142,6 +162,54 @@ impl Deref for MaterializedGraph<'_> {
         match self {
             MaterializedGraph::Borrowed(g) => g,
             MaterializedGraph::Owned(g) => g,
+        }
+    }
+}
+
+/// The backend-resolved graph of a [`SimSpec`]: a borrowed CSR graph,
+/// or a [`BuiltTopology`] materialized from the spec under the
+/// configured [`Backend`]. This is what every run path steps on.
+pub enum MaterializedTopology<'g> {
+    /// A caller-provided CSR graph (backend selection does not apply).
+    Borrowed(&'g Graph),
+    /// A spec-built backend: CSR or implicit.
+    Built(BuiltTopology),
+}
+
+impl MaterializedTopology<'_> {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        on_topology!(self, |g| g.n())
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        on_topology!(self, |g| g.m())
+    }
+
+    /// The `(n, m, max_degree)` triple for cap policies.
+    pub fn shape(&self) -> GraphShape {
+        on_topology!(self, |g| g.shape())
+    }
+
+    /// Approximate resident bytes of the representation.
+    pub fn memory_bytes(&self) -> usize {
+        on_topology!(self, |g| g.memory_bytes())
+    }
+
+    /// `"csr"` or `"implicit"`.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            MaterializedTopology::Borrowed(_) => "csr",
+            MaterializedTopology::Built(b) => b.backend_name(),
+        }
+    }
+
+    /// The CSR graph, when that is the backend in use.
+    pub fn as_csr(&self) -> Option<&Graph> {
+        match self {
+            MaterializedTopology::Borrowed(g) => Some(g),
+            MaterializedTopology::Built(b) => b.as_csr(),
         }
     }
 }
@@ -166,11 +234,18 @@ pub struct SimSpec<'g> {
     /// Explicit per-trial round cap; `None` derives one from the
     /// paper's bounds via [`resolve_cap`].
     pub cap: Option<usize>,
+    /// Graph backend selection for spec-built graphs: implicit for the
+    /// structured families by default ([`Backend::Auto`]), overridable
+    /// to `csr` or `implicit`. Never changes results — backends are
+    /// bit-identical — only the memory/speed profile. Ignored for
+    /// borrowed graphs (already CSR).
+    pub backend: Backend,
 }
 
 impl<'g> SimSpec<'g> {
     /// A spec with the workspace defaults: start `[0]`, objective
-    /// `cover`, 30 trials, seed `0xC0B7A`, auto threads, derived cap.
+    /// `cover`, 30 trials, seed `0xC0B7A`, auto threads, derived cap,
+    /// auto backend.
     pub fn new(graph: impl Into<GraphSource<'g>>, process: ProcessSpec) -> SimSpec<'g> {
         SimSpec {
             graph: graph.into(),
@@ -181,6 +256,7 @@ impl<'g> SimSpec<'g> {
             master_seed: 0xC0B7A,
             threads: 0,
             cap: None,
+            backend: Backend::Auto,
         }
     }
 
@@ -240,9 +316,20 @@ impl<'g> SimSpec<'g> {
         self
     }
 
-    /// Materialises the graph (no-op for borrowed graphs). Random
-    /// families are seeded from the master seed, so a spec denotes one
-    /// concrete graph.
+    /// Overrides the graph backend (`auto`, `csr`, `implicit`).
+    /// Results never change; `implicit` errors on families without an
+    /// implicit representation.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Materialises the graph as CSR (no-op for borrowed graphs),
+    /// ignoring the backend override — the legacy path for callers
+    /// that need slice-based adjacency. Random families are seeded from
+    /// the master seed, so a spec denotes one concrete graph. Prefer
+    /// [`SimSpec::topology`], which honours the backend and never
+    /// materialises edges for implicit families.
     pub fn graph(&self) -> Result<MaterializedGraph<'g>, SimError> {
         match &self.graph {
             GraphSource::Borrowed(g) => Ok(MaterializedGraph::Borrowed(g)),
@@ -252,13 +339,28 @@ impl<'g> SimSpec<'g> {
         }
     }
 
-    /// Validates the spec against its materialised graph: non-empty
-    /// in-range start set, then the objective's own termination checks
-    /// (`hit:` target in range, `hit:far` reachable, threshold in
-    /// range). Every run path calls this; external drivers (the CLI's
-    /// `--dry-run`) can call it to reject a spec without running a
-    /// round.
-    pub fn check(&self, g: &Graph) -> Result<(), SimError> {
+    /// Materialises the backend-resolved topology every run path steps
+    /// on: the borrowed CSR graph as-is, or the spec built under
+    /// [`SimSpec::backend`] (implicit by default for the structured
+    /// families — `hypercube:24` costs bytes, not gigabytes). Random
+    /// families are seeded from the master seed exactly as
+    /// [`SimSpec::graph`].
+    pub fn topology(&self) -> Result<MaterializedTopology<'g>, SimError> {
+        match &self.graph {
+            GraphSource::Borrowed(g) => Ok(MaterializedTopology::Borrowed(g)),
+            GraphSource::Spec(spec) => Ok(MaterializedTopology::Built(
+                spec.build_topology(graph_seed(self.master_seed), self.backend)?,
+            )),
+        }
+    }
+
+    /// Validates the spec against its materialised graph (any
+    /// backend): non-empty in-range start set, then the objective's own
+    /// termination checks (`hit:` target in range, `hit:far` reachable,
+    /// threshold in range). Every run path calls this; external drivers
+    /// (the CLI's `--dry-run`) can call it to reject a spec without
+    /// running a round.
+    pub fn check<T: Topology>(&self, g: &T) -> Result<(), SimError> {
         if self.start.is_empty() {
             return Err(SimError::Invalid("start set is empty".into()));
         }
@@ -275,8 +377,9 @@ impl<'g> SimSpec<'g> {
             .map_err(SimError::Invalid)
     }
 
-    /// The engine this spec resolves to, given its materialised graph.
-    pub fn engine(&self, g: &Graph) -> Engine {
+    /// The engine this spec resolves to, given its materialised graph
+    /// (any backend).
+    pub fn engine<T: Topology>(&self, g: &T) -> Engine {
         Engine::new(
             self.trials,
             self.master_seed,
@@ -293,20 +396,24 @@ impl<'g> SimSpec<'g> {
     /// for `try_run` only when downstream statistics (KS tests,
     /// bootstrap CIs) genuinely need the per-trial samples.
     pub fn try_run(&self) -> Result<Estimate, SimError> {
-        let g = self.graph()?;
-        self.check(&g)?;
+        let topo = self.topology()?;
+        on_topology!(&topo, |g| self.try_run_on(g))
+    }
+
+    fn try_run_on<T: Topology + Sync>(&self, g: &T) -> Result<Estimate, SimError> {
+        self.check(g)?;
         if !self.objective.is_sweepable() {
             return Err(SimError::Invalid(format!(
                 "objective \"{}\" has no sample-vector estimate; use SimSpec::measure()",
                 self.objective
             )));
         }
-        let engine = self.engine(&g);
+        let engine = self.engine(g);
         let stop = self
             .objective
-            .stop_when(&g, &self.start)
+            .stop_when(g, &self.start)
             .map_err(SimError::Invalid)?;
-        let outcomes = engine.run_spec_outcomes(&g, &self.process, &self.start, stop);
+        let outcomes = engine.run_spec_outcomes(g, &self.process, &self.start, stop);
         Ok(Estimate::from_outcomes(&outcomes, engine.cap))
     }
 
@@ -326,16 +433,20 @@ impl<'g> SimSpec<'g> {
     /// sample-vector path folded through the same reducer, whatever the
     /// thread count.
     pub fn measure(&self) -> Result<Measurement, SimError> {
-        let g = self.graph()?;
-        self.check(&g)?;
+        let topo = self.topology()?;
+        on_topology!(&topo, |g| self.measure_on(g))
+    }
+
+    fn measure_on<T: Topology + Sync>(&self, g: &T) -> Result<Measurement, SimError> {
+        self.check(g)?;
         match &self.objective {
             Objective::Cover | Objective::Hit(_) | Objective::Infection { .. } => {
-                let engine = self.engine(&g);
+                let engine = self.engine(g);
                 let stop = self
                     .objective
-                    .stop_when(&g, &self.start)
+                    .stop_when(g, &self.start)
                     .map_err(SimError::Invalid)?;
-                let outcomes = engine.run_spec_outcomes(&g, &self.process, &self.start, stop);
+                let outcomes = engine.run_spec_outcomes(g, &self.process, &self.start, stop);
                 let mut acc = StoppingAccumulator::new();
                 for o in &outcomes {
                     acc.push(o);
@@ -363,7 +474,7 @@ impl<'g> SimSpec<'g> {
                 };
                 let source = self
                     .objective
-                    .resolve_hit(&g, &self.start, HitTarget::Far)
+                    .resolve_hit(g, &self.start, HitTarget::Far)
                     .map_err(SimError::Invalid)?;
                 let cfg = DualityConfig {
                     branching,
@@ -373,7 +484,7 @@ impl<'g> SimSpec<'g> {
                     threads: self.threads,
                 };
                 Ok(Measurement::Duality(duality_check(
-                    &g,
+                    g,
                     source,
                     &self.start,
                     &cfg,
@@ -386,11 +497,37 @@ impl<'g> SimSpec<'g> {
                     4 * g.n().max(2)
                 });
                 Ok(Measurement::Trajectory(TrajectoryEstimate {
-                    mean_sizes: self.trajectory_on(&g, rounds),
+                    mean_sizes: self.trajectory_with(g, rounds),
                     trials: self.trials,
                 }))
             }
         }
+    }
+
+    /// Resolves everything a trial would see — backend, sizes, stop
+    /// condition, cap — without running a round, rejecting specs that
+    /// cannot terminate. The `--dry-run`/`--verbose` CLI paths print
+    /// this; for implicit backends it never materialises an edge, so a
+    /// `hypercube:24` dry run costs bytes.
+    pub fn resolve(&self) -> Result<ResolvedRun, SimError> {
+        let topo = self.topology()?;
+        on_topology!(&topo, |g| {
+            self.check(g)?;
+            let engine = self.engine(g);
+            let stop = self
+                .objective
+                .stop_when(g, &self.start)
+                .map_err(SimError::Invalid)?;
+            Ok(ResolvedRun {
+                n: g.n(),
+                m: g.m(),
+                backend: topo.backend_name(),
+                graph_bytes: g.memory_bytes(),
+                stop,
+                cap: engine.cap,
+                explicit_cap: self.cap.is_some(),
+            })
+        })
     }
 
     /// Runs with a custom per-trial [`Observer`] and an explicit stop
@@ -407,24 +544,28 @@ impl<'g> SimSpec<'g> {
         G: Fn(usize) -> Ob + Sync,
         Ob::Output: Send,
     {
-        let g = self.graph()?;
-        self.check(&g)?;
-        let engine = self.engine(&g);
-        Ok(engine.run_spec(&g, &self.process, &self.start, stop, make_observer))
+        let topo = self.topology()?;
+        on_topology!(&topo, |g| {
+            self.check(g)?;
+            let engine = self.engine(g);
+            Ok(engine.run_spec(g, &self.process, &self.start, stop, make_observer))
+        })
     }
 
     /// Mean reached-set-size trajectory: entry `t` is the Monte-Carlo
     /// mean of the reached count after `t` rounds, `t = 0..=rounds`.
     pub fn trajectory(&self, rounds: usize) -> Result<Vec<f64>, SimError> {
-        let g = self.graph()?;
-        self.check(&g)?;
-        Ok(self.trajectory_on(&g, rounds))
+        let topo = self.topology()?;
+        on_topology!(&topo, |g| {
+            self.check(g)?;
+            Ok(self.trajectory_with(g, rounds))
+        })
     }
 
     /// [`SimSpec::trajectory`] against an already-materialised,
     /// already-checked graph (so `measure()` never builds the graph
     /// twice).
-    fn trajectory_on(&self, g: &Graph, rounds: usize) -> Vec<f64> {
+    fn trajectory_with<T: Topology + Sync>(&self, g: &T, rounds: usize) -> Vec<f64> {
         let engine = Engine::new(self.trials, self.master_seed, rounds).with_threads(self.threads);
         let per_trial = engine.run_spec(g, &self.process, &self.start, StopWhen::AtCap, |_| {
             Trajectory::with_capacity(rounds)
@@ -434,6 +575,27 @@ impl<'g> SimSpec<'g> {
             .map(|t| per_trial.iter().map(|s| s[t] as f64).sum::<f64>() / trials)
             .collect()
     }
+}
+
+/// The fully-resolved scenario of a [`SimSpec`] — what a dry run
+/// prints (see [`SimSpec::resolve`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedRun {
+    /// Vertices of the materialised graph.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// `"csr"` or `"implicit"`.
+    pub backend: &'static str,
+    /// Approximate resident bytes of the graph representation.
+    pub graph_bytes: usize,
+    /// The resolved engine stop condition.
+    pub stop: StopWhen,
+    /// The per-trial round cap in force.
+    pub cap: usize,
+    /// True when the cap was given explicitly (vs derived from the
+    /// paper's bounds).
+    pub explicit_cap: bool,
 }
 
 /// The objective-shaped result of [`SimSpec::measure`].
@@ -502,15 +664,26 @@ pub fn graph_seed(master_seed: u64) -> u64 {
 /// * Branching processes get `500×` the Theorem 1.1 bound, divided by
 ///   `ρ²` for fractional branching `1 + ρ` (the §6 scaling), plus
 ///   additive slack for small graphs.
-pub fn resolve_cap(g: &Graph, process: &ProcessSpec, explicit: Option<usize>) -> usize {
+pub fn resolve_cap<T: Topology>(g: &T, process: &ProcessSpec, explicit: Option<usize>) -> usize {
+    resolve_cap_shape(g.shape(), process, explicit)
+}
+
+/// [`resolve_cap`] from a bare [`GraphShape`] — the form cap policies
+/// that cannot be generic (e.g. the campaign's `dyn Fn` policy slot)
+/// consume.
+pub fn resolve_cap_shape(
+    shape: GraphShape,
+    process: &ProcessSpec,
+    explicit: Option<usize>,
+) -> usize {
     if let Some(c) = explicit {
         return c;
     }
-    let n = g.n().max(2);
+    let n = shape.n.max(2);
     if process.is_walk_like() {
-        return 32 * n * g.m().max(1) + 10_000;
+        return 32 * n * shape.m.max(1) + 10_000;
     }
-    let base = bounds::thm_1_1(n, g.m(), g.max_degree());
+    let base = bounds::thm_1_1(n, shape.m, shape.max_degree);
     let rho_penalty = match process {
         ProcessSpec::Cobra {
             branching: Branching::Expected(rho),

@@ -12,10 +12,25 @@
 //! they are normalised to seed 0 in the key — asking for `torus:8x8`
 //! under two different campaign seeds hits the same entry.
 //!
+//! # Bounded residency
+//!
+//! The cache is **byte-capped** (default [`DEFAULT_CAPACITY_BYTES`]):
+//! once the resident CSR bytes exceed the cap, least-recently-used
+//! entries are evicted until the newest request fits (the newest entry
+//! itself is never evicted, so a single oversized graph still builds).
+//! Eviction only drops the cache's own [`Arc`] — workers holding a
+//! handle keep their graph alive; the memory is reclaimed when the last
+//! handle drops. Multi-family sweeps over large CSR graphs therefore
+//! hold at most ~cap bytes of *idle* graphs, instead of growing without
+//! limit. Implicit topologies ([`crate::topology`]) never enter this
+//! cache at all — they are a few bytes of parameters, rebuilt on
+//! demand.
+//!
 //! [`Display`]: std::fmt::Display
 
 use crate::csr::Graph;
 use crate::spec::{GraphSpec, GraphSpecError};
+use crate::topology::Topology;
 use cobra_util::hash::fnv1a_str;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,18 +46,53 @@ impl GraphSpec {
     }
 }
 
-/// A memoizing wrapper around [`GraphSpec::build`].
-#[derive(Debug, Default)]
+/// Default byte cap on idle cached graphs: 1 GiB (roughly one
+/// `hypercube:21` CSR, or many mid-size families).
+pub const DEFAULT_CAPACITY_BYTES: usize = 1 << 30;
+
+#[derive(Debug)]
+struct Entry {
+    graph: Arc<Graph>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A memoizing, LRU-byte-capped wrapper around [`GraphSpec::build`].
+#[derive(Debug)]
 pub struct GraphCache {
-    built: HashMap<(String, u64), Arc<Graph>>,
+    built: HashMap<(String, u64), Entry>,
+    capacity_bytes: usize,
+    resident_bytes: usize,
     hits: usize,
     misses: usize,
+    evictions: usize,
+    tick: u64,
+}
+
+impl Default for GraphCache {
+    fn default() -> GraphCache {
+        GraphCache::new()
+    }
 }
 
 impl GraphCache {
-    /// An empty cache.
+    /// An empty cache with the default byte cap.
     pub fn new() -> GraphCache {
-        GraphCache::default()
+        GraphCache::with_capacity_bytes(DEFAULT_CAPACITY_BYTES)
+    }
+
+    /// An empty cache evicting LRU entries once resident CSR bytes
+    /// exceed `capacity_bytes`.
+    pub fn with_capacity_bytes(capacity_bytes: usize) -> GraphCache {
+        GraphCache {
+            built: HashMap::new(),
+            capacity_bytes,
+            resident_bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            tick: 0,
+        }
     }
 
     /// The graph for `(spec, seed)`, built on first request and shared
@@ -55,30 +105,70 @@ impl GraphCache {
     ) -> Result<Arc<Graph>, GraphSpecError> {
         let effective_seed = if spec.is_random() { seed } else { 0 };
         let key = (spec.to_string(), effective_seed);
-        if let Some(g) = self.built.get(&key) {
+        self.tick += 1;
+        if let Some(entry) = self.built.get_mut(&key) {
+            entry.last_used = self.tick;
             self.hits += 1;
-            return Ok(Arc::clone(g));
+            return Ok(Arc::clone(&entry.graph));
         }
         let g = Arc::new(spec.build(effective_seed)?);
         self.misses += 1;
-        self.built.insert(key, Arc::clone(&g));
+        let bytes = g.memory_bytes();
+        self.resident_bytes += bytes;
+        self.built.insert(
+            key.clone(),
+            Entry {
+                graph: Arc::clone(&g),
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        self.evict_over_cap(&key);
         Ok(g)
     }
 
-    /// Distinct graphs built so far.
+    /// Evicts least-recently-used entries (never `keep`) until the
+    /// resident bytes fit the cap.
+    fn evict_over_cap(&mut self, keep: &(String, u64)) {
+        while self.resident_bytes > self.capacity_bytes && self.built.len() > 1 {
+            let victim = self
+                .built
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(entry) = self.built.remove(&victim) {
+                self.resident_bytes -= entry.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Distinct graphs currently resident.
     pub fn len(&self) -> usize {
         self.built.len()
     }
 
-    /// True if nothing has been built yet.
+    /// True if nothing is resident.
     pub fn is_empty(&self) -> bool {
         self.built.is_empty()
     }
 
     /// `(hits, misses)` counters — misses equal the number of actual
-    /// builds.
+    /// builds (evicted-then-rebuilt graphs count again).
     pub fn stats(&self) -> (usize, usize) {
         (self.hits, self.misses)
+    }
+
+    /// Entries evicted to stay under the byte cap.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Approximate bytes of the currently resident graphs.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
     }
 }
 
@@ -95,6 +185,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same entry must be shared");
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
@@ -139,5 +230,47 @@ mod tests {
         // Pinned value: changing the Display format (or the hash) is a
         // store-invalidating event and must be deliberate.
         assert_eq!(a.digest(), fnv1a_str("hypercube:10"));
+    }
+
+    #[test]
+    fn byte_cap_evicts_least_recently_used() {
+        // Three graphs of a few KB each under a cap that fits two.
+        let specs: Vec<GraphSpec> = ["cycle:400", "cycle:401", "cycle:402"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let one = specs[0].build(0).unwrap().memory_bytes();
+        let mut cache = GraphCache::with_capacity_bytes(2 * one + one / 2);
+        let a = cache.get_or_build(&specs[0], 0).unwrap();
+        cache.get_or_build(&specs[1], 0).unwrap();
+        // Touch the first so the second becomes LRU.
+        cache.get_or_build(&specs[0], 0).unwrap();
+        cache.get_or_build(&specs[2], 0).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.resident_bytes() <= 2 * one + one / 2);
+        // The touched entry survived; the LRU one rebuilds on demand.
+        let (_, misses_before) = cache.stats();
+        let a2 = cache.get_or_build(&specs[0], 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2), "recently-used entry was evicted");
+        cache.get_or_build(&specs[1], 0).unwrap();
+        assert_eq!(cache.stats().1, misses_before + 1, "LRU entry rebuilt");
+    }
+
+    #[test]
+    fn oversized_single_graph_still_builds_and_is_kept() {
+        let mut cache = GraphCache::with_capacity_bytes(16);
+        let spec: GraphSpec = "cycle:100".parse().unwrap();
+        let a = cache.get_or_build(&spec, 0).unwrap();
+        assert_eq!(cache.len(), 1, "the newest entry is never evicted");
+        let b = cache.get_or_build(&spec, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A second graph displaces the idle one immediately.
+        let other: GraphSpec = "cycle:101".parse().unwrap();
+        cache.get_or_build(&other, 0).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // Evicted-but-held graphs stay alive through their Arc.
+        assert_eq!(a.n(), 100);
     }
 }

@@ -15,13 +15,26 @@
 //! * [`spec`] — [`GraphSpec`]: every family as a parseable/printable
 //!   value (`"hypercube:10"`, `"grid:32x32"`, `"gnp:2000:0.01"`, …), the
 //!   declarative entry point the `SimSpec` API builds on.
+//! * [`topology`] — the [`Topology`] trait every simulation kernel
+//!   reads its graph through, with two backend families: the CSR
+//!   [`Graph`] and **implicit** O(1)-memory structured families
+//!   (`complete`, `cycle`, `cyclepower`, `circulant`, `grid`, `torus`,
+//!   `hypercube`) that compute adjacency on the fly. Backends agree bit
+//!   for bit: sorted neighbour enumeration, pick-token resolution, and
+//!   RNG sampling are identical, so `backend=csr|implicit` is an
+//!   execution detail, never part of a result's identity.
 
 pub mod cache;
 pub mod csr;
 pub mod generators;
 pub mod props;
 pub mod spec;
+pub mod topology;
 
 pub use cache::GraphCache;
 pub use csr::{Graph, GraphError, VertexId};
-pub use spec::{GraphSpec, GraphSpecError};
+pub use spec::{GraphSpec, GraphSpecError, IMPLICIT_FAMILIES};
+pub use topology::{
+    Backend, BuiltTopology, CirculantTopo, CompleteTopo, GraphShape, GridTopo, HypercubeTopo,
+    Topology, TorusTopo, BACKEND_CHOICES,
+};

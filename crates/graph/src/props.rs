@@ -6,6 +6,7 @@
 //! lazy variant).
 
 use crate::csr::{Graph, VertexId};
+use crate::topology::Topology;
 use cobra_util::BitSet;
 use std::collections::VecDeque;
 
@@ -13,8 +14,10 @@ use std::collections::VecDeque;
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// BFS distances from `src`; `UNREACHABLE` for vertices in other
-/// components.
-pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+/// components. Generic over the graph backend, so `hit:far` resolution
+/// and diameter probes run on implicit topologies without materializing
+/// any adjacency.
+pub fn bfs_distances<T: Topology>(g: &T, src: VertexId) -> Vec<u32> {
     assert!((src as usize) < g.n(), "bfs source out of range");
     let mut dist = vec![UNREACHABLE; g.n()];
     let mut queue = VecDeque::new();
@@ -22,19 +25,19 @@ pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for &w in g.neighbors(u) {
+        g.for_each_neighbor(u, |w| {
             if dist[w as usize] == UNREACHABLE {
                 dist[w as usize] = du + 1;
                 queue.push_back(w);
             }
-        }
+        });
     }
     dist
 }
 
 /// Multi-source BFS distances: entry `v` is the hop distance from the
 /// nearest source, `UNREACHABLE` outside the sources' components.
-pub fn bfs_distances_multi(g: &Graph, sources: &[VertexId]) -> Vec<u32> {
+pub fn bfs_distances_multi<T: Topology>(g: &T, sources: &[VertexId]) -> Vec<u32> {
     assert!(!sources.is_empty(), "bfs needs at least one source");
     let mut dist = vec![UNREACHABLE; g.n()];
     let mut queue = VecDeque::new();
@@ -47,12 +50,12 @@ pub fn bfs_distances_multi(g: &Graph, sources: &[VertexId]) -> Vec<u32> {
     }
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
-        for &w in g.neighbors(u) {
+        g.for_each_neighbor(u, |w| {
             if dist[w as usize] == UNREACHABLE {
                 dist[w as usize] = du + 1;
                 queue.push_back(w);
             }
-        }
+        });
     }
     dist
 }
@@ -61,7 +64,10 @@ pub fn bfs_distances_multi(g: &Graph, sources: &[VertexId]) -> Vec<u32> {
 /// ties — the deterministic resolution behind the `hit:far` objective.
 /// `Err(v)` names a vertex unreachable from every source (a hitting
 /// time to it cannot terminate).
-pub fn farthest_vertex(g: &Graph, sources: &[VertexId]) -> Result<(VertexId, u32), VertexId> {
+pub fn farthest_vertex<T: Topology>(
+    g: &T,
+    sources: &[VertexId],
+) -> Result<(VertexId, u32), VertexId> {
     let dist = bfs_distances_multi(g, sources);
     if let Some(v) = dist.iter().position(|&d| d == UNREACHABLE) {
         return Err(v as VertexId);
@@ -76,7 +82,7 @@ pub fn farthest_vertex(g: &Graph, sources: &[VertexId]) -> Result<(VertexId, u32
 
 /// True iff the graph is connected. The empty graph counts as connected;
 /// a single vertex does too.
-pub fn is_connected(g: &Graph) -> bool {
+pub fn is_connected<T: Topology>(g: &T) -> bool {
     if g.n() <= 1 {
         return true;
     }
@@ -167,7 +173,7 @@ pub fn is_bipartite(g: &Graph) -> bool {
 
 /// Eccentricity of `src` (longest BFS distance); `None` if the graph is
 /// disconnected.
-pub fn eccentricity(g: &Graph, src: VertexId) -> Option<u32> {
+pub fn eccentricity<T: Topology>(g: &T, src: VertexId) -> Option<u32> {
     let dist = bfs_distances(g, src);
     let mut ecc = 0;
     for &d in &dist {

@@ -36,6 +36,10 @@
 
 use crate::csr::Graph;
 use crate::generators;
+use crate::topology::{
+    Backend, BuiltTopology, CirculantTopo, CompleteTopo, GridTopo, HypercubeTopo, TorusTopo,
+    MAX_LATTICE_DIMS,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -183,6 +187,18 @@ pub const FAMILY_USAGES: &[(&str, &str)] = &[
     ("regular", "regular:N:R"),
     ("ba", "ba:N:M"),
     ("ws", "ws:N:K:BETA"),
+];
+
+/// The families with an implicit O(1)-memory backend (see
+/// [`crate::topology`]) — quoted by `backend=implicit` rejections.
+pub const IMPLICIT_FAMILIES: &[&str] = &[
+    "complete",
+    "cycle",
+    "cyclepower",
+    "circulant",
+    "grid",
+    "torus",
+    "hypercube",
 ];
 
 fn family_list() -> String {
@@ -415,8 +431,11 @@ fn parse_graph_spec(s: &str) -> Result<GraphSpec, GraphSpecError> {
             }
             other => {
                 return Err(GraphSpecError::new(format!(
-                    "unknown graph family {other:?} (valid families: {})",
-                    family_list()
+                    "unknown graph family {other:?} (valid families: {}; families {} \
+                     also offer backend={})",
+                    family_list(),
+                    IMPLICIT_FAMILIES.join(", "),
+                    crate::topology::BACKEND_CHOICES.join("|"),
                 )));
             }
         };
@@ -583,6 +602,84 @@ impl GraphSpec {
             }
         };
         Ok(g)
+    }
+
+    /// True when this spec has an implicit O(1)-memory backend (see
+    /// [`crate::topology`]): the structured families `complete`,
+    /// `cycle`, `cyclepower`, `circulant`, `grid`, `torus`, and
+    /// `hypercube` (lattices up to [`MAX_LATTICE_DIMS`] non-trivial
+    /// dimensions).
+    pub fn has_implicit(&self) -> bool {
+        match self {
+            GraphSpec::Complete { .. }
+            | GraphSpec::Cycle { .. }
+            | GraphSpec::CyclePower { .. }
+            | GraphSpec::Circulant { .. }
+            | GraphSpec::Hypercube { .. } => true,
+            GraphSpec::Grid { dims } | GraphSpec::Torus { dims } => {
+                dims.iter().filter(|&&s| s >= 2).count() <= MAX_LATTICE_DIMS
+            }
+            _ => false,
+        }
+    }
+
+    /// The implicit backend for this spec, when one exists. Parameter
+    /// contracts mirror the CSR generators exactly (same asserts), so
+    /// the two backends accept the same spec set.
+    fn build_implicit(&self) -> Option<BuiltTopology> {
+        if !self.has_implicit() {
+            return None;
+        }
+        Some(match self {
+            GraphSpec::Complete { n } => BuiltTopology::Complete(CompleteTopo::new(*n)),
+            GraphSpec::Cycle { n } => BuiltTopology::Circulant(CirculantTopo::cycle(*n)),
+            GraphSpec::CyclePower { n, k } => {
+                BuiltTopology::Circulant(CirculantTopo::cycle_power(*n, *k))
+            }
+            GraphSpec::Circulant { n, offsets } => {
+                BuiltTopology::Circulant(CirculantTopo::new(*n, offsets))
+            }
+            GraphSpec::Grid { dims } => BuiltTopology::Grid(GridTopo::new(dims)),
+            GraphSpec::Torus { dims } => BuiltTopology::Torus(TorusTopo::new(dims)),
+            GraphSpec::Hypercube { d } => BuiltTopology::Hypercube(HypercubeTopo::new(*d)),
+            _ => unreachable!("has_implicit covered the families"),
+        })
+    }
+
+    /// Materialises the graph behind the chosen [`Backend`]:
+    ///
+    /// * [`Backend::Auto`] — implicit for the structured families that
+    ///   have one (zero edge storage), CSR otherwise;
+    /// * [`Backend::Csr`] — always the materialized adjacency;
+    /// * [`Backend::Implicit`] — required implicit; families without
+    ///   one are rejected with an error naming the supported set.
+    ///
+    /// Both backends of one spec denote the *same* graph — sorted
+    /// neighbour enumeration and RNG sampling agree bit for bit — so
+    /// the backend is an execution detail, never part of a result's
+    /// identity. Deterministic families ignore `seed` exactly as
+    /// [`GraphSpec::build`] does.
+    pub fn build_topology(
+        &self,
+        seed: u64,
+        backend: Backend,
+    ) -> Result<BuiltTopology, GraphSpecError> {
+        self.validate()?;
+        match backend {
+            Backend::Csr => Ok(BuiltTopology::Csr(self.build(seed)?)),
+            Backend::Auto => match self.build_implicit() {
+                Some(t) => Ok(t),
+                None => Ok(BuiltTopology::Csr(self.build(seed)?)),
+            },
+            Backend::Implicit => self.build_implicit().ok_or_else(|| {
+                GraphSpecError::new(format!(
+                    "{self} has no implicit backend (implicit families: {}, lattices up \
+                     to {MAX_LATTICE_DIMS} non-trivial dimensions); use backend=csr or \
+                     backend=auto",
+                    IMPLICIT_FAMILIES.join(", ")
+                ))
+            }),
+        }
     }
 }
 

@@ -32,7 +32,7 @@
 //! [`run_trials`]: crate::runner::run_trials
 
 use crate::runner::{run_trials_with, RunConfig};
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Topology, VertexId};
 use cobra_process::{BoxedProcess, ProcessSpec, ProcessState, ProcessView, StepCtx};
 
 /// When a trial stops stepping (the round cap always applies on top).
@@ -140,7 +140,7 @@ impl Observer for Trajectory {
 /// responsible for reseeding `ctx` and resetting `process` beforehand;
 /// given the same post-reset state and seed, the outcome is identical
 /// whichever layer invokes it.
-pub fn run_trial<'g, P, Ob>(
+pub fn run_trial<'g, T, P, Ob>(
     process: &mut P,
     ctx: &mut StepCtx,
     stop: StopWhen,
@@ -148,7 +148,8 @@ pub fn run_trial<'g, P, Ob>(
     mut observer: Ob,
 ) -> Ob::Output
 where
-    P: ProcessState<'g>,
+    T: Topology,
+    P: ProcessState<'g, T>,
     Ob: Observer,
 {
     observer.on_start(process);
@@ -221,7 +222,7 @@ impl Engine {
     ///
     /// The trial loop monomorphizes over `P`, so the per-round stop
     /// check and `step` call compile to direct, inlinable code.
-    pub fn run<'g, P, F, R, Ob, G>(
+    pub fn run<'g, T, P, F, R, Ob, G>(
         &self,
         stop: StopWhen,
         make_state: F,
@@ -229,7 +230,8 @@ impl Engine {
         make_observer: G,
     ) -> Vec<Ob::Output>
     where
-        P: ProcessState<'g>,
+        T: Topology,
+        P: ProcessState<'g, T>,
         F: Fn() -> P + Sync,
         R: Fn(&mut P, usize, &mut StepCtx) + Sync,
         Ob: Observer,
@@ -250,14 +252,15 @@ impl Engine {
 
     /// [`Engine::run`] with the no-op observer: one [`TrialOutcome`]
     /// per trial.
-    pub fn run_outcomes<'g, P, F, R>(
+    pub fn run_outcomes<'g, T, P, F, R>(
         &self,
         stop: StopWhen,
         make_state: F,
         reset: R,
     ) -> Vec<TrialOutcome>
     where
-        P: ProcessState<'g>,
+        T: Topology,
+        P: ProcessState<'g, T>,
         F: Fn() -> P + Sync,
         R: Fn(&mut P, usize, &mut StepCtx) + Sync,
     {
@@ -267,15 +270,18 @@ impl Engine {
     /// [`Engine::run`] for a parsed [`ProcessSpec`] — the type-erased
     /// path string-driven entry points (CLI, config files) use. The
     /// [`BoxedProcess`] is built once per worker and reset per trial.
-    pub fn run_spec<'g, Ob, G>(
+    /// Generic over the graph backend: CSR graphs and implicit
+    /// topologies run through the same loop, bit-identically.
+    pub fn run_spec<'g, T, Ob, G>(
         &self,
-        g: &'g Graph,
+        g: &'g T,
         spec: &ProcessSpec,
         start: &[VertexId],
         stop: StopWhen,
         make_observer: G,
     ) -> Vec<Ob::Output>
     where
+        T: Topology + Sync,
         Ob: Observer,
         G: Fn(usize) -> Ob + Sync,
         Ob::Output: Send,
@@ -283,15 +289,15 @@ impl Engine {
         self.run(
             stop,
             || spec.build(g, start),
-            |p: &mut BoxedProcess<'g>, _, _| p.reset(g, start),
+            |p: &mut BoxedProcess<'g, T>, _, _| p.reset(g, start),
             make_observer,
         )
     }
 
     /// [`Engine::run_spec`] with the no-op observer.
-    pub fn run_spec_outcomes(
+    pub fn run_spec_outcomes<T: Topology + Sync>(
         &self,
-        g: &Graph,
+        g: &T,
         spec: &ProcessSpec,
         start: &[VertexId],
         stop: StopWhen,

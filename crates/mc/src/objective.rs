@@ -35,7 +35,7 @@
 //!   never materializes a sample vector.
 
 use crate::engine::{StopWhen, TrialOutcome};
-use cobra_graph::{props, Graph, VertexId};
+use cobra_graph::{props, Topology, VertexId};
 use cobra_stats::streaming::StreamingSummary;
 use std::fmt;
 use std::str::FromStr;
@@ -101,10 +101,10 @@ impl Objective {
         )
     }
 
-    /// Checks the objective against a concrete graph and start set;
-    /// errors name the offending token and say why the estimand cannot
-    /// terminate.
-    pub fn validate(&self, g: &Graph, start: &[VertexId]) -> Result<(), String> {
+    /// Checks the objective against a concrete graph and start set
+    /// (any [`Topology`] backend); errors name the offending token and
+    /// say why the estimand cannot terminate.
+    pub fn validate<T: Topology>(&self, g: &T, start: &[VertexId]) -> Result<(), String> {
         match self {
             Objective::Cover | Objective::Trajectory => Ok(()),
             Objective::Hit(target) => self.resolve_hit(g, start, *target).map(|_| ()),
@@ -124,7 +124,7 @@ impl Objective {
     /// The engine stop condition this objective denotes on `g` from
     /// `start` (resolving `hit:far` and infection thresholds against
     /// the concrete graph).
-    pub fn stop_when(&self, g: &Graph, start: &[VertexId]) -> Result<StopWhen, String> {
+    pub fn stop_when<T: Topology>(&self, g: &T, start: &[VertexId]) -> Result<StopWhen, String> {
         match self {
             Objective::Cover => Ok(StopWhen::Complete),
             Objective::Hit(target) => Ok(StopWhen::Reached(self.resolve_hit(g, start, *target)?)),
@@ -150,9 +150,9 @@ impl Objective {
 
     /// The concrete hitting target (`hit:far` resolves to the
     /// BFS-farthest vertex from the start set, lowest id on ties).
-    pub fn resolve_hit(
+    pub fn resolve_hit<T: Topology>(
         &self,
-        g: &Graph,
+        g: &T,
         start: &[VertexId],
         target: HitTarget,
     ) -> Result<VertexId, String> {

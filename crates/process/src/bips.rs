@@ -27,7 +27,7 @@
 
 use crate::branching::{Branching, Laziness};
 use crate::state::{ProcessState, ProcessView, StepCtx};
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Graph, Topology, VertexId};
 use cobra_util::BitSet;
 use rand::rngs::SmallRng;
 use rand::RngExt;
@@ -41,10 +41,10 @@ pub enum BipsMode {
     Bernoulli,
 }
 
-/// A running BIPS process.
+/// A running BIPS process, generic over the graph backend.
 #[derive(Debug, Clone)]
-pub struct Bips<'g> {
-    g: &'g Graph,
+pub struct Bips<'g, T: Topology = Graph> {
+    g: &'g T,
     source: VertexId,
     branching: Branching,
     laziness: Laziness,
@@ -62,10 +62,10 @@ pub struct Bips<'g> {
     touched: Vec<VertexId>,
 }
 
-impl<'g> Bips<'g> {
+impl<'g, T: Topology> Bips<'g, T> {
     /// Starts BIPS with the given persistent source.
     pub fn new(
-        g: &'g Graph,
+        g: &'g T,
         source: VertexId,
         branching: Branching,
         laziness: Laziness,
@@ -91,7 +91,7 @@ impl<'g> Bips<'g> {
     }
 
     /// The canonical process of the paper: `b = 2`, non-lazy, fast path.
-    pub fn b2(g: &'g Graph, source: VertexId) -> Self {
+    pub fn b2(g: &'g T, source: VertexId) -> Self {
         Bips::new(
             g,
             source,
@@ -178,14 +178,18 @@ impl<'g> Bips<'g> {
 
     fn step_bernoulli(&mut self, rng: &mut SmallRng) {
         let n = self.g.n();
-        // d_A(u) for every u adjacent to the infected set.
+        // d_A(u) for every u adjacent to the infected set (neighbours
+        // enumerate in sorted order on every backend, so `touched`
+        // order — and the Bernoulli draw order below — is
+        // backend-invariant).
+        let (g, d_a, touched) = (self.g, &mut self.d_a, &mut self.touched);
         for &w in &self.infected_list {
-            for &u in self.g.neighbors(w) {
-                if self.d_a[u as usize] == 0 {
-                    self.touched.push(u);
+            g.for_each_neighbor(w, |u| {
+                if d_a[u as usize] == 0 {
+                    touched.push(u);
                 }
-                self.d_a[u as usize] += 1;
-            }
+                d_a[u as usize] += 1;
+            });
         }
         let mut next = std::mem::replace(&mut self.next, BitSet::new(0));
         next.clear();
@@ -238,7 +242,7 @@ impl<'g> Bips<'g> {
     }
 }
 
-impl ProcessView for Bips<'_> {
+impl<T: Topology> ProcessView for Bips<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -252,8 +256,8 @@ impl ProcessView for Bips<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for Bips<'g> {
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+impl<'g, T: Topology> ProcessState<'g, T> for Bips<'g, T> {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "BIPS needs a source");
         let source = start[0];
         assert!((source as usize) < g.n(), "source vertex out of range");

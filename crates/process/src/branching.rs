@@ -1,6 +1,6 @@
 //! Branching factors and laziness, shared by COBRA and BIPS.
 
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Topology, VertexId};
 use rand::rngs::SmallRng;
 use rand::RngExt;
 
@@ -86,16 +86,19 @@ pub enum Laziness {
 }
 
 impl Laziness {
-    /// Draws one pick for vertex `v` under this laziness policy.
+    /// Draws one pick for vertex `v` under this laziness policy. The
+    /// RNG consumption is identical on every backend (one
+    /// `random_range(0..degree)` per neighbour pick), so trajectories
+    /// are backend-invariant.
     #[inline]
-    pub fn pick(&self, g: &Graph, v: VertexId, rng: &mut SmallRng) -> VertexId {
+    pub fn pick<T: Topology>(&self, g: &T, v: VertexId, rng: &mut SmallRng) -> VertexId {
         match self {
-            Laziness::None => g.random_neighbor(v, rng),
+            Laziness::None => g.sample_neighbor(v, rng),
             Laziness::Half => {
                 if rng.random_bool(0.5) {
                     v
                 } else {
-                    g.random_neighbor(v, rng)
+                    g.sample_neighbor(v, rng)
                 }
             }
         }

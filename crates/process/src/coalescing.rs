@@ -8,13 +8,14 @@
 
 use crate::branching::Laziness;
 use crate::state::{ProcessState, ProcessView, StepCtx};
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Graph, Topology, VertexId};
 use cobra_util::BitSet;
 
-/// `k` coalescing random walks tracking their joint visited set.
+/// `k` coalescing random walks tracking their joint visited set,
+/// generic over the graph backend.
 #[derive(Debug, Clone)]
-pub struct CoalescingWalks<'g> {
-    g: &'g Graph,
+pub struct CoalescingWalks<'g, T: Topology = Graph> {
+    g: &'g T,
     laziness: Laziness,
     /// Particle count a single-vertex reset re-derives (spaced starts).
     k: usize,
@@ -27,9 +28,9 @@ pub struct CoalescingWalks<'g> {
     merges: u64,
 }
 
-impl<'g> CoalescingWalks<'g> {
+impl<'g, T: Topology> CoalescingWalks<'g, T> {
     /// Starts particles at `starts` (duplicates coalesce immediately).
-    pub fn new(g: &'g Graph, starts: &[VertexId], laziness: Laziness) -> Self {
+    pub fn new(g: &'g T, starts: &[VertexId], laziness: Laziness) -> Self {
         let mut walks = CoalescingWalks {
             g,
             laziness,
@@ -47,7 +48,7 @@ impl<'g> CoalescingWalks<'g> {
     /// `k` particles at vertices evenly spaced from `start` — the
     /// deterministic placement [`crate::ProcessSpec::build`] uses when a
     /// multi-particle spec is given a single start vertex.
-    pub fn new_spaced(g: &'g Graph, start: VertexId, k: usize, laziness: Laziness) -> Self {
+    pub fn new_spaced(g: &'g T, start: VertexId, k: usize, laziness: Laziness) -> Self {
         assert!(k >= 1, "need at least one particle");
         let mut walks = CoalescingWalks {
             g,
@@ -97,7 +98,7 @@ pub(crate) fn spaced_starts(n: usize, start: VertexId, k: usize) -> impl Iterato
     (0..k).map(move |i| (((start as usize) + i * n / k) % n) as VertexId)
 }
 
-impl ProcessView for CoalescingWalks<'_> {
+impl<T: Topology> ProcessView for CoalescingWalks<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -115,11 +116,11 @@ impl ProcessView for CoalescingWalks<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for CoalescingWalks<'g> {
+impl<'g, T: Topology> ProcessState<'g, T> for CoalescingWalks<'g, T> {
     /// Several starts place one particle each (duplicates coalesce); a
     /// single start re-derives `k` evenly spaced particles, matching
     /// [`crate::ProcessSpec::build`]'s convention.
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "need at least one particle");
         self.g = g;
         if self.visited.len() != g.n() {

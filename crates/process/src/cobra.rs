@@ -14,37 +14,43 @@
 //! trajectory is bit-identical):
 //!
 //! 1. **draw** — for every active vertex, sample its `b` neighbour
-//!    indices into the pick buffer (absolute CSR positions);
-//! 2. **resolve** — gather the destination vertices from the CSR
-//!    adjacency array;
+//!    indices into the pick buffer (absolute pick tokens from
+//!    [`Topology::neighbor_range`]);
+//! 2. **resolve** — map pick tokens to destination vertices via
+//!    [`Topology::resolve_pick`]: a flat-array gather on the CSR
+//!    backend, pure arithmetic on the implicit backends;
 //! 3. **coalesce** — mark destinations first-wins into the next
 //!    frontier and the visited set.
 //!
 //! Splitting the passes removes the unpredictable coalescing branch
 //! from the memory-bound sampling loop and lets software prefetch keep
 //! several independent CSR loads in flight — about twice the per-pick
-//! throughput of the fused loop on large graphs.
+//! throughput of the fused loop on large graphs. The kernel is
+//! monomorphized per backend, and the RNG draws depend only on degrees
+//! (identical across backends), so trajectories are bit-identical on
+//! CSR and implicit representations of the same graph.
 
 use crate::branching::{Branching, Laziness};
-use crate::state::{prefetch_read, ProcessState, ProcessView, StepCtx};
-use cobra_graph::{Graph, VertexId};
+use crate::state::{ProcessState, ProcessView, StepCtx};
+use cobra_graph::{Graph, Topology, VertexId};
 use cobra_util::BitSet;
 
 /// Distance ahead of the current position the sampling loops prefetch.
 const PREFETCH_AHEAD: usize = 8;
 
 /// Pick-buffer tag for a lazy self-pick of vertex `v`, encoded as
-/// `usize::MAX - v`. CSR indices are bounded by `2m` which is far below
+/// `usize::MAX - v`. Valid pick tokens are bounded by
+/// [`Topology::pick_bound`], which every backend keeps far below
 /// `usize::MAX - n`, so the encodings cannot collide.
 #[inline]
 fn self_pick(v: VertexId) -> usize {
     usize::MAX - v as usize
 }
 
-/// A running COBRA process.
+/// A running COBRA process, generic over the graph backend.
 #[derive(Debug, Clone)]
-pub struct Cobra<'g> {
-    g: &'g Graph,
+pub struct Cobra<'g, T: Topology = Graph> {
+    g: &'g T,
     branching: Branching,
     laziness: Laziness,
     /// `C_t` as a duplicate-free list.
@@ -55,13 +61,13 @@ pub struct Cobra<'g> {
     transmissions: u64,
 }
 
-impl<'g> Cobra<'g> {
+impl<'g, T: Topology> Cobra<'g, T> {
     /// Starts COBRA from the vertices of `start` (deduplicated).
     ///
     /// Panics if `start` is empty, contains out-of-range ids, or if the
     /// graph has an isolated vertex in `start` (the process cannot push
     /// from it).
-    pub fn new(g: &'g Graph, start: &[VertexId], branching: Branching, laziness: Laziness) -> Self {
+    pub fn new(g: &'g T, start: &[VertexId], branching: Branching, laziness: Laziness) -> Self {
         branching.validate();
         let mut cobra = Cobra {
             g,
@@ -78,7 +84,7 @@ impl<'g> Cobra<'g> {
 
     /// Convenience constructor for the paper's canonical process:
     /// `b = 2`, non-lazy, started at a single vertex.
-    pub fn b2(g: &'g Graph, start: VertexId) -> Self {
+    pub fn b2(g: &'g T, start: VertexId) -> Self {
         Cobra::new(g, &[start], Branching::B2, Laziness::None)
     }
 
@@ -126,7 +132,7 @@ impl<'g> Cobra<'g> {
     }
 }
 
-impl ProcessView for Cobra<'_> {
+impl<T: Topology> ProcessView for Cobra<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -140,8 +146,8 @@ impl ProcessView for Cobra<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for Cobra<'g> {
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+impl<'g, T: Topology> ProcessState<'g, T> for Cobra<'g, T> {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "COBRA needs a nonempty start set");
         self.g = g;
         if self.visited.len() != g.n() {
@@ -174,7 +180,7 @@ impl<'g> ProcessState<'g> for Cobra<'g> {
                 use rand::RngExt;
                 for (i, &v) in self.active.iter().enumerate() {
                     if let Some(&vp) = self.active.get(i + PREFETCH_AHEAD) {
-                        prefetch_read(g.neighbor_range_ptr(vp));
+                        g.prefetch_neighbor_meta(vp);
                     }
                     let (base, deg) = g.neighbor_range(v);
                     assert!(deg > 0, "COBRA cannot push from isolated vertex {v}");
@@ -210,17 +216,17 @@ impl<'g> ProcessState<'g> for Cobra<'g> {
             }
         }
 
-        // Phase 2: gather destinations from the CSR adjacency array.
-        let flat = g.neighbor_flat();
+        // Phase 2: resolve pick tokens to destinations — a flat-array
+        // gather (with prefetch) on CSR, pure arithmetic on the
+        // implicit backends.
+        let bound = g.pick_bound();
         dests.reserve(picks.len());
         for (i, &k) in picks.iter().enumerate() {
             if let Some(&kp) = picks.get(i + PREFETCH_AHEAD) {
-                if kp < flat.len() {
-                    prefetch_read(unsafe { flat.as_ptr().add(kp) });
-                }
+                g.prefetch_pick(kp);
             }
-            let w = if k < flat.len() {
-                flat[k]
+            let w = if k < bound {
+                g.resolve_pick(k)
             } else {
                 (usize::MAX - k) as VertexId
             };

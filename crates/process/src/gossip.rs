@@ -8,13 +8,14 @@
 //! of that trade-off.
 
 use crate::state::{ProcessState, ProcessView, StepCtx};
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Graph, Topology, VertexId};
 use cobra_util::BitSet;
 
-/// A running PUSH process with configurable fanout.
+/// A running PUSH process with configurable fanout, generic over the
+/// graph backend.
 #[derive(Debug, Clone)]
-pub struct PushGossip<'g> {
-    g: &'g Graph,
+pub struct PushGossip<'g, T: Topology = Graph> {
+    g: &'g T,
     fanout: u32,
     informed: BitSet,
     informed_list: Vec<VertexId>,
@@ -22,10 +23,10 @@ pub struct PushGossip<'g> {
     transmissions: u64,
 }
 
-impl<'g> PushGossip<'g> {
+impl<'g, T: Topology> PushGossip<'g, T> {
     /// Starts with a single informed vertex pushing `fanout ≥ 1` copies
     /// per round.
-    pub fn new(g: &'g Graph, start: VertexId, fanout: u32) -> Self {
+    pub fn new(g: &'g T, start: VertexId, fanout: u32) -> Self {
         assert!(fanout >= 1, "fanout must be >= 1");
         let mut gossip = PushGossip {
             g,
@@ -51,7 +52,7 @@ impl<'g> PushGossip<'g> {
     }
 }
 
-impl ProcessView for PushGossip<'_> {
+impl<T: Topology> ProcessView for PushGossip<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -65,8 +66,8 @@ impl ProcessView for PushGossip<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for PushGossip<'g> {
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+impl<'g, T: Topology> ProcessState<'g, T> for PushGossip<'g, T> {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "gossip needs a start vertex");
         let start = start[0];
         assert!((start as usize) < g.n(), "start vertex out of range");
@@ -88,7 +89,7 @@ impl<'g> ProcessState<'g> for PushGossip<'g> {
         let newly = scratch.parts(self.g.n()).frontier;
         for &v in &self.informed_list {
             for _ in 0..self.fanout {
-                let w = self.g.random_neighbor(v, rng);
+                let w = self.g.sample_neighbor(v, rng);
                 self.transmissions += 1;
                 if self.informed.insert(w as usize) {
                     newly.push(w);
@@ -115,8 +116,8 @@ pub enum GossipMode {
 /// stay informed forever — the "unbounded memory" end of the trade-off
 /// COBRA sits on.
 #[derive(Debug, Clone)]
-pub struct Gossip<'g> {
-    g: &'g Graph,
+pub struct Gossip<'g, T: Topology = Graph> {
+    g: &'g T,
     mode: GossipMode,
     informed: BitSet,
     informed_list: Vec<VertexId>,
@@ -124,9 +125,9 @@ pub struct Gossip<'g> {
     transmissions: u64,
 }
 
-impl<'g> Gossip<'g> {
+impl<'g, T: Topology> Gossip<'g, T> {
     /// Starts with a single informed vertex.
-    pub fn new(g: &'g Graph, start: VertexId, mode: GossipMode) -> Self {
+    pub fn new(g: &'g T, start: VertexId, mode: GossipMode) -> Self {
         let mut gossip = Gossip {
             g,
             mode,
@@ -150,7 +151,7 @@ impl<'g> Gossip<'g> {
     }
 }
 
-impl ProcessView for Gossip<'_> {
+impl<T: Topology> ProcessView for Gossip<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -164,8 +165,8 @@ impl ProcessView for Gossip<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for Gossip<'g> {
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+impl<'g, T: Topology> ProcessState<'g, T> for Gossip<'g, T> {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "gossip needs a start vertex");
         let start = start[0];
         assert!((start as usize) < g.n(), "start vertex out of range");
@@ -189,7 +190,7 @@ impl<'g> ProcessState<'g> for Gossip<'g> {
         let pull = matches!(self.mode, GossipMode::Pull | GossipMode::PushPull);
         if push {
             for &v in &self.informed_list {
-                let w = self.g.random_neighbor(v, rng);
+                let w = self.g.sample_neighbor(v, rng);
                 self.transmissions += 1;
                 if !self.informed.contains(w as usize) && !newly.contains(&w) {
                     newly.push(w);
@@ -201,7 +202,7 @@ impl<'g> ProcessState<'g> for Gossip<'g> {
                 if self.informed.contains(u as usize) {
                     continue;
                 }
-                let w = self.g.random_neighbor(u, rng);
+                let w = self.g.sample_neighbor(u, rng);
                 self.transmissions += 1;
                 if self.informed.contains(w as usize) && !newly.contains(&u) {
                     newly.push(u);

@@ -35,6 +35,12 @@
 //! over `P: ProcessState`; [`ProcessSpec::build`] returns the
 //! [`BoxedProcess`] adapter for string-driven entry points. See
 //! [`state`] for the `StepCtx` ownership rules.
+//!
+//! Every process is additionally generic over the graph backend
+//! `T: cobra_graph::Topology` (default: the CSR `Graph`): the implicit
+//! O(1)-memory families step through the same monomorphized kernels
+//! with bit-identical trajectories, since all backends agree on sorted
+//! neighbour order and RNG consumption.
 
 pub mod bips;
 pub mod branching;

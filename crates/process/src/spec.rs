@@ -22,7 +22,7 @@
 use crate::branching::{Branching, Laziness};
 use crate::state::BoxedProcess;
 use crate::{Bips, BipsMode, CoalescingWalks, Cobra, Gossip, GossipMode, MultiWalk, RandomWalk};
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Topology, VertexId};
 use std::fmt;
 use std::str::FromStr;
 
@@ -342,10 +342,13 @@ impl ProcessSpec {
         }
     }
 
-    /// Instantiates the process on `g` from the given start set, as a
-    /// type-erased [`BoxedProcess`] ready to step (the thin adapter the
-    /// string-driven CLI path hands to the engine; build once per
-    /// worker, then [`crate::ProcessState::reset`] per trial).
+    /// Instantiates the process on `g` (any [`Topology`] backend) from
+    /// the given start set, as a type-erased [`BoxedProcess`] ready to
+    /// step (the thin adapter the string-driven CLI path hands to the
+    /// engine; build once per worker, then
+    /// [`crate::ProcessState::reset`] per trial). The box erases the
+    /// process, not the backend, so stepping stays monomorphized over
+    /// `T`.
     ///
     /// Single-source processes (BIPS, random walk, gossip) use
     /// `start[0]`. `walks:K`/`coalescing:K` given a single start place
@@ -357,7 +360,7 @@ impl ProcessSpec {
     ///
     /// Panics if `start` is empty or contains out-of-range vertices (the
     /// same contract as the process constructors).
-    pub fn build<'g>(&self, g: &'g Graph, start: &[VertexId]) -> BoxedProcess<'g> {
+    pub fn build<'g, T: Topology>(&self, g: &'g T, start: &[VertexId]) -> BoxedProcess<'g, T> {
         assert!(!start.is_empty(), "process needs a nonempty start set");
         match self {
             ProcessSpec::Cobra {

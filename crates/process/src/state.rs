@@ -34,7 +34,7 @@
 //!   lives in the `ProcessState` implementor itself and is recycled by
 //!   `reset` without reallocating.
 
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Graph, Topology, VertexId};
 use cobra_util::BitSet;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -79,10 +79,17 @@ pub trait ProcessView {
 /// its persistent buffers. `step` advances exactly one round, drawing
 /// randomness from the [`StepCtx`] and borrowing its scratch buffers.
 ///
+/// The trait is generic over the graph backend `T:`[`Topology`]
+/// (defaulting to the CSR [`Graph`]); every process monomorphizes per
+/// backend, so implicit O(1)-memory topologies step through exactly the
+/// same zero-allocation kernels as CSR graphs — with bit-identical
+/// trajectories, since backends agree on sorted neighbour order and RNG
+/// consumption.
+///
 /// `reset` must not draw from the context RNG: the trial seed's stream
 /// belongs entirely to the rounds, which is what keeps outcomes
 /// bit-identical to the historical build-per-trial API.
-pub trait ProcessState<'g>: ProcessView {
+pub trait ProcessState<'g, T: Topology = Graph>: ProcessView {
     /// Restores the state to round 0 on `g` with the given start set,
     /// reusing existing allocations wherever the graph size allows.
     ///
@@ -90,7 +97,7 @@ pub trait ProcessState<'g>: ProcessView {
     /// convention (single-source processes use `start[0]`; the
     /// multi-particle walks re-derive their placements from a single
     /// start exactly as [`crate::ProcessSpec::build`] does).
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]);
+    fn reset(&mut self, g: &'g T, start: &[VertexId]);
 
     /// Advances one synchronous round.
     fn step(&mut self, ctx: &mut StepCtx);
@@ -112,10 +119,12 @@ pub trait ProcessState<'g>: ProcessView {
 /// A type-erased process state — the thin adapter the string-spec
 /// ([`crate::ProcessSpec`]) CLI entry point hands to the engine. Built
 /// once per worker and reset per trial, so even the dynamic path
-/// allocates only at worker start-up.
-pub type BoxedProcess<'g> = Box<dyn ProcessState<'g> + 'g>;
+/// allocates only at worker start-up. The erasure is over the *process*
+/// only; the graph backend stays a concrete type parameter, so stepping
+/// through the box still reads the topology with no double dispatch.
+pub type BoxedProcess<'g, T = Graph> = Box<dyn ProcessState<'g, T> + 'g>;
 
-impl<'g> ProcessView for BoxedProcess<'g> {
+impl<'g, T: Topology> ProcessView for BoxedProcess<'g, T> {
     fn rounds(&self) -> usize {
         (**self).rounds()
     }
@@ -136,8 +145,8 @@ impl<'g> ProcessView for BoxedProcess<'g> {
     }
 }
 
-impl<'g> ProcessState<'g> for BoxedProcess<'g> {
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+impl<'g, T: Topology> ProcessState<'g, T> for BoxedProcess<'g, T> {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         (**self).reset(g, start)
     }
     fn step(&mut self, ctx: &mut StepCtx) {
@@ -251,19 +260,6 @@ impl Scratch {
             mark: &mut self.mark,
         }
     }
-}
-
-/// Issues a best-effort prefetch of the cache line holding `p`. The
-/// batched phase-1/phase-2 sampling loops use it to keep several
-/// independent CSR loads in flight; a no-op on non-x86 targets.
-#[inline(always)]
-pub fn prefetch_read<T>(p: *const T) {
-    #[cfg(target_arch = "x86_64")]
-    unsafe {
-        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = p;
 }
 
 #[cfg(test)]

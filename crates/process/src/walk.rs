@@ -7,22 +7,23 @@
 
 use crate::branching::Laziness;
 use crate::state::{ProcessState, ProcessView, StepCtx};
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Graph, Topology, VertexId};
 use cobra_util::BitSet;
 
-/// A single random walk tracking its visited set.
+/// A single random walk tracking its visited set, generic over the
+/// graph backend.
 #[derive(Debug, Clone)]
-pub struct RandomWalk<'g> {
-    g: &'g Graph,
+pub struct RandomWalk<'g, T: Topology = Graph> {
+    g: &'g T,
     laziness: Laziness,
     position: VertexId,
     visited: BitSet,
     rounds: usize,
 }
 
-impl<'g> RandomWalk<'g> {
+impl<'g, T: Topology> RandomWalk<'g, T> {
     /// Starts a walk at `start`.
-    pub fn new(g: &'g Graph, start: VertexId, laziness: Laziness) -> Self {
+    pub fn new(g: &'g T, start: VertexId, laziness: Laziness) -> Self {
         let mut walk = RandomWalk {
             g,
             laziness,
@@ -67,7 +68,7 @@ impl<'g> RandomWalk<'g> {
     }
 }
 
-impl ProcessView for RandomWalk<'_> {
+impl<T: Topology> ProcessView for RandomWalk<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -81,8 +82,8 @@ impl ProcessView for RandomWalk<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for RandomWalk<'g> {
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+impl<'g, T: Topology> ProcessState<'g, T> for RandomWalk<'g, T> {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "walk needs a start vertex");
         let start = start[0];
         assert!((start as usize) < g.n(), "start vertex out of range");
@@ -107,8 +108,8 @@ impl<'g> ProcessState<'g> for RandomWalk<'g> {
 /// `k` independent random walks advanced in synchronous rounds; the
 /// visited set is the union.
 #[derive(Debug, Clone)]
-pub struct MultiWalk<'g> {
-    g: &'g Graph,
+pub struct MultiWalk<'g, T: Topology = Graph> {
+    g: &'g T,
     laziness: Laziness,
     /// Number of walkers a single-vertex reset re-creates.
     k: usize,
@@ -117,10 +118,10 @@ pub struct MultiWalk<'g> {
     rounds: usize,
 }
 
-impl<'g> MultiWalk<'g> {
+impl<'g, T: Topology> MultiWalk<'g, T> {
     /// Starts `starts.len()` walkers at the given vertices (duplicates
     /// allowed: walkers are distinguishable and never coalesce).
-    pub fn new(g: &'g Graph, starts: &[VertexId], laziness: Laziness) -> Self {
+    pub fn new(g: &'g T, starts: &[VertexId], laziness: Laziness) -> Self {
         let mut walk = MultiWalk {
             g,
             laziness,
@@ -134,7 +135,7 @@ impl<'g> MultiWalk<'g> {
     }
 
     /// All walkers at the same start vertex.
-    pub fn new_at(g: &'g Graph, start: VertexId, k: usize, laziness: Laziness) -> Self {
+    pub fn new_at(g: &'g T, start: VertexId, k: usize, laziness: Laziness) -> Self {
         assert!(k >= 1, "need at least one walker");
         let mut walk = MultiWalk {
             g,
@@ -159,7 +160,7 @@ impl<'g> MultiWalk<'g> {
     }
 }
 
-impl ProcessView for MultiWalk<'_> {
+impl<T: Topology> ProcessView for MultiWalk<'_, T> {
     fn rounds(&self) -> usize {
         self.rounds
     }
@@ -173,11 +174,11 @@ impl ProcessView for MultiWalk<'_> {
     }
 }
 
-impl<'g> ProcessState<'g> for MultiWalk<'g> {
+impl<'g, T: Topology> ProcessState<'g, T> for MultiWalk<'g, T> {
     /// Several starts place one walker each; a single start re-creates
     /// the construction-time walker count `k` there (matching
     /// [`crate::ProcessSpec::build`]'s convention).
-    fn reset(&mut self, g: &'g Graph, start: &[VertexId]) {
+    fn reset(&mut self, g: &'g T, start: &[VertexId]) {
         assert!(!start.is_empty(), "need at least one walker");
         self.g = g;
         if self.visited.len() != g.n() {

@@ -36,7 +36,9 @@ pub mod prelude {
         StoppingEstimate, TrajectoryEstimate,
     };
     pub use cobra_campaign::{run_sweep, PointRecord, Store, SweepSpec};
-    pub use cobra_graph::{generators, props, Graph, GraphSpec, VertexId};
+    pub use cobra_graph::{
+        generators, props, Backend, BuiltTopology, Graph, GraphShape, GraphSpec, Topology, VertexId,
+    };
     pub use cobra_mc::{Engine, Observer, StopWhen};
     pub use cobra_process::{ProcessSpec, ProcessState, ProcessView, StepCtx};
     pub use cobra_util::BitSet;

@@ -7,9 +7,8 @@
 //! the content-addressed store sound: a cached record and a recomputed
 //! one are interchangeable.
 
-use cobra::sim::resolve_cap;
+use cobra::sim::resolve_cap_shape;
 use cobra_campaign::{artifact, run_sweep, Store, SweepSpec};
-use cobra_graph::Graph;
 use cobra_process::ProcessSpec;
 use std::path::PathBuf;
 
@@ -19,8 +18,8 @@ fn spec() -> SweepSpec {
     SWEEP.parse().expect("test sweep parses")
 }
 
-fn cap_policy(g: &Graph, p: &ProcessSpec) -> usize {
-    resolve_cap(g, p, None)
+fn cap_policy(shape: cobra_graph::GraphShape, p: &ProcessSpec) -> usize {
+    resolve_cap_shape(shape, p, None)
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

@@ -52,6 +52,41 @@ fn hitting_time_objective_reproduces_pre_refactor_outcomes() {
 }
 
 #[test]
+fn golden_outcomes_are_backend_invariant() {
+    // Every fixture row whose family has an implicit backend must
+    // reproduce the recordings on BOTH backends — the acceptance bar of
+    // the pluggable-topology redesign. (The default `auto` backend
+    // already runs these rows implicitly in the test above; this pins
+    // the forced-backend spellings against each other too.)
+    use cobra_graph::Backend;
+    for &(process, graph, want) in GOLDEN {
+        let gspec: cobra_graph::GraphSpec = graph.parse().unwrap();
+        if !gspec.has_implicit() {
+            continue;
+        }
+        let run = |backend: Backend| {
+            spec(process, graph)
+                .with_backend(backend)
+                .run_observed(StopWhen::Complete, |_| Completion)
+                .unwrap()
+        };
+        let csr = run(Backend::Csr);
+        let implicit = run(Backend::Implicit);
+        assert_eq!(
+            csr, implicit,
+            "{process} on {graph}: backends diverged per-trial"
+        );
+        for (i, (o, (rounds, reached, tx))) in implicit.iter().zip(want).enumerate() {
+            assert_eq!(
+                (o.rounds, o.reached, o.transmissions),
+                (Some(rounds), reached, tx),
+                "{process} on {graph}, trial {i}: implicit backend drifted from the recording"
+            );
+        }
+    }
+}
+
+#[test]
 fn golden_outcomes_are_thread_count_invariant() {
     // The recording was made sequentially; the parallel path must agree
     // for every family (worker-state reuse must not leak across trials).

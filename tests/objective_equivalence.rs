@@ -179,8 +179,8 @@ fn campaign_records_are_the_measure_path_under_the_point_seed() {
     for planned in &plan.points {
         let p = &planned.point;
         let mut ctx = StepCtx::new();
-        let record = run_point(p, &planned.graph, &mut ctx);
-        let via_measure = SimSpec::new(&*planned.graph, p.process.clone())
+        let record = run_point(p, &planned.topology, &mut ctx);
+        let via_measure = SimSpec::new(p.graph.clone(), p.process.clone())
             .with_start(p.start)
             .with_trials(p.trials)
             .with_seed(p.seed)
