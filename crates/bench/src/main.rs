@@ -17,6 +17,9 @@
 //! cobra-exps run --process bips:rho0.5 --graph gnp:2000:0.01 --objective hit:far
 //! cobra-exps run --process cobra:b2 --graph cycle:64 --objective infection:0.5 --dry-run
 //!
+//! # billion-vertex scale: partitioned vertex state over the implicit backend:
+//! cobra-exps run --process cobra:b2 --graph hypercube:30 --shards 8 --trials 1
+//!
 //! # whole parameter grids (objective axes included), cached and resumable:
 //! cobra-exps sweep 'cover; graph=hypercube:{10..16}; process=cobra:b{1,2,3}; trials=64'
 //! cobra-exps sweep 'objective={cover,hit:far,infection:1.0}; graph=hypercube:{8..12}; process=cobra:b{1,2}; trials=32'
@@ -220,6 +223,7 @@ fn run_subcommand(args: &[String]) -> ExitCode {
     let mut start: u32 = 0;
     let mut target: Option<u32> = None;
     let mut backend = cobra::Backend::Auto;
+    let mut shards: usize = 1;
     let mut dry_run = false;
     let mut verbose = false;
     let mut format = Format::Plain;
@@ -267,6 +271,11 @@ fn run_subcommand(args: &[String]) -> ExitCode {
             }),
             "--backend" | "-B" => value("--backend")
                 .and_then(|v| v.parse().map(|v| backend = v).map_err(|e: String| e)),
+            "--shards" | "-S" => value("--shards").and_then(|v| {
+                v.parse()
+                    .map(|v| shards = v)
+                    .map_err(|e| format!("--shards: {e}"))
+            }),
             "--dry-run" | "-n" => {
                 dry_run = true;
                 Ok(())
@@ -332,6 +341,7 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         .with_seed(seed)
         .with_threads(threads)
         .with_backend(backend)
+        .with_shards(shards)
         .with_objective(objective);
     spec.cap = cap;
 
@@ -388,6 +398,16 @@ fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<
     println!(
         "  backend:   {} (graph resident ~{} bytes)",
         resolved.backend, resolved.graph_bytes
+    );
+    println!(
+        "  shards:    {}{} (per-shard state ~{} bytes: visited + frontier + scratch)",
+        resolved.shards,
+        if resolved.shards == 1 {
+            " (unsharded engine)"
+        } else {
+            ""
+        },
+        resolved.shard_state_bytes
     );
     println!("  objective: {}", spec.objective);
     println!("  stop when: {:?}", resolved.stop);
@@ -479,6 +499,7 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
     let mut spec_arg: Option<String> = None;
     let mut objective_axis: Option<String> = None;
     let mut backend_override: Option<cobra::Backend> = None;
+    let mut shards_override: Option<usize> = None;
     let mut dry_run = false;
     let mut threads: usize = 0;
     let mut store_root = PathBuf::from("campaigns");
@@ -499,6 +520,11 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
                 v.parse()
                     .map(|v| backend_override = Some(v))
                     .map_err(|e: String| e)
+            }),
+            "--shards" | "-S" => value("--shards").and_then(|v| {
+                v.parse()
+                    .map(|v| shards_override = Some(v))
+                    .map_err(|e| format!("--shards: {e}"))
             }),
             "--dry-run" | "-n" => {
                 dry_run = true;
@@ -575,6 +601,16 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
         // --backend overrides the spec's backend= segment; results are
         // identical either way, only memory/speed change.
         spec.backend = backend;
+    }
+    if let Some(shards) = shards_override {
+        if shards == 0 {
+            eprintln!("--shards must be >= 1 (1 = the unsharded engine)");
+            return ExitCode::FAILURE;
+        }
+        // --shards overrides the spec's shards= segment. Unlike
+        // --backend this changes every point's content key (and the
+        // derived store name): sharded points are different points.
+        spec.shards = shards;
     }
     let name = spec.name();
     let store_dir = store_root.join(&name);
@@ -727,7 +763,7 @@ fn print_sweep_help() {
          \u{20}      cobra-exps sweep @grid.sweep [options]\n\
          \n\
          spec grammar: <objectives>; graph=<patterns>; process=<patterns>; trials=N\n\
-         \u{20}             [; start=V] [; seed=S] [; cap=C] [; name=N]\n\
+         \u{20}             [; start=V] [; seed=S] [; cap=C] [; name=N] [; shards=S]\n\
          \u{20} e.g.  'cover; graph=hypercube:{{10..16}}; process=cobra:b{{1,2,3}}; trials=64'\n\
          \u{20}       'objective={{cover,hit:far,infection:1.0}}; graph=hypercube:{{8..12}};\n\
          \u{20}        process=cobra:b{{1,2}}; trials=32'\n\
@@ -737,6 +773,9 @@ fn print_sweep_help() {
          options: --objective AXIS (override the spec's objective axis)\n\
          \u{20}        --backend auto|csr|implicit (override the spec's backend= segment;\n\
          \u{20}        never changes results — backends are bit-identical)\n\
+         \u{20}        --shards N (override the spec's shards= segment; unlike --backend\n\
+         \u{20}        this is part of every point's content key — sharded points are\n\
+         \u{20}        different points)\n\
          \u{20}        --dry-run (show resolved objectives/caps + cache hits, run nothing)\n\
          \u{20}        --threads N (auto)  --store DIR (campaigns)  --no-store\n\
          \u{20}        --csv | --markdown  --plot\n\
@@ -771,6 +810,7 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     // the committed pre-refactor baselines (which ran on CSR); pass
     // --backend implicit (or auto) to measure the implicit kernels.
     let mut backend = cobra::Backend::Csr;
+    let mut shards: usize = 1;
     let mut sweep_mode = false;
     // Engine-probe flags that are meaningless under --sweep (which
     // measures a fixed grid); mixing them is rejected, not ignored.
@@ -814,6 +854,14 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
                         engine_flags.push("--backend");
                     })
                     .map_err(|e: String| e)
+            }),
+            "--shards" | "-S" => value("--shards").and_then(|v| {
+                v.parse()
+                    .map(|v| {
+                        shards = v;
+                        engine_flags.push("--shards");
+                    })
+                    .map_err(|e| format!("--shards: {e}"))
             }),
             "--sweep" => {
                 sweep_mode = true;
@@ -868,8 +916,9 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     let measured = match topo.as_csr() {
         Some(g) => SimSpec::new(g, spec.process.clone())
             .with_seed(seed)
+            .with_shards(shards)
             .with_trials(trials),
-        None => spec.clone().with_trials(trials),
+        None => spec.clone().with_shards(shards).with_trials(trials),
     };
 
     // Warm-up batch, then the measured batch.
@@ -885,6 +934,7 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
         ("scenario", Json::Str(process.clone())),
         ("graph", Json::Str(graph.clone())),
         ("backend", Json::Str(backend_name.to_string())),
+        ("shards", Json::Int(shards as i128)),
         ("n", Json::Int(n as i128)),
         ("m", Json::Int(m as i128)),
         ("trials", Json::Int(trials as i128)),
@@ -1026,6 +1076,8 @@ fn print_bench_help() {
          \u{20}        --seed S (0xBE7C)  --label L (current)  --out FILE (BENCH_cover.json)\n\
          \u{20}        --backend auto|csr|implicit (compare graph backends on one scenario,\n\
          \u{20}                 e.g. labels csr:hypercube:16 / implicit:hypercube:16)\n\
+         \u{20}        --shards N (run the sharded engine; record shard-scaling entries,\n\
+         \u{20}                 e.g. labels shards1:hypercube:20 .. shards8:hypercube:20)\n\
          \u{20}        --sweep (measure campaign points/sec over a fixed small grid\n\
          \u{20}                 instead of engine rounds/sec; default label 'sweep')\n\
          \n\
@@ -1051,6 +1103,8 @@ fn print_run_help() {
          \u{20}        --trials N (30)  --seed S  --threads T (auto)  --cap C (derived)\n\
          \u{20}        --start V (0)  --backend auto|csr|implicit (auto: implicit for\n\
          \u{20}        structured families — hypercube:24 runs in O(1) graph memory)\n\
+         \u{20}        --shards N (1 = unsharded; partitions vertex state across N\n\
+         \u{20}        worker shards — part of the result's identity, unlike --backend)\n\
          \u{20}        --dry-run (print the resolved backend, objective, stop\n\
          \u{20}        condition, and cap; run nothing)  --verbose (print, then run)\n\
          \u{20}        --csv | --markdown"

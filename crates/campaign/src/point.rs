@@ -45,12 +45,18 @@ pub struct SweepPoint {
     pub trials: usize,
     /// Resolved per-trial round cap (explicit or from the cap policy).
     pub cap: usize,
+    /// Worker shards per trial (`1` = the unsharded engine). Part of
+    /// the content key when `> 1`: the shard count fixes the per-shard
+    /// RNG streams, so it changes the sampled trajectory — unlike the
+    /// graph backend, which never enters the key.
+    pub shards: usize,
     /// Key-derived master seed for this point's trials.
     pub seed: u64,
 }
 
 impl SweepPoint {
     /// Resolves a point and derives its seed from `(master, key)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn resolve(
         graph: GraphSpec,
         process: ProcessSpec,
@@ -58,6 +64,7 @@ impl SweepPoint {
         start: VertexId,
         trials: usize,
         cap: usize,
+        shards: usize,
         master_seed: u64,
     ) -> SweepPoint {
         let mut point = SweepPoint {
@@ -67,6 +74,7 @@ impl SweepPoint {
             start,
             trials,
             cap,
+            shards,
             seed: 0,
         };
         point.seed = key_seed(master_seed, &point.spec_key());
@@ -75,15 +83,26 @@ impl SweepPoint {
 
     /// The seedless content key: every result-affecting parameter in
     /// canonical spelling, plus the code-version tag.
+    ///
+    /// `shards=` appears only when `> 1` — the shard count changes the
+    /// sampled trajectory, so it is result-affecting, but the
+    /// unsharded spelling stays byte-identical to what pre-sharding
+    /// stores wrote (their records remain warm).
     pub fn spec_key(&self) -> String {
+        let shards = if self.shards > 1 {
+            format!("shards={};", self.shards)
+        } else {
+            String::new()
+        };
         format!(
-            "{};graph={};process={};start={};trials={};cap={};{}",
+            "{};graph={};process={};start={};trials={};cap={};{}{}",
             self.objective,
             self.graph,
             self.process,
             self.start,
             self.trials,
             self.cap,
+            shards,
             CODE_VERSION
         )
     }
@@ -113,6 +132,7 @@ mod tests {
             0,
             trials,
             10_000,
+            1,
             0xC0B7A,
         )
     }
@@ -135,12 +155,43 @@ mod tests {
             f.start,
             f.trials,
             f.cap,
+            1,
             0xC0B7A,
         );
         for other in [&c, &d, &e, &f] {
             assert_ne!(a.seed, other.seed);
             assert_ne!(a.digest_hex(), other.digest_hex());
         }
+    }
+
+    #[test]
+    fn shard_count_is_part_of_the_key_but_one_is_silent() {
+        let unsharded = point("hypercube:6", "cobra:b2", 8);
+        let sharded = SweepPoint::resolve(
+            "hypercube:6".parse().unwrap(),
+            "cobra:b2".parse().unwrap(),
+            Objective::Cover,
+            0,
+            8,
+            10_000,
+            4,
+            0xC0B7A,
+        );
+        // shards=1 keys are byte-identical to the pre-sharding spelling
+        // (old store records stay warm) …
+        assert!(
+            !unsharded.spec_key().contains("shards"),
+            "{:?}",
+            unsharded.spec_key()
+        );
+        // … while shards>1 is a distinct point: new key, new seed.
+        assert!(
+            sharded.spec_key().contains("shards=4;"),
+            "{:?}",
+            sharded.spec_key()
+        );
+        assert_ne!(unsharded.seed, sharded.seed);
+        assert_ne!(unsharded.digest_hex(), sharded.digest_hex());
     }
 
     #[test]
@@ -172,6 +223,7 @@ mod tests {
             p.start,
             p.trials,
             p.cap,
+            1,
             0xC0B7A,
         );
         assert!(

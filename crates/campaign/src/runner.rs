@@ -25,9 +25,10 @@ use cobra_graph::{
     with_topology, Backend, BuiltTopology, Graph, GraphCache, GraphShape, GraphSpec, Topology,
 };
 use cobra_mc::{
-    key_seed, run_jobs, run_trial, trial_seed, Completion, Objective, StoppingAccumulator,
+    key_seed, run_jobs, run_sharded_trial, run_trial, trial_seed, Completion, Objective,
+    StoppingAccumulator,
 };
-use cobra_process::{ProcessSpec, ProcessState, StepCtx};
+use cobra_process::{ProcessSpec, ProcessState, ShardedState, StepCtx};
 use std::sync::{Arc, Mutex};
 
 /// How a point with no explicit cap resolves one, given its graph's
@@ -195,6 +196,12 @@ pub fn plan_sweep(
             PlannedTopology::Csr(shared)
         };
         check_point(spec, &objective, &gspec, &topology)?;
+        if spec.shards > 1 && pspec.shard_kernel().is_none() {
+            return Err(CampaignError::Invalid(format!(
+                "process {pspec} cannot run sharded (shardable processes: cobra, bips); \
+                 use shards=1"
+            )));
+        }
         let cap = spec
             .cap
             .unwrap_or_else(|| cap_policy(topology.shape(), &pspec));
@@ -205,6 +212,7 @@ pub fn plan_sweep(
             spec.start,
             spec.trials,
             cap,
+            spec.shards,
             spec.seed,
         );
         let key = point.digest_hex();
@@ -351,13 +359,22 @@ where
 /// exactly `trial_seed(point.seed, i)`, the same derivation the engine
 /// uses, so this matches `Engine::run_spec` under
 /// `master_seed = point.seed` bit-for-bit — and the record's summary
-/// matches `SimSpec::measure` on the equivalent spec.
+/// matches `SimSpec::measure` on the equivalent spec. Points with
+/// `shards > 1` run on the sharded engine instead, whose per-shard
+/// streams derive from the same trial seeds.
 pub fn run_point(point: &SweepPoint, topology: &PlannedTopology, ctx: &mut StepCtx) -> PointRecord {
     on_planned!(topology, |g| run_point_on(point, g, ctx))
 }
 
 /// [`run_point`] monomorphized over a concrete backend.
-pub fn run_point_on<T: Topology>(point: &SweepPoint, graph: &T, ctx: &mut StepCtx) -> PointRecord {
+pub fn run_point_on<T: Topology + Sync>(
+    point: &SweepPoint,
+    graph: &T,
+    ctx: &mut StepCtx,
+) -> PointRecord {
+    if point.shards > 1 {
+        return run_point_sharded(point, graph);
+    }
     let start = [point.start];
     let stop = point
         .objective
@@ -369,6 +386,45 @@ pub fn run_point_on<T: Topology>(point: &SweepPoint, graph: &T, ctx: &mut StepCt
         ctx.reseed(trial_seed(point.seed, trial as u64));
         process.reset(graph, &start);
         acc.push(&run_trial(&mut process, ctx, stop, point.cap, Completion));
+    }
+    let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
+    PointRecord::from_estimate(
+        point,
+        (graph.n(), graph.m()),
+        &acc.finish(point.cap),
+        total_transmissions,
+        total_reached,
+    )
+}
+
+/// The sharded sibling of [`run_point_on`]: one reusable
+/// [`ShardedState`] across the point's trials, each trial seeded
+/// `trial_seed(point.seed, i)` exactly like the unsharded path (the
+/// per-shard streams then derive from that trial seed). Shards run on
+/// the calling worker thread — the campaign already parallelizes at
+/// the job level, and the trajectory is thread-count-invariant anyway.
+fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> PointRecord {
+    let start = [point.start];
+    let stop = point
+        .objective
+        .stop_when(graph, &start)
+        .expect("plan_sweep validated every point objective");
+    let kernel = point
+        .process
+        .shard_kernel()
+        .expect("plan_sweep validated every sharded point's process");
+    let mut state = ShardedState::new(graph, kernel, point.shards);
+    let mut acc = StoppingAccumulator::new();
+    for trial in 0..point.trials {
+        let outcome = run_sharded_trial(
+            &mut state,
+            trial_seed(point.seed, trial as u64),
+            point.start,
+            stop,
+            point.cap,
+            1,
+        );
+        acc.push(&outcome);
     }
     let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
     PointRecord::from_estimate(
@@ -590,6 +646,49 @@ mod tests {
         assert_eq!(out.records[1], out.records[3], "cycle:9 twice, same record");
         assert_eq!(out.records[2], out.records[4]);
         assert_eq!(store.len(), 4, "store holds each key once");
+    }
+
+    #[test]
+    fn sharded_points_are_distinct_keys_and_reproducible() {
+        let mut store = Store::in_memory();
+        let base: SweepSpec = "cover; graph=hypercube:6; process=cobra:b2; trials=4"
+            .parse()
+            .unwrap();
+        let sharded: SweepSpec = "cover; graph=hypercube:6; process=cobra:b2; trials=4; shards=4"
+            .parse()
+            .unwrap();
+        let a = run_sweep(&base, &mut store, 1, &default_cap).unwrap();
+        // shards=4 is a distinct content key: nothing served from the
+        // unsharded record, even in the same store.
+        let b = run_sweep(&sharded, &mut store, 1, &default_cap).unwrap();
+        assert_eq!((b.computed, b.cached), (1, 0));
+        assert_ne!(a.records[0].key, b.records[0].key);
+        assert_ne!(a.records[0].seed, b.records[0].seed);
+        // A re-run of the sharded sweep is fully cached and identical,
+        // whatever the worker count.
+        let c = run_sweep(&sharded, &mut store, 4, &default_cap).unwrap();
+        assert_eq!((c.computed, c.cached), (0, 1));
+        assert_eq!(b.records, c.records);
+        // Computed fresh in a clean store, the sharded record matches
+        // bit for bit (key-derived seeds, thread-invariant kernel).
+        let fresh = run_sweep(&sharded, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        assert_eq!(b.records, fresh.records);
+        // Every trial still covers the whole graph.
+        assert_eq!(b.records[0].total_reached, 4 * 64);
+    }
+
+    #[test]
+    fn sharded_sweep_rejects_unshardable_processes() {
+        let spec: SweepSpec = "cover; graph=cycle:12; process=rw; trials=2; shards=2"
+            .parse()
+            .unwrap();
+        let err = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("cobra, bips") && err.contains("shards=1"),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -20,12 +20,18 @@
 //! | `seed` | campaign master seed | `0xC0B7A` |
 //! | `cap` | explicit per-trial round cap | derived per point |
 //! | `name` | campaign name (store directory) | `sweep-<digest>` |
+//! | `shards` | worker shards per trial (`1` = unsharded engine) | 1 |
 //! | `backend` | graph backend `auto`\|`csr`\|`implicit` | `auto` |
 //!
 //! The backend is an *execution* knob, not an identity one: backends
 //! produce bit-identical results, so it never enters a point's content
 //! key — records computed under `backend=csr` serve `backend=implicit`
 //! re-runs and vice versa.
+//!
+//! `shards` is the opposite: the shard count fixes which RNG stream
+//! draws each vertex's picks, so `shards=4` samples a different (equally
+//! valid) trajectory than `shards=1` and *is* part of every point's
+//! content key. Records never migrate across shard counts.
 //!
 //! Patterns expand with shell-style braces: `{a..b}` is an inclusive
 //! integer range, `{x,y,z}` a list, and multiple groups in one pattern
@@ -78,6 +84,11 @@ pub struct SweepSpec {
     /// Explicit campaign name; `None` derives `sweep-<digest>` from the
     /// canonical spec string.
     pub name: Option<String>,
+    /// Worker shards per trial (`1` = the unsharded engine). Unlike
+    /// `backend`, this *is* part of every point's content key: the
+    /// shard count fixes the per-shard RNG streams, so different shard
+    /// counts sample different (equally valid) trajectories.
+    pub shards: usize,
     /// Graph backend for every point (`auto` = implicit where
     /// available). Excluded from point content keys: backends are
     /// bit-identical, so the store is backend-agnostic.
@@ -100,6 +111,7 @@ impl SweepSpec {
             seed: DEFAULT_SEED,
             cap: None,
             name: None,
+            shards: 1,
             backend: Backend::Auto,
         };
         spec.expand_axes()?;
@@ -121,6 +133,18 @@ impl SweepSpec {
     /// Sets the graph backend for every point (results never change).
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the shard count for every point (`1` = unsharded). Unlike
+    /// the backend, this changes every point's content key — and its
+    /// sampled trajectory. Panics on `0`, mirroring the parser.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(
+            shards >= 1,
+            "shards must be >= 1 (1 = the unsharded engine)"
+        );
+        self.shards = shards;
         self
     }
 
@@ -147,7 +171,9 @@ impl SweepSpec {
     /// still resumes into the same store). The backend is excluded from
     /// the derivation — backends are bit-identical, so `backend=csr`
     /// and `backend=implicit` runs of one grid share a store and serve
-    /// each other's cached records.
+    /// each other's cached records. `shards=` stays in: the shard count
+    /// is part of every point's identity, so sharded and unsharded runs
+    /// of one grid are different campaigns.
     pub fn name(&self) -> String {
         match &self.name {
             Some(n) => n.clone(),
@@ -253,6 +279,9 @@ impl fmt::Display for SweepSpec {
         if let Some(name) = &self.name {
             write!(f, "; name={name}")?;
         }
+        if self.shards != 1 {
+            write!(f, "; shards={}", self.shards)?;
+        }
         if self.backend != Backend::Auto {
             write!(f, "; backend={}", self.backend)?;
         }
@@ -287,6 +316,7 @@ impl FromStr for SweepSpec {
         let mut seed = DEFAULT_SEED;
         let mut cap: Option<usize> = None;
         let mut name: Option<String> = None;
+        let mut shards = 1usize;
         let mut backend = Backend::Auto;
         for seg in segments {
             if seg.is_empty() {
@@ -295,7 +325,7 @@ impl FromStr for SweepSpec {
             let Some((key, value)) = seg.split_once('=') else {
                 return Err(CampaignError::Spec(format!(
                     "segment {seg:?} is not key=value (valid keys: objective, graph, \
-                     process, trials, start, seed, cap, name, backend)"
+                     process, trials, start, seed, cap, name, shards, backend)"
                 )));
             };
             let (key, value) = (key.trim(), value.trim());
@@ -332,11 +362,21 @@ impl FromStr for SweepSpec {
                     validate_name(value).map_err(CampaignError::Spec)?;
                     name = Some(value.to_string());
                 }
+                "shards" => {
+                    shards = parse_num("shard count")? as usize;
+                    if shards == 0 {
+                        return Err(CampaignError::Spec(
+                            "shards must be >= 1 (1 = the unsharded engine; unlike backend=, \
+                             shards= is part of every point's content key)"
+                                .into(),
+                        ));
+                    }
+                }
                 "backend" => backend = value.parse().map_err(CampaignError::Spec)?,
                 other => {
                     return Err(CampaignError::Spec(format!(
                         "unknown sweep key {other:?} (valid keys: objective, graph, process, \
-                         trials, start, seed, cap, name, backend)"
+                         trials, start, seed, cap, name, shards, backend)"
                     )));
                 }
             }
@@ -352,6 +392,7 @@ impl FromStr for SweepSpec {
             seed,
             cap,
             name,
+            shards,
             backend,
         };
         // Validate the whole expansion eagerly so a bad token fails at
@@ -490,9 +531,59 @@ mod tests {
              cap=1000; name=probe-1",
             "cover; graph=hypercube:{8..10}; process=cobra:b2; trials=8; backend=csr",
             "cover; graph=hypercube:8; process=cobra:b2; trials=8; backend=implicit",
+            "cover; graph=hypercube:{8..10}; process=cobra:b2; trials=8; shards=4",
+            "cover; graph=hypercube:20; process=bips:b2; trials=8; shards=8; backend=implicit",
         ] {
             roundtrip(s);
         }
+    }
+
+    #[test]
+    fn shards_parse_default_and_enter_derived_names() {
+        let plain: SweepSpec = "cover; graph=hypercube:8; process=cobra:b2; trials=4"
+            .parse()
+            .unwrap();
+        assert_eq!(plain.shards, 1, "default is the unsharded engine");
+        let sharded: SweepSpec = "cover; graph=hypercube:8; process=cobra:b2; trials=4; shards=4"
+            .parse()
+            .unwrap();
+        assert_eq!(sharded.shards, 4);
+        // shards=1 is the default and displays canonically bare.
+        let explicit_one: SweepSpec =
+            "cover; graph=hypercube:8; process=cobra:b2; trials=4; shards=1"
+                .parse()
+                .unwrap();
+        assert_eq!(explicit_one, plain);
+        // Unlike backend, the shard count changes the derived store
+        // name: a sharded campaign is a different campaign.
+        assert_ne!(plain.name(), sharded.name());
+        assert_eq!(
+            plain.name(),
+            plain.clone().with_backend(Backend::Csr).name()
+        );
+        // Zero is rejected with the identity semantics spelled out.
+        let err = "cover; graph=hypercube:8; process=cobra:b2; shards=0"
+            .parse::<SweepSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains(">= 1") && err.contains("content key"),
+            "{err:?}"
+        );
+        // Garbage names the value; unknown keys list shards.
+        let err = "cover; graph=hypercube:8; process=cobra:b2; shards=many"
+            .parse::<SweepSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("\"many\""), "{err:?}");
+        let err = "cover; graph=hypercube:8; process=cobra:b2; bogus=1"
+            .parse::<SweepSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("shards"),
+            "valid-keys list must name shards: {err:?}"
+        );
     }
 
     #[test]

@@ -68,8 +68,10 @@ use cobra_graph::{
     with_topology, Backend, BuiltTopology, Graph, GraphShape, GraphSpec, GraphSpecError, Topology,
     VertexId,
 };
-use cobra_mc::{Engine, Observer, StopWhen, Trajectory, TrialOutcome};
-use cobra_process::{Branching, ProcessSpec, ProcessSpecError};
+use cobra_mc::{run_sharded_trials, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
+use cobra_process::{
+    per_shard_state_bytes, Branching, ProcessSpec, ProcessSpecError, ShardedState,
+};
 use cobra_stats::streaming::StreamingSummary;
 use cobra_stats::Summary;
 use std::fmt;
@@ -240,6 +242,14 @@ pub struct SimSpec<'g> {
     /// bit-identical — only the memory/speed profile. Ignored for
     /// borrowed graphs (already CSR).
     pub backend: Backend,
+    /// Shard count for the partitioned trial engine. `1` (the default)
+    /// runs the unsharded engine; `> 1` partitions vertex state across
+    /// shards with per-shard RNG streams. **Part of the result's
+    /// identity** (unlike `backend`): a different shard count is a
+    /// different — equally valid — sample path, bit-reproducible for a
+    /// fixed count regardless of thread count. Only `cobra`/`bips`
+    /// processes and stopping objectives shard.
+    pub shards: usize,
 }
 
 impl<'g> SimSpec<'g> {
@@ -257,6 +267,7 @@ impl<'g> SimSpec<'g> {
             threads: 0,
             cap: None,
             backend: Backend::Auto,
+            shards: 1,
         }
     }
 
@@ -324,6 +335,13 @@ impl<'g> SimSpec<'g> {
         self
     }
 
+    /// Sets the shard count (1 = the unsharded engine). Unlike the
+    /// backend, this changes the sample path — see [`SimSpec::shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Materialises the graph as CSR (no-op for borrowed graphs),
     /// ignoring the backend override — the legacy path for callers
     /// that need slice-based adjacency. Random families are seeded from
@@ -364,6 +382,7 @@ impl<'g> SimSpec<'g> {
         if self.start.is_empty() {
             return Err(SimError::Invalid("start set is empty".into()));
         }
+        self.check_sharding()?;
         for &v in &self.start {
             if v as usize >= g.n() {
                 return Err(SimError::Invalid(format!(
@@ -375,6 +394,82 @@ impl<'g> SimSpec<'g> {
         self.objective
             .validate(g, &self.start)
             .map_err(SimError::Invalid)
+    }
+
+    /// Validates the shard configuration (graph-independent): positive
+    /// count; for `shards > 1`, a shardable process, a single start
+    /// vertex, and a stopping objective.
+    fn check_sharding(&self) -> Result<(), SimError> {
+        if self.shards == 0 {
+            return Err(SimError::Invalid(
+                "shards must be >= 1 (1 = the unsharded engine)".into(),
+            ));
+        }
+        if self.shards == 1 {
+            return Ok(());
+        }
+        if !self.process.is_shardable() {
+            return Err(SimError::Invalid(format!(
+                "process \"{}\" does not shard — the sharded engine partitions \
+                 set-valued vertex state (shardable processes: cobra, bips); \
+                 drop shards= or use shards=1",
+                self.process
+            )));
+        }
+        if self.start.len() != 1 {
+            return Err(SimError::Invalid(format!(
+                "sharded runs take a single start vertex (got {} starts)",
+                self.start.len()
+            )));
+        }
+        match self.objective {
+            Objective::Cover | Objective::Hit(_) | Objective::Infection { .. } => Ok(()),
+            Objective::Duality { .. } | Objective::Trajectory => Err(SimError::Invalid(format!(
+                "objective \"{}\" cannot run sharded — only the stopping \
+                 objectives (cover, hit:*, infection:*) do; use shards=1",
+                self.objective
+            ))),
+        }
+    }
+
+    /// Worker threads for the sharded engine's phases (the `threads`
+    /// knob with `0 = auto` resolved to the core count; never changes
+    /// results).
+    fn shard_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Runs the spec's trials through the sharded engine (`shards > 1`
+    /// only; `check` has already vetted the process and objective).
+    /// Trials run sequentially — the shards themselves are the
+    /// parallelism — under the same per-trial seed derivation as the
+    /// unsharded runner.
+    fn run_sharded_outcomes<T: Topology + Sync>(
+        &self,
+        g: &T,
+        stop: StopWhen,
+        cap: usize,
+    ) -> Vec<TrialOutcome> {
+        let kernel = self
+            .process
+            .shard_kernel()
+            .expect("check_sharding vetted the process");
+        let mut state = ShardedState::new(g, kernel, self.shards);
+        run_sharded_trials(
+            &mut state,
+            self.trials,
+            self.master_seed,
+            self.start[0],
+            stop,
+            cap,
+            self.shard_threads(),
+        )
     }
 
     /// The engine this spec resolves to, given its materialised graph
@@ -413,7 +508,11 @@ impl<'g> SimSpec<'g> {
             .objective
             .stop_when(g, &self.start)
             .map_err(SimError::Invalid)?;
-        let outcomes = engine.run_spec_outcomes(g, &self.process, &self.start, stop);
+        let outcomes = if self.shards > 1 {
+            self.run_sharded_outcomes(g, stop, engine.cap)
+        } else {
+            engine.run_spec_outcomes(g, &self.process, &self.start, stop)
+        };
         Ok(Estimate::from_outcomes(&outcomes, engine.cap))
     }
 
@@ -446,7 +545,11 @@ impl<'g> SimSpec<'g> {
                     .objective
                     .stop_when(g, &self.start)
                     .map_err(SimError::Invalid)?;
-                let outcomes = engine.run_spec_outcomes(g, &self.process, &self.start, stop);
+                let outcomes = if self.shards > 1 {
+                    self.run_sharded_outcomes(g, stop, engine.cap)
+                } else {
+                    engine.run_spec_outcomes(g, &self.process, &self.start, stop)
+                };
                 let mut acc = StoppingAccumulator::new();
                 for o in &outcomes {
                     acc.push(o);
@@ -526,6 +629,8 @@ impl<'g> SimSpec<'g> {
                 stop,
                 cap: engine.cap,
                 explicit_cap: self.cap.is_some(),
+                shards: self.shards,
+                shard_state_bytes: per_shard_state_bytes(g.n(), self.shards),
             })
         })
     }
@@ -596,6 +701,13 @@ pub struct ResolvedRun {
     /// True when the cap was given explicitly (vs derived from the
     /// paper's bounds).
     pub explicit_cap: bool,
+    /// Shard count of the partitioned engine (1 = unsharded).
+    pub shards: usize,
+    /// Resident vertex-state bytes *per shard* (the three local
+    /// bitsets: visited/infected, frontier, next) — what to budget
+    /// alongside [`ResolvedRun::graph_bytes`] when planning a
+    /// `hypercube:30`-scale run.
+    pub shard_state_bytes: usize,
 }
 
 /// The objective-shaped result of [`SimSpec::measure`].
@@ -1071,6 +1183,81 @@ mod tests {
             prop_assert_eq!(&back, &objective, "{} did not round-trip", text);
             prop_assert_eq!(back.to_string(), text);
         }
+    }
+
+    #[test]
+    fn sharded_runs_are_reproducible_and_thread_invariant() {
+        let spec = SimSpec::parse("hypercube:8", "cobra:b2")
+            .unwrap()
+            .with_trials(6)
+            .with_shards(4);
+        let seq = spec.clone().with_threads(1).run();
+        let par = spec.clone().with_threads(8).run();
+        assert_eq!(seq, par, "thread count changed a sharded result");
+        let again = spec.clone().with_threads(1).run();
+        assert_eq!(seq, again, "sharded rerun diverged");
+        assert_eq!(seq.censored, 0);
+        assert_eq!(seq.mean_reached, 256.0);
+        // The streaming measure() path agrees with the sample path.
+        let streamed = spec.measure().unwrap().into_stopping().unwrap();
+        assert_eq!(streamed, seq.to_streamed());
+    }
+
+    #[test]
+    fn shard_count_changes_the_sample_path() {
+        let run = |shards| {
+            SimSpec::parse("hypercube:9", "cobra:b2")
+                .unwrap()
+                .with_trials(4)
+                .with_shards(shards)
+                .run()
+        };
+        assert_ne!(
+            run(2).samples,
+            run(4).samples,
+            "independent shard streams should not collide"
+        );
+    }
+
+    #[test]
+    fn sharded_spec_validation_names_the_offender() {
+        let err = SimSpec::parse("cycle:16", "rw")
+            .unwrap()
+            .with_shards(4)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("cobra, bips"), "{err}");
+        let err = SimSpec::parse("cycle:16", "cobra:b2")
+            .unwrap()
+            .with_shards(2)
+            .with_objective(Objective::Trajectory)
+            .measure()
+            .unwrap_err();
+        assert!(err.to_string().contains("shards=1"), "{err}");
+        let err = SimSpec::parse("cycle:16", "cobra:b2")
+            .unwrap()
+            .with_shards(0)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains(">= 1"), "{err}");
+    }
+
+    #[test]
+    fn resolve_reports_per_shard_state_bytes() {
+        let r = SimSpec::parse("hypercube:20", "cobra:b2")
+            .unwrap()
+            .with_shards(8)
+            .resolve()
+            .unwrap();
+        assert_eq!(r.shards, 8);
+        // span = 2^20/8 = 2^17 local vertices → 16 KiB per bitset, ×3.
+        assert_eq!(r.shard_state_bytes, 3 * (1 << 14));
+        let unsharded = SimSpec::parse("hypercube:20", "cobra:b2")
+            .unwrap()
+            .resolve()
+            .unwrap();
+        assert_eq!(unsharded.shards, 1);
+        assert_eq!(unsharded.shard_state_bytes, 3 * (1 << 17));
     }
 
     #[test]

@@ -28,11 +28,13 @@ pub mod cache;
 pub mod csr;
 pub mod generators;
 pub mod props;
+pub mod shard;
 pub mod spec;
 pub mod topology;
 
 pub use cache::GraphCache;
 pub use csr::{Graph, GraphError, VertexId};
+pub use shard::ShardMap;
 pub use spec::{GraphSpec, GraphSpecError, IMPLICIT_FAMILIES};
 pub use topology::{
     Backend, BuiltTopology, CirculantTopo, CompleteTopo, GraphShape, GridTopo, HypercubeTopo,

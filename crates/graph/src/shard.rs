@@ -1,0 +1,192 @@
+//! Vertex-range sharding: the ownership model of the sharded trial
+//! engine.
+//!
+//! A [`ShardMap`] partitions the vertex universe `0..n` into `shards`
+//! contiguous id ranges of (near-)equal size. Shard `i` *owns* the
+//! vertices in [`ShardMap::range`]`(i)` — their visited/infected bits,
+//! their frontier membership, and the right to mutate them. Everything
+//! a worker needs to route an activation is two integer divisions:
+//! [`ShardMap::owner`] names the home shard of any vertex and
+//! [`ShardMap::local`] its offset inside that shard's span.
+//!
+//! The map is pure arithmetic over `(n, shards)` — like the implicit
+//! [`Topology`](crate::Topology) backends it typically pairs with, it
+//! stores no per-vertex data, so a billion-vertex partition is a
+//! three-word object. Contiguity is deliberate: a shard's bitsets cover
+//! one dense local span (cache-friendly, directly indexable by
+//! `v - range.start`), and range membership is a comparison, not a
+//! lookup.
+
+use std::ops::Range;
+
+/// A partition of `0..n` into `shards` contiguous, near-equal ranges.
+///
+/// Every shard except possibly the last owns exactly
+/// [`ShardMap::span`] vertices; the last owns the remainder (and
+/// trailing shards are empty when `shards > n`). The partition depends
+/// only on `(n, shards)`, so two runs with the same shard count agree
+/// on ownership — which is what makes `shards=` part of a result's
+/// identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    n: usize,
+    shards: usize,
+    span: usize,
+    /// `⌈2^64 / span⌉` (wrapped into a `u64`): Lemire's reciprocal,
+    /// turning the per-activation `owner` division into a widening
+    /// multiply. Exact for all 32-bit operands, which `VertexId = u32`
+    /// guarantees; `span == 1` (more shards than vertices) would need
+    /// `2^64` itself, so it takes a trivial branch instead.
+    magic: u64,
+}
+
+impl ShardMap {
+    /// Partitions `0..n` into `shards` ranges. `shards` must be
+    /// positive.
+    pub fn new(n: usize, shards: usize) -> ShardMap {
+        assert!(shards >= 1, "shard count must be positive");
+        // Empty universes keep a positive span so owner()/local()
+        // stay well-defined (they can never be called: no vertex).
+        let span = n.div_ceil(shards).max(1);
+        ShardMap {
+            n,
+            shards,
+            span,
+            magic: (u64::MAX / span as u64).wrapping_add(1),
+        }
+    }
+
+    /// The vertex universe size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards in the partition.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Vertices per full shard (`⌈n / shards⌉`): the span every shard's
+    /// local bitsets cover.
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// The shard owning vertex `v`. A widening multiply, not a
+    /// division — this sits on the per-activation routing path of the
+    /// sharded engine.
+    #[inline]
+    pub fn owner(&self, v: usize) -> usize {
+        debug_assert!(v < self.n, "vertex {v} outside universe {}", self.n);
+        debug_assert!(v >> 32 == 0, "reciprocal owner() needs 32-bit ids");
+        if self.span == 1 {
+            v
+        } else {
+            ((self.magic as u128 * v as u128) >> 64) as usize
+        }
+    }
+
+    /// `v`'s offset inside its owner's span.
+    #[inline]
+    pub fn local(&self, v: usize) -> usize {
+        debug_assert!(v < self.n, "vertex {v} outside universe {}", self.n);
+        v - self.owner(v) * self.span
+    }
+
+    /// `(owner, local)` in one reciprocal multiply — the routing
+    /// fast-path for callers that need both.
+    #[inline]
+    pub fn route(&self, v: usize) -> (usize, usize) {
+        let owner = self.owner(v);
+        (owner, v - owner * self.span)
+    }
+
+    /// The contiguous global-id range shard `i` owns (empty for
+    /// trailing shards when `shards > n`).
+    pub fn range(&self, i: usize) -> Range<usize> {
+        assert!(i < self.shards, "shard {i} out of range {}", self.shards);
+        let start = (i * self.span).min(self.n);
+        let end = ((i + 1) * self.span).min(self.n);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_universe() {
+        for (n, shards) in [(10, 1), (10, 3), (64, 4), (65, 4), (7, 8), (1, 1), (100, 7)] {
+            let map = ShardMap::new(n, shards);
+            let mut covered = 0;
+            for i in 0..shards {
+                let r = map.range(i);
+                assert_eq!(r.start, covered, "gap before shard {i} ({n}/{shards})");
+                covered = r.end;
+                for v in r.clone() {
+                    assert_eq!(map.owner(v), i, "owner mismatch at {v} ({n}/{shards})");
+                    assert_eq!(map.local(v), v - r.start);
+                    assert!(map.local(v) < map.span());
+                }
+            }
+            assert_eq!(covered, n, "ranges do not tile 0..{n}");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(1000, 1);
+        assert_eq!(map.range(0), 0..1000);
+        assert_eq!(map.owner(999), 0);
+        assert_eq!(map.local(999), 999);
+        assert_eq!(map.span(), 1000);
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_trailing_shards_empty() {
+        let map = ShardMap::new(3, 8);
+        assert_eq!(map.span(), 1);
+        assert_eq!(map.range(2), 2..3);
+        assert!(map.range(5).is_empty());
+        assert_eq!(map.owner(2), 2);
+    }
+
+    #[test]
+    fn spans_are_balanced() {
+        // No shard exceeds ⌈n/S⌉ and non-trailing shards are full.
+        let map = ShardMap::new(1 << 20, 8);
+        for i in 0..8 {
+            assert_eq!(map.range(i).len(), (1 << 20) / 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_panics() {
+        ShardMap::new(10, 0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn reciprocal_owner_is_exact_at_the_u32_boundary() {
+        // The Lemire reciprocal is exact for 32-bit operands; probe the
+        // extreme universe (n = 2^32, the largest a u32 id space can
+        // name) at every shard-range boundary.
+        let n = 1usize << 32;
+        for shards in [1, 3, 7, 8] {
+            let map = ShardMap::new(n, shards);
+            for i in 0..shards {
+                let r = map.range(i);
+                for v in [r.start, r.start + (r.end - r.start) / 2, r.end - 1] {
+                    assert_eq!(map.owner(v), i, "n=2^32 shards={shards} v={v}");
+                    assert_eq!(map.local(v), v - r.start);
+                    assert_eq!(map.route(v), (i, v - r.start));
+                }
+            }
+        }
+    }
+}

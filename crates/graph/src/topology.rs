@@ -130,6 +130,15 @@ pub trait Topology {
             max_degree: self.max_degree(),
         }
     }
+
+    /// The [`ShardMap`](crate::shard::ShardMap) partitioning this
+    /// topology's vertices into `shards` contiguous owned ranges — the
+    /// ownership model of the sharded trial engine. Pure arithmetic
+    /// over `(n, shards)`; implicit backends need no shared graph state
+    /// to route an activation to its home shard.
+    fn shard_map(&self, shards: usize) -> crate::shard::ShardMap {
+        crate::shard::ShardMap::new(self.n(), shards)
+    }
 }
 
 /// The size parameters a round-cap policy needs, detached from any

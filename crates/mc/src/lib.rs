@@ -31,10 +31,12 @@ pub mod engine;
 pub mod objective;
 pub mod runner;
 pub mod seed;
+pub mod shard;
 
 pub use engine::{run_trial, Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
 pub use objective::{
     HitTarget, Objective, StoppingAccumulator, StoppingEstimate, OBJECTIVE_USAGES,
 };
 pub use runner::{run_jobs, run_trials, run_trials_with, RunConfig};
-pub use seed::{key_seed, trial_seed, SeedSequence};
+pub use seed::{key_seed, shard_seed, trial_seed, SeedSequence};
+pub use shard::{run_sharded_trial, run_sharded_trials};

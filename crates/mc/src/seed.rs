@@ -38,6 +38,18 @@ pub fn key_seed(master: u64, key: &str) -> u64 {
     trial_seed(master, cobra_util::hash::fnv1a_str(key))
 }
 
+/// The RNG seed for shard `shard` of a trial — the sharded engine's
+/// per-shard stream derivation.
+///
+/// Derived from the *trial* seed (itself from [`trial_seed`] or
+/// [`key_seed`]) keyed by `"shard:i"`, so every `(trial, shard)` pair
+/// owns an independent stream: stable across runs and thread counts,
+/// but dependent on the shard count through which vertices shard `i`
+/// owns — which is why `shards=` is part of a result's identity.
+pub fn shard_seed(trial_seed: u64, shard: usize) -> u64 {
+    key_seed(trial_seed, &format!("shard:{shard}"))
+}
+
 /// A stateful stream of seeds from one master seed.
 #[derive(Debug, Clone)]
 pub struct SeedSequence {
@@ -108,6 +120,17 @@ mod tests {
         let seeds: HashSet<u64> = keys.iter().map(|k| key_seed(7, k)).collect();
         assert_eq!(seeds.len(), keys.len());
         assert_ne!(key_seed(1, "a"), key_seed(2, "a"));
+    }
+
+    #[test]
+    fn shard_seeds_are_keyed_and_distinct() {
+        // Deterministic in (trial, shard)…
+        assert_eq!(shard_seed(99, 3), shard_seed(99, 3));
+        // …and literally the "shard:i" keyed stream.
+        assert_eq!(shard_seed(99, 3), key_seed(99, "shard:3"));
+        let seeds: HashSet<u64> = (0..64).map(|i| shard_seed(99, i)).collect();
+        assert_eq!(seeds.len(), 64, "shard streams collide");
+        assert_ne!(shard_seed(1, 0), shard_seed(2, 0));
     }
 
     #[test]

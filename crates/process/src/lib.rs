@@ -48,6 +48,7 @@ pub mod coalescing;
 pub mod cobra;
 pub mod gossip;
 pub mod serial;
+pub mod shard;
 pub mod spec;
 pub mod state;
 pub mod walk;
@@ -58,6 +59,7 @@ pub use coalescing::CoalescingWalks;
 pub use cobra::Cobra;
 pub use gossip::{Gossip, GossipMode, PushGossip};
 pub use serial::{SerialBips, StepRecord};
+pub use shard::{per_shard_state_bytes, ShardKernel, ShardedState};
 pub use spec::{ProcessSpec, ProcessSpecError};
 pub use state::{BoxedProcess, ProcessState, ProcessView, Scratch, ScratchParts, StepCtx};
 pub use walk::{MultiWalk, RandomWalk};

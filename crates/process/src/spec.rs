@@ -342,6 +342,43 @@ impl ProcessSpec {
         }
     }
 
+    /// The sharded-engine kernel for this process, or `None` for the
+    /// processes that do not shard (walk-like particle processes and
+    /// gossip, whose per-round updates are not vertex-partitionable).
+    ///
+    /// BIPS maps to the sharded Bernoulli law regardless of its
+    /// `exact`/fast-path mode — the two are law-identical, and the
+    /// sharded engine is a different sample path from the unsharded
+    /// one either way.
+    pub fn shard_kernel(&self) -> Option<crate::shard::ShardKernel> {
+        match self {
+            ProcessSpec::Cobra {
+                branching,
+                laziness,
+            } => Some(crate::shard::ShardKernel::Cobra {
+                branching: *branching,
+                laziness: *laziness,
+            }),
+            ProcessSpec::Bips {
+                branching,
+                laziness,
+                ..
+            } => Some(crate::shard::ShardKernel::Bips {
+                branching: *branching,
+                laziness: *laziness,
+            }),
+            ProcessSpec::RandomWalk { .. }
+            | ProcessSpec::MultiWalk { .. }
+            | ProcessSpec::CoalescingWalks { .. }
+            | ProcessSpec::Gossip { .. } => None,
+        }
+    }
+
+    /// True for processes the sharded engine can run (`cobra`, `bips`).
+    pub fn is_shardable(&self) -> bool {
+        self.shard_kernel().is_some()
+    }
+
     /// Instantiates the process on `g` (any [`Topology`] backend) from
     /// the given start set, as a type-erased [`BoxedProcess`] ready to
     /// step (the thin adapter the string-driven CLI path hands to the

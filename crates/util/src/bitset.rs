@@ -82,6 +82,23 @@ impl BitSet {
         }
     }
 
+    /// Sets `idx` without maintaining the `count()` accounting: a
+    /// branchless load-OR-store, vs [`insert`](Self::insert)'s
+    /// was-it-new test — a branch that coalescing arrival streams make
+    /// unpredictable. For write-heavy sets whose owner never reads
+    /// `count()` (the sharded COBRA frontier reads membership words,
+    /// not cardinality). `count()` is stale until the next
+    /// [`clear`](Self::clear) or [`union_with`](Self::union_with).
+    #[inline]
+    pub fn set_uncounted(&mut self, idx: usize) {
+        assert!(
+            idx < self.len,
+            "BitSet index {idx} out of range {}",
+            self.len
+        );
+        self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+    }
+
     /// Removes `idx`; returns true if it was present.
     #[inline]
     pub fn remove(&mut self, idx: usize) -> bool {
@@ -169,6 +186,32 @@ impl BitSet {
             ones += a.count_ones() as usize;
         }
         self.ones = ones;
+    }
+
+    /// The backing words, least-significant bit = lowest index. Bits at
+    /// positions `>= len()` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs `bits` into word `wi` and returns the mask of *newly set*
+    /// bits. The word-level primitive of the sharded engine's merge
+    /// pass (`visited |= next`, counting fresh coverage per word
+    /// instead of per bit). `bits` must not address positions `>=
+    /// len()`.
+    #[inline]
+    pub fn or_word(&mut self, wi: usize, bits: u64) -> u64 {
+        debug_assert!(
+            (wi + 1) * WORD_BITS <= self.len || bits >> (self.len - wi * WORD_BITS) == 0,
+            "or_word sets bits beyond len {}",
+            self.len
+        );
+        let w = &mut self.words[wi];
+        let new = bits & !*w;
+        *w |= bits;
+        self.ones += new.count_ones() as usize;
+        new
     }
 
     /// Builds a set from a list of indices (duplicates allowed).
@@ -270,6 +313,46 @@ mod tests {
         a.union_with(&b);
         assert_eq!(a.count(), 4);
         assert!(a.contains(4));
+    }
+
+    #[test]
+    fn or_word_reports_new_bits_and_maintains_count() {
+        let mut s = BitSet::new(130);
+        s.insert(1);
+        s.insert(64);
+        // Word 0: bit 1 already set, bits 0 and 3 are new.
+        assert_eq!(s.or_word(0, 0b1011), 0b1001);
+        assert_eq!(s.count(), 4);
+        // Idempotent re-OR reports nothing new.
+        assert_eq!(s.or_word(0, 0b1011), 0);
+        assert_eq!(s.count(), 4);
+        // Final partial word accepts in-range bits.
+        assert_eq!(s.or_word(2, 0b10), 0b10);
+        assert!(s.contains(129));
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 1, 3, 64, 129]);
+        assert_eq!(s.words()[0], 0b1011);
+    }
+
+    #[test]
+    fn set_uncounted_sets_membership_and_clear_resyncs() {
+        let mut s = BitSet::new(130);
+        s.set_uncounted(0);
+        s.set_uncounted(65);
+        s.set_uncounted(65);
+        assert!(s.contains(0) && s.contains(65));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 65]);
+        assert_eq!(s.words()[1], 0b10);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_uncounted_checks_bounds() {
+        let mut s = BitSet::new(10);
+        s.set_uncounted(10);
     }
 
     #[test]
