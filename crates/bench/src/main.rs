@@ -812,6 +812,7 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     let mut backend = cobra::Backend::Csr;
     let mut shards: usize = 1;
     let mut sweep_mode = false;
+    let mut ingest: Option<String> = None;
     // Engine-probe flags that are meaningless under --sweep (which
     // measures a fixed grid); mixing them is rejected, not ignored.
     let mut engine_flags: Vec<&str> = Vec::new();
@@ -867,6 +868,7 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
                 sweep_mode = true;
                 Ok(())
             }
+            "--ingest" => value("--ingest").map(|v| ingest = Some(v)),
             "--help" | "-h" => {
                 print_bench_help();
                 return ExitCode::SUCCESS;
@@ -880,6 +882,21 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
         }
     }
 
+    if let Some(path) = ingest {
+        if sweep_mode || !engine_flags.is_empty() {
+            eprintln!(
+                "bench --ingest measures graph loading only; {} cannot apply \
+                 (use --seed/--label/--out)",
+                if sweep_mode {
+                    "--sweep".to_string()
+                } else {
+                    engine_flags.join(", ")
+                }
+            );
+            return ExitCode::FAILURE;
+        }
+        return bench_ingest(&path, &label.unwrap_or_else(|| "ingest".to_string()), &out);
+    }
     if sweep_mode {
         if !engine_flags.is_empty() {
             eprintln!(
@@ -1028,6 +1045,69 @@ fn bench_sweep(seed: u64, label: &str, out: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `cobra-exps bench --ingest PATH` — measure graph *loading*, not
+/// simulation: a cold text parse of an edge-list file (which also
+/// writes the `.csrbin` binary cache) against a warm mmap open of that
+/// cache. Two entries land in the benchmark file, `<label>:cold` and
+/// `<label>:warm`, each recording wall time, the backend served, and
+/// the resident bytes of the representation — the warm entry's
+/// near-zero residency is the point of the mmap path. The graph is
+/// recorded by its content key (`file:@<digest>`), so the entry stays
+/// meaningful wherever the file lives.
+fn bench_ingest(path: &str, label: &str, out: &str) -> ExitCode {
+    use cobra_graph::{ingest, GraphSpec};
+    let spec: GraphSpec = match format!("file:{path}").parse() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Start cold: drop any existing binary cache for this file.
+    for giant in [false, true] {
+        let _ = std::fs::remove_file(ingest::cache_path(std::path::Path::new(path), giant));
+    }
+    let measure = |phase: &str, expect_backend: &str| -> Result<Json, String> {
+        let start = std::time::Instant::now();
+        let topo = spec
+            .build_topology(0, cobra::Backend::Auto)
+            .map_err(|e| e.to_string())?;
+        let wall = start.elapsed().as_secs_f64();
+        if topo.backend_name() != expect_backend {
+            return Err(format!(
+                "{phase} load served backend {:?}, expected {expect_backend:?}",
+                topo.backend_name()
+            ));
+        }
+        Ok(obj([
+            ("label", Json::Str(format!("{label}:{phase}"))),
+            ("scenario", Json::Str(format!("ingest:{phase}"))),
+            ("graph", Json::Str(spec.key_string())),
+            ("backend", Json::Str(topo.backend_name().to_string())),
+            ("n", Json::Int(topo.n() as i128)),
+            ("m", Json::Int(topo.m() as i128)),
+            ("resident_bytes", Json::Int(topo.memory_bytes() as i128)),
+            ("wall_seconds", Json::Float(round_places(wall, 4))),
+        ]))
+    };
+    // Cold: text parse + CSR build + `.csrbin` write. Warm: mmap open.
+    for (phase, backend) in [("cold", "csr"), ("warm", "mmap")] {
+        let entry = match measure(phase, backend) {
+            Ok(entry) => entry,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{entry}");
+        if let Err(e) = merge_bench_file(out, &format!("{label}:{phase}"), entry) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Merges `entry` into the label-keyed benchmark file (replacing any
 /// entry with the same label) and rewrites it, one entry per line.
 /// Returns the resulting entry list. A file that fails to parse is
@@ -1080,6 +1160,9 @@ fn print_bench_help() {
          \u{20}                 e.g. labels shards1:hypercube:20 .. shards8:hypercube:20)\n\
          \u{20}        --sweep (measure campaign points/sec over a fixed small grid\n\
          \u{20}                 instead of engine rounds/sec; default label 'sweep')\n\
+         \u{20}        --ingest PATH (measure edge-list loading: cold text parse vs\n\
+         \u{20}                 warm mmap of the .csrbin cache; entries <label>:cold\n\
+         \u{20}                 and <label>:warm, default label 'ingest')\n\
          \n\
          Entries are keyed by label; rerunning a label replaces its entry. When a\n\
          'pre-refactor' entry for the same scenario exists the speedup is printed."
@@ -1093,7 +1176,8 @@ fn print_run_help() {
          usage: cobra-exps run --graph <spec> --process <spec> [options]\n\
          \n\
          graph specs:   hypercube:10, grid:32x32, complete:64, gnp:2000:0.01,\n\
-         \u{20}              torus:8x8, regular:512:3, barbell:8:8, ... \n\
+         \u{20}              torus:8x8, regular:512:3, lollipop:64, barbell:64,\n\
+         \u{20}              rreg:1024:8, pa:5000:3, file:<path>[?component=giant], ...\n\
          process specs: cobra:b2, cobra:rho0.5:lazy, bips:b2:exact, rw,\n\
          \u{20}              walks:8, coalescing:4, gossip:pushpull\n\
          objectives:    cover (default), hit:V, hit:far, infection:T,\n\

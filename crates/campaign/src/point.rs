@@ -88,6 +88,11 @@ impl SweepPoint {
     /// sampled trajectory, so it is result-affecting, but the
     /// unsharded spelling stays byte-identical to what pre-sharding
     /// stores wrote (their records remain warm).
+    ///
+    /// The graph coordinate is [`GraphSpec::key_string`], not `Display`:
+    /// identical for every generated family, but `file:` specs key by
+    /// their content digest, so moving or renaming an edge-list file
+    /// never orphans (or wrongly revives) its stored records.
     pub fn spec_key(&self) -> String {
         let shards = if self.shards > 1 {
             format!("shards={};", self.shards)
@@ -97,7 +102,7 @@ impl SweepPoint {
         format!(
             "{};graph={};process={};start={};trials={};cap={};{}{}",
             self.objective,
-            self.graph,
+            self.graph.key_string(),
             self.process,
             self.start,
             self.trials,
@@ -211,6 +216,30 @@ mod tests {
             assert!(key.contains(needle), "{needle:?} missing from {key:?}");
         }
         assert_eq!(p.digest_hex().len(), 16);
+    }
+
+    #[test]
+    fn file_points_key_by_content_not_path() {
+        let dir = std::env::temp_dir().join(format!("cobra-point-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.txt");
+        let b = dir.join("renamed-copy.txt");
+        std::fs::write(&a, "0 1\n1 2\n").unwrap();
+        std::fs::write(&b, "0 1\n1 2\n").unwrap();
+        let pa = point(&format!("file:{}", a.display()), "cobra:b2", 4);
+        let pb = point(&format!("file:{}", b.display()), "cobra:b2", 4);
+        // Same bytes, different paths: one content key, one seed.
+        assert_eq!(pa.spec_key(), pb.spec_key());
+        assert_eq!(pa.seed, pb.seed);
+        assert!(
+            pa.spec_key().contains("graph=file:@"),
+            "file keys must be digest-addressed: {:?}",
+            pa.spec_key()
+        );
+        // Different bytes move the key.
+        std::fs::write(&b, "0 1\n1 2\n2 3\n").unwrap();
+        let pc = point(&format!("file:{}", b.display()), "cobra:b2", 4);
+        assert_ne!(pa.spec_key(), pc.spec_key());
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::store::{PointRecord, Store};
 use crate::sweep::SweepSpec;
 use crate::CampaignError;
 use cobra_graph::{
-    with_topology, Backend, BuiltTopology, Graph, GraphCache, GraphShape, GraphSpec, Topology,
+    with_topology, Backend, BuiltTopology, Graph, GraphCache, GraphShape, GraphSpec, MappedCsr,
+    Topology,
 };
 use cobra_mc::{
     key_seed, run_jobs, run_sharded_trial, run_trial, trial_seed, Completion, Objective,
@@ -55,6 +56,10 @@ pub enum PlannedTopology {
     Csr(Arc<Graph>),
     /// Implicit O(1)-memory backend (guaranteed non-CSR variant).
     Implicit(BuiltTopology),
+    /// An mmap-backed `.csrbin` cache of a `file:` spec — O(1) resident
+    /// memory, pages shared across every point (and worker) that maps
+    /// the same file.
+    Mapped(MappedCsr),
 }
 
 /// Dispatches a generic expression over the backend inside a
@@ -67,6 +72,10 @@ macro_rules! on_planned {
                 $body
             }
             PlannedTopology::Implicit(built) => with_topology!(built, |$g| $body),
+            PlannedTopology::Mapped(mapped) => {
+                let $g: &MappedCsr = mapped;
+                $body
+            }
         }
     };
 }
@@ -182,14 +191,18 @@ pub fn plan_sweep(
                 .map_err(CampaignError::Graph)?;
             debug_assert!(built.is_implicit(), "backend selection chose implicit");
             PlannedTopology::Implicit(built)
+        } else if let Some(mapped) = warm_mapped(&mut cache, &gspec, spec.backend) {
+            // A `file:` spec with a warm `.csrbin` cache under the auto
+            // backend: serve the mmap, O(1) resident per point.
+            PlannedTopology::Mapped(mapped)
         } else {
-            let shared = match planned_csr.get(&gspec.to_string()) {
+            let shared = match planned_csr.get(&gspec.key_string()) {
                 Some(arc) => Arc::clone(arc),
                 None => {
                     let arc = cache
                         .get_or_build(&gspec, graph_build_seed(spec.seed, &gspec))
                         .map_err(CampaignError::Graph)?;
-                    planned_csr.insert(gspec.to_string(), Arc::clone(&arc));
+                    planned_csr.insert(gspec.key_string(), Arc::clone(&arc));
                     arc
                 }
             };
@@ -225,7 +238,7 @@ pub fn plan_sweep(
         }
         points.push(PlannedPoint { point, topology });
     }
-    let distinct_graphs = planned_csr.len() + implicit_count_distinct(&points);
+    let distinct_graphs = planned_csr.len() + non_csr_count_distinct(&points);
     Ok(Plan {
         points,
         cached,
@@ -235,15 +248,27 @@ pub fn plan_sweep(
     })
 }
 
-/// Distinct implicit graphs in a plan (CSR distinctness is the cache's
-/// entry count; implicit points are counted by distinct graph spec).
-fn implicit_count_distinct(points: &[PlannedPoint]) -> usize {
+/// Distinct non-CSR graphs in a plan (CSR distinctness is the plan
+/// memo's entry count): implicit points counted by distinct graph
+/// spec, mmapped `file:` points by distinct content key.
+fn non_csr_count_distinct(points: &[PlannedPoint]) -> usize {
     let mut seen = std::collections::HashSet::new();
     points
         .iter()
-        .filter(|p| p.topology.is_implicit())
-        .filter(|p| seen.insert(p.point.graph.to_string()))
+        .filter(|p| !matches!(p.topology, PlannedTopology::Csr(_)))
+        .filter(|p| seen.insert(p.point.graph.key_string()))
         .count()
+}
+
+/// The mmap-backed cache entry for a `file:` spec, when one is warm and
+/// the backend allows it — `auto` only: `backend=csr` forces
+/// materialization, and `file:` reaches the `use_implicit` rejection
+/// path under `backend=implicit` before this is consulted.
+fn warm_mapped(cache: &mut GraphCache, gspec: &GraphSpec, backend: Backend) -> Option<MappedCsr> {
+    match backend {
+        Backend::Auto => cache.get_or_map(gspec),
+        Backend::Csr | Backend::Implicit => None,
+    }
 }
 
 /// The build seed for a graph spec under a campaign master seed —
@@ -267,6 +292,25 @@ fn check_point(
             "start vertex {} out of range for {gspec} (n = {n})",
             spec.start
         )));
+    }
+    // Full-reach objectives (cover, hit:far) cannot terminate on a
+    // disconnected loaded graph — same check and message as
+    // `SimSpec::check`, at plan time so a sweep fails before any point
+    // runs. Scoped to `file:` specs, like the sim path.
+    if objective.requires_full_reach() {
+        if let GraphSpec::File { giant: false, .. } = gspec {
+            let cc = on_planned!(topology, |g| cobra_graph::props::component_summary(g));
+            if cc.components > 1 {
+                return Err(CampaignError::Invalid(format!(
+                    "objective \"{objective}\" cannot terminate: the loaded graph has {} \
+                     connected components (largest spans {:.1}% of {} vertices); append \
+                     ?component=giant to the file: spec to restrict to the giant component",
+                    cc.components,
+                    100.0 * cc.giant_fraction(),
+                    cc.n
+                )));
+            }
+        }
     }
     // Objective-level termination checks (hit target in range, hit:far
     // reachable, infection threshold in (0, 1]) — errors name the
@@ -689,6 +733,83 @@ mod tests {
             err.contains("cobra, bips") && err.contains("shards=1"),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn file_specs_plan_cold_csr_then_warm_mmap_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("cobra-runner-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-plan.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n0 2\n").unwrap();
+        let spec: SweepSpec = format!(
+            "cover; graph=file:{}; process=cobra:b2|rw; trials=4",
+            path.display()
+        )
+        .parse()
+        .unwrap();
+        // Cold: no .csrbin yet — the plan materializes CSR (and the
+        // build writes the cache for next time).
+        let cold = plan_sweep(&spec, &Store::in_memory(), &default_cap).unwrap();
+        assert!(
+            matches!(cold.points[0].topology, PlannedTopology::Csr(_)),
+            "cold file plans must parse to CSR"
+        );
+        // Warm: the same spec now plans as the mmap, shared by both
+        // process points.
+        let warm = plan_sweep(&spec, &Store::in_memory(), &default_cap).unwrap();
+        for planned in &warm.points {
+            assert!(
+                matches!(planned.topology, PlannedTopology::Mapped(_)),
+                "warm file plans must serve the mmap"
+            );
+        }
+        assert_eq!(warm.distinct_graphs, 1);
+        // Same points, same keys, and bit-identical records either way.
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.point, b.point, "backend must not enter the key");
+            let mut ctx = StepCtx::new();
+            let ra = run_point(&a.point, &a.topology, &mut ctx);
+            let rb = run_point(&b.point, &b.topology, &mut ctx);
+            assert_eq!(ra, rb, "csr and mmap diverged on {}", a.point.process);
+        }
+        // Forced CSR still materializes even when the cache is warm.
+        let forced = plan_sweep(
+            &spec.clone().with_backend(Backend::Csr),
+            &Store::in_memory(),
+            &default_cap,
+        )
+        .unwrap();
+        assert!(matches!(forced.points[0].topology, PlannedTopology::Csr(_)));
+    }
+
+    #[test]
+    fn disconnected_file_sweeps_fail_at_plan_time() {
+        let dir = std::env::temp_dir().join(format!("cobra-runner-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disconnected.txt");
+        std::fs::write(&path, "0 1\n1 2\n0 2\n3 4\n").unwrap();
+        let spec: SweepSpec = format!(
+            "cover; graph=file:{}; process=cobra:b2; trials=2",
+            path.display()
+        )
+        .parse()
+        .unwrap();
+        let err = plan_sweep(&spec, &Store::in_memory(), &default_cap)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("2 connected components") && err.contains("component=giant"),
+            "{err:?}"
+        );
+        // The giant modifier restricts to the triangle and plans fine.
+        let giant: SweepSpec = format!(
+            "cover; graph=file:{}?component=giant; process=cobra:b2; trials=2",
+            path.display()
+        )
+        .parse()
+        .unwrap();
+        let out = run_sweep(&giant, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        assert_eq!(out.records[0].n, 3);
     }
 
     #[test]

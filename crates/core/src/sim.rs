@@ -199,7 +199,7 @@ impl MaterializedTopology<'_> {
         on_topology!(self, |g| g.memory_bytes())
     }
 
-    /// `"csr"` or `"implicit"`.
+    /// `"csr"`, `"mmap"`, or `"implicit"`.
     pub fn backend_name(&self) -> &'static str {
         match self {
             MaterializedTopology::Borrowed(_) => "csr",
@@ -391,9 +391,39 @@ impl<'g> SimSpec<'g> {
                 )));
             }
         }
+        self.check_components(g)?;
         self.objective
             .validate(g, &self.start)
             .map_err(SimError::Invalid)
+    }
+
+    /// Rejects full-reach objectives (`cover`, `hit:far`) on a loaded
+    /// graph that is disconnected, naming the component structure and
+    /// the `?component=giant` fix. Scoped to `file:` specs: the
+    /// synthetic families are connected by construction (or
+    /// deliberately disconnected in tests), and the check costs an
+    /// O(n + m) scan real-world inputs are worth but huge implicit
+    /// graphs are not.
+    fn check_components<T: Topology>(&self, g: &T) -> Result<(), SimError> {
+        if !self.objective.requires_full_reach() {
+            return Ok(());
+        }
+        let GraphSource::Spec(GraphSpec::File { giant: false, .. }) = &self.graph else {
+            return Ok(());
+        };
+        let cc = cobra_graph::props::component_summary(g);
+        if cc.components > 1 {
+            return Err(SimError::Invalid(format!(
+                "objective \"{}\" cannot terminate: the loaded graph has {} connected \
+                 components (largest spans {:.1}% of {} vertices); append \
+                 ?component=giant to the file: spec to restrict to the giant component",
+                self.objective,
+                cc.components,
+                100.0 * cc.giant_fraction(),
+                cc.n
+            )));
+        }
+        Ok(())
     }
 
     /// Validates the shard configuration (graph-independent): positive
@@ -690,7 +720,7 @@ pub struct ResolvedRun {
     pub n: usize,
     /// Undirected edges.
     pub m: usize,
-    /// `"csr"` or `"implicit"`.
+    /// `"csr"`, `"mmap"`, or `"implicit"`.
     pub backend: &'static str,
     /// Approximate resident bytes of the graph representation.
     pub graph_bytes: usize,
@@ -1258,6 +1288,48 @@ mod tests {
             .unwrap();
         assert_eq!(unsharded.shards, 1);
         assert_eq!(unsharded.shard_state_bytes, 3 * (1 << 17));
+    }
+
+    #[test]
+    fn disconnected_file_graphs_reject_full_reach_objectives() {
+        let dir = std::env::temp_dir().join(format!("cobra-sim-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disconnected-check.txt");
+        // Triangle {0,1,2} plus the far edge {3,4}.
+        std::fs::write(&path, "0 1\n1 2\n0 2\n3 4\n").unwrap();
+        let spec = format!("file:{}", path.display());
+
+        for objective in ["cover", "hit:far"] {
+            let err = SimSpec::parse(&spec, "cobra:b2")
+                .unwrap()
+                .with_objective(objective.parse().unwrap())
+                .measure()
+                .unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("2 connected components")
+                    && msg.contains("60.0%")
+                    && msg.contains("component=giant"),
+                "{objective}: {msg}"
+            );
+        }
+
+        // Objectives that can terminate inside one component still run.
+        let est = SimSpec::parse(&spec, "cobra:b2")
+            .unwrap()
+            .with_trials(4)
+            .reaching(2)
+            .run();
+        assert_eq!(est.censored, 0);
+
+        // The giant modifier restricts to the triangle and cover works.
+        let giant = format!("file:{}?component=giant", path.display());
+        let est = SimSpec::parse(&giant, "cobra:b2")
+            .unwrap()
+            .with_trials(4)
+            .run();
+        assert_eq!(est.censored, 0);
+        assert_eq!(est.mean_reached, 3.0);
     }
 
     #[test]

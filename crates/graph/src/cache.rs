@@ -29,20 +29,24 @@
 //! [`Display`]: std::fmt::Display
 
 use crate::csr::Graph;
+use crate::ingest::MappedCsr;
 use crate::spec::{GraphSpec, GraphSpecError};
 use crate::topology::Topology;
 use cobra_util::hash::fnv1a_str;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 impl GraphSpec {
-    /// A stable 64-bit digest of the spec (FNV-1a over the canonical
-    /// `Display` string). Stable across runs and platforms — the
-    /// campaign layer derives graph-build seeds from it
+    /// A stable 64-bit digest of the spec (FNV-1a over
+    /// [`GraphSpec::key_string`] — the canonical `Display` string for
+    /// generated families, the content-digest form for `file:` specs).
+    /// Stable across runs and platforms — the campaign layer derives
+    /// graph-build seeds from it
     /// (`cobra_campaign::runner::graph_build_seed`), so changing the
-    /// `Display` format re-seeds every random family's build.
+    /// key format re-seeds every random family's build.
     pub fn digest(&self) -> u64 {
-        fnv1a_str(&self.to_string())
+        fnv1a_str(&self.key_string())
     }
 }
 
@@ -57,10 +61,21 @@ struct Entry {
     last_used: u64,
 }
 
+#[derive(Debug)]
+struct MappedEntry {
+    graph: MappedCsr,
+}
+
 /// A memoizing, LRU-byte-capped wrapper around [`GraphSpec::build`].
 #[derive(Debug)]
 pub struct GraphCache {
     built: HashMap<(String, u64), Entry>,
+    /// Warm `file:` graphs served via mmap. Accounted by *resident*
+    /// bytes ([`Topology::memory_bytes`] — tens of bytes for a mapped
+    /// graph, since pages are demand-paged and shared), not by the
+    /// materialized CSR size, so they never trigger LRU pressure and are
+    /// exempt from eviction.
+    mapped: HashMap<String, MappedEntry>,
     capacity_bytes: usize,
     resident_bytes: usize,
     hits: usize,
@@ -86,6 +101,7 @@ impl GraphCache {
     pub fn with_capacity_bytes(capacity_bytes: usize) -> GraphCache {
         GraphCache {
             built: HashMap::new(),
+            mapped: HashMap::new(),
             capacity_bytes,
             resident_bytes: 0,
             hits: 0,
@@ -104,7 +120,7 @@ impl GraphCache {
         seed: u64,
     ) -> Result<Arc<Graph>, GraphSpecError> {
         let effective_seed = if spec.is_random() { seed } else { 0 };
-        let key = (spec.to_string(), effective_seed);
+        let key = (spec.key_string(), effective_seed);
         self.tick += 1;
         if let Some(entry) = self.built.get_mut(&key) {
             entry.last_used = self.tick;
@@ -127,6 +143,43 @@ impl GraphCache {
         Ok(g)
     }
 
+    /// The mmap-backed view of a warm `file:` spec, if its `.csrbin` is
+    /// present and valid. `None` for non-file specs and for cold files
+    /// (callers then materialise via [`GraphCache::get_or_build`], which
+    /// writes the cache for next time). Entries are shared clones over
+    /// one mapping and accounted at their resident size.
+    pub fn get_or_map(&mut self, spec: &GraphSpec) -> Option<MappedCsr> {
+        let GraphSpec::File {
+            path,
+            digest,
+            giant,
+        } = spec
+        else {
+            return None;
+        };
+        let key = spec.key_string();
+        self.tick += 1;
+        if let Some(entry) = self.mapped.get(&key) {
+            self.hits += 1;
+            return Some(entry.graph.clone());
+        }
+        let mapped = crate::ingest::try_open_cached(Path::new(path), *digest, *giant)?;
+        self.misses += 1;
+        // Resident size, not materialized size: tens of bytes when the
+        // kernel demand-pages the arrays, the buffer length only on the
+        // portable read-into-Vec fallback. Mapped entries are never
+        // evicted (there is nothing to reclaim), so the bytes are added
+        // once and stay.
+        self.resident_bytes += mapped.memory_bytes();
+        self.mapped.insert(
+            key,
+            MappedEntry {
+                graph: mapped.clone(),
+            },
+        );
+        Some(mapped)
+    }
+
     /// Evicts least-recently-used entries (never `keep`) until the
     /// resident bytes fit the cap.
     fn evict_over_cap(&mut self, keep: &(String, u64)) {
@@ -145,14 +198,14 @@ impl GraphCache {
         }
     }
 
-    /// Distinct graphs currently resident.
+    /// Distinct graphs currently resident (materialized + mapped).
     pub fn len(&self) -> usize {
-        self.built.len()
+        self.built.len() + self.mapped.len()
     }
 
     /// True if nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.built.is_empty()
+        self.built.is_empty() && self.mapped.is_empty()
     }
 
     /// `(hits, misses)` counters — misses equal the number of actual
@@ -230,6 +283,40 @@ mod tests {
         // Pinned value: changing the Display format (or the hash) is a
         // store-invalidating event and must be deliberate.
         assert_eq!(a.digest(), fnv1a_str("hypercube:10"));
+    }
+
+    #[test]
+    fn file_specs_cache_by_content_and_map_at_resident_size() {
+        let dir = std::env::temp_dir().join(format!("cobra-cache-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.snap");
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let spec: GraphSpec = format!("file:{}", path.display()).parse().unwrap();
+
+        let mut cache = GraphCache::new();
+        // Cold: no .csrbin yet — map misses, build materialises + caches.
+        assert!(cache.get_or_map(&spec).is_none());
+        let g = cache.get_or_build(&spec, 0).unwrap();
+        assert_eq!(g.n(), 3);
+        let before = cache.resident_bytes();
+        // Warm: the mapped entry is accounted at resident size, far
+        // below the materialized CSR bytes.
+        let mapped = cache.get_or_map(&spec).expect("csrbin written by build");
+        let growth = cache.resident_bytes() - before;
+        assert_eq!(growth, mapped.memory_bytes());
+        #[cfg(target_os = "linux")]
+        assert!(
+            growth < g.memory_bytes(),
+            "{growth} vs {}",
+            g.memory_bytes()
+        );
+        // Repeat hits share the mapping.
+        let again = cache.get_or_map(&spec).unwrap();
+        assert_eq!(again.memory_bytes(), mapped.memory_bytes());
+        assert_eq!(cache.resident_bytes() - before, growth, "no re-accounting");
+        // Non-file specs never map.
+        let h: GraphSpec = "hypercube:4".parse().unwrap();
+        assert!(cache.get_or_map(&h).is_none());
     }
 
     #[test]

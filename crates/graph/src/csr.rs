@@ -144,6 +144,29 @@ impl Graph {
         })
     }
 
+    /// Reassembles a graph from raw CSR parts (binary-cache reload path).
+    /// The caller must supply arrays satisfying the CSR invariants:
+    /// `offsets` monotone with `offsets[0] == 0` and `offsets[n] == 2m`,
+    /// per-vertex neighbor runs sorted, every edge mirrored. Checked in
+    /// debug builds only — callers validate untrusted input themselves.
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>, m: usize) -> Graph {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(neighbors.len(), 2 * m);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Graph {
+            offsets,
+            neighbors,
+            m,
+        }
+    }
+
+    /// The raw offsets array (`n + 1` entries; binary-cache write path).
+    #[inline]
+    pub(crate) fn offsets_slice(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {

@@ -12,6 +12,11 @@
 //!   regular ring of cliques, barbells, lollipops, and friends.
 //! * [`props`] — BFS, connectivity, components, bipartiteness, diameter,
 //!   degree statistics.
+//! * [`ingest`] — edge-list/SNAP file loading (`file:<path>` specs):
+//!   id compaction, duplicate/self-loop policy, content digests, and a
+//!   versioned binary CSR cache (`.csrbin`) served mmap-backed via
+//!   [`ingest::MappedCsr`] so multi-GB graphs load in O(1) resident
+//!   memory.
 //! * [`spec`] — [`GraphSpec`]: every family as a parseable/printable
 //!   value (`"hypercube:10"`, `"grid:32x32"`, `"gnp:2000:0.01"`, …), the
 //!   declarative entry point the `SimSpec` API builds on.
@@ -27,6 +32,7 @@
 pub mod cache;
 pub mod csr;
 pub mod generators;
+pub mod ingest;
 pub mod props;
 pub mod shard;
 pub mod spec;
@@ -34,6 +40,7 @@ pub mod topology;
 
 pub use cache::GraphCache;
 pub use csr::{Graph, GraphError, VertexId};
+pub use ingest::{IngestError, IngestStats, MappedCsr};
 pub use shard::ShardMap;
 pub use spec::{GraphSpec, GraphSpecError, IMPLICIT_FAMILIES};
 pub use topology::{

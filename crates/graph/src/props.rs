@@ -111,6 +111,65 @@ pub fn connected_components(g: &Graph) -> Vec<VertexId> {
     label
 }
 
+/// Connectivity structure in one pass: component count and giant-component
+/// size. This is what resolve-time validation reports when a loaded graph
+/// cannot support a full-reach objective (`cover`, `hit:far`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentSummary {
+    /// Number of connected components (isolated vertices count).
+    pub components: usize,
+    /// Vertex count of the largest component.
+    pub giant_size: usize,
+    /// Total vertex count.
+    pub n: usize,
+}
+
+impl ComponentSummary {
+    /// Fraction of vertices in the largest component, in `[0, 1]`.
+    pub fn giant_fraction(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            self.giant_size as f64 / self.n as f64
+        }
+    }
+}
+
+/// Computes the [`ComponentSummary`] of any topology via repeated BFS.
+pub fn component_summary<T: Topology>(g: &T) -> ComponentSummary {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut components = 0usize;
+    let mut giant_size = 0usize;
+    for s in 0..n as VertexId {
+        if seen[s as usize] {
+            continue;
+        }
+        components += 1;
+        let mut size = 0usize;
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            let (_, deg) = g.neighbor_range(u);
+            for i in 0..deg {
+                let w = g.neighbor(u, i);
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        giant_size = giant_size.max(size);
+    }
+    ComponentSummary {
+        components,
+        giant_size,
+        n,
+    }
+}
+
 /// Extracts the largest connected component as a new graph, together with
 /// the mapping from new ids to original vertex ids.
 ///
@@ -271,6 +330,34 @@ mod tests {
         let g = generators::path(5);
         assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
         assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn component_summary_counts_and_sizes() {
+        let g = generators::path(6);
+        let s = component_summary(&g);
+        assert_eq!(
+            s,
+            ComponentSummary {
+                components: 1,
+                giant_size: 6,
+                n: 6
+            }
+        );
+        assert!((s.giant_fraction() - 1.0).abs() < 1e-12);
+
+        // Triangle + edge + isolated vertex.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let s = component_summary(&g);
+        assert_eq!(
+            s,
+            ComponentSummary {
+                components: 3,
+                giant_size: 3,
+                n: 6
+            }
+        );
+        assert!((s.giant_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

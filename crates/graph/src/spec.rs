@@ -7,8 +7,10 @@
 //! config file, or in a log, and reconstructed bit-for-bit.
 //!
 //! Deterministic families ignore the seed passed to [`GraphSpec::build`];
-//! random families (`gnp`, `regular`, `ba`, `ws`) consume it, so a
-//! `(spec, seed)` pair always denotes one concrete graph.
+//! random families (`gnp`, `regular`/`rreg`, `ba`/`pa`, `ws`) consume it,
+//! so a `(spec, seed)` pair always denotes one concrete graph. `file:`
+//! specs load an edge-list file (see [`crate::ingest`]) and are keyed by
+//! a digest of the file's bytes, so they too denote one concrete graph.
 //!
 //! | family | syntax | generator |
 //! |--------|--------|-----------|
@@ -27,12 +29,19 @@
 //! | cycle power | `cyclepower:N:K` | [`generators::cycle_power`] |
 //! | circulant | `circulant:N:O1+O2+...` | [`generators::circulant`] |
 //! | ring of cliques | `ringcliques:K:C` | [`generators::ring_of_cliques`] |
-//! | barbell | `barbell:C:P` | [`generators::barbell`] |
-//! | lollipop | `lollipop:C:P` | [`generators::lollipop`] |
+//! | barbell | `barbell:C:P` or `barbell:N` | [`generators::barbell`] |
+//! | lollipop | `lollipop:C:P` or `lollipop:N` | [`generators::lollipop`] |
+//! | two cliques + path | `twoclique:C:P` | [`generators::barbell`] |
 //! | Erdős–Rényi | `gnp:N:P` | [`generators::gnp`] |
-//! | random regular | `regular:N:R` | [`generators::random_regular`] |
-//! | Barabási–Albert | `ba:N:M` | [`generators::barabasi_albert`] |
+//! | random regular | `regular:N:R` or `rreg:N:D` | [`generators::random_regular`] |
+//! | Barabási–Albert | `ba:N:M` or `pa:N:M` | [`generators::barabasi_albert`] |
 //! | Watts–Strogatz | `ws:N:K:BETA` | [`generators::watts_strogatz`] |
+//! | edge-list file | `file:<path>[?component=giant]` | [`crate::ingest`] |
+//!
+//! The single-parameter adversarial forms fix the literature's canonical
+//! proportions: `lollipop:n` is a `⌈2n/3⌉`-clique with an `⌊n/3⌋`-path
+//! (the extremal hitting-time shape), `barbell:n` two `⌊n/3⌋`-cliques
+//! joined by a path through the remaining vertices.
 
 use crate::csr::Graph;
 use crate::generators;
@@ -43,6 +52,7 @@ use crate::topology::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 
 /// A graph family plus its parameters, as data.
@@ -109,6 +119,21 @@ pub enum GraphSpec {
         c: usize,
         p: usize,
     },
+    /// Canonical lollipop on `n` vertices: `⌈2n/3⌉`-clique, `⌊n/3⌋`-path.
+    LollipopN {
+        n: usize,
+    },
+    /// Canonical barbell on `n` vertices: two `⌊n/3⌋`-cliques joined by a
+    /// path through the remaining vertices.
+    BarbellN {
+        n: usize,
+    },
+    /// Two `c`-cliques joined by a `p`-path (explicit-proportion barbell
+    /// under the literature's "two cliques" name).
+    TwoClique {
+        c: usize,
+        p: usize,
+    },
     Gnp {
         n: usize,
         p: f64,
@@ -118,7 +143,18 @@ pub enum GraphSpec {
         n: usize,
         r: usize,
     },
+    /// Random `d`-regular via the pairing model with retry — the source
+    /// paper's core regime, under its conventional `rreg` name.
+    RReg {
+        n: usize,
+        d: usize,
+    },
     BarabasiAlbert {
+        n: usize,
+        m: usize,
+    },
+    /// Preferential attachment under its generic `pa` name.
+    PrefAttach {
         n: usize,
         m: usize,
     },
@@ -126,6 +162,16 @@ pub enum GraphSpec {
         n: usize,
         k: usize,
         beta: f64,
+    },
+    /// An edge-list/SNAP file ingested through [`crate::ingest`].
+    /// `digest` is the FNV-1a hash of the file bytes, computed at parse
+    /// time — it pins the spec's identity to the file's *content*, so
+    /// campaign keys stay stable across renames and go stale with edits.
+    /// `giant` restricts to the largest connected component.
+    File {
+        path: String,
+        digest: u64,
+        giant: bool,
     },
 }
 
@@ -182,11 +228,17 @@ pub const FAMILY_USAGES: &[(&str, &str)] = &[
     ("circulant", "circulant:N:O1+O2+..."),
     ("ringcliques", "ringcliques:K:C"),
     ("barbell", "barbell:C:P"),
+    ("barbell", "barbell:N"),
     ("lollipop", "lollipop:C:P"),
+    ("lollipop", "lollipop:N"),
+    ("twoclique", "twoclique:C:P"),
     ("gnp", "gnp:N:P"),
     ("regular", "regular:N:R"),
+    ("rreg", "rreg:N:D"),
     ("ba", "ba:N:M"),
+    ("pa", "pa:N:M"),
     ("ws", "ws:N:K:BETA"),
+    ("file", "file:<path>[?component=giant]"),
 ];
 
 /// The families with an implicit O(1)-memory backend (see
@@ -202,11 +254,10 @@ pub const IMPLICIT_FAMILIES: &[&str] = &[
 ];
 
 fn family_list() -> String {
-    FAMILY_USAGES
-        .iter()
-        .map(|(f, _)| *f)
-        .collect::<Vec<_>>()
-        .join(", ")
+    let mut names: Vec<&str> = FAMILY_USAGES.iter().map(|(f, _)| *f).collect();
+    // Families with several accepted arities appear once per usage form.
+    names.dedup();
+    names.join(", ")
 }
 
 fn parse_num<T: FromStr>(token: &str, what: &str) -> Result<T, GraphSpecError> {
@@ -246,8 +297,46 @@ impl FromStr for GraphSpec {
     }
 }
 
+/// Parses the remainder of a `file:` spec: a filesystem path (which may
+/// itself contain `:`), optionally followed by `?component=giant`. The
+/// content digest is computed here, so an unreadable file fails at parse
+/// time with a named error rather than deep inside a sweep.
+fn parse_file_spec(rest: &str) -> Result<GraphSpec, GraphSpecError> {
+    let (path, modifier) = match rest.split_once('?') {
+        Some((p, m)) => (p, Some(m)),
+        None => (rest, None),
+    };
+    let giant = match modifier {
+        None => false,
+        Some("component=giant") => true,
+        Some(other) => {
+            return Err(GraphSpecError::new(format!(
+                "unknown file: modifier {other:?} (supported: component=giant)"
+            )))
+        }
+    };
+    if path.is_empty() {
+        return Err(GraphSpecError::new(
+            "file: needs a path: usage file:<path>[?component=giant]",
+        ));
+    }
+    let digest = crate::ingest::digest_file(Path::new(path))
+        .map_err(|e| GraphSpecError::new(format!("cannot read graph file {path:?}: {e}")))?;
+    Ok(GraphSpec::File {
+        path: path.to_string(),
+        digest,
+        giant,
+    })
+}
+
 fn parse_graph_spec(s: &str) -> Result<GraphSpec, GraphSpecError> {
     {
+        // `file:` paths may contain `:` of their own — route them before
+        // the family split.
+        let t = s.trim();
+        if t.len() >= 5 && t[..5].eq_ignore_ascii_case("file:") {
+            return parse_file_spec(&t[5..]);
+        }
         let parts: Vec<&str> = s.trim().split(':').collect();
         if parts.is_empty() || parts[0].is_empty() {
             return Err(GraphSpecError::new(format!(
@@ -375,15 +464,34 @@ fn parse_graph_spec(s: &str) -> Result<GraphSpec, GraphSpecError> {
                 }
             }
             "barbell" => {
-                expect_arity(&parts, 2, "barbell:C:P")?;
-                GraphSpec::Barbell {
-                    c: parse_num(parts[1], "clique size")?,
-                    p: parse_num(parts[2], "path length")?,
+                if parts.len() == 2 {
+                    GraphSpec::BarbellN {
+                        n: parse_num(parts[1], "vertex count")?,
+                    }
+                } else {
+                    expect_arity(&parts, 2, "barbell:C:P (or barbell:N)")?;
+                    GraphSpec::Barbell {
+                        c: parse_num(parts[1], "clique size")?,
+                        p: parse_num(parts[2], "path length")?,
+                    }
                 }
             }
             "lollipop" => {
-                expect_arity(&parts, 2, "lollipop:C:P")?;
-                GraphSpec::Lollipop {
+                if parts.len() == 2 {
+                    GraphSpec::LollipopN {
+                        n: parse_num(parts[1], "vertex count")?,
+                    }
+                } else {
+                    expect_arity(&parts, 2, "lollipop:C:P (or lollipop:N)")?;
+                    GraphSpec::Lollipop {
+                        c: parse_num(parts[1], "clique size")?,
+                        p: parse_num(parts[2], "path length")?,
+                    }
+                }
+            }
+            "twoclique" => {
+                expect_arity(&parts, 2, "twoclique:C:P")?;
+                GraphSpec::TwoClique {
                     c: parse_num(parts[1], "clique size")?,
                     p: parse_num(parts[2], "path length")?,
                 }
@@ -410,9 +518,27 @@ fn parse_graph_spec(s: &str) -> Result<GraphSpec, GraphSpecError> {
                 }
                 GraphSpec::RandomRegular { n, r }
             }
+            "rreg" => {
+                expect_arity(&parts, 2, "rreg:N:D")?;
+                let n: usize = parse_num(parts[1], "vertex count")?;
+                let d: usize = parse_num(parts[2], "degree")?;
+                if n == 0 || d >= n || !(n * d).is_multiple_of(2) {
+                    return Err(GraphSpecError::new(format!(
+                        "no simple {d}-regular graph on {n} vertices"
+                    )));
+                }
+                GraphSpec::RReg { n, d }
+            }
             "ba" => {
                 expect_arity(&parts, 2, "ba:N:M")?;
                 GraphSpec::BarabasiAlbert {
+                    n: parse_num(parts[1], "vertex count")?,
+                    m: parse_num(parts[2], "edges per arrival")?,
+                }
+            }
+            "pa" => {
+                expect_arity(&parts, 2, "pa:N:M")?;
+                GraphSpec::PrefAttach {
                     n: parse_num(parts[1], "vertex count")?,
                     m: parse_num(parts[2], "edges per arrival")?,
                 }
@@ -466,10 +592,22 @@ impl fmt::Display for GraphSpec {
             GraphSpec::RingOfCliques { k, c } => write!(f, "ringcliques:{k}:{c}"),
             GraphSpec::Barbell { c, p } => write!(f, "barbell:{c}:{p}"),
             GraphSpec::Lollipop { c, p } => write!(f, "lollipop:{c}:{p}"),
+            GraphSpec::LollipopN { n } => write!(f, "lollipop:{n}"),
+            GraphSpec::BarbellN { n } => write!(f, "barbell:{n}"),
+            GraphSpec::TwoClique { c, p } => write!(f, "twoclique:{c}:{p}"),
             GraphSpec::Gnp { n, p } => write!(f, "gnp:{n}:{p}"),
             GraphSpec::RandomRegular { n, r } => write!(f, "regular:{n}:{r}"),
+            GraphSpec::RReg { n, d } => write!(f, "rreg:{n}:{d}"),
             GraphSpec::BarabasiAlbert { n, m } => write!(f, "ba:{n}:{m}"),
+            GraphSpec::PrefAttach { n, m } => write!(f, "pa:{n}:{m}"),
             GraphSpec::WattsStrogatz { n, k, beta } => write!(f, "ws:{n}:{k}:{beta}"),
+            GraphSpec::File { path, giant, .. } => {
+                write!(f, "file:{path}")?;
+                if *giant {
+                    write!(f, "?component=giant")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -533,7 +671,29 @@ impl GraphSpec {
                 positive(*c, "clique size")?;
                 positive(*p, "path length")
             }
-            GraphSpec::RandomRegular { n, r } => {
+            GraphSpec::TwoClique { c, p } => {
+                if *c < 2 {
+                    return Err(GraphSpecError::new("twoclique cliques need size >= 2"));
+                }
+                positive(*p, "path length")
+            }
+            GraphSpec::LollipopN { n } => {
+                if *n < 3 {
+                    return Err(GraphSpecError::new(
+                        "lollipop:N needs n >= 3 (a clique and a pendant path)",
+                    ));
+                }
+                Ok(())
+            }
+            GraphSpec::BarbellN { n } => {
+                if *n < 6 {
+                    return Err(GraphSpecError::new(
+                        "barbell:N needs n >= 6 (two cliques and a path)",
+                    ));
+                }
+                Ok(())
+            }
+            GraphSpec::RandomRegular { n, r } | GraphSpec::RReg { n, d: r } => {
                 if *n == 0 || *r >= *n || (*n * *r) % 2 != 0 {
                     return Err(GraphSpecError::new(format!(
                         "no simple {r}-regular graph on {n} vertices"
@@ -541,9 +701,15 @@ impl GraphSpec {
                 }
                 Ok(())
             }
-            GraphSpec::BarabasiAlbert { n, m } => {
+            GraphSpec::BarabasiAlbert { n, m } | GraphSpec::PrefAttach { n, m } => {
                 positive(*n, "vertex count")?;
-                positive(*m, "edges per arrival")
+                positive(*m, "edges per arrival")?;
+                if *n <= *m {
+                    return Err(GraphSpecError::new(format!(
+                        "preferential attachment needs n > m (got n={n}, m={m})"
+                    )));
+                }
+                Ok(())
             }
             GraphSpec::WattsStrogatz { n, k, beta } => {
                 positive(*n, "vertex count")?;
@@ -555,6 +721,7 @@ impl GraphSpec {
                 }
                 Ok(())
             }
+            GraphSpec::File { .. } => Ok(()),
         }
     }
 
@@ -564,9 +731,25 @@ impl GraphSpec {
             self,
             GraphSpec::Gnp { .. }
                 | GraphSpec::RandomRegular { .. }
+                | GraphSpec::RReg { .. }
                 | GraphSpec::BarabasiAlbert { .. }
+                | GraphSpec::PrefAttach { .. }
                 | GraphSpec::WattsStrogatz { .. }
         )
+    }
+
+    /// Canonical proportions of the single-parameter lollipop:
+    /// `(clique size, path length)` for `lollipop:n`.
+    fn lollipop_shape(n: usize) -> (usize, usize) {
+        let p = n / 3;
+        (n - p, p)
+    }
+
+    /// Canonical proportions of the single-parameter barbell:
+    /// `(clique size, path length)` for `barbell:n`.
+    fn barbell_shape(n: usize) -> (usize, usize) {
+        let c = n / 3;
+        (c, n - 2 * c)
     }
 
     /// Materialises the graph. Deterministic families ignore `seed`;
@@ -593,15 +776,60 @@ impl GraphSpec {
             GraphSpec::RingOfCliques { k, c } => generators::ring_of_cliques(*k, *c),
             GraphSpec::Barbell { c, p } => generators::barbell(*c, *p),
             GraphSpec::Lollipop { c, p } => generators::lollipop(*c, *p),
+            GraphSpec::LollipopN { n } => {
+                let (c, p) = Self::lollipop_shape(*n);
+                generators::lollipop(c, p)
+            }
+            GraphSpec::BarbellN { n } => {
+                let (c, p) = Self::barbell_shape(*n);
+                generators::barbell(c, p)
+            }
+            GraphSpec::TwoClique { c, p } => generators::barbell(*c, *p),
             GraphSpec::Gnp { n, p } => generators::gnp(*n, *p, &mut rng),
             GraphSpec::RandomRegular { n, r } => generators::random_regular(*n, *r, true, &mut rng)
                 .map_err(|e| GraphSpecError::new(format!("regular:{n}:{r}: {e:?}")))?,
-            GraphSpec::BarabasiAlbert { n, m } => generators::barabasi_albert(*n, *m, &mut rng),
+            GraphSpec::RReg { n, d } => generators::random_regular(*n, *d, true, &mut rng)
+                .map_err(|e| GraphSpecError::new(format!("rreg:{n}:{d}: {e:?}")))?,
+            GraphSpec::BarabasiAlbert { n, m } | GraphSpec::PrefAttach { n, m } => {
+                generators::barabasi_albert(*n, *m, &mut rng)
+            }
             GraphSpec::WattsStrogatz { n, k, beta } => {
                 generators::watts_strogatz(*n, *k, *beta, &mut rng)
             }
+            GraphSpec::File {
+                path,
+                digest,
+                giant,
+            } => {
+                let p = Path::new(path);
+                // Warm: materialise straight from the binary cache (the
+                // arrays are bit-identical to a fresh text parse).
+                match crate::ingest::try_open_cached(p, *digest, *giant) {
+                    Some(mapped) => mapped.to_graph(),
+                    None => {
+                        crate::ingest::load_and_cache(p, *digest, *giant)
+                            .map_err(|e| GraphSpecError::new(e.to_string()))?
+                            .0
+                    }
+                }
+            }
         };
         Ok(g)
+    }
+
+    /// The identity string campaign keys and caches should use. For
+    /// every generated family this is the canonical `Display` form;
+    /// for `file:` specs the path is replaced by the content digest, so
+    /// the same bytes at two paths (or the same path on two machines)
+    /// share one identity, and editing the file changes it.
+    pub fn key_string(&self) -> String {
+        match self {
+            GraphSpec::File { digest, giant, .. } => {
+                let suffix = if *giant { "?component=giant" } else { "" };
+                format!("file:@{digest:016x}{suffix}")
+            }
+            _ => self.to_string(),
+        }
     }
 
     /// True when this spec has an implicit O(1)-memory backend (see
@@ -667,10 +895,29 @@ impl GraphSpec {
         self.validate()?;
         match backend {
             Backend::Csr => Ok(BuiltTopology::Csr(self.build(seed)?)),
-            Backend::Auto => match self.build_implicit() {
-                Some(t) => Ok(t),
-                None => Ok(BuiltTopology::Csr(self.build(seed)?)),
-            },
+            Backend::Auto => {
+                // Warm `file:` loads serve straight from the mmap-backed
+                // binary cache: O(1) resident memory, pages shared across
+                // workers. A cold load parses the text (and writes the
+                // cache for next time) via the ordinary build path.
+                if let GraphSpec::File {
+                    path,
+                    digest,
+                    giant,
+                } = self
+                {
+                    if let Some(mapped) =
+                        crate::ingest::try_open_cached(Path::new(path), *digest, *giant)
+                    {
+                        return Ok(BuiltTopology::Mapped(mapped));
+                    }
+                    return Ok(BuiltTopology::Csr(self.build(seed)?));
+                }
+                match self.build_implicit() {
+                    Some(t) => Ok(t),
+                    None => Ok(BuiltTopology::Csr(self.build(seed)?)),
+                }
+            }
             Backend::Implicit => self.build_implicit().ok_or_else(|| {
                 GraphSpecError::new(format!(
                     "{self} has no implicit backend (implicit families: {}, lattices up \
@@ -715,10 +962,15 @@ mod tests {
             "circulant:24:1+2+5",
             "ringcliques:10:5",
             "barbell:8:8",
+            "barbell:64",
             "lollipop:8:8",
+            "lollipop:64",
+            "twoclique:8:4",
             "gnp:2000:0.01",
             "regular:100:3",
+            "rreg:64:8",
             "ba:500:3",
+            "pa:500:3",
             "ws:500:4:0.1",
         ] {
             roundtrip(s);
@@ -748,9 +1000,39 @@ mod tests {
             "circulant:8:0",
             "ws:100:4:2.0",
             "petersen:10",
+            // Near-misses of the adversarial/ingestion families.
+            "lolipop:100",
+            "lollipop:2",
+            "barbell:5",
+            "twoclique:8",
+            "twoclique:1:4",
+            "rreg:10:11",
+            "rreg:5:3",
+            "pa:3:5",
+            "pa:5:0",
+            "file:",
+            "file:/definitely/not/a/real/path.snap",
+            "file:?component=giant",
         ] {
             assert!(s.parse::<GraphSpec>().is_err(), "{s:?} should not parse");
         }
+    }
+
+    #[test]
+    fn near_miss_errors_are_descriptive() {
+        // Misspelled family lists the real ones, including the new set.
+        let e = "lolipop:100".parse::<GraphSpec>().unwrap_err().to_string();
+        for family in ["lollipop", "twoclique", "rreg", "pa", "file"] {
+            assert!(e.contains(family), "{family} not suggested in {e:?}");
+        }
+        // Missing path states the usage form.
+        let e = "file:".parse::<GraphSpec>().unwrap_err().to_string();
+        assert!(e.contains("file:<path>"), "{e:?}");
+        // Odd-degree infeasibility is named, not a generator panic.
+        let e = "rreg:10:11".parse::<GraphSpec>().unwrap_err().to_string();
+        assert!(e.contains("no simple 11-regular graph"), "{e:?}");
+        let e = "rreg:5:3".parse::<GraphSpec>().unwrap_err().to_string();
+        assert!(e.contains("no simple 3-regular graph on 5"), "{e:?}");
     }
 
     #[test]
@@ -778,6 +1060,23 @@ mod tests {
         // Every listed usage (with placeholders instantiated) parses,
         // and its family round-trips through the listing.
         for (family, usage) in FAMILY_USAGES {
+            if *family == "file" {
+                // The one usage whose placeholder is a real filesystem
+                // path: instantiate it with a scratch fixture.
+                let path = std::env::temp_dir()
+                    .join(format!("cobra-spec-usage-{}.snap", std::process::id()));
+                std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+                for example in [
+                    format!("file:{}", path.display()),
+                    format!("file:{}?component=giant", path.display()),
+                ] {
+                    let spec: GraphSpec = example
+                        .parse()
+                        .unwrap_or_else(|e| panic!("usage example {example:?}: {e}"));
+                    assert!(spec.to_string().starts_with("file:"), "{spec}");
+                }
+                continue;
+            }
             let example = usage
                 .replace("AxB[x...]", "4x5")
                 .replace("AxB", "4x5")
@@ -846,5 +1145,218 @@ mod tests {
         let h = generators::hypercube(6);
         assert_eq!(g.n(), h.n());
         assert_eq!(g.m(), h.m());
+    }
+
+    #[test]
+    fn single_arity_adversarial_shapes_are_canonical() {
+        // lollipop:n = ⌈2n/3⌉-clique + ⌊n/3⌋-path, exactly n vertices.
+        for n in [3usize, 7, 64, 100] {
+            let g = format!("lollipop:{n}")
+                .parse::<GraphSpec>()
+                .unwrap()
+                .build(0)
+                .unwrap();
+            assert_eq!(g.n(), n, "lollipop:{n}");
+            let c = n - n / 3;
+            assert_eq!(g.m(), c * (c - 1) / 2 + n / 3, "lollipop:{n}");
+            assert!(crate::props::is_connected(&g));
+        }
+        // barbell:n = two ⌊n/3⌋-cliques + path, exactly n vertices.
+        for n in [6usize, 9, 64, 100] {
+            let g = format!("barbell:{n}")
+                .parse::<GraphSpec>()
+                .unwrap()
+                .build(0)
+                .unwrap();
+            assert_eq!(g.n(), n, "barbell:{n}");
+            let c = n / 3;
+            assert_eq!(g.m(), c * (c - 1) + (n - 2 * c) + 1, "barbell:{n}");
+            assert!(crate::props::is_connected(&g));
+        }
+        // twoclique:c:p is the explicit-proportion form of the same shape.
+        let a = "twoclique:8:4"
+            .parse::<GraphSpec>()
+            .unwrap()
+            .build(0)
+            .unwrap();
+        let b = GraphSpec::Barbell { c: 8, p: 4 }.build(0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rreg_and_pa_are_seed_deterministic_aliases() {
+        let r = "rreg:64:8".parse::<GraphSpec>().unwrap();
+        assert!(r.is_random());
+        let a = r.build(9).unwrap();
+        assert_eq!(a.regularity(), Some(8));
+        assert!(crate::props::is_connected(&a));
+        // Same generator stream as regular:N:R at equal seeds.
+        let b = "regular:64:8"
+            .parse::<GraphSpec>()
+            .unwrap()
+            .build(9)
+            .unwrap();
+        assert_eq!(a, b);
+
+        let p = "pa:200:3".parse::<GraphSpec>().unwrap();
+        assert!(p.is_random());
+        let a = p.build(4).unwrap();
+        let b = "ba:200:3".parse::<GraphSpec>().unwrap().build(4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.n(), 200);
+    }
+
+    fn file_fixture(tag: &str, contents: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cobra-spec-file-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.snap");
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn file_specs_round_trip_and_serve_both_backends() {
+        let path = file_fixture("roundtrip", "0 1\n1 2\n2 0\n2 3\n");
+        let s = format!("file:{}", path.display());
+        let spec: GraphSpec = s.parse().unwrap();
+        assert_eq!(spec.to_string(), s, "display round-trip");
+        assert!(!spec.is_random());
+        assert!(!spec.has_implicit());
+
+        // Cold build parses the text (and writes the .csrbin cache).
+        let cold = spec.build_topology(0, Backend::Auto).unwrap();
+        assert_eq!(cold.backend_name(), "csr");
+        assert_eq!(cold.n(), 4);
+        // Warm build serves the mmap-backed cache, same graph.
+        let warm = spec.build_topology(0, Backend::Auto).unwrap();
+        assert_eq!(warm.backend_name(), "mmap");
+        assert_eq!(warm.shape(), cold.shape());
+        let csr = cold.as_csr().unwrap();
+        crate::with_topology!(&warm, |t| {
+            use crate::topology::Topology;
+            assert_eq!(t.pick_bound(), Topology::pick_bound(csr));
+            for v in 0..t.n() as u32 {
+                assert_eq!(t.neighbor_range(v), Topology::neighbor_range(csr, v));
+                for i in 0..t.degree(v) {
+                    assert_eq!(t.neighbor(v, i), Topology::neighbor(csr, v, i));
+                }
+            }
+            for pick in 0..t.pick_bound() {
+                assert_eq!(t.resolve_pick(pick), Topology::resolve_pick(csr, pick));
+            }
+        });
+        // Forced CSR still materialises.
+        let forced = spec.build_topology(0, Backend::Csr).unwrap();
+        assert_eq!(forced.backend_name(), "csr");
+        // Implicit is refused by name.
+        assert!(spec.build_topology(0, Backend::Implicit).is_err());
+    }
+
+    #[test]
+    fn file_identity_follows_content_not_path() {
+        let a = file_fixture("ident-a", "0 1\n1 2\n");
+        let b = file_fixture("ident-b", "0 1\n1 2\n");
+        let sa: GraphSpec = format!("file:{}", a.display()).parse().unwrap();
+        let sb: GraphSpec = format!("file:{}", b.display()).parse().unwrap();
+        // Different paths, same bytes: same key identity.
+        assert_ne!(sa, sb, "paths differ");
+        assert_eq!(sa.key_string(), sb.key_string());
+        // Editing the file changes the identity.
+        std::fs::write(&a, "0 1\n1 2\n2 3\n").unwrap();
+        let sa2: GraphSpec = format!("file:{}", a.display()).parse().unwrap();
+        assert_ne!(sa.key_string(), sa2.key_string());
+        // Giant restriction is part of the identity.
+        let sg: GraphSpec = format!("file:{}?component=giant", b.display())
+            .parse()
+            .unwrap();
+        assert!(sg.key_string().ends_with("?component=giant"));
+        assert_ne!(sg.key_string(), sb.key_string());
+        // Generated families keep their Display identity.
+        let h: GraphSpec = "hypercube:10".parse().unwrap();
+        assert_eq!(h.key_string(), "hypercube:10");
+    }
+
+    use proptest::prelude::*;
+
+    fn sorted_strict(g: &Graph) -> bool {
+        (0..g.n() as u32).all(|v| g.neighbors(v).windows(2).all(|w| w[0] < w[1]))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lollipop_n_invariants(n in 3usize..160) {
+            let g = GraphSpec::LollipopN { n }.build(0).unwrap();
+            prop_assert_eq!(g.n(), n);
+            prop_assert_eq!(g.degree_sum(), 2 * g.m());
+            prop_assert!(crate::props::is_connected(&g));
+            prop_assert!(sorted_strict(&g));
+        }
+
+        #[test]
+        fn prop_barbell_n_invariants(n in 6usize..160) {
+            let g = GraphSpec::BarbellN { n }.build(0).unwrap();
+            prop_assert_eq!(g.n(), n);
+            prop_assert_eq!(g.degree_sum(), 2 * g.m());
+            prop_assert!(crate::props::is_connected(&g));
+            prop_assert!(sorted_strict(&g));
+        }
+
+        #[test]
+        fn prop_twoclique_invariants(c in 2usize..40, p in 1usize..40) {
+            let g = GraphSpec::TwoClique { c, p }.build(0).unwrap();
+            prop_assert_eq!(g.n(), 2 * c + p);
+            prop_assert_eq!(g.m(), c * (c - 1) + p + 1);
+            prop_assert_eq!(g.degree_sum(), 2 * g.m());
+            prop_assert!(crate::props::is_connected(&g));
+            prop_assert!(sorted_strict(&g));
+        }
+
+        #[test]
+        fn prop_rreg_is_exactly_d_regular_and_connected(
+            n in 8usize..48,
+            d0 in 3usize..6,
+            seed in 0u64..1000,
+        ) {
+            // d >= 3 so connected samples exist (d <= 2 is a matching or
+            // a cycle union); round odd n·d up to the nearest feasible
+            // degree.
+            let d = if (n * d0) % 2 == 1 { d0 + 1 } else { d0 };
+            let g = GraphSpec::RReg { n, d }.build(seed).unwrap();
+            prop_assert_eq!(g.n(), n);
+            prop_assert_eq!(g.regularity(), Some(d));
+            prop_assert_eq!(g.degree_sum(), n * d);
+            prop_assert!(crate::props::is_connected(&g));
+            prop_assert!(sorted_strict(&g));
+        }
+
+        #[test]
+        fn prop_pa_invariants(m in 1usize..5, extra in 1usize..80, seed in 0u64..1000) {
+            let n = m + 1 + extra; // n > m0 = m + 1
+            let g = GraphSpec::PrefAttach { n, m }.build(seed).unwrap();
+            let m0 = m + 1;
+            prop_assert_eq!(g.n(), n);
+            prop_assert_eq!(g.m(), m0 * (m0 - 1) / 2 + (n - m0) * m);
+            prop_assert_eq!(g.degree_sum(), 2 * g.m());
+            prop_assert!(crate::props::is_connected(&g));
+            prop_assert!(sorted_strict(&g));
+        }
+    }
+
+    #[test]
+    fn file_giant_modifier_restricts_to_largest_component() {
+        let path = file_fixture("giant", "0 1\n1 2\n2 0\n8 9\n");
+        let full: GraphSpec = format!("file:{}", path.display()).parse().unwrap();
+        assert_eq!(full.build(0).unwrap().n(), 5);
+        let giant: GraphSpec = format!("file:{}?component=giant", path.display())
+            .parse()
+            .unwrap();
+        let g = giant.build(0).unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(crate::props::is_connected(&g));
+        // Warm reload of the giant variant agrees.
+        let warm = giant.build_topology(0, Backend::Auto).unwrap();
+        assert_eq!(warm.backend_name(), "mmap");
+        assert_eq!(warm.n(), 3);
     }
 }

@@ -156,7 +156,7 @@ pub struct GraphShape {
 
 /// Issues a best-effort prefetch of the cache line holding `p`.
 #[inline(always)]
-fn prefetch_read<T>(p: *const T) {
+pub(crate) fn prefetch_read<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]
     unsafe {
         core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
@@ -841,6 +841,10 @@ impl std::str::FromStr for Backend {
 pub enum BuiltTopology {
     /// Materialized CSR adjacency.
     Csr(Graph),
+    /// CSR served from an mmap-backed `.csrbin` cache (warm `file:`
+    /// loads) — same pick encoding as [`BuiltTopology::Csr`], O(1)
+    /// resident memory.
+    Mapped(crate::ingest::MappedCsr),
     /// Implicit `K_n`.
     Complete(CompleteTopo),
     /// Implicit circulant (also `cycle` and `cyclepower`).
@@ -862,6 +866,7 @@ macro_rules! with_topology {
     ($topo:expr, |$g:ident| $body:expr) => {
         match $topo {
             $crate::topology::BuiltTopology::Csr($g) => $body,
+            $crate::topology::BuiltTopology::Mapped($g) => $body,
             $crate::topology::BuiltTopology::Complete($g) => $body,
             $crate::topology::BuiltTopology::Circulant($g) => $body,
             $crate::topology::BuiltTopology::Grid($g) => $body,
@@ -897,17 +902,18 @@ impl BuiltTopology {
         with_topology!(self, |g| g.memory_bytes())
     }
 
-    /// True for the O(1)-memory backends.
+    /// True for the arithmetic O(1)-memory backends (not CSR, and not
+    /// the mmap-backed CSR, which stores real adjacency on disk).
     pub fn is_implicit(&self) -> bool {
-        !matches!(self, BuiltTopology::Csr(_))
+        !matches!(self, BuiltTopology::Csr(_) | BuiltTopology::Mapped(_))
     }
 
-    /// `"csr"` or `"implicit"` — for logs and reports.
+    /// `"csr"`, `"mmap"`, or `"implicit"` — for logs and reports.
     pub fn backend_name(&self) -> &'static str {
-        if self.is_implicit() {
-            "implicit"
-        } else {
-            "csr"
+        match self {
+            BuiltTopology::Csr(_) => "csr",
+            BuiltTopology::Mapped(_) => "mmap",
+            _ => "implicit",
         }
     }
 

@@ -91,6 +91,16 @@ impl Objective {
         Objective::Hit(HitTarget::Vertex(v))
     }
 
+    /// True for the objectives that can only terminate when every part
+    /// of the graph is reachable from the start set: `cover` must touch
+    /// all `n` vertices and `hit:far` resolves its target by a BFS that
+    /// must reach everything. Loaded real-world graphs are routinely
+    /// disconnected, so spec resolution checks these up front and points
+    /// at `?component=giant` instead of censoring every trial.
+    pub fn requires_full_reach(&self) -> bool {
+        matches!(self, Objective::Cover | Objective::Hit(HitTarget::Far))
+    }
+
     /// True for the stopping-time objectives a sweep grid can carry
     /// (`cover`, `hit:*`, `infection:*`) — the ones whose result is one
     /// streamed stopping-time summary per point.
@@ -539,6 +549,19 @@ mod tests {
             err.contains("hit:far") && err.contains("unreachable"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn full_reach_partition() {
+        assert!(Objective::Cover.requires_full_reach());
+        assert!(Objective::Hit(HitTarget::Far).requires_full_reach());
+        assert!(!Objective::hit(3).requires_full_reach());
+        assert!(!Objective::Infection { threshold: 0.5 }.requires_full_reach());
+        assert!(!Objective::Trajectory.requires_full_reach());
+        assert!(!"duality:h{4}"
+            .parse::<Objective>()
+            .unwrap()
+            .requires_full_reach());
     }
 
     #[test]

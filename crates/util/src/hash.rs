@@ -26,6 +26,43 @@ pub fn fnv1a_str(s: &str) -> u64 {
     fnv1a_64(s.as_bytes())
 }
 
+/// Incremental FNV-1a hasher for streaming input (file ingestion digests,
+/// binary-cache section checksums). Feeding the same bytes in any chunking
+/// yields the same digest as a single [`fnv1a_64`] call.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Fold a chunk of bytes into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Fixed-width lowercase-hex rendering of a 64-bit digest.
 pub fn hex16(digest: u64) -> String {
     format!("{digest:016x}")
@@ -53,6 +90,20 @@ mod tests {
         ];
         let digests: std::collections::HashSet<u64> = keys.iter().map(|k| fnv1a_str(k)).collect();
         assert_eq!(digests.len(), keys.len());
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let oneshot = fnv1a_64(&data);
+        for chunk in [1usize, 3, 7, 64, 999, 1000] {
+            let mut h = Fnv1a::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), oneshot, "chunk size {chunk}");
+        }
+        assert_eq!(Fnv1a::new().finish(), fnv1a_64(&[]));
     }
 
     #[test]

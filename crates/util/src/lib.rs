@@ -21,6 +21,6 @@ pub mod math;
 pub mod unionfind;
 
 pub use bitset::BitSet;
-pub use hash::{fnv1a_64, fnv1a_str, hex16};
+pub use hash::{fnv1a_64, fnv1a_str, hex16, Fnv1a};
 pub use json::{Json, JsonError};
 pub use unionfind::UnionFind;
