@@ -28,10 +28,14 @@
 
 use cobra::experiments;
 use cobra::{SimSpec, Table};
-use cobra_campaign::{artifact, plan_sweep, run_sweep, Store, SweepSpec};
+use cobra_campaign::{
+    artifact, plan_sweep, run_sweep, run_sweep_with_progress, Store, SweepProgress, SweepSpec,
+};
+use cobra_obs::status::{err_line, err_transient, out_line};
+use cobra_obs::{MetricsRegistry, RegistrySink, RoundRecord, RoundSink, TraceWriter, TrialTotals};
 use cobra_util::json::{obj, Json};
 use std::collections::HashSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cobra_viz::{Plot, Scale, Series};
@@ -227,6 +231,9 @@ fn run_subcommand(args: &[String]) -> ExitCode {
     let mut dry_run = false;
     let mut verbose = false;
     let mut format = Format::Plain;
+    let mut trace: Option<PathBuf> = None;
+    let mut trace_every: usize = 1;
+    let mut metrics = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -282,6 +289,16 @@ fn run_subcommand(args: &[String]) -> ExitCode {
             }
             "--verbose" | "-v" => {
                 verbose = true;
+                Ok(())
+            }
+            "--trace" => value("--trace").map(|v| trace = Some(PathBuf::from(v))),
+            "--trace-every" => value("--trace-every").and_then(|v| {
+                v.parse()
+                    .map(|v| trace_every = v)
+                    .map_err(|e| format!("--trace-every: {e}"))
+            }),
+            "--metrics" | "-M" => {
+                metrics = true;
                 Ok(())
             }
             "--csv" => {
@@ -358,11 +375,21 @@ fn run_subcommand(args: &[String]) -> ExitCode {
         }
     }
 
-    let measurement = match spec.measure() {
-        Ok(measurement) => measurement,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let measurement = if trace.is_some() || metrics {
+        match run_traced(&spec, trace.as_deref(), trace_every, metrics) {
+            Ok(measurement) => measurement,
+            Err(e) => {
+                err_line(&e);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match spec.measure() {
+            Ok(measurement) => measurement,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -383,6 +410,51 @@ fn run_subcommand(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The observed measurement path behind `run --trace` / `run
+/// --metrics`: trials run sequentially through the probed engine —
+/// bit-identical to the untraced run — streaming per-round records to
+/// the trace file (subsampled by `every`) and, under `--metrics`,
+/// folding them into a registry dumped to stderr afterwards.
+fn run_traced(
+    spec: &SimSpec<'_>,
+    trace: Option<&Path>,
+    every: usize,
+    metrics: bool,
+) -> Result<cobra::Measurement, String> {
+    let mut writer = match trace {
+        Some(path) => Some(
+            TraceWriter::create(path, every)
+                .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let mut null = cobra_obs::NullSink;
+    let inner: &mut dyn RoundSink = match writer.as_mut() {
+        Some(w) => w,
+        None => &mut null,
+    };
+    let measurement = if metrics {
+        let mut sink = RegistrySink::new(inner);
+        let (measurement, _) = spec
+            .measure_traced(&mut sink, true)
+            .map_err(|e| e.to_string())?;
+        let registry: MetricsRegistry = sink.into_registry();
+        err_line(&registry.render());
+        measurement
+    } else {
+        let (measurement, _) = spec
+            .measure_traced(inner, true)
+            .map_err(|e| e.to_string())?;
+        measurement
+    };
+    if let Some(writer) = writer {
+        writer
+            .finish()
+            .map_err(|e| format!("trace write failed: {e}"))?;
+    }
+    Ok(measurement)
+}
+
 /// Prints the fully-resolved scenario (objective, stop condition, cap)
 /// without running a round; errors on specs that cannot terminate.
 fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<(), String> {
@@ -391,15 +463,15 @@ fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<
     // run means the real run starts. Implicit backends resolve without
     // materialising a single edge, so hypercube:24 dry-runs instantly.
     let resolved = spec.resolve().map_err(|e| e.to_string())?;
-    println!(
+    out_line(&format!(
         "run: {process} on {graph} (n = {}, m = {})",
         resolved.n, resolved.m
-    );
-    println!(
+    ));
+    out_line(&format!(
         "  backend:   {} (graph resident ~{} bytes)",
         resolved.backend, resolved.graph_bytes
-    );
-    println!(
+    ));
+    out_line(&format!(
         "  shards:    {}{} (per-shard state ~{} bytes: visited + frontier + scratch)",
         resolved.shards,
         if resolved.shards == 1 {
@@ -408,10 +480,10 @@ fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<
             ""
         },
         resolved.shard_state_bytes
-    );
-    println!("  objective: {}", spec.objective);
-    println!("  stop when: {:?}", resolved.stop);
-    println!(
+    ));
+    out_line(&format!("  objective: {}", spec.objective));
+    out_line(&format!("  stop when: {:?}", resolved.stop));
+    out_line(&format!(
         "  cap:       {} rounds/trial ({})",
         resolved.cap,
         if resolved.explicit_cap {
@@ -419,8 +491,8 @@ fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<
         } else {
             "derived from the paper's bounds"
         }
-    );
-    println!(
+    ));
+    out_line(&format!(
         "  trials:    {} (seed {:#x}, threads {})",
         spec.trials,
         spec.master_seed,
@@ -429,7 +501,7 @@ fn print_resolved_run(spec: &SimSpec<'_>, graph: &str, process: &str) -> Result<
         } else {
             spec.threads.to_string()
         }
-    );
+    ));
     Ok(())
 }
 
@@ -506,6 +578,8 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
     let mut no_store = false;
     let mut plot = false;
     let mut format = Format::Plain;
+    let mut progress = false;
+    let mut metrics = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -542,6 +616,14 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
             }
             "--plot" | "-p" => {
                 plot = true;
+                Ok(())
+            }
+            "--progress" => {
+                progress = true;
+                Ok(())
+            }
+            "--metrics" | "-M" => {
+                metrics = true;
                 Ok(())
             }
             "--csv" => {
@@ -642,13 +724,18 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
                 plan.duplicates.len()
             )
         };
-        println!(
+        out_line(&format!(
             "sweep {name}: {} points ({} distinct graphs) — {} cached, {} to compute{dup_note}",
             plan.len(),
             plan.distinct_graphs,
             plan.cached.len(),
             plan.missing.len()
-        );
+        ));
+        let cs = plan.cache_stats;
+        out_line(&format!(
+            "  graph cache: {} built, {} hits, {} evicted, ~{} bytes resident",
+            cs.misses, cs.hits, cs.evictions, cs.resident_bytes
+        ));
         let cached: HashSet<usize> = plan.cached.iter().copied().collect();
         let dups: HashSet<usize> = plan.duplicates.iter().copied().collect();
         const SHOW: usize = 64;
@@ -688,19 +775,58 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
             }
         }
     };
-    let outcome = match run_sweep(&spec, &mut store, threads, &cap_policy) {
+    let started = std::time::Instant::now();
+    let render_progress = |p: SweepProgress| {
+        let done = p.cached + p.computed;
+        let pct = 100 * done / p.total.max(1);
+        let rate = p.computed as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        let eta = (p.to_compute - p.computed) as f64 / rate.max(1e-9);
+        err_transient(&format!(
+            "progress: {done}/{} points ({pct}%) — {} cached, {rate:.1} points/s, ETA {eta:.0}s",
+            p.total, p.cached
+        ));
+    };
+    let result = if progress {
+        run_sweep_with_progress(&spec, &mut store, threads, &cap_policy, &render_progress)
+    } else {
+        run_sweep(&spec, &mut store, threads, &cap_policy)
+    };
+    let outcome = match result {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    println!(
+    if progress {
+        // Unconditional final line: an all-cached sweep never fires the
+        // callback, and the transient line (if any) needs terminating.
+        // Trailing spaces blank out any longer transient remainder.
+        let total = outcome.records.len();
+        err_line(&format!(
+            "\rprogress: {total}/{total} points (100%) — {} cached, {} computed        ",
+            outcome.cached, outcome.computed
+        ));
+    }
+    if metrics {
+        let cs = outcome.cache_stats;
+        let mut reg = MetricsRegistry::new();
+        reg.counter("campaign.points.total", outcome.records.len() as u64);
+        reg.counter("campaign.points.cached", outcome.cached as u64);
+        reg.counter("campaign.points.computed", outcome.computed as u64);
+        reg.counter("graph_cache.hits", cs.hits as u64);
+        reg.counter("graph_cache.misses", cs.misses as u64);
+        reg.counter("graph_cache.evictions", cs.evictions as u64);
+        reg.gauge("graph_cache.resident_bytes", cs.resident_bytes as f64);
+        reg.gauge("sweep.wall_seconds", started.elapsed().as_secs_f64());
+        err_line(&reg.render());
+    }
+    out_line(&format!(
         "sweep {name}: {} points — {} cached, {} computed",
         outcome.records.len(),
         outcome.cached,
         outcome.computed
-    );
+    ));
     // One table per objective (a single-objective sweep prints one).
     for (_objective, table) in artifact::tables(&name, &outcome.records) {
         match format {
@@ -718,7 +844,7 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
         match artifact::write_artifacts(&store_dir, &name, &outcome.records) {
             Ok(written) => {
                 for path in written {
-                    println!("wrote {}", path.display());
+                    out_line(&format!("wrote {}", path.display()));
                 }
             }
             Err(e) => {
@@ -778,6 +904,9 @@ fn print_sweep_help() {
          \u{20}        different points)\n\
          \u{20}        --dry-run (show resolved objectives/caps + cache hits, run nothing)\n\
          \u{20}        --threads N (auto)  --store DIR (campaigns)  --no-store\n\
+         \u{20}        --progress (live stderr line: done/total, cached, points/s, ETA;\n\
+         \u{20}        always ends with a final 100% line)\n\
+         \u{20}        --metrics (dump campaign + graph-cache counters to stderr)\n\
          \u{20}        --csv | --markdown  --plot\n\
          \n\
          Results persist one streamed-summary JSON line per point under\n\
@@ -813,6 +942,8 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
     let mut shards: usize = 1;
     let mut sweep_mode = false;
     let mut ingest: Option<String> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut trace_every: usize = 1;
     // Engine-probe flags that are meaningless under --sweep (which
     // measures a fixed grid); mixing them is rejected, not ignored.
     let mut engine_flags: Vec<&str> = Vec::new();
@@ -869,6 +1000,18 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
                 Ok(())
             }
             "--ingest" => value("--ingest").map(|v| ingest = Some(v)),
+            "--trace" => value("--trace").map(|v| {
+                trace = Some(PathBuf::from(v));
+                engine_flags.push("--trace");
+            }),
+            "--trace-every" => value("--trace-every").and_then(|v| {
+                v.parse()
+                    .map(|v| {
+                        trace_every = v;
+                        engine_flags.push("--trace-every");
+                    })
+                    .map_err(|e| format!("--trace-every: {e}"))
+            }),
             "--help" | "-h" => {
                 print_bench_help();
                 return ExitCode::SUCCESS;
@@ -938,12 +1081,25 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
         None => spec.clone().with_shards(shards).with_trials(trials),
     };
 
-    // Warm-up batch, then the measured batch.
+    // Warm-up batch, then the measured batch. Under --trace the
+    // measured batch goes through the probed sequential engine (same
+    // trial outcomes), so the recorded entry prices the probe tax.
     let _ = measured.clone().with_trials(trials.div_ceil(8)).run();
     let start = std::time::Instant::now();
-    let est = measured.run();
+    let total_rounds: usize = match &trace {
+        Some(path) => match bench_traced(&measured, path, trace_every) {
+            Ok(rounds) => rounds,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let est = measured.run();
+            est.samples.iter().sum::<usize>() + est.censored * est.cap
+        }
+    };
     let wall = start.elapsed().as_secs_f64();
-    let total_rounds: usize = est.samples.iter().sum::<usize>() + est.censored * est.cap;
     let rounds_per_sec = total_rounds as f64 / wall.max(1e-12);
 
     let entry = obj([
@@ -963,7 +1119,7 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
             Json::Float(round_places(rounds_per_sec, 1)),
         ),
     ]);
-    println!("{entry}");
+    out_line(&entry.to_string());
     let entries = match merge_bench_file(&out, &label, entry) {
         Ok(entries) => entries,
         Err(e) => {
@@ -983,12 +1139,46 @@ fn bench_subcommand(args: &[String]) -> ExitCode {
         .and_then(|e| e.get("rounds_per_sec"))
         .and_then(Json::as_f64);
     if let Some(base_rps) = base_rps {
-        println!(
+        out_line(&format!(
             "speedup vs pre-refactor baseline ({base_rps:.1} rounds/s): {:.2}x",
             rounds_per_sec / base_rps
-        );
+        ));
     }
     ExitCode::SUCCESS
+}
+
+/// The measured batch under `bench --trace`: the same trials through
+/// the probed sequential engine, counting executed rounds off the
+/// per-trial totals while the trace streams to `path`. Counting through
+/// the sink (rather than re-deriving from the estimate) keeps the
+/// number exact for censored trials too.
+fn bench_traced(spec: &SimSpec<'_>, path: &Path, every: usize) -> Result<usize, String> {
+    struct Counting<W: std::io::Write> {
+        inner: TraceWriter<W>,
+        rounds: usize,
+    }
+    impl<W: std::io::Write> RoundSink for Counting<W> {
+        fn on_round(&mut self, trial: usize, record: &RoundRecord<'_>) {
+            self.inner.on_round(trial, record);
+        }
+        fn on_trial_end(&mut self, trial: usize, totals: &TrialTotals) {
+            self.rounds += totals.executed;
+            self.inner.on_trial_end(trial, totals);
+        }
+    }
+    let writer = TraceWriter::create(path, every)
+        .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+    let mut sink = Counting {
+        inner: writer,
+        rounds: 0,
+    };
+    spec.measure_traced(&mut sink, false)
+        .map_err(|e| e.to_string())?;
+    let rounds = sink.rounds;
+    sink.inner
+        .finish()
+        .map_err(|e| format!("trace write failed: {e}"))?;
+    Ok(rounds)
 }
 
 /// `cobra-exps bench --sweep` — campaign-layer throughput: points/sec
@@ -1036,7 +1226,7 @@ fn bench_sweep(seed: u64, label: &str, out: &str) -> ExitCode {
                 Json::Float(round_places(points_per_sec, 1)),
             ),
         ]);
-        println!("{entry}");
+        out_line(&entry.to_string());
         if let Err(e) = merge_bench_file(out, &entry_label, entry) {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::FAILURE;
@@ -1099,7 +1289,7 @@ fn bench_ingest(path: &str, label: &str, out: &str) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        println!("{entry}");
+        out_line(&entry.to_string());
         if let Err(e) = merge_bench_file(out, &format!("{label}:{phase}"), entry) {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::FAILURE;
@@ -1163,6 +1353,9 @@ fn print_bench_help() {
          \u{20}        --ingest PATH (measure edge-list loading: cold text parse vs\n\
          \u{20}                 warm mmap of the .csrbin cache; entries <label>:cold\n\
          \u{20}                 and <label>:warm, default label 'ingest')\n\
+         \u{20}        --trace FILE / --trace-every N (run the measured batch through\n\
+         \u{20}                 the probed engine, streaming the trace; records the\n\
+         \u{20}                 telemetry overhead, e.g. labels trace:off/trace:on)\n\
          \n\
          Entries are keyed by label; rerunning a label replaces its entry. When a\n\
          'pre-refactor' entry for the same scenario exists the speedup is printed."
@@ -1191,6 +1384,11 @@ fn print_run_help() {
          \u{20}        worker shards — part of the result's identity, unlike --backend)\n\
          \u{20}        --dry-run (print the resolved backend, objective, stop\n\
          \u{20}        condition, and cap; run nothing)  --verbose (print, then run)\n\
+         \u{20}        --trace FILE (stream one JSONL record per round: frontier,\n\
+         \u{20}        new_covered, transmissions, coalesced, shard traffic — probes\n\
+         \u{20}        observe only, results stay bit-identical; trials run sequentially)\n\
+         \u{20}        --trace-every N (subsample the trace to every Nth round)\n\
+         \u{20}        --metrics (dump counters/histograms + phase timers to stderr)\n\
          \u{20}        --csv | --markdown"
     );
 }

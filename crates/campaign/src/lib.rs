@@ -82,10 +82,11 @@ pub use cobra_graph::Backend;
 pub use cobra_mc::{HitTarget, Objective};
 pub use point::{SweepPoint, CODE_VERSION};
 pub use runner::{
-    default_cap, plan_sweep, run_graph_jobs, run_point, run_point_on, run_sweep, CapPolicy, Plan,
-    PlannedPoint, PlannedTopology, RunOutcome,
+    default_cap, plan_sweep, run_graph_jobs, run_point, run_point_on, run_sweep,
+    run_sweep_with_progress, CapPolicy, Plan, PlanCacheStats, PlannedPoint, PlannedTopology,
+    RunOutcome, SweepProgress,
 };
-pub use store::{PointRecord, Store};
+pub use store::{PointRecord, PointTiming, Store};
 pub use sweep::{expand_pattern, validate_name, SweepSpec};
 
 /// Why a campaign could not be parsed, planned, or run.

@@ -18,7 +18,7 @@
 //! `master_seed = point.seed` is pinned by tests.)
 
 use crate::point::SweepPoint;
-use crate::store::{PointRecord, Store};
+use crate::store::{PointRecord, PointTiming, Store};
 use crate::sweep::SweepSpec;
 use crate::CampaignError;
 use cobra_graph::{
@@ -30,7 +30,9 @@ use cobra_mc::{
     StoppingAccumulator,
 };
 use cobra_process::{ProcessSpec, ProcessState, ShardedState, StepCtx};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How a point with no explicit cap resolves one, given its graph's
 /// size parameters. The CLI injects the paper-bound policy from
@@ -125,6 +127,37 @@ pub struct Plan {
     pub duplicates: Vec<usize>,
     /// Distinct graphs materialised (memoization across points).
     pub distinct_graphs: usize,
+    /// The plan-local [`GraphCache`]'s accounting: how graph
+    /// materialisation behaved while resolving this plan.
+    pub cache_stats: PlanCacheStats,
+}
+
+/// A snapshot of the planning [`GraphCache`]'s counters, surfaced so
+/// `--dry-run` and `--metrics` can show what graph construction cost
+/// (and what the byte-capped cache evicted) instead of hiding it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: usize,
+    /// Lookups that had to build (or map) the graph.
+    pub misses: usize,
+    /// Entries dropped by the byte cap.
+    pub evictions: usize,
+    /// Bytes resident in the cache when planning finished.
+    pub resident_bytes: usize,
+}
+
+impl PlanCacheStats {
+    /// Reads the counters off a cache.
+    pub fn capture(cache: &GraphCache) -> PlanCacheStats {
+        let (hits, misses) = cache.stats();
+        PlanCacheStats {
+            hits,
+            misses,
+            evictions: cache.evictions(),
+            resident_bytes: cache.resident_bytes(),
+        }
+    }
 }
 
 impl Plan {
@@ -150,6 +183,24 @@ pub struct RunOutcome {
     pub cached: usize,
     /// Points computed this run.
     pub computed: usize,
+    /// Graph-cache accounting from the planning phase.
+    pub cache_stats: PlanCacheStats,
+}
+
+/// One progress snapshot, handed to the [`run_sweep_with_progress`]
+/// callback after each computed point is persisted. `computed` is
+/// monotone across calls (worker threads may invoke the callback
+/// concurrently, but each call carries a distinct count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Points computed and appended to the store so far this run.
+    pub computed: usize,
+    /// Points this run must compute in total.
+    pub to_compute: usize,
+    /// Points served from the store (duplicates included).
+    pub cached: usize,
+    /// Total points in the expansion.
+    pub total: usize,
 }
 
 /// Resolves a sweep into a [`Plan`]: expands the axes, materialises
@@ -239,12 +290,14 @@ pub fn plan_sweep(
         points.push(PlannedPoint { point, topology });
     }
     let distinct_graphs = planned_csr.len() + non_csr_count_distinct(&points);
+    let cache_stats = PlanCacheStats::capture(&cache);
     Ok(Plan {
         points,
         cached,
         missing,
         duplicates,
         distinct_graphs,
+        cache_stats,
     })
 }
 
@@ -329,7 +382,26 @@ pub fn run_sweep(
     threads: usize,
     cap_policy: CapPolicy<'_>,
 ) -> Result<RunOutcome, CampaignError> {
+    run_sweep_with_progress(spec, store, threads, cap_policy, &|_| {})
+}
+
+/// [`run_sweep`] with a live progress callback: invoked once per
+/// computed point, after the record is appended to the store, possibly
+/// from a worker thread. The callback must be cheap and is responsible
+/// for its own rendering (the CLI draws a transient stderr line);
+/// all-cached sweeps never invoke it.
+pub fn run_sweep_with_progress(
+    spec: &SweepSpec,
+    store: &mut Store,
+    threads: usize,
+    cap_policy: CapPolicy<'_>,
+    progress: &(dyn Fn(SweepProgress) + Sync),
+) -> Result<RunOutcome, CampaignError> {
     let plan = plan_sweep(spec, store, cap_policy)?;
+    // Duplicates count as cached: they are served from the record
+    // their twin produced (or the store already held), never rerun.
+    let cached = plan.cached.len() + plan.duplicates.len();
+    let done = AtomicUsize::new(0);
     let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
     let fresh: Vec<PointRecord> =
         run_jobs(threads, plan.missing.len(), StepCtx::new, |ctx, job| {
@@ -338,6 +410,12 @@ pub fn run_sweep(
             if let Err(e) = store.append(&record) {
                 io_error.lock().expect("io error slot").get_or_insert(e);
             }
+            progress(SweepProgress {
+                computed: done.fetch_add(1, Ordering::Relaxed) + 1,
+                to_compute: plan.missing.len(),
+                cached,
+                total: plan.len(),
+            });
             record
         });
     if let Some(e) = io_error.into_inner().expect("io error slot") {
@@ -357,10 +435,9 @@ pub fn run_sweep(
     }
     Ok(RunOutcome {
         records,
-        // Duplicates count as cached: they are served from the record
-        // their twin produced (or the store already held), never rerun.
-        cached: plan.cached.len() + plan.duplicates.len(),
+        cached,
         computed,
+        cache_stats: plan.cache_stats,
     })
 }
 
@@ -426,10 +503,14 @@ pub fn run_point_on<T: Topology + Sync>(
         .expect("plan_sweep validated every point objective");
     let mut process = point.process.build(graph, &start);
     let mut acc = StoppingAccumulator::new();
+    let started = Instant::now();
+    let mut trial_secs = Vec::with_capacity(point.trials);
     for trial in 0..point.trials {
+        let t0 = Instant::now();
         ctx.reseed(trial_seed(point.seed, trial as u64));
         process.reset(graph, &start);
         acc.push(&run_trial(&mut process, ctx, stop, point.cap, Completion));
+        trial_secs.push(t0.elapsed().as_secs_f64());
     }
     let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
     PointRecord::from_estimate(
@@ -438,6 +519,7 @@ pub fn run_point_on<T: Topology + Sync>(
         &acc.finish(point.cap),
         total_transmissions,
         total_reached,
+        point_timing(started, trial_secs),
     )
 }
 
@@ -459,7 +541,10 @@ fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> Point
         .expect("plan_sweep validated every sharded point's process");
     let mut state = ShardedState::new(graph, kernel, point.shards);
     let mut acc = StoppingAccumulator::new();
+    let started = Instant::now();
+    let mut trial_secs = Vec::with_capacity(point.trials);
     for trial in 0..point.trials {
+        let t0 = Instant::now();
         let outcome = run_sharded_trial(
             &mut state,
             trial_seed(point.seed, trial as u64),
@@ -469,6 +554,7 @@ fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> Point
             1,
         );
         acc.push(&outcome);
+        trial_secs.push(t0.elapsed().as_secs_f64());
     }
     let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
     PointRecord::from_estimate(
@@ -477,7 +563,28 @@ fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> Point
         &acc.finish(point.cap),
         total_transmissions,
         total_reached,
+        point_timing(started, trial_secs),
     )
+}
+
+/// Folds a point's wall clock and per-trial seconds into the record's
+/// timing summary. Sorted-sample quantiles (nearest rank) — trial
+/// counts are small, so exactness beats streaming here.
+fn point_timing(started: Instant, mut trial_secs: Vec<f64>) -> PointTiming {
+    let wall_seconds = started.elapsed().as_secs_f64();
+    trial_secs.sort_by(|a, b| a.partial_cmp(b).expect("trial seconds are finite"));
+    let q = |q: f64| -> f64 {
+        match trial_secs.len() {
+            0 => 0.0,
+            len => trial_secs[((len - 1) as f64 * q).round() as usize],
+        }
+    };
+    PointTiming {
+        wall_seconds,
+        trial_q25: q(0.25),
+        trial_median: q(0.5),
+        trial_q75: q(0.75),
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +652,59 @@ mod tests {
         assert_eq!(second.computed, 0);
         assert_eq!(second.cached, 8);
         assert_eq!(first.records, second.records);
+    }
+
+    #[test]
+    fn progress_fires_per_computed_point_with_timing_recorded() {
+        let spec = small_spec();
+        let mut store = Store::in_memory();
+        let seen = Mutex::new(Vec::new());
+        let out = run_sweep_with_progress(&spec, &mut store, 1, &default_cap, &|p| {
+            seen.lock().unwrap().push(p);
+        })
+        .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|p| p.computed);
+        assert_eq!(seen.len(), 8, "one callback per computed point");
+        assert_eq!(
+            seen[7],
+            SweepProgress {
+                computed: 8,
+                to_compute: 8,
+                cached: 0,
+                total: 8
+            }
+        );
+        for r in &out.records {
+            assert!(r.wall_seconds > 0.0, "computed points carry wall time");
+            assert!(r.trial_q25 <= r.trial_median && r.trial_median <= r.trial_q75);
+        }
+        // A fully-cached re-run never invokes the callback — the CLI's
+        // final 100% line is printed unconditionally for that reason.
+        let calls = AtomicUsize::new(0);
+        let second = run_sweep_with_progress(&spec, &mut store, 1, &default_cap, &|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!((second.computed, second.cached), (0, 8));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn plans_surface_graph_cache_accounting() {
+        // Implicit backends bypass the CSR cache entirely.
+        let implicit = plan_sweep(&small_spec(), &Store::in_memory(), &default_cap).unwrap();
+        assert_eq!(implicit.cache_stats, PlanCacheStats::default());
+        // Forced CSR: each distinct graph misses once (the plan memo —
+        // not the cache — serves the second point of each graph), and
+        // the built graphs stay resident.
+        let csr = small_spec().with_backend(Backend::Csr);
+        let plan = plan_sweep(&csr, &Store::in_memory(), &default_cap).unwrap();
+        assert_eq!(plan.cache_stats.misses, 4);
+        assert_eq!(plan.cache_stats.evictions, 0);
+        assert!(plan.cache_stats.resident_bytes > 0);
+        let out = run_sweep(&csr, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        assert_eq!(out.cache_stats.misses, 4, "run outcome carries the stats");
     }
 
     #[test]

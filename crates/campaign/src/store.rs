@@ -37,7 +37,13 @@ use std::sync::Mutex;
 /// stopping-time summary the artifact layer folds. Integer fields stay
 /// exact by construction; float fields use the exact round-trip float
 /// encoding, so a write → load round trip is bit-identical either way.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares only the scientific payload — the [`PointTiming`]
+/// fields (`wall_seconds`, `trial_q25`, `trial_median`, `trial_q75`)
+/// are machine-speed measurements, not part of the point's identity,
+/// so determinism tests comparing records across thread counts or
+/// backends still hold.
+#[derive(Debug, Clone)]
 pub struct PointRecord {
     /// `hex16` digest of `spec` — the store's address.
     pub key: String,
@@ -80,6 +86,62 @@ pub struct PointRecord {
     pub total_transmissions: u64,
     /// Total reached-set size at trial end, summed over trials.
     pub total_reached: u64,
+    /// Wall-clock seconds spent computing this point (0 for records
+    /// written before timing existed; excluded from equality).
+    pub wall_seconds: f64,
+    /// First-quartile per-trial seconds (0 when untimed; excluded from
+    /// equality).
+    pub trial_q25: f64,
+    /// Median per-trial seconds (0 when untimed; excluded from
+    /// equality).
+    pub trial_median: f64,
+    /// Third-quartile per-trial seconds (0 when untimed; excluded from
+    /// equality).
+    pub trial_q75: f64,
+}
+
+/// Wall-clock timing attached to a freshly computed [`PointRecord`].
+/// Additive within `cobra-campaign/2`: old store lines simply decode
+/// with zeroed timing, staying warm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PointTiming {
+    /// Wall-clock seconds for the whole point.
+    pub wall_seconds: f64,
+    /// First-quartile per-trial seconds.
+    pub trial_q25: f64,
+    /// Median per-trial seconds.
+    pub trial_median: f64,
+    /// Third-quartile per-trial seconds.
+    pub trial_q75: f64,
+}
+
+impl PartialEq for PointRecord {
+    /// Timing fields are intentionally excluded: two runs of the same
+    /// point on different machines (or thread counts) must compare
+    /// equal.
+    fn eq(&self, other: &PointRecord) -> bool {
+        self.key == other.key
+            && self.spec == other.spec
+            && self.graph == other.graph
+            && self.process == other.process
+            && self.objective == other.objective
+            && self.n == other.n
+            && self.m == other.m
+            && self.trials == other.trials
+            && self.cap == other.cap
+            && self.seed == other.seed
+            && self.completed == other.completed
+            && self.censored == other.censored
+            && self.mean == other.mean
+            && self.std_dev == other.std_dev
+            && self.min == other.min
+            && self.max == other.max
+            && self.q25 == other.q25
+            && self.median == other.median
+            && self.q75 == other.q75
+            && self.total_transmissions == other.total_transmissions
+            && self.total_reached == other.total_reached
+    }
 }
 
 impl PointRecord {
@@ -91,6 +153,7 @@ impl PointRecord {
         est: &StoppingEstimate,
         total_transmissions: u64,
         total_reached: u64,
+        timing: PointTiming,
     ) -> PointRecord {
         PointRecord {
             key: point.digest_hex(),
@@ -114,6 +177,10 @@ impl PointRecord {
             q75: est.q75,
             total_transmissions,
             total_reached,
+            wall_seconds: timing.wall_seconds,
+            trial_q25: timing.trial_q25,
+            trial_median: timing.trial_median,
+            trial_q75: timing.trial_q75,
         }
     }
 
@@ -177,6 +244,10 @@ impl PointRecord {
                 Json::Int(self.total_transmissions as i128),
             ),
             ("total_reached", Json::Int(self.total_reached as i128)),
+            ("wall_seconds", Json::Float(self.wall_seconds)),
+            ("trial_q25", Json::Float(self.trial_q25)),
+            ("trial_median", Json::Float(self.trial_median)),
+            ("trial_q75", Json::Float(self.trial_q75)),
         ])
     }
 
@@ -209,6 +280,12 @@ impl PointRecord {
             q75: f("q75")?,
             total_transmissions: v.get("total_transmissions")?.as_u64()?,
             total_reached: v.get("total_reached")?.as_u64()?,
+            // Timing was added after cobra-campaign/2 shipped; tolerate
+            // its absence so older stores stay warm.
+            wall_seconds: v.get("wall_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            trial_q25: v.get("trial_q25").and_then(Json::as_f64).unwrap_or(0.0),
+            trial_median: v.get("trial_median").and_then(Json::as_f64).unwrap_or(0.0),
+            trial_q75: v.get("trial_q75").and_then(Json::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -370,6 +447,10 @@ mod tests {
             q75: 5.5,
             total_transmissions: u64::MAX / 2,
             total_reached: 3 * n as u64,
+            wall_seconds: 0.25,
+            trial_q25: 0.05,
+            trial_median: 0.08,
+            trial_q75: 0.11,
         }
     }
 
@@ -380,9 +461,71 @@ mod tests {
         rec.mean = 0.1 + 0.2;
         rec.std_dev = f64::MIN_POSITIVE;
         rec.q75 = 1.0 / 3.0;
+        rec.wall_seconds = 0.1 + 0.7;
         let line = rec.to_json().to_string_compact();
         let back = PointRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, rec);
+        // Timing is outside `PartialEq`; check its round trip directly.
+        assert_eq!(back.wall_seconds, rec.wall_seconds);
+        assert_eq!(back.trial_q25, rec.trial_q25);
+        assert_eq!(back.trial_median, rec.trial_median);
+        assert_eq!(back.trial_q75, rec.trial_q75);
+    }
+
+    #[test]
+    fn records_without_timing_fields_still_decode() {
+        // A line written before timing existed: same payload, no
+        // wall_seconds/trial_* keys. It must decode (warm store) with
+        // zeroed timing rather than being recomputed.
+        let rec = record("abc123", 16);
+        let line = rec.to_json().to_string_compact();
+        let stripped: String = {
+            let v = Json::parse(&line).unwrap();
+            let fields: Vec<(&'static str, Json)> = [
+                "key",
+                "spec",
+                "graph",
+                "process",
+                "objective",
+                "n",
+                "m",
+                "trials",
+                "cap",
+                "seed",
+                "completed",
+                "censored",
+                "mean",
+                "std_dev",
+                "min",
+                "max",
+                "q25",
+                "median",
+                "q75",
+                "total_transmissions",
+                "total_reached",
+            ]
+            .iter()
+            .map(|&k| (k, v.get(k).unwrap().clone()))
+            .collect();
+            obj(fields).to_string_compact()
+        };
+        let back = PointRecord::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(back, rec, "payload equality ignores timing");
+        assert_eq!(back.wall_seconds, 0.0);
+        assert_eq!(back.trial_median, 0.0);
+    }
+
+    #[test]
+    fn equality_ignores_timing() {
+        let a = record("abc123", 16);
+        let mut b = a.clone();
+        b.wall_seconds = 99.0;
+        b.trial_q25 = 1.0;
+        b.trial_median = 2.0;
+        b.trial_q75 = 3.0;
+        assert_eq!(a, b);
+        b.mean += 1.0;
+        assert_ne!(a, b);
     }
 
     #[test]

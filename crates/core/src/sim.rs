@@ -43,7 +43,7 @@
 //!
 //! | objective | [`StopWhen`] | observer | reducer |
 //! |-----------|--------------|----------|---------|
-//! | `cover` | `Complete` | [`Completion`](cobra_mc::Completion) | [`StoppingAccumulator`] (Welford + P²) |
+//! | `cover` | `Complete` | [`Completion`] | [`StoppingAccumulator`] (Welford + P²) |
 //! | `hit:V` / `hit:far` | `Reached(v)` (far = BFS-farthest from the start set) | `Completion` | `StoppingAccumulator` |
 //! | `infection:T` | `ReachedCount(⌈T·n⌉)` (`T = 1` ⇒ `Complete`) | `Completion` | `StoppingAccumulator` |
 //! | `duality:h{..}` | `AtCap` at the max horizon (both sides) | horizon-disjointness probe | per-horizon two-proportion z |
@@ -68,9 +68,13 @@ use cobra_graph::{
     with_topology, Backend, BuiltTopology, Graph, GraphShape, GraphSpec, GraphSpecError, Topology,
     VertexId,
 };
-use cobra_mc::{run_sharded_trials, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
+use cobra_mc::{
+    run_sharded_trial_probed, run_sharded_trials, run_trial_probed, trial_seed, Completion, Engine,
+    Observer, StopWhen, Trajectory, TrialOutcome,
+};
+use cobra_obs::{Phase, PhaseTimers, RoundSink, SinkProbe, PHASES};
 use cobra_process::{
-    per_shard_state_bytes, Branching, ProcessSpec, ProcessSpecError, ShardedState,
+    per_shard_state_bytes, Branching, ProcessSpec, ProcessSpecError, ShardedState, StepCtx,
 };
 use cobra_stats::streaming::StreamingSummary;
 use cobra_stats::Summary;
@@ -637,6 +641,116 @@ impl<'g> SimSpec<'g> {
         }
     }
 
+    /// [`SimSpec::measure`] with telemetry attached: every executed
+    /// round is delivered to `sink` as a per-round record (frontier
+    /// size, newly covered vertices, transmissions, coalesced picks,
+    /// and — sharded — per-shard outbox traffic), followed by one
+    /// totals record per trial. With `time_phases`, kernels also lap
+    /// their round phases into log2 histograms, surfaced per trial via
+    /// [`RoundSink::on_trial_phases`] and returned aggregated.
+    ///
+    /// Probes are observe-only (they never draw from the trial RNG and
+    /// run after each `step` commits), so the returned [`Measurement`]
+    /// is **bit-identical** to [`SimSpec::measure`] — pinned across all
+    /// golden families by `tests/probe_identity.rs`. Trials run
+    /// sequentially (one dynamic sink), so tracing trades wall-clock
+    /// for visibility; only the stopping objectives (`cover`, `hit:*`,
+    /// `infection:*`) can be traced.
+    pub fn measure_traced(
+        &self,
+        sink: &mut dyn RoundSink,
+        time_phases: bool,
+    ) -> Result<(Measurement, Option<Box<PhaseTimers>>), SimError> {
+        let topo = self.topology()?;
+        on_topology!(&topo, |g| self.measure_traced_on(g, sink, time_phases))
+    }
+
+    fn measure_traced_on<T: Topology + Sync>(
+        &self,
+        g: &T,
+        sink: &mut dyn RoundSink,
+        time_phases: bool,
+    ) -> Result<(Measurement, Option<Box<PhaseTimers>>), SimError> {
+        self.check(g)?;
+        match self.objective {
+            Objective::Cover | Objective::Hit(_) | Objective::Infection { .. } => {}
+            Objective::Duality { .. } | Objective::Trajectory => {
+                return Err(SimError::Invalid(format!(
+                    "objective \"{}\" cannot be traced — per-round probes attach \
+                     to the stopping objectives (cover, hit:*, infection:*)",
+                    self.objective
+                )));
+            }
+        }
+        let engine = self.engine(g);
+        let stop = self
+            .objective
+            .stop_when(g, &self.start)
+            .map_err(SimError::Invalid)?;
+        let mut acc = StoppingAccumulator::new();
+        let timers = if self.shards > 1 {
+            let kernel = self
+                .process
+                .shard_kernel()
+                .expect("check_sharding vetted the process");
+            let mut state = ShardedState::new(g, kernel, self.shards);
+            state.instrument(time_phases);
+            let threads = self.shard_threads();
+            for i in 0..self.trials {
+                let before = state.timers().map(PhaseTimers::sums);
+                let outcome = {
+                    let mut probe = SinkProbe::new(i, sink);
+                    run_sharded_trial_probed(
+                        &mut state,
+                        trial_seed(self.master_seed, i as u64),
+                        self.start[0],
+                        stop,
+                        engine.cap,
+                        threads,
+                        &mut probe,
+                    )
+                };
+                acc.push(&outcome);
+                if let (Some(before), Some(t)) = (before, state.timers()) {
+                    sink.on_trial_phases(i, &phase_deltas(before, t));
+                }
+            }
+            state.take_timers()
+        } else {
+            // Mirrors `Engine::run_spec_outcomes` exactly — build once,
+            // reseed + reset per trial — so outcomes are bit-identical
+            // to the parallel engine (trial seeds never depend on the
+            // worker layout).
+            let mut process = self.process.build(g, &self.start);
+            let mut ctx = StepCtx::new();
+            if time_phases {
+                ctx.timers = Some(Box::default());
+            }
+            for i in 0..self.trials {
+                ctx.reseed(trial_seed(self.master_seed, i as u64));
+                process.reset(g, &self.start);
+                let before = ctx.timers.as_deref().map(PhaseTimers::sums);
+                let outcome = {
+                    let mut probe = SinkProbe::new(i, sink);
+                    run_trial_probed(
+                        &mut process,
+                        &mut ctx,
+                        stop,
+                        engine.cap,
+                        Completion,
+                        &mut probe,
+                    )
+                };
+                acc.push(&outcome);
+                if let (Some(before), Some(t)) = (before, ctx.timers.as_deref()) {
+                    sink.on_trial_phases(i, &phase_deltas(before, t));
+                }
+            }
+            ctx.timers.take()
+        };
+        Ok((Measurement::Stopping(acc.finish(engine.cap)), timers))
+    }
+
     /// Resolves everything a trial would see — backend, sizes, stop
     /// condition, cap — without running a round, rejecting specs that
     /// cannot terminate. The `--dry-run`/`--verbose` CLI paths print
@@ -792,6 +906,19 @@ pub struct TrajectoryEstimate {
 /// trial seeds so graph sampling never correlates with trial noise).
 pub fn graph_seed(master_seed: u64) -> u64 {
     master_seed ^ 0x6AF5_EED0_6AF5_EED0
+}
+
+/// Per-phase nanoseconds accumulated since the `before` snapshot —
+/// the per-trial split `measure_traced` hands to
+/// [`RoundSink::on_trial_phases`]. Only phases that advanced appear.
+fn phase_deltas(before: [u64; PHASES], timers: &PhaseTimers) -> Vec<(Phase, u64)> {
+    let after = timers.sums();
+    Phase::ALL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| after[i] > before[i])
+        .map(|(i, &p)| (p, after[i] - before[i]))
+        .collect()
 }
 
 /// The per-trial round cap for `process` on `g`: explicit if given,

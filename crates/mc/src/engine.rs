@@ -33,6 +33,7 @@
 
 use crate::runner::{run_trials_with, RunConfig};
 use cobra_graph::{Topology, VertexId};
+use cobra_obs::{NoProbe, Probe, RoundRecord, TrialTotals};
 use cobra_process::{BoxedProcess, ProcessSpec, ProcessState, ProcessView, StepCtx};
 
 /// When a trial stops stepping (the round cap always applies on top).
@@ -145,12 +146,40 @@ pub fn run_trial<'g, T, P, Ob>(
     ctx: &mut StepCtx,
     stop: StopWhen,
     cap: usize,
-    mut observer: Ob,
+    observer: Ob,
 ) -> Ob::Output
 where
     T: Topology,
     P: ProcessState<'g, T>,
     Ob: Observer,
+{
+    run_trial_probed(process, ctx, stop, cap, observer, &mut NoProbe)
+}
+
+/// [`run_trial`] with a telemetry [`Probe`] attached.
+///
+/// Every instrumentation block is guarded by `if Pr::ENABLED`, an
+/// associated const: with [`NoProbe`] (what [`run_trial`] passes) the
+/// blocks are statically dead and this function compiles to exactly
+/// the unprobed loop — probes-off stays bit-identical and
+/// allocation-free by construction. With an enabled probe, each round
+/// is observed *after* `step` returns: the per-round record is built
+/// from view deltas (transmissions / reached snapshots taken just
+/// before the step) and the probe never touches the trial RNG, so the
+/// trajectory is identical with probes off and on.
+pub fn run_trial_probed<'g, T, P, Ob, Pr>(
+    process: &mut P,
+    ctx: &mut StepCtx,
+    stop: StopWhen,
+    cap: usize,
+    mut observer: Ob,
+    probe: &mut Pr,
+) -> Ob::Output
+where
+    T: Topology,
+    P: ProcessState<'g, T>,
+    Ob: Observer,
+    Pr: Probe,
 {
     observer.on_start(process);
     let rounds = loop {
@@ -166,7 +195,31 @@ where
         if process.rounds() >= cap {
             break None;
         }
+        let (tx_before, reached_before) = if Pr::ENABLED {
+            (process.transmissions(), process.reached_count())
+        } else {
+            (0, 0)
+        };
         process.step(ctx);
+        if Pr::ENABLED {
+            let total_transmissions = process.transmissions();
+            // saturating: coalescing families report `rounds × particles`,
+            // which shrinks as particles merge.
+            let transmissions = total_transmissions.saturating_sub(tx_before);
+            let frontier = process.frontier_len();
+            let reached = process.reached_count();
+            probe.on_round(&RoundRecord {
+                round: process.rounds(),
+                frontier,
+                // saturating: BIPS `reached` can shrink between rounds.
+                new_covered: reached.saturating_sub(reached_before),
+                reached,
+                transmissions,
+                total_transmissions,
+                coalesced: transmissions.saturating_sub(frontier as u64),
+                shard_traffic: &[],
+            });
+        }
         observer.on_round(process);
     };
     let outcome = TrialOutcome {
@@ -175,6 +228,14 @@ where
         reached: process.reached_count(),
         transmissions: process.transmissions(),
     };
+    if Pr::ENABLED {
+        probe.on_trial_end(&TrialTotals {
+            rounds: outcome.rounds,
+            executed: outcome.executed,
+            reached: outcome.reached,
+            transmissions: outcome.transmissions,
+        });
+    }
     observer.finish(outcome, process)
 }
 

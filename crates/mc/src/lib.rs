@@ -33,10 +33,12 @@ pub mod runner;
 pub mod seed;
 pub mod shard;
 
-pub use engine::{run_trial, Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome};
+pub use engine::{
+    run_trial, run_trial_probed, Completion, Engine, Observer, StopWhen, Trajectory, TrialOutcome,
+};
 pub use objective::{
     HitTarget, Objective, StoppingAccumulator, StoppingEstimate, OBJECTIVE_USAGES,
 };
 pub use runner::{run_jobs, run_trials, run_trials_with, RunConfig};
 pub use seed::{key_seed, shard_seed, trial_seed, SeedSequence};
-pub use shard::{run_sharded_trial, run_sharded_trials};
+pub use shard::{run_sharded_trial, run_sharded_trial_probed, run_sharded_trials};

@@ -17,6 +17,7 @@
 use crate::engine::{StopWhen, TrialOutcome};
 use crate::seed::{shard_seed, trial_seed};
 use cobra_graph::{Topology, VertexId};
+use cobra_obs::{NoProbe, Probe, RoundRecord, TrialTotals};
 use cobra_process::ShardedState;
 
 /// Runs one trial of a sharded process to its stop condition (the cap
@@ -33,6 +34,26 @@ pub fn run_sharded_trial<T: Topology + Sync>(
     cap: usize,
     threads: usize,
 ) -> TrialOutcome {
+    run_sharded_trial_probed(state, trial_seed, start, stop, cap, threads, &mut NoProbe)
+}
+
+/// [`run_sharded_trial`] with a telemetry [`Probe`] attached — the
+/// sharded sibling of
+/// [`run_trial_probed`](crate::run_trial_probed), with the same
+/// contract: `if Pr::ENABLED` blocks compile away under `NoProbe`, and
+/// enabled probes observe view deltas after each `step` without ever
+/// touching the per-shard RNG streams. When `state` is
+/// [`instrument`](ShardedState::instrument)ed, each record additionally
+/// carries the round's per-sender outbox traffic.
+pub fn run_sharded_trial_probed<T: Topology + Sync, Pr: Probe>(
+    state: &mut ShardedState<'_, T>,
+    trial_seed: u64,
+    start: VertexId,
+    stop: StopWhen,
+    cap: usize,
+    threads: usize,
+    probe: &mut Pr,
+) -> TrialOutcome {
     state.reset(start, |i| shard_seed(trial_seed, i));
     let rounds = loop {
         let stopped = match stop {
@@ -47,14 +68,46 @@ pub fn run_sharded_trial<T: Topology + Sync>(
         if state.rounds() >= cap {
             break None;
         }
+        let (tx_before, reached_before) = if Pr::ENABLED {
+            (state.transmissions(), state.reached_count())
+        } else {
+            (0, 0)
+        };
         state.step(threads);
+        if Pr::ENABLED {
+            let total_transmissions = state.transmissions();
+            // saturating: mirrors the unsharded engine — not every process
+            // family's transmission counter is monotone across a step.
+            let transmissions = total_transmissions.saturating_sub(tx_before);
+            let frontier = state.frontier_len();
+            let reached = state.reached_count();
+            probe.on_round(&RoundRecord {
+                round: state.rounds(),
+                frontier,
+                new_covered: reached.saturating_sub(reached_before),
+                reached,
+                transmissions,
+                total_transmissions,
+                coalesced: transmissions.saturating_sub(frontier as u64),
+                shard_traffic: state.last_outbox_traffic(),
+            });
+        }
     };
-    TrialOutcome {
+    let outcome = TrialOutcome {
         rounds,
         executed: state.rounds(),
         reached: state.reached_count(),
         transmissions: state.transmissions(),
+    };
+    if Pr::ENABLED {
+        probe.on_trial_end(&TrialTotals {
+            rounds: outcome.rounds,
+            executed: outcome.executed,
+            reached: outcome.reached,
+            transmissions: outcome.transmissions,
+        });
     }
+    outcome
 }
 
 /// Runs `trials` sharded trials under `master_seed`, in trial order,

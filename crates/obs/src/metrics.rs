@@ -1,0 +1,132 @@
+//! In-memory metrics registry: named counters, gauges, and histograms.
+//!
+//! A [`MetricsRegistry`] is a plain `BTreeMap`-backed accumulator the
+//! CLI fills during a run and dumps once at the end (`--metrics`). It
+//! is deliberately not global and not thread-shared — callers own one
+//! and merge into it, which keeps the measurement path free of atomics.
+
+use crate::timer::{Phase, PhaseTimers};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::timer::Log2Histogram;
+
+/// Named counters, gauges, and log2-bucket histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Log2Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero).
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Log2Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Current value of counter `name`, if set.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Merge each non-empty phase histogram of `timers` into
+    /// `"<prefix>.<phase>_ns"`.
+    pub fn record_timers(&mut self, prefix: &str, timers: &PhaseTimers) {
+        for phase in Phase::ALL {
+            let h = timers.histogram(phase);
+            if !h.is_empty() {
+                self.histogram(&format!("{prefix}.{}_ns", phase.name()))
+                    .merge(h);
+            }
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Human-readable multi-line dump, sorted by metric name.
+    ///
+    /// Counters render as `name = value`, gauges as `name = value`,
+    /// histograms as count/min/p50/p99/max/mean (bucketed
+    /// approximations, exact to a power of two).
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics:\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  counter {name} = {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  gauge   {name} = {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  hist    {name}: count={} min={} p50~{} p99~{} max={} mean={}",
+                h.count(),
+                h.min(),
+                h.approx_quantile(0.5),
+                h.approx_quantile(0.99),
+                h.max(),
+                h.mean(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_render_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.counter("b.count", 2);
+        m.counter("b.count", 3);
+        m.gauge("a.bytes", 12.5);
+        m.histogram("lat").record(100);
+        assert_eq!(m.counter_value("b.count"), Some(5));
+        assert_eq!(m.gauge_value("a.bytes"), Some(12.5));
+        assert!(!m.is_empty());
+        let text = m.render();
+        assert!(text.contains("counter b.count = 5"), "{text}");
+        assert!(text.contains("gauge   a.bytes = 12.5"), "{text}");
+        assert!(text.contains("hist    lat: count=1"), "{text}");
+    }
+
+    #[test]
+    fn record_timers_namespaces_phases() {
+        let mut t = PhaseTimers::new();
+        t.record(Phase::Exchange, 1000);
+        let mut m = MetricsRegistry::new();
+        m.record_timers("phase", &t);
+        let text = m.render();
+        assert!(text.contains("phase.exchange_ns"), "{text}");
+        assert!(
+            !text.contains("phase.draw_ns"),
+            "empty phases skipped: {text}"
+        );
+    }
+}

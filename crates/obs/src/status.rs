@@ -1,0 +1,43 @@
+//! Whole-line status output that cannot interleave.
+//!
+//! The CLI historically printed status through bare `println!` /
+//! `eprintln!`, which issue multiple small writes per line — two
+//! processes (or a tracing thread and a status line) could interleave
+//! mid-line. These helpers format the entire line (or multi-line
+//! block) into one buffer and hand it to the OS in a single
+//! `write_all`, then flush.
+
+use std::io::{self, Write};
+
+fn write_block(mut w: impl Write, text: &str, newline: bool) {
+    let mut buf = String::with_capacity(text.len() + 1);
+    buf.push_str(text);
+    if newline {
+        buf.push('\n');
+    }
+    let _ = w.write_all(buf.as_bytes());
+    let _ = w.flush();
+}
+
+/// Write `text` plus a newline to stdout in one call.
+///
+/// Embedded newlines are fine: the whole block lands atomically with
+/// respect to other `status` writers.
+pub fn out_line(text: &str) {
+    write_block(io::stdout().lock(), text, true);
+}
+
+/// Write `text` plus a newline to stderr in one call.
+pub fn err_line(text: &str) {
+    write_block(io::stderr().lock(), text, true);
+}
+
+/// Overwrite the current stderr line: carriage return + `text`, no
+/// newline. Used for live progress; finish with [`err_line`] to
+/// terminate the line.
+pub fn err_transient(text: &str) {
+    let mut buf = String::with_capacity(text.len() + 1);
+    buf.push('\r');
+    buf.push_str(text);
+    write_block(io::stderr().lock(), &buf, false);
+}

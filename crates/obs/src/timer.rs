@@ -1,0 +1,338 @@
+//! Phase timers: hand-rolled log2-bucket histograms over nanoseconds.
+//!
+//! The build environment is offline, so there is no external histogram
+//! crate; [`Log2Histogram`] is 65 fixed buckets (`[u64; 65]`) plus
+//! count/sum/min/max — `Clone` + `Debug` so it can ride inside
+//! `StepCtx` scratch state.
+
+use std::time::Instant;
+
+/// Number of distinct [`Phase`] values (length of [`Phase::ALL`]).
+pub const PHASES: usize = 6;
+
+/// A timed slice of one simulation round.
+///
+/// Unsharded rounds split into [`Draw`](Phase::Draw) (sampling pick
+/// tokens), [`Gather`](Phase::Gather) (resolving picks to neighbor
+/// ids), and [`Coalesce`](Phase::Coalesce) (dedup + frontier commit).
+/// Sharded rounds split into [`ShardGather`](Phase::ShardGather)
+/// (shard-local draw+route), [`Exchange`](Phase::Exchange) (the outbox
+/// barrier), and [`Commit`](Phase::Commit) (inbox drain + commit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Unsharded: sample pick tokens for the whole frontier.
+    Draw,
+    /// Unsharded: resolve pick tokens to destination vertices.
+    Gather,
+    /// Unsharded: deduplicate destinations and commit the next frontier.
+    Coalesce,
+    /// Sharded: shard-local draw + route into outboxes.
+    ShardGather,
+    /// Sharded: the cross-shard outbox/inbox barrier.
+    Exchange,
+    /// Sharded: drain inboxes and commit per-shard state.
+    Commit,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::Draw,
+        Phase::Gather,
+        Phase::Coalesce,
+        Phase::ShardGather,
+        Phase::Exchange,
+        Phase::Commit,
+    ];
+
+    /// Stable snake_case name used in traces and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Draw => "draw",
+            Phase::Gather => "gather",
+            Phase::Coalesce => "coalesce",
+            Phase::ShardGather => "shard_gather",
+            Phase::Exchange => "exchange",
+            Phase::Commit => "commit",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Fixed-size log2-bucket histogram for `u64` samples.
+///
+/// Bucket 0 counts zero samples; bucket `i ≥ 1` counts samples in
+/// `[2^(i-1), 2^i)`. Recording is a branch-free `leading_zeros` plus
+/// one increment — cheap enough for per-phase, per-round use.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `value`: 0 for zero, else `64 − leading_zeros`.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lower bound of the bucket holding the `q`-quantile sample
+    /// (`q` clamped to `[0, 1]`; 0 when empty). A bucketed
+    /// approximation: exact to within one power of two.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// One [`Log2Histogram`] of nanosecond laps per [`Phase`].
+///
+/// `Clone` + `Debug` because it travels inside `StepCtx` (which derives
+/// both); a boxed `Option` there keeps the uninstrumented context small.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimers {
+    hists: [Log2Histogram; PHASES],
+}
+
+impl PhaseTimers {
+    /// Empty timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one lap of `phase`, in nanoseconds.
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        self.hists[phase.index()].record(nanos);
+    }
+
+    /// The histogram for one phase.
+    pub fn histogram(&self, phase: Phase) -> &Log2Histogram {
+        &self.hists[phase.index()]
+    }
+
+    /// Total recorded nanoseconds per phase, indexed like [`Phase::ALL`].
+    pub fn sums(&self) -> [u64; PHASES] {
+        let mut out = [0u64; PHASES];
+        for (o, h) in out.iter_mut().zip(self.hists.iter()) {
+            *o = h.sum();
+        }
+        out
+    }
+
+    /// True if no phase has any samples.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(Log2Histogram::is_empty)
+    }
+
+    /// Fold another set of timers into this one.
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+    }
+}
+
+/// Stopwatch that laps consecutive phases into a [`PhaseTimers`].
+///
+/// `start` stamps the clock; each `lap(phase)` charges the time since
+/// the previous lap (or start) to `phase`. Kernels hold one clock per
+/// round, only when timing is enabled, so the untimed path never calls
+/// [`Instant::now`].
+pub struct PhaseClock<'a> {
+    timers: &'a mut PhaseTimers,
+    last: Instant,
+}
+
+impl<'a> PhaseClock<'a> {
+    /// Start the clock now.
+    pub fn start(timers: &'a mut PhaseTimers) -> Self {
+        PhaseClock {
+            timers,
+            last: Instant::now(),
+        }
+    }
+
+    /// Charge the time since the previous lap to `phase`.
+    pub fn lap(&mut self, phase: Phase) {
+        let now = Instant::now();
+        let nanos = now.duration_since(self.last).as_nanos() as u64;
+        self.timers.record(phase, nanos);
+        self.last = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 0 | 1 | [2,4) ×2 | [4,8) ×2 | [8,16) | [512,1024) | [1024,2048) | top
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 1),
+                (1, 1),
+                (2, 2),
+                (4, 2),
+                (8, 1),
+                (512, 1),
+                (1024, 1),
+                (1u64 << 63, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in 1..=64u64 {
+            a.record(v);
+        }
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 65);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.approx_quantile(1.0), 512);
+        assert!(a.approx_quantile(0.5) <= 64);
+        let empty = Log2Histogram::new();
+        assert_eq!(empty.approx_quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0);
+    }
+
+    #[test]
+    fn phase_timers_record_and_sum() {
+        let mut t = PhaseTimers::new();
+        assert!(t.is_empty());
+        t.record(Phase::Draw, 100);
+        t.record(Phase::Draw, 50);
+        t.record(Phase::Commit, 7);
+        assert_eq!(t.histogram(Phase::Draw).count(), 2);
+        let sums = t.sums();
+        assert_eq!(sums[0], 150);
+        assert_eq!(sums[5], 7);
+        let mut u = PhaseTimers::new();
+        u.merge(&t);
+        assert_eq!(u.sums(), t.sums());
+    }
+
+    #[test]
+    fn phase_clock_laps_into_named_phases() {
+        let mut t = PhaseTimers::new();
+        let mut clock = PhaseClock::start(&mut t);
+        clock.lap(Phase::ShardGather);
+        clock.lap(Phase::Exchange);
+        clock.lap(Phase::Commit);
+        for p in [Phase::ShardGather, Phase::Exchange, Phase::Commit] {
+            assert_eq!(t.histogram(p).count(), 1, "phase {} missing", p.name());
+        }
+        assert_eq!(t.histogram(Phase::Draw).count(), 0);
+    }
+}

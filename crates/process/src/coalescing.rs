@@ -153,7 +153,7 @@ impl<'g, T: Topology> ProcessState<'g, T> for CoalescingWalks<'g, T> {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        let StepCtx { rng, scratch } = ctx;
+        let StepCtx { rng, scratch, .. } = ctx;
         let parts = scratch.parts(self.g.n());
         let next = parts.frontier;
         // Clear occupancy of the departing particles, then re-occupy.

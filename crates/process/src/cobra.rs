@@ -144,6 +144,10 @@ impl<T: Topology> ProcessView for Cobra<'_, T> {
     fn transmissions(&self) -> u64 {
         self.transmissions
     }
+
+    fn frontier_len(&self) -> usize {
+        self.active.len()
+    }
 }
 
 impl<'g, T: Topology> ProcessState<'g, T> for Cobra<'g, T> {
@@ -169,7 +173,13 @@ impl<'g, T: Topology> ProcessState<'g, T> for Cobra<'g, T> {
     fn step(&mut self, ctx: &mut StepCtx) {
         debug_assert!(!self.active.is_empty(), "COBRA active set vanished");
         let g = self.g;
-        let StepCtx { rng, scratch } = ctx;
+        let StepCtx {
+            rng,
+            scratch,
+            timers,
+        } = ctx;
+        // Telemetry only: `None` (the default) never reads the clock.
+        let mut clock = timers.as_deref_mut().map(cobra_obs::PhaseClock::start);
         let parts = scratch.parts(g.n());
         let (next, picks, dests) = (parts.frontier, parts.picks, parts.dests);
 
@@ -215,6 +225,9 @@ impl<'g, T: Topology> ProcessState<'g, T> for Cobra<'g, T> {
                 }
             }
         }
+        if let Some(c) = clock.as_mut() {
+            c.lap(cobra_obs::Phase::Draw);
+        }
 
         // Phase 2: resolve pick tokens to destinations — a flat-array
         // gather (with prefetch) on CSR, pure arithmetic on the
@@ -232,6 +245,9 @@ impl<'g, T: Topology> ProcessState<'g, T> for Cobra<'g, T> {
             };
             dests.push(w);
         }
+        if let Some(c) = clock.as_mut() {
+            c.lap(cobra_obs::Phase::Gather);
+        }
 
         // Phase 3: coalesce in pick order — at most one particle
         // survives per vertex.
@@ -248,6 +264,9 @@ impl<'g, T: Topology> ProcessState<'g, T> for Cobra<'g, T> {
         mark.clear_indices(next);
         std::mem::swap(&mut self.active, next);
         self.rounds += 1;
+        if let Some(c) = clock.as_mut() {
+            c.lap(cobra_obs::Phase::Coalesce);
+        }
     }
 }
 

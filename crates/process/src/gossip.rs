@@ -85,7 +85,7 @@ impl<'g, T: Topology> ProcessState<'g, T> for PushGossip<'g, T> {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        let StepCtx { rng, scratch } = ctx;
+        let StepCtx { rng, scratch, .. } = ctx;
         let newly = scratch.parts(self.g.n()).frontier;
         for &v in &self.informed_list {
             for _ in 0..self.fanout {
@@ -184,7 +184,7 @@ impl<'g, T: Topology> ProcessState<'g, T> for Gossip<'g, T> {
     }
 
     fn step(&mut self, ctx: &mut StepCtx) {
-        let StepCtx { rng, scratch } = ctx;
+        let StepCtx { rng, scratch, .. } = ctx;
         let newly = scratch.parts(self.g.n()).frontier;
         let push = matches!(self.mode, GossipMode::Push | GossipMode::PushPull);
         let pull = matches!(self.mode, GossipMode::Pull | GossipMode::PushPull);

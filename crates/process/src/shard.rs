@@ -181,6 +181,15 @@ pub struct ShardedState<'g, T: Topology> {
     slots: Vec<ShardSlot>,
     rounds: usize,
     source: VertexId,
+    /// Telemetry switch (see [`instrument`](Self::instrument)); off by
+    /// default so the measurement path never touches the fields below.
+    instrument: bool,
+    /// Outbox traffic per *sender* shard for the last executed round
+    /// (vertex ids pushed through the exchange barrier). Empty unless
+    /// instrumented.
+    last_traffic: Vec<u64>,
+    /// Phase timers (shard-gather / exchange / commit), when enabled.
+    timers: Option<Box<cobra_obs::PhaseTimers>>,
 }
 
 impl<'g, T: Topology + Sync> ShardedState<'g, T> {
@@ -203,7 +212,46 @@ impl<'g, T: Topology + Sync> ShardedState<'g, T> {
             slots,
             rounds: 0,
             source: 0,
+            instrument: false,
+            last_traffic: Vec::new(),
+            timers: None,
         }
+    }
+
+    /// Turns on telemetry: per-round outbox traffic capture and, when
+    /// `timers` is set, phase timing of gather / exchange / commit.
+    /// Observe-only — the RNG streams and trajectories are unchanged
+    /// (pinned by the sharded probe-identity test).
+    pub fn instrument(&mut self, timers: bool) {
+        self.instrument = true;
+        self.last_traffic = vec![0; self.slots.len()];
+        if timers {
+            self.timers = Some(Box::default());
+        }
+    }
+
+    /// Outbox traffic of the last executed round, one entry per
+    /// *sender* shard: how many vertex ids that shard pushed through
+    /// the exchange barrier. Empty unless [`instrument`](Self::instrument)ed.
+    pub fn last_outbox_traffic(&self) -> &[u64] {
+        &self.last_traffic
+    }
+
+    /// The accumulated phase timers, if timing was enabled.
+    pub fn timers(&self) -> Option<&cobra_obs::PhaseTimers> {
+        self.timers.as_deref()
+    }
+
+    /// Takes the accumulated phase timers out of the state.
+    pub fn take_timers(&mut self) -> Option<Box<cobra_obs::PhaseTimers>> {
+        self.timers.take()
+    }
+
+    /// Active frontier size after the last round: vertices that will
+    /// transmit next round, summed across shards (mirrors the
+    /// unsharded [`ProcessView::frontier_len`](crate::ProcessView::frontier_len)).
+    pub fn frontier_len(&self) -> usize {
+        self.slots.iter().map(|s| s.active.count()).sum()
     }
 
     /// Restores round 0 from a single start vertex, reseeding shard
@@ -282,6 +330,10 @@ impl<'g, T: Topology + Sync> ShardedState<'g, T> {
     /// identical either way).
     pub fn step(&mut self, threads: usize) {
         let (g, map, kernel, source) = (self.g, self.map, self.kernel, self.source);
+        // Telemetry only: taken out for the round so the clock can
+        // borrow it while the slot loops borrow `self.slots`.
+        let mut timers = self.timers.take();
+        let mut clock = timers.as_deref_mut().map(cobra_obs::PhaseClock::start);
         // Phase 1: shard-local gather. Locally-owned destinations are
         // applied directly; remote ones queue in per-shard outboxes.
         for_each_slot(threads, &mut self.slots, |slot| match kernel {
@@ -291,6 +343,9 @@ impl<'g, T: Topology + Sync> ShardedState<'g, T> {
             } => cobra_gather(slot, g, &map, branching, laziness),
             ShardKernel::Bips { branching, .. } => bips_scatter(slot, g, &map, branching),
         });
+        if let Some(c) = clock.as_mut() {
+            c.lap(cobra_obs::Phase::ShardGather);
+        }
         // Barrier: take every outbox so the apply phase can read all of
         // them immutably while slots mutate their own state.
         let inboxes: Vec<Vec<Vec<VertexId>>> = self
@@ -298,6 +353,14 @@ impl<'g, T: Topology + Sync> ShardedState<'g, T> {
             .iter_mut()
             .map(|s| std::mem::take(&mut s.outbox))
             .collect();
+        if self.instrument {
+            for (traffic, sent) in self.last_traffic.iter_mut().zip(inboxes.iter()) {
+                *traffic = sent.iter().map(|buf| buf.len() as u64).sum();
+            }
+        }
+        if let Some(c) = clock.as_mut() {
+            c.lap(cobra_obs::Phase::Exchange);
+        }
         // Phase 2: drain inboxes (in sender order) and commit.
         let inboxes_ref = &inboxes;
         for_each_slot(threads, &mut self.slots, |slot| match kernel {
@@ -330,6 +393,10 @@ impl<'g, T: Topology + Sync> ShardedState<'g, T> {
             slot.outbox = inbox;
         }
         self.rounds += 1;
+        if let Some(c) = clock.as_mut() {
+            c.lap(cobra_obs::Phase::Commit);
+        }
+        self.timers = timers;
     }
 }
 

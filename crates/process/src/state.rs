@@ -70,6 +70,15 @@ pub trait ProcessView {
     fn has_reached(&self, v: VertexId) -> bool {
         self.reached().contains(v as usize)
     }
+
+    /// Size of the *active frontier* after the last round — the set of
+    /// vertices that will transmit next round. Processes without a
+    /// distinct frontier (BIPS, gossip) fall back to the reached count;
+    /// frontier processes (COBRA) override with their active-set size.
+    /// Observability only: stop conditions never read it.
+    fn frontier_len(&self) -> usize {
+        self.reached_count()
+    }
 }
 
 /// A round-synchronous spreading process as reusable state.
@@ -143,6 +152,9 @@ impl<'g, T: Topology> ProcessView for BoxedProcess<'g, T> {
     fn has_reached(&self, v: VertexId) -> bool {
         (**self).has_reached(v)
     }
+    fn frontier_len(&self) -> usize {
+        (**self).frontier_len()
+    }
 }
 
 impl<'g, T: Topology> ProcessState<'g, T> for BoxedProcess<'g, T> {
@@ -165,6 +177,12 @@ pub struct StepCtx {
     pub rng: SmallRng,
     /// Round-transient buffers; see [`Scratch`].
     pub scratch: Scratch,
+    /// Phase timers, when telemetry is enabled (`None` by default).
+    /// Kernels that support phase timing lap draw/gather/coalesce into
+    /// these histograms; `None` costs one branch per phase boundary and
+    /// never calls `Instant::now`. Timers survive [`StepCtx::reseed`],
+    /// accumulating across the trials of one traced run.
+    pub timers: Option<Box<cobra_obs::PhaseTimers>>,
 }
 
 impl StepCtx {
@@ -173,6 +191,7 @@ impl StepCtx {
         StepCtx {
             rng: SmallRng::seed_from_u64(seed),
             scratch: Scratch::default(),
+            timers: None,
         }
     }
 

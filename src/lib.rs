@@ -24,6 +24,7 @@ pub use cobra_campaign;
 pub use cobra_exact;
 pub use cobra_graph;
 pub use cobra_mc;
+pub use cobra_obs;
 pub use cobra_process;
 pub use cobra_spectral;
 pub use cobra_stats;

@@ -1,0 +1,113 @@
+//! Probes observe, never perturb: golden bit-identity with telemetry on.
+//!
+//! The telemetry layer's contract is that attaching a probe changes
+//! *nothing* about a run — probes read `ProcessView` deltas after each
+//! step and never touch the RNG stream. These suites pin that contract
+//! to the same pre-refactor recordings as `tests/golden_outcomes.rs`:
+//! every fixture row must reproduce its `(rounds, reached,
+//! transmissions)` triples through the traced path, and the traced
+//! estimate must equal the untraced one exactly. On top of identity,
+//! the per-round records must be *internally consistent*: contiguous
+//! round indices, per-round deltas summing to the trial totals, and the
+//! coalesced count derived from the frontier/transmission gap.
+
+mod common;
+
+use cobra::SimSpec;
+use cobra_obs::{MemorySink, Phase};
+use common::{spec, GOLDEN, GOLDEN_SEED, GOLDEN_TRIALS};
+
+#[test]
+fn traced_measurement_matches_untraced_and_the_recordings() {
+    for &(process, graph, want) in GOLDEN {
+        let s = spec(process, graph);
+        let untraced = s.measure().unwrap();
+        let mut sink = MemorySink::default();
+        let (traced, timers) = s.measure_traced(&mut sink, false).unwrap();
+        assert_eq!(
+            traced, untraced,
+            "{process} on {graph}: tracing changed the estimate"
+        );
+        assert!(timers.is_none(), "untimed run must not return timers");
+        assert_eq!(sink.totals.len(), GOLDEN_TRIALS);
+        for (i, ((trial, totals), (rounds, reached, tx))) in
+            sink.totals.iter().zip(want).enumerate()
+        {
+            assert_eq!(*trial, i, "trials must arrive in order");
+            assert_eq!(
+                (totals.rounds, totals.reached, totals.transmissions),
+                (Some(rounds), reached, tx),
+                "{process} on {graph}, trial {i}: probed trial drifted from the recording"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_round_records_sum_to_trial_totals() {
+    // A monotone process (COBRA never un-reaches a vertex), so the
+    // per-round coverage deltas must reconstruct the final reached set
+    // exactly: |start| + sum(new_covered) == reached.
+    let s = spec("cobra:b2", "torus:6x6");
+    let mut sink = MemorySink::default();
+    let (_, timers) = s.measure_traced(&mut sink, true).unwrap();
+    assert!(
+        timers.is_some_and(|t| !t.is_empty()),
+        "timed run must return accumulated phase timers"
+    );
+    assert_eq!(sink.totals.len(), GOLDEN_TRIALS);
+    for (trial, totals) in &sink.totals {
+        let rounds: Vec<_> = sink.rounds.iter().filter(|r| r.trial == *trial).collect();
+        assert_eq!(rounds.len(), totals.executed, "one record per round");
+        for (i, r) in rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1, "round indices are contiguous from 1");
+            assert_eq!(
+                r.coalesced,
+                r.transmissions.saturating_sub(r.frontier as u64),
+                "coalesced picks are the transmission/frontier gap"
+            );
+            assert!(r.shard_traffic.is_empty(), "unsharded records carry none");
+        }
+        let covered: usize = rounds.iter().map(|r| r.new_covered).sum();
+        assert_eq!(covered + 1, totals.reached, "start + deltas == reached");
+        let tx: u64 = rounds.iter().map(|r| r.transmissions).sum();
+        assert_eq!(tx, totals.transmissions, "per-round tx sums to the total");
+        let last = rounds.last().expect("covering trials run at least a round");
+        assert_eq!(last.reached, totals.reached);
+        assert_eq!(last.total_transmissions, totals.transmissions);
+    }
+    // Phase timers lapped every unsharded phase at least once overall.
+    assert_eq!(sink.phases.len(), GOLDEN_TRIALS);
+    let seen: Vec<Phase> = sink
+        .phases
+        .iter()
+        .flat_map(|(_, deltas)| deltas.iter().map(|(p, _)| *p))
+        .collect();
+    for phase in [Phase::Draw, Phase::Gather, Phase::Coalesce] {
+        assert!(seen.contains(&phase), "{phase:?} never timed");
+    }
+}
+
+#[test]
+fn sharded_traces_carry_per_shard_traffic_and_stay_identical() {
+    let s = SimSpec::parse("hypercube:8", "cobra:b2")
+        .unwrap()
+        .with_trials(2)
+        .with_seed(GOLDEN_SEED)
+        .with_shards(2);
+    let untraced = s.measure().unwrap();
+    let mut sink = MemorySink::default();
+    let (traced, _) = s.measure_traced(&mut sink, false).unwrap();
+    assert_eq!(traced, untraced, "tracing changed the sharded estimate");
+    assert!(!sink.rounds.is_empty());
+    for r in &sink.rounds {
+        assert_eq!(
+            r.shard_traffic.len(),
+            2,
+            "sharded records carry one traffic entry per shard"
+        );
+    }
+    for (_, totals) in &sink.totals {
+        assert_eq!(totals.reached, 256, "every trial covers hypercube:8");
+    }
+}
