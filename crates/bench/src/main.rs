@@ -29,7 +29,8 @@
 use cobra::experiments;
 use cobra::{SimSpec, Table};
 use cobra_campaign::{
-    artifact, plan_sweep, run_sweep, run_sweep_with_progress, Store, SweepProgress, SweepSpec,
+    artifact, plan_sweep, run_sweep, run_sweep_watched, run_sweep_with_progress, Store,
+    SweepProgress, SweepSpec,
 };
 use cobra_obs::status::{err_line, err_transient, out_line};
 use cobra_obs::{MetricsRegistry, RegistrySink, RoundRecord, RoundSink, TraceWriter, TrialTotals};
@@ -57,6 +58,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("sweep") {
         return sweep_subcommand(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_subcommand(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("loadtest") {
+        return loadtest_subcommand(&args[1..]);
     }
     let mut quick = false;
     let mut plot = false;
@@ -580,6 +587,7 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
     let mut format = Format::Plain;
     let mut progress = false;
     let mut metrics = false;
+    let mut watch = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -620,6 +628,10 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
             }
             "--progress" => {
                 progress = true;
+                Ok(())
+            }
+            "--watch" | "-w" => {
+                watch = true;
                 Ok(())
             }
             "--metrics" | "-M" => {
@@ -786,34 +798,69 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
             p.total, p.cached
         ));
     };
-    let result = if progress {
-        run_sweep_with_progress(&spec, &mut store, threads, &cap_policy, &render_progress)
+    // Graceful interruption (SIGINT/SIGTERM): the non-progress paths
+    // ride the cancellable queue — in-flight trials drain at the next
+    // trial boundary, every finished record is already flushed, and the
+    // campaign resumes where it stopped on the next run.
+    cobra_serve::signal::install_handlers();
+    let cancel = cobra_serve::signal::shutdown_flag();
+    let mut cancelled = 0usize;
+    let mut interrupted = false;
+    let (records, cached_n, computed_n, cache_stats) = if progress {
+        match run_sweep_with_progress(&spec, &mut store, threads, &cap_policy, &render_progress) {
+            Ok(outcome) => {
+                // Unconditional final line: an all-cached sweep never
+                // fires the callback, and the transient line (if any)
+                // needs terminating. Trailing spaces blank out any
+                // longer transient remainder.
+                let total = outcome.records.len();
+                err_line(&format!(
+                    "\rprogress: {total}/{total} points (100%) — {} cached, {} computed        ",
+                    outcome.cached, outcome.computed
+                ));
+                (
+                    outcome.records,
+                    outcome.cached,
+                    outcome.computed,
+                    outcome.cache_stats,
+                )
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
-        run_sweep(&spec, &mut store, threads, &cap_policy)
-    };
-    let outcome = match result {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+        let print_event =
+            |event: &cobra_campaign::PointEvent| out_line(&event.to_json().to_string());
+        let silent = |_: &cobra_campaign::PointEvent| {};
+        let on_event: &(dyn Fn(&cobra_campaign::PointEvent) + Sync) =
+            if watch { &print_event } else { &silent };
+        match run_sweep_watched(&spec, &mut store, threads, &cap_policy, on_event, cancel) {
+            Ok(outcome) => {
+                cancelled = outcome.cancelled;
+                interrupted = outcome.interrupted;
+                let records: Vec<_> = outcome.records.into_iter().flatten().collect();
+                (
+                    records,
+                    outcome.cached,
+                    outcome.computed,
+                    outcome.cache_stats,
+                )
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    if progress {
-        // Unconditional final line: an all-cached sweep never fires the
-        // callback, and the transient line (if any) needs terminating.
-        // Trailing spaces blank out any longer transient remainder.
-        let total = outcome.records.len();
-        err_line(&format!(
-            "\rprogress: {total}/{total} points (100%) — {} cached, {} computed        ",
-            outcome.cached, outcome.computed
-        ));
-    }
     if metrics {
-        let cs = outcome.cache_stats;
+        let cs = cache_stats;
         let mut reg = MetricsRegistry::new();
-        reg.counter("campaign.points.total", outcome.records.len() as u64);
-        reg.counter("campaign.points.cached", outcome.cached as u64);
-        reg.counter("campaign.points.computed", outcome.computed as u64);
+        reg.counter("campaign.points.total", (records.len() + cancelled) as u64);
+        reg.counter("campaign.points.cached", cached_n as u64);
+        reg.counter("campaign.points.computed", computed_n as u64);
+        reg.counter("campaign.points.cancelled", cancelled as u64);
         reg.counter("graph_cache.hits", cs.hits as u64);
         reg.counter("graph_cache.misses", cs.misses as u64);
         reg.counter("graph_cache.evictions", cs.evictions as u64);
@@ -821,14 +868,19 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
         reg.gauge("sweep.wall_seconds", started.elapsed().as_secs_f64());
         err_line(&reg.render());
     }
-    out_line(&format!(
-        "sweep {name}: {} points — {} cached, {} computed",
-        outcome.records.len(),
-        outcome.cached,
-        outcome.computed
-    ));
+    if interrupted {
+        out_line(&format!(
+            "sweep {name}: interrupted — {cached_n} cached, {computed_n} computed, \
+             {cancelled} cancelled; store flushed, re-run to resume"
+        ));
+    } else {
+        out_line(&format!(
+            "sweep {name}: {} points — {cached_n} cached, {computed_n} computed",
+            records.len(),
+        ));
+    }
     // One table per objective (a single-objective sweep prints one).
-    for (_objective, table) in artifact::tables(&name, &outcome.records) {
+    for (_objective, table) in artifact::tables(&name, &records) {
         match format {
             Format::Plain => println!("{}", table.render()),
             Format::Csv => print!("{}", table.to_csv()),
@@ -836,12 +888,12 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
         }
     }
     if plot {
-        if let Some(fig) = artifact::scaling_plot(&name, &outcome.records) {
+        if let Some(fig) = artifact::scaling_plot(&name, &records) {
             println!("{fig}");
         }
     }
-    if !no_store {
-        match artifact::write_artifacts(&store_dir, &name, &outcome.records) {
+    if !no_store && !interrupted {
+        match artifact::write_artifacts(&store_dir, &name, &records) {
             Ok(written) => {
                 for path in written {
                     out_line(&format!("wrote {}", path.display()));
@@ -852,6 +904,11 @@ fn sweep_subcommand(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if interrupted {
+        // The conventional SIGINT exit status; the drain was graceful
+        // but the sweep is incomplete.
+        return ExitCode::from(130);
     }
     ExitCode::SUCCESS
 }
@@ -906,13 +963,265 @@ fn print_sweep_help() {
          \u{20}        --threads N (auto)  --store DIR (campaigns)  --no-store\n\
          \u{20}        --progress (live stderr line: done/total, cached, points/s, ETA;\n\
          \u{20}        always ends with a final 100% line)\n\
+         \u{20}        --watch (stream one NDJSON lifecycle event per point to stdout:\n\
+         \u{20}        cached/started/computed/deduped/cancelled — same schema as the\n\
+         \u{20}        cobra-serve event stream)\n\
          \u{20}        --metrics (dump campaign + graph-cache counters to stderr)\n\
          \u{20}        --csv | --markdown  --plot\n\
          \n\
          Results persist one streamed-summary JSON line per point under\n\
          <store>/<name>/results.jsonl, keyed by a content hash of the resolved point\n\
          (objective included); re-runs and killed runs only compute missing points.\n\
-         Multi-objective grids render one table/CSV per objective."
+         Multi-objective grids render one table/CSV per objective.\n\
+         SIGINT/SIGTERM drain in-flight trials gracefully: finished points are\n\
+         already flushed and the next run resumes where this one stopped."
+    );
+}
+
+/// The daemon's cap policy: the same paper-bound resolution the sweep
+/// subcommand injects, as a plain `fn` so [`cobra_serve::ServeConfig`]
+/// can hold it.
+fn serve_cap(shape: cobra_graph::GraphShape, process: &cobra_process::ProcessSpec) -> usize {
+    cobra::sim::resolve_cap_shape(shape, process, None)
+}
+
+/// `cobra-exps serve` — run the campaign service daemon: accept sweep
+/// campaigns over HTTP, schedule their points fairly across one shared
+/// worker pool, dedup identical work across clients, and stream
+/// per-point NDJSON events. SIGINT/SIGTERM drain in-flight trials and
+/// exit with a final summary.
+fn serve_subcommand(args: &[String]) -> ExitCode {
+    let mut addr: std::net::SocketAddr = "127.0.0.1:7171".parse().expect("static default addr");
+    let mut threads: usize = 0;
+    let mut store_root: Option<PathBuf> = Some(PathBuf::from("campaigns"));
+    let mut quantum = cobra_serve::ServeConfig::default().quantum;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .cloned()
+        };
+        let parsed = match arg.as_str() {
+            "--addr" | "-a" => value("--addr").and_then(|v| {
+                v.parse()
+                    .map(|v| addr = v)
+                    .map_err(|e| format!("--addr: {e}"))
+            }),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|v| threads = v)
+                    .map_err(|e| format!("--threads: {e}"))
+            }),
+            "--store" => value("--store").map(|v| store_root = Some(PathBuf::from(v))),
+            "--no-store" => {
+                store_root = None;
+                Ok(())
+            }
+            "--quantum" => value("--quantum").and_then(|v| {
+                v.parse()
+                    .map(|v| quantum = v)
+                    .map_err(|e| format!("--quantum: {e}"))
+            }),
+            "--help" | "-h" => {
+                print_serve_help();
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            print_serve_help();
+            return ExitCode::FAILURE;
+        }
+    }
+    let config = cobra_serve::ServeConfig {
+        threads,
+        store_root: store_root.clone(),
+        quantum,
+        cap: serve_cap,
+    };
+    let workers = config.resolved_threads();
+    let service = std::sync::Arc::new(cobra_serve::CampaignService::new(config));
+    service.spawn_workers(0);
+    let server = match cobra_serve::Server::bind(addr, std::sync::Arc::clone(&service)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    cobra_serve::signal::install_handlers();
+    out_line(&format!(
+        "cobra-serve listening on http://{} — {workers} workers, store {}",
+        server.local_addr(),
+        match &store_root {
+            Some(root) => root.display().to_string(),
+            None => "(in-memory)".to_string(),
+        }
+    ));
+    if let Err(e) = server.run(cobra_serve::signal::shutdown_flag()) {
+        eprintln!("accept loop failed: {e}");
+        service.shutdown();
+        return ExitCode::FAILURE;
+    }
+    out_line("shutdown requested — draining in-flight trials");
+    service.shutdown();
+    let m = service.metrics();
+    let count = |name: &str| m.counter_value(name).unwrap_or(0);
+    out_line(&format!(
+        "served {} campaigns — {} computed, {} cached, {} deduped in flight, {} cancelled",
+        count("serve.campaigns.submitted"),
+        count("serve.points.computed"),
+        count("serve.points.cached"),
+        count("serve.points.deduped"),
+        count("serve.points.cancelled"),
+    ));
+    ExitCode::SUCCESS
+}
+
+fn print_serve_help() {
+    eprintln!(
+        "cobra-exps serve — the campaign service daemon\n\
+         \n\
+         usage: cobra-exps serve [options]\n\
+         \n\
+         options: --addr HOST:PORT (127.0.0.1:7171)  --threads N (one per core)\n\
+         \u{20}        --store DIR (campaigns; same layout as sweep --store, so\n\
+         \u{20}        existing sweep results are served warm)  --no-store (in-memory)\n\
+         \u{20}        --quantum N (deficit round-robin quantum, in trial units)\n\
+         \n\
+         endpoints: POST /campaigns (sweep-spec text -> receipt JSON)\n\
+         \u{20}          GET /campaigns/<id> (status)  GET /campaigns/<id>/events (NDJSON)\n\
+         \u{20}          GET /metrics  GET /healthz\n\
+         \n\
+         Campaigns from all clients share one worker pool (fair-share per campaign),\n\
+         one content-addressed store per campaign name, and an in-flight index that\n\
+         computes identical points exactly once. SIGINT/SIGTERM drain and summarize."
+    );
+}
+
+/// `cobra-exps loadtest` — drive N concurrent clients against a running
+/// daemon and record aggregate points/sec (plus the dedup accounting)
+/// to `BENCH_serve.json`.
+fn loadtest_subcommand(args: &[String]) -> ExitCode {
+    let mut addr: std::net::SocketAddr = "127.0.0.1:7171".parse().expect("static default addr");
+    let mut clients: usize = 8;
+    let mut specs: Vec<String> = Vec::new();
+    let mut label = "serve".to_string();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .cloned()
+        };
+        let parsed = match arg.as_str() {
+            "--addr" | "-a" => value("--addr").and_then(|v| {
+                v.parse()
+                    .map(|v| addr = v)
+                    .map_err(|e| format!("--addr: {e}"))
+            }),
+            "--clients" | "-c" => value("--clients").and_then(|v| {
+                v.parse()
+                    .map(|v| clients = v)
+                    .map_err(|e| format!("--clients: {e}"))
+            }),
+            "--spec" | "-s" => value("--spec").map(|v| specs.push(v)),
+            "--label" => value("--label").map(|v| label = v),
+            "--out" | "-o" => value("--out").map(|v| out = v),
+            "--help" | "-h" => {
+                print_loadtest_help();
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            print_loadtest_help();
+            return ExitCode::FAILURE;
+        }
+    }
+    if clients == 0 {
+        eprintln!("--clients must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    if specs.is_empty() {
+        // Every client submits the same grid: the canonical dedup
+        // stress — one client's points compute, the rest attach.
+        specs.push(
+            "cover; graph=cycle:{32..39}; process=cobra:b2; trials=8; name=loadtest".to_string(),
+        );
+    }
+    let report = match cobra_serve::run_loadtest(addr, clients, &specs) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadtest against {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let duplicates = report.points_total - report.computed;
+    out_line(&format!(
+        "loadtest: {} clients, {} campaigns, {} points — {} computed, {} cached, \
+         {} deduped in flight, {} cancelled ({} duplicates resolved without recompute)",
+        report.clients,
+        report.campaigns,
+        report.points_total,
+        report.computed,
+        report.cached,
+        report.deduped,
+        report.cancelled,
+        duplicates,
+    ));
+    if report.event_parse_errors > 0 {
+        eprintln!(
+            "loadtest: {} event lines failed to parse as JSON",
+            report.event_parse_errors
+        );
+        return ExitCode::FAILURE;
+    }
+    let entry = obj([
+        ("label", Json::Str(label.clone())),
+        ("scenario", Json::Str(format!("loadtest x{clients}"))),
+        ("clients", Json::Int(report.clients as i128)),
+        ("campaigns", Json::Int(report.campaigns as i128)),
+        ("points_total", Json::Int(report.points_total as i128)),
+        ("computed", Json::Int(report.computed as i128)),
+        ("cached", Json::Int(report.cached as i128)),
+        ("deduped", Json::Int(report.deduped as i128)),
+        ("cancelled", Json::Int(report.cancelled as i128)),
+        (
+            "wall_seconds",
+            Json::Float(round_places(report.wall_seconds, 4)),
+        ),
+        (
+            "points_per_sec",
+            Json::Float(round_places(report.points_per_sec, 1)),
+        ),
+    ]);
+    out_line(&entry.to_string());
+    if let Err(e) = merge_bench_file(&out, &label, entry) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_loadtest_help() {
+    eprintln!(
+        "cobra-exps loadtest — N concurrent clients against a running cobra-serve daemon\n\
+         \n\
+         usage: cobra-exps loadtest [options]\n\
+         \n\
+         options: --addr HOST:PORT (127.0.0.1:7171)  --clients N (8)\n\
+         \u{20}        --spec S (repeatable; clients cycle through the specs;\n\
+         \u{20}        default: one shared 8-point grid, the canonical dedup stress)\n\
+         \u{20}        --label L (serve)  --out FILE (BENCH_serve.json)\n\
+         \n\
+         Each client POSTs its campaign and streams events to the done marker;\n\
+         the aggregate points/sec and dedup accounting are printed and recorded\n\
+         under the label (re-running a label replaces its entry)."
     );
 }
 
@@ -1400,6 +1709,8 @@ fn print_help() {
          usage: cobra-exps [--quick|--full] [--csv|--markdown] [--plot] <id>... | all | --list\n\
          \u{20}      cobra-exps run --graph <spec> --process <spec> [options]\n\
          \u{20}      cobra-exps sweep '<sweep spec>' [options]   (see sweep --help)\n\
+         \u{20}      cobra-exps serve [options]                  (see serve --help)\n\
+         \u{20}      cobra-exps loadtest [options]               (see loadtest --help)\n\
          \u{20}      cobra-exps bench [--sweep] [options]        (see bench --help)\n\
          \n\
          ids: {}",

@@ -25,12 +25,13 @@ use cobra_graph::{
     with_topology, Backend, BuiltTopology, Graph, GraphCache, GraphShape, GraphSpec, MappedCsr,
     Topology,
 };
+use cobra_mc::queue::{drain_with, JobQueue};
 use cobra_mc::{
-    key_seed, run_jobs, run_sharded_trial, run_trial, trial_seed, Completion, Objective,
-    StoppingAccumulator,
+    key_seed, run_jobs, run_sharded_trial, run_trial, trial_seed, CancelToken, Completion,
+    Objective, StoppingAccumulator,
 };
 use cobra_process::{ProcessSpec, ProcessState, ShardedState, StepCtx};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -487,14 +488,41 @@ pub fn run_point(point: &SweepPoint, topology: &PlannedTopology, ctx: &mut StepC
     on_planned!(topology, |g| run_point_on(point, g, ctx))
 }
 
+/// [`run_point`] under a cancellation token: the token is polled at
+/// every trial boundary (never inside a trial), so cancellation frees
+/// the worker within one trial's wall time and discards only the
+/// partially-accumulated point. `None` means cancelled — nothing is
+/// persisted and the point stays missing for the next run.
+pub fn run_point_cancellable(
+    point: &SweepPoint,
+    topology: &PlannedTopology,
+    ctx: &mut StepCtx,
+    token: &CancelToken,
+) -> Option<PointRecord> {
+    on_planned!(topology, |g| run_point_on_cancellable(point, g, ctx, token))
+}
+
 /// [`run_point`] monomorphized over a concrete backend.
 pub fn run_point_on<T: Topology + Sync>(
     point: &SweepPoint,
     graph: &T,
     ctx: &mut StepCtx,
 ) -> PointRecord {
+    run_point_on_cancellable(point, graph, ctx, &CancelToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// [`run_point_cancellable`] monomorphized over a concrete backend —
+/// the single trial-loop implementation every path shares, so the
+/// cancellable and plain paths cannot drift apart bit-wise.
+pub fn run_point_on_cancellable<T: Topology + Sync>(
+    point: &SweepPoint,
+    graph: &T,
+    ctx: &mut StepCtx,
+    token: &CancelToken,
+) -> Option<PointRecord> {
     if point.shards > 1 {
-        return run_point_sharded(point, graph);
+        return run_point_sharded(point, graph, token);
     }
     let start = [point.start];
     let stop = point
@@ -506,6 +534,9 @@ pub fn run_point_on<T: Topology + Sync>(
     let started = Instant::now();
     let mut trial_secs = Vec::with_capacity(point.trials);
     for trial in 0..point.trials {
+        if token.is_cancelled() {
+            return None;
+        }
         let t0 = Instant::now();
         ctx.reseed(trial_seed(point.seed, trial as u64));
         process.reset(graph, &start);
@@ -513,14 +544,14 @@ pub fn run_point_on<T: Topology + Sync>(
         trial_secs.push(t0.elapsed().as_secs_f64());
     }
     let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
-    PointRecord::from_estimate(
+    Some(PointRecord::from_estimate(
         point,
         (graph.n(), graph.m()),
         &acc.finish(point.cap),
         total_transmissions,
         total_reached,
         point_timing(started, trial_secs),
-    )
+    ))
 }
 
 /// The sharded sibling of [`run_point_on`]: one reusable
@@ -529,7 +560,11 @@ pub fn run_point_on<T: Topology + Sync>(
 /// per-shard streams then derive from that trial seed). Shards run on
 /// the calling worker thread — the campaign already parallelizes at
 /// the job level, and the trajectory is thread-count-invariant anyway.
-fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> PointRecord {
+fn run_point_sharded<T: Topology + Sync>(
+    point: &SweepPoint,
+    graph: &T,
+    token: &CancelToken,
+) -> Option<PointRecord> {
     let start = [point.start];
     let stop = point
         .objective
@@ -544,6 +579,9 @@ fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> Point
     let started = Instant::now();
     let mut trial_secs = Vec::with_capacity(point.trials);
     for trial in 0..point.trials {
+        if token.is_cancelled() {
+            return None;
+        }
         let t0 = Instant::now();
         let outcome = run_sharded_trial(
             &mut state,
@@ -557,14 +595,14 @@ fn run_point_sharded<T: Topology + Sync>(point: &SweepPoint, graph: &T) -> Point
         trial_secs.push(t0.elapsed().as_secs_f64());
     }
     let (total_transmissions, total_reached) = (acc.total_transmissions(), acc.total_reached());
-    PointRecord::from_estimate(
+    Some(PointRecord::from_estimate(
         point,
         (graph.n(), graph.m()),
         &acc.finish(point.cap),
         total_transmissions,
         total_reached,
         point_timing(started, trial_secs),
-    )
+    ))
 }
 
 /// Folds a point's wall clock and per-trial seconds into the record's
@@ -585,6 +623,292 @@ fn point_timing(started: Instant, mut trial_secs: Vec<f64>) -> PointTiming {
         trial_median: q(0.5),
         trial_q75: q(0.75),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Queue-riding sweeps with live events and graceful interruption
+// ---------------------------------------------------------------------------
+
+/// What happened to one expanded point — the lifecycle vocabulary
+/// shared by `cobra-exps sweep --watch` and the `cobra-serve` NDJSON
+/// event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Served warm from the content-addressed store; never ran.
+    Cached,
+    /// A worker claimed the point and its trials are running.
+    Started,
+    /// Computed this run and persisted to the store.
+    Computed,
+    /// Served by an identical point computed elsewhere (an expansion
+    /// twin, or — in the daemon — another client's in-flight job).
+    Deduped,
+    /// Discarded before completion (shutdown or explicit cancel); the
+    /// point stays missing and the next run recomputes it.
+    Cancelled,
+}
+
+impl PointStatus {
+    /// The wire spelling used in NDJSON events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PointStatus::Cached => "cached",
+            PointStatus::Started => "started",
+            PointStatus::Computed => "computed",
+            PointStatus::Deduped => "deduped",
+            PointStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One per-point lifecycle event. Terminal statuses (`cached`,
+/// `computed`, `deduped`) carry the finished record; `started` and
+/// `cancelled` carry `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointEvent {
+    /// Index into the expansion (stable for a given spec).
+    pub index: usize,
+    pub status: PointStatus,
+    /// The point's content digest (store address).
+    pub key: String,
+    pub objective: String,
+    pub graph: String,
+    pub process: String,
+    pub record: Option<PointRecord>,
+}
+
+impl PointEvent {
+    fn from_planned(index: usize, planned: &PlannedPoint, status: PointStatus) -> PointEvent {
+        PointEvent {
+            index,
+            status,
+            key: planned.point.digest_hex(),
+            objective: planned.point.objective.to_string(),
+            graph: planned.point.graph.to_string(),
+            process: planned.point.process.to_string(),
+            record: None,
+        }
+    }
+
+    fn with_record(mut self, record: PointRecord) -> PointEvent {
+        self.record = Some(record);
+        self
+    }
+
+    /// The NDJSON encoding: the identity fields always, plus the
+    /// streamed summary for terminal statuses that carry a record.
+    /// Callers (the daemon) may append envelope fields — the value is a
+    /// [`Json::Object`](cobra_util::Json::Object) with insertion-ordered
+    /// keys.
+    pub fn to_json(&self) -> cobra_util::Json {
+        use cobra_util::json::obj;
+        use cobra_util::Json;
+        let mut event = obj([
+            ("type", Json::Str("point".into())),
+            ("index", Json::Int(self.index as i128)),
+            ("status", Json::Str(self.status.as_str().into())),
+            ("key", Json::Str(self.key.clone())),
+            ("objective", Json::Str(self.objective.clone())),
+            ("graph", Json::Str(self.graph.clone())),
+            ("process", Json::Str(self.process.clone())),
+        ]);
+        if let (Json::Object(fields), Some(rec)) = (&mut event, &self.record) {
+            for (key, value) in [
+                ("trials", Json::Int(rec.trials as i128)),
+                ("completed", Json::Int(rec.completed as i128)),
+                ("censored", Json::Int(rec.censored as i128)),
+                ("mean", Json::Float(rec.mean)),
+                ("median", Json::Float(rec.median)),
+                ("q25", Json::Float(rec.q25)),
+                ("q75", Json::Float(rec.q75)),
+                ("wall_seconds", Json::Float(rec.wall_seconds)),
+            ] {
+                fields.push((key.to_string(), value));
+            }
+        }
+        event
+    }
+}
+
+/// The outcome of [`run_sweep_watched`]: like [`RunOutcome`], but able
+/// to represent a gracefully interrupted run — cancelled points simply
+/// have no record yet.
+#[derive(Debug)]
+pub struct WatchOutcome {
+    /// One slot per point in expansion order; `None` means the point
+    /// was cancelled before completing (only under interruption).
+    pub records: Vec<Option<PointRecord>>,
+    /// Points served from the store (expansion duplicates included).
+    pub cached: usize,
+    /// Points computed and persisted this run.
+    pub computed: usize,
+    /// Points cancelled by the interrupt flag.
+    pub cancelled: usize,
+    /// True when the cancel flag stopped the run early.
+    pub interrupted: bool,
+    /// Graph-cache accounting from the planning phase.
+    pub cache_stats: PlanCacheStats,
+}
+
+impl WatchOutcome {
+    /// The records of a run that was *not* interrupted, in expansion
+    /// order. Panics on an interrupted outcome.
+    pub fn complete_records(&self) -> Vec<PointRecord> {
+        self.records
+            .iter()
+            .map(|r| r.clone().expect("complete run has every record"))
+            .collect()
+    }
+}
+
+/// [`run_sweep`] riding the [`JobQueue`] directly, with per-point
+/// lifecycle events and graceful interruption — the engine under
+/// `cobra-exps sweep --watch` and plain `sweep` runs (where the flag is
+/// wired to SIGINT/SIGTERM).
+///
+/// Missing points are submitted to a single-lane queue at cost =
+/// trials and drained by `threads` workers (0 = one per core). Every
+/// finished record is appended (and flushed) to the store before its
+/// `computed` event fires. When `cancel` flips, the queue shuts down:
+/// queued points are discarded, in-flight points stop at their next
+/// trial boundary, and everything already persisted stays — the run
+/// loses at most one trial per worker beyond the records it kept.
+///
+/// Results are bit-identical to [`run_sweep`] by construction (point
+/// seeds derive from content keys, never from scheduling); the
+/// queue-vs-direct golden test pins this.
+pub fn run_sweep_watched(
+    spec: &SweepSpec,
+    store: &mut Store,
+    threads: usize,
+    cap_policy: CapPolicy<'_>,
+    on_event: &(dyn Fn(&PointEvent) + Sync),
+    cancel: &AtomicBool,
+) -> Result<WatchOutcome, CampaignError> {
+    let plan = plan_sweep(spec, store, cap_policy)?;
+    for &index in &plan.cached {
+        let planned = &plan.points[index];
+        let record = store
+            .get(&planned.point.digest_hex(), &planned.point.full_key())
+            .expect("plan partitioned this point as cached")
+            .clone();
+        on_event(
+            &PointEvent::from_planned(index, planned, PointStatus::Cached).with_record(record),
+        );
+    }
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(plan.missing.len().max(1));
+    let queue: JobQueue<usize> = JobQueue::new();
+    let lane = queue.lane();
+    for &index in &plan.missing {
+        let cost = plan.points[index].point.trials as u64;
+        queue
+            .submit(lane, cost, index)
+            .expect("freshly created queue accepts submissions");
+    }
+    queue.close();
+
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let fresh: Mutex<Vec<PointRecord>> = Mutex::new(Vec::with_capacity(plan.missing.len()));
+    let drained = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The interrupt relay: flag → queue shutdown. Polling (rather
+        // than a condvar) keeps the flag a plain AtomicBool a signal
+        // handler can set.
+        let relay = scope.spawn(|| {
+            while !drained.load(Ordering::Acquire) {
+                if cancel.load(Ordering::Acquire) {
+                    queue.shutdown();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+        drain_with(&queue, threads, StepCtx::new, |ctx, index, token| {
+            let planned = &plan.points[index];
+            on_event(&PointEvent::from_planned(
+                index,
+                planned,
+                PointStatus::Started,
+            ));
+            // A cancelled point (None) gets its terminal event from the
+            // post-drain sweep below — one source for claimed and
+            // never-claimed points alike.
+            if let Some(record) =
+                run_point_cancellable(&planned.point, &planned.topology, ctx, token)
+            {
+                if let Err(e) = store.append(&record) {
+                    io_error.lock().expect("io error slot").get_or_insert(e);
+                }
+                on_event(
+                    &PointEvent::from_planned(index, planned, PointStatus::Computed)
+                        .with_record(record.clone()),
+                );
+                fresh.lock().expect("fresh records slot").push(record);
+            }
+        });
+        drained.store(true, Ordering::Release);
+        relay.join().expect("interrupt relay never panics");
+    });
+    if let Some(e) = io_error.into_inner().expect("io error slot") {
+        return Err(CampaignError::Io(format!(
+            "cannot append to result store: {e}"
+        )));
+    }
+
+    let fresh = fresh.into_inner().expect("fresh records slot");
+    let computed = fresh.len();
+    store.absorb(fresh);
+    let interrupted = cancel.load(Ordering::Acquire);
+    let mut records: Vec<Option<PointRecord>> = Vec::with_capacity(plan.len());
+    let mut cancelled = 0;
+    let mut duplicates_served = 0;
+    for (index, planned) in plan.points.iter().enumerate() {
+        let point = &planned.point;
+        let rec = store.get(&point.digest_hex(), &point.full_key()).cloned();
+        match &rec {
+            Some(record) => {
+                // Expansion twins resolve to their computed sibling's
+                // record; emit their terminal event now that it exists.
+                if plan.duplicates.contains(&index) {
+                    duplicates_served += 1;
+                    on_event(
+                        &PointEvent::from_planned(index, planned, PointStatus::Deduped)
+                            .with_record(record.clone()),
+                    );
+                }
+            }
+            None => {
+                // Claimed-then-aborted and never-claimed points alike
+                // end here (a cancelled twin leaves its duplicates
+                // recordless too); this loop is the single emitter of
+                // terminal `cancelled` events, in expansion order.
+                cancelled += 1;
+                on_event(&PointEvent::from_planned(
+                    index,
+                    planned,
+                    PointStatus::Cancelled,
+                ));
+            }
+        }
+        records.push(rec);
+    }
+    debug_assert!(interrupted || cancelled == 0, "only interrupts cancel");
+    Ok(WatchOutcome {
+        records,
+        cached: plan.cached.len() + duplicates_served,
+        computed,
+        cancelled,
+        interrupted,
+        cache_stats: plan.cache_stats,
+    })
 }
 
 #[cfg(test)]
@@ -980,6 +1304,132 @@ mod tests {
             .collect();
         let out = run_graph_jobs(&specs, 1, 4, |i, g, _ctx| (i, g.n())).unwrap();
         assert_eq!(out, vec![(0, 8), (1, 12), (2, 8)]);
+    }
+
+    #[test]
+    fn watched_sweep_is_bit_identical_to_direct_run() {
+        // The queue-vs-direct golden: the same grid through the fair-
+        // share queue (watched path) and through run_sweep must agree
+        // bit for bit, at any thread count.
+        let spec = small_spec();
+        let direct = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        let never = AtomicBool::new(false);
+        let watched = run_sweep_watched(
+            &spec,
+            &mut Store::in_memory(),
+            4,
+            &default_cap,
+            &|_| {},
+            &never,
+        )
+        .unwrap();
+        assert!(!watched.interrupted);
+        assert_eq!(watched.cancelled, 0);
+        assert_eq!(watched.computed, 8);
+        assert_eq!(direct.records, watched.complete_records());
+    }
+
+    #[test]
+    fn watched_sweep_emits_lifecycle_events() {
+        let spec = small_spec();
+        let mut store = Store::in_memory();
+        let never = AtomicBool::new(false);
+        let events = Mutex::new(Vec::new());
+        run_sweep_watched(
+            &spec,
+            &mut store,
+            1,
+            &default_cap,
+            &|e| {
+                events.lock().unwrap().push(e.clone());
+            },
+            &never,
+        )
+        .unwrap();
+        let events = events.into_inner().unwrap();
+        let started = events.iter().filter(|e| e.status == PointStatus::Started);
+        let computed: Vec<_> = events
+            .iter()
+            .filter(|e| e.status == PointStatus::Computed)
+            .collect();
+        assert_eq!(started.count(), 8);
+        assert_eq!(computed.len(), 8);
+        for e in &computed {
+            let rec = e.record.as_ref().expect("computed events carry records");
+            assert_eq!(rec.key, e.key);
+            // The NDJSON encoding carries the summary fields.
+            let json = e.to_json();
+            assert_eq!(json.get("status").unwrap().as_str(), Some("computed"));
+            assert!(json.get("mean").is_some());
+        }
+        // A warm re-run emits only cached events, again with records.
+        let events = Mutex::new(Vec::new());
+        let out = run_sweep_watched(
+            &spec,
+            &mut store,
+            1,
+            &default_cap,
+            &|e| {
+                events.lock().unwrap().push(e.clone());
+            },
+            &never,
+        )
+        .unwrap();
+        assert_eq!((out.computed, out.cached), (0, 8));
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.len(), 8);
+        assert!(events
+            .iter()
+            .all(|e| e.status == PointStatus::Cached && e.record.is_some()));
+    }
+
+    #[test]
+    fn pre_cancelled_watched_sweep_computes_nothing_and_resumes() {
+        let spec = small_spec();
+        let mut store = Store::in_memory();
+        let cancel = AtomicBool::new(true);
+        let out = run_sweep_watched(&spec, &mut store, 2, &default_cap, &|_| {}, &cancel).unwrap();
+        assert!(out.interrupted);
+        assert_eq!(out.computed, 0);
+        assert_eq!(out.cancelled, 8);
+        assert!(out.records.iter().all(Option::is_none));
+        assert!(store.is_empty(), "nothing persisted from a cancelled run");
+        // The next (uncancelled) run computes exactly what was lost and
+        // matches a direct run bit for bit.
+        let cancel = AtomicBool::new(false);
+        let resumed =
+            run_sweep_watched(&spec, &mut store, 1, &default_cap, &|_| {}, &cancel).unwrap();
+        assert_eq!(resumed.computed, 8);
+        let direct = run_sweep(&spec, &mut Store::in_memory(), 1, &default_cap).unwrap();
+        assert_eq!(direct.records, resumed.complete_records());
+    }
+
+    #[test]
+    fn watched_sweep_serves_expansion_twins_as_deduped_events() {
+        let spec: SweepSpec = "cover; graph=cycle:{8..10}|cycle:{9..11}; process=rw; trials=3"
+            .parse()
+            .unwrap();
+        let never = AtomicBool::new(false);
+        let events = Mutex::new(Vec::new());
+        let out = run_sweep_watched(
+            &spec,
+            &mut Store::in_memory(),
+            1,
+            &default_cap,
+            &|e| events.lock().unwrap().push(e.clone()),
+            &never,
+        )
+        .unwrap();
+        assert_eq!((out.computed, out.cached), (4, 2));
+        let events = events.into_inner().unwrap();
+        let deduped: Vec<_> = events
+            .iter()
+            .filter(|e| e.status == PointStatus::Deduped)
+            .collect();
+        assert_eq!(deduped.len(), 2);
+        for e in deduped {
+            assert!(e.record.is_some(), "deduped events carry the twin's record");
+        }
     }
 
     #[test]

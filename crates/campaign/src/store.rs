@@ -27,11 +27,12 @@
 
 use cobra_mc::StoppingEstimate;
 use cobra_util::json::{obj, Json};
+use cobra_util::FileLock;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One finished point: the resolved identity plus the streamed
 /// stopping-time summary the artifact layer folds. Integer fields stay
@@ -297,6 +298,10 @@ pub struct Store {
     records: HashMap<String, PointRecord>,
     path: Option<PathBuf>,
     writer: Option<Mutex<File>>,
+    /// Advisory writer lock on the campaign directory, held for the
+    /// store's lifetime so a second writer fails fast instead of
+    /// interleaving appends (see [`Store::open`]).
+    _writer_lock: Option<FileLock>,
 }
 
 impl Store {
@@ -308,15 +313,40 @@ impl Store {
             records: HashMap::new(),
             path: None,
             writer: None,
+            _writer_lock: None,
         }
     }
 
     /// Opens (creating if needed) the store directory and loads every
     /// readable record from `results.jsonl`. Unreadable lines are
     /// skipped; duplicate keys resolve to the last line.
+    ///
+    /// Exactly one live writer per campaign directory: `open` takes an
+    /// advisory `flock` on `<dir>/.lock` and fails fast with a
+    /// [`std::io::ErrorKind::WouldBlock`] error naming the directory
+    /// when another writer (this process or another) already holds it.
+    /// Appends from two writers would interleave raggedly in
+    /// `results.jsonl`; concurrent campaigns must instead share one
+    /// handle — see [`SharedStore`], which is what the daemon does.
+    /// The lock releases when the store drops (or the process dies).
+    /// Read-only access ([`Store::load`]) never locks.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Store> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        let writer_lock = match FileLock::try_acquire(&dir.join(".lock"))? {
+            Some(lock) => Some(lock),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    format!(
+                        "campaign store {} already has a live writer \
+                         (held advisory lock on .lock); share one store \
+                         handle instead of opening a second",
+                        dir.display()
+                    ),
+                ));
+            }
+        };
         let path = dir.join("results.jsonl");
         let records = read_records(&path);
         let mut writer = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -340,17 +370,20 @@ impl Store {
             records,
             path: Some(path),
             writer: Some(Mutex::new(writer)),
+            _writer_lock: writer_lock,
         })
     }
 
     /// Read-only load: indexes whatever records exist under `dir`
     /// without creating the directory or the backing file, and never
-    /// persists appends — the store a `--dry-run` inspects.
+    /// persists appends — the store a `--dry-run` inspects. Takes no
+    /// writer lock, so it works while a writer is live.
     pub fn load(dir: impl AsRef<Path>) -> Store {
         Store {
             records: read_records(&dir.as_ref().join("results.jsonl")),
             path: None,
             writer: None,
+            _writer_lock: None,
         }
     }
 
@@ -396,6 +429,68 @@ impl Store {
         for rec in recs {
             self.records.insert(rec.key.clone(), rec);
         }
+    }
+}
+
+/// A cloneable read/append handle over one [`Store`], safe under
+/// concurrent campaigns — the handle the `cobra-serve` daemon keeps per
+/// campaign directory so every client submitting against the same sweep
+/// name shares one writer (and therefore one advisory writer lock).
+///
+/// Reads take a shared lock; [`SharedStore::record`] takes the
+/// exclusive lock for the append + index in one step, so a point
+/// becomes visible to dedup lookups atomically with its persistence.
+#[derive(Debug, Clone)]
+pub struct SharedStore {
+    inner: Arc<RwLock<Store>>,
+}
+
+impl SharedStore {
+    /// Wraps an already-opened store.
+    pub fn new(store: Store) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Opens `dir` (taking the single-writer lock) and wraps it.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<SharedStore> {
+        Ok(SharedStore::new(Store::open(dir)?))
+    }
+
+    /// A shared handle over an in-memory store.
+    pub fn in_memory() -> SharedStore {
+        SharedStore::new(Store::in_memory())
+    }
+
+    /// Cloned record lookup (digest + full-key verification).
+    pub fn get(&self, key: &str, full_key: &str) -> Option<PointRecord> {
+        self.read(|store| store.get(key, full_key).cloned())
+    }
+
+    /// Appends to the backing file and indexes the record atomically —
+    /// after this returns, concurrent planners see the point as cached.
+    pub fn record(&self, rec: &PointRecord) -> std::io::Result<()> {
+        let mut store = self.inner.write().expect("shared store poisoned");
+        store.append(rec)?;
+        store.absorb([rec.clone()]);
+        Ok(())
+    }
+
+    /// Records currently indexed.
+    pub fn len(&self) -> usize {
+        self.read(Store::len)
+    }
+
+    /// True when no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.read(Store::is_empty)
+    }
+
+    /// Runs `f` under the shared read lock — how the daemon plans a
+    /// sweep against a consistent snapshot of the store.
+    pub fn read<T>(&self, f: impl FnOnce(&Store) -> T) -> T {
+        f(&self.inner.read().expect("shared store poisoned"))
     }
 }
 
@@ -606,6 +701,59 @@ mod tests {
         loaded.append(&record("bbbb", 9)).unwrap();
         assert_eq!(Store::load(&dir).len(), 1);
         assert_eq!(loaded.get("aaaa", &rec.spec), Some(&rec));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn second_writer_fails_fast_with_named_error() {
+        let dir = std::env::temp_dir().join(format!("cobra-store-lock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = Store::open(&dir).unwrap();
+        let err = Store::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert!(
+            err.to_string().contains("already has a live writer"),
+            "error must name the conflict: {err}"
+        );
+        assert!(err.to_string().contains("cobra-store-lock"));
+        // Read-only access stays possible while the writer is live...
+        let ro = Store::load(&dir);
+        assert!(ro.is_empty());
+        // ...and dropping the writer releases the lock.
+        drop(first);
+        let again = Store::open(&dir).unwrap();
+        drop(again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_store_serves_concurrent_readers_and_appenders() {
+        let dir = std::env::temp_dir().join(format!("cobra-store-shared-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shared = SharedStore::open(&dir).unwrap();
+        // Concurrent appends through clones of one handle — what the
+        // daemon's worker pool does as points finish.
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..8u32 {
+                        let rec = record(&format!("k{t:02}{i:02}"), 8);
+                        handle.record(&rec).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), 32);
+        // record() is append + index in one step: visible immediately.
+        let rec = record("k0003", 8);
+        assert_eq!(shared.get("k0003", &rec.spec), Some(rec));
+        drop(shared);
+        // Every append persisted as a clean line.
+        let reloaded = Store::open(&dir).unwrap();
+        assert_eq!(reloaded.len(), 32);
+        drop(reloaded);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -603,11 +603,31 @@ pub fn try_open_cached(source: &Path, digest: u64, giant: bool) -> Option<Mapped
 
 /// Cold path: parse the text file, optionally restrict to the giant
 /// component, and best-effort write the binary cache for next time.
+///
+/// The parse + cache write runs under an advisory lock on a `.lock`
+/// sibling of the cache file, so two processes cold-loading the same
+/// source concurrently cannot race the temp-file rename: the loser
+/// blocks until the winner finishes, re-checks the now-warm cache, and
+/// serves the winner's `.csrbin` instead of re-parsing. Lock
+/// acquisition failure (exotic filesystems) degrades to the unlocked
+/// cold path — the atomic rename still keeps the cache file itself
+/// consistent, the lock only removes the duplicated work and the rename
+/// race window.
 pub fn load_and_cache(
     source: &Path,
     digest: u64,
     giant: bool,
 ) -> Result<(Graph, IngestStats), IngestError> {
+    let cache = cache_path(source, giant);
+    let lock_path = cache.with_extension("csrbin.lock");
+    let _lock = cobra_util::FileLock::acquire(&lock_path).ok();
+    if _lock.is_some() {
+        // Another loader may have populated the cache while we waited.
+        if let Some(mapped) = try_open_cached(source, digest, giant) {
+            let g = mapped.to_graph();
+            return Ok((g, IngestStats::default()));
+        }
+    }
     let (full, stats) = load_edge_list(source)?;
     let g = if giant {
         props::largest_component(&full).0
@@ -616,7 +636,7 @@ pub fn load_and_cache(
     };
     // A cache-write failure (read-only fixture dir, full disk) only costs
     // the next load a re-parse.
-    let _ = write_csrbin(&cache_path(source, giant), &g, digest, giant);
+    let _ = write_csrbin(&cache, &g, digest, giant);
     Ok((g, stats))
 }
 
@@ -796,5 +816,35 @@ mod tests {
         // The two cache files are distinct.
         assert!(cache_path(&path, false).exists());
         assert!(cache_path(&path, true).exists());
+    }
+
+    #[test]
+    fn concurrent_cold_loads_serialize_on_the_cache_lock() {
+        let dir = scratch("race");
+        let path = dir.join("ring.snap");
+        let edges: String = (0..64)
+            .map(|i| format!("{} {}\n", i, (i + 1) % 64))
+            .collect();
+        fs::write(&path, edges).unwrap();
+        let digest = digest_file(&path).unwrap();
+
+        // Many simultaneous cold loads: the lock serializes the parse +
+        // rename, late arrivals serve the winner's cache, and every
+        // loader sees the same graph. flock contends per open
+        // descriptor, so in-process threads exercise the same path two
+        // processes would.
+        let graphs: Vec<Graph> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| load_and_cache(&path, digest, false).unwrap().0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for g in &graphs {
+            assert_eq!(g, &graphs[0]);
+        }
+        // The cache survived the stampede and is structurally valid.
+        let warm = try_open_cached(&path, digest, false).unwrap();
+        assert!(warm.verify_checksums());
+        assert_eq!(warm.to_graph(), graphs[0]);
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod engine;
 pub mod objective;
+pub mod queue;
 pub mod runner;
 pub mod seed;
 pub mod shard;
@@ -39,6 +40,7 @@ pub use engine::{
 pub use objective::{
     HitTarget, Objective, StoppingAccumulator, StoppingEstimate, OBJECTIVE_USAGES,
 };
+pub use queue::{CancelToken, Claimed, JobQueue, LaneId, QueueClosed, QueueStats};
 pub use runner::{run_jobs, run_trials, run_trials_with, RunConfig};
 pub use seed::{key_seed, shard_seed, trial_seed, SeedSequence};
 pub use shard::{run_sharded_trial, run_sharded_trial_probed, run_sharded_trials};

@@ -131,17 +131,48 @@ where
 /// `cobra_process::StepCtx` whose scratch buffers amortize across whole
 /// sweep points, not just trials. Output is ordered by job index,
 /// identical for any thread count.
+///
+/// Since the service-mode work, this rides [`crate::queue::JobQueue`] —
+/// the same scheduler the `cobra-serve` daemon multiplexes campaigns
+/// on — as a single-lane batch: all jobs submitted up front, the queue
+/// closed, and [`crate::queue::drain_with`] worker threads draining it.
+/// Results are unchanged by construction: `f` sees only `(state,
+/// index)`, so scheduling (direct or queued) is never observable.
 pub fn run_jobs<S, T, I, F>(threads: usize, jobs: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    run_trials_with(
-        RunConfig::new(jobs, 0).with_threads(threads),
-        init,
-        |state, _seed, index| f(state, index),
-    )
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if threads == 0 { auto } else { threads }.min(jobs);
+
+    let queue: crate::queue::JobQueue<usize> = crate::queue::JobQueue::new();
+    let lane = queue.lane();
+    for i in 0..jobs {
+        queue
+            .submit(lane, 1, i)
+            .expect("queue closed before batch submission finished");
+    }
+    queue.close();
+
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(jobs));
+    crate::queue::drain_with(&queue, threads, init, |state, index, _token| {
+        let out = f(state, index);
+        results
+            .lock()
+            .expect("worker panicked while holding results lock")
+            .push((index, out));
+    });
+    let mut collected = results.into_inner().expect("all workers joined");
+    collected.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(collected.len(), jobs);
+    collected.into_iter().map(|(_, t)| t).collect()
 }
 
 #[cfg(test)]

@@ -61,7 +61,7 @@ pub mod sink;
 pub mod status;
 pub mod timer;
 
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, SharedRegistry};
 pub use probe::{NoProbe, Probe, RoundRecord, TrialTotals};
 pub use sink::{
     MemorySink, NullSink, RecordedRound, RegistrySink, RoundSink, SinkProbe, TraceWriter,

@@ -1,0 +1,281 @@
+//! A minimal blocking client for the campaign service — enough for the
+//! CLI's `loadtest` driver, the CI smoke test, and integration tests:
+//! plain GET/POST helpers over one `TcpStream` each, NDJSON event
+//! streaming with per-line callbacks, and the multi-client loadtest
+//! harness that commits points/sec to `BENCH_serve.json`.
+
+use crate::http::read_chunked_body;
+use cobra_util::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// A fully-buffered response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.text()).map_err(|e| format!("{e}"))
+    }
+}
+
+/// One GET, fully buffered (chunked bodies are decoded).
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", path, b"")
+}
+
+/// One POST with a body, fully buffered.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+    request(addr, "POST", path, body)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, chunked) = read_response_head(&mut reader)?;
+    let body = if chunked {
+        read_chunked_body(&mut reader)?
+    } else {
+        let mut buf = Vec::new();
+        io::Read::read_to_end(&mut reader, &mut buf)?;
+        buf
+    };
+    Ok(HttpResponse { status, body })
+}
+
+/// Parses the status line + headers, returning (status, is-chunked).
+fn read_response_head(reader: &mut impl BufRead) -> io::Result<(u16, bool)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line: {line:?}"),
+            )
+        })?;
+    let mut chunked = false;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    Ok((status, chunked))
+}
+
+/// Streams `GET <path>` as NDJSON, invoking `on_line` for each complete
+/// line as it arrives (chunk boundaries need not align with lines).
+/// Returns the number of lines seen.
+pub fn stream_ndjson(
+    addr: SocketAddr,
+    path: &str,
+    mut on_line: impl FnMut(&str),
+) -> io::Result<usize> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, chunked) = read_response_head(&mut reader)?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("event stream returned {status}"),
+        ));
+    }
+    // Decode the whole chunked body, then split lines. The server
+    // flushes per event, so a *live* consumer could decode
+    // incrementally; buffering is fine for the drivers here because the
+    // stream terminates at `done`.
+    let body = if chunked {
+        read_chunked_body(&mut reader)?
+    } else {
+        let mut buf = Vec::new();
+        io::Read::read_to_end(&mut reader, &mut buf)?;
+        buf
+    };
+    let text = String::from_utf8_lossy(&body);
+    let mut lines = 0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        on_line(line);
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// What one loadtest run measured, across all clients.
+#[derive(Debug, Clone, Default)]
+pub struct LoadtestReport {
+    pub clients: usize,
+    pub campaigns: usize,
+    /// Total points across all submitted campaigns (expansion size).
+    pub points_total: usize,
+    pub computed: usize,
+    pub cached: usize,
+    pub deduped: usize,
+    pub cancelled: usize,
+    pub wall_seconds: f64,
+    /// Resolved points per second of wall time.
+    pub points_per_sec: f64,
+    /// Event lines that failed to parse as JSON (should be zero).
+    pub event_parse_errors: usize,
+}
+
+/// Drives `clients` concurrent clients against a running daemon: each
+/// submits its spec (clients cycle through `specs`), streams the
+/// campaign's events to completion, and tallies terminal statuses.
+/// Duplicate specs across clients exercise the cross-client dedup path.
+pub fn run_loadtest(
+    addr: SocketAddr,
+    clients: usize,
+    specs: &[String],
+) -> Result<LoadtestReport, String> {
+    if specs.is_empty() {
+        return Err("loadtest needs at least one spec".to_string());
+    }
+    let started = Instant::now();
+    let tallies: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let spec = &specs[i % specs.len()];
+                scope.spawn(move || run_client(addr, spec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadtest client never panics"))
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let mut report = LoadtestReport {
+        clients,
+        wall_seconds,
+        ..LoadtestReport::default()
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.campaigns += 1;
+        report.points_total += tally.total;
+        report.computed += tally.computed;
+        report.cached += tally.cached;
+        report.deduped += tally.deduped;
+        report.cancelled += tally.cancelled;
+        report.event_parse_errors += tally.parse_errors;
+    }
+    let resolved = report.computed + report.cached + report.deduped;
+    report.points_per_sec = if wall_seconds > 0.0 {
+        resolved as f64 / wall_seconds
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+#[derive(Debug, Default)]
+struct ClientTally {
+    total: usize,
+    computed: usize,
+    cached: usize,
+    deduped: usize,
+    cancelled: usize,
+    parse_errors: usize,
+}
+
+/// One client: POST the campaign, then stream its events to the `done`
+/// marker, tallying terminal statuses from the stream (not the status
+/// endpoint — the stream is the product under test).
+fn run_client(addr: SocketAddr, spec: &str) -> Result<ClientTally, String> {
+    let response =
+        post(addr, "/campaigns", spec.as_bytes()).map_err(|e| format!("POST /campaigns: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "POST /campaigns returned {}: {}",
+            response.status,
+            response.text()
+        ));
+    }
+    let receipt = response.json()?;
+    let id = receipt
+        .get("campaign")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("receipt missing campaign id: {}", response.text()))?;
+    let mut tally = ClientTally {
+        total: receipt.get("total").and_then(|v| v.as_usize()).unwrap_or(0),
+        ..ClientTally::default()
+    };
+    stream_ndjson(addr, &format!("/campaigns/{id}/events"), |line| {
+        let Ok(event) = Json::parse(line) else {
+            tally.parse_errors += 1;
+            return;
+        };
+        match event.get("status").and_then(|s| s.as_str()) {
+            Some("computed") => tally.computed += 1,
+            Some("cached") => tally.cached += 1,
+            Some("deduped") => tally.deduped += 1,
+            Some("cancelled") => tally.cancelled += 1,
+            _ => {} // started / done
+        }
+    })
+    .map_err(|e| format!("event stream: {e}"))?;
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+
+    #[test]
+    fn response_head_parses_status_and_chunking() {
+        let head = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let (status, chunked) = read_response_head(&mut BufReader::new(head.as_bytes())).unwrap();
+        assert_eq!(status, 200);
+        assert!(chunked);
+        let head = "HTTP/1.1 404 Not Found\r\nContent-Length: 4\r\n\r\n";
+        let (status, chunked) = read_response_head(&mut BufReader::new(head.as_bytes())).unwrap();
+        assert_eq!(status, 404);
+        assert!(!chunked);
+    }
+
+    #[test]
+    fn request_type_is_shared_with_server() {
+        // The client and server speak through the same parser types.
+        let raw = b"POST /campaigns HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let req = Request::read_from(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+}

@@ -1,0 +1,90 @@
+//! Process-level shutdown signalling: SIGINT / SIGTERM flip one static
+//! atomic flag that long-running loops (the daemon's accept loop,
+//! `sweep --watch`'s interrupt relay) poll at their own cadence.
+//!
+//! The handler does the only thing a signal handler can safely do —
+//! a relaxed store into a `static AtomicBool` — and everything else
+//! (queue shutdown, draining, flushing) happens on normal threads that
+//! observe the flag. The second signal is not special-cased: the flag
+//! is already set and the drain is already underway; a user who wants
+//! an immediate stop can still SIGKILL.
+//!
+//! Installed via the C `signal(2)` entry point through a direct FFI
+//! declaration (the crate policy everywhere in this workspace: no libc
+//! dependency). On non-Unix targets installation is a no-op and the
+//! flag only ever flips programmatically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide shutdown flag. Readable from anywhere; set by the
+/// installed signal handlers (or manually, in tests).
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// True once a shutdown signal has been observed.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// Installs SIGINT and SIGTERM handlers that set [`shutdown_flag`].
+/// Idempotent; a no-op off Unix.
+pub fn install_handlers() {
+    sys::install();
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)`. The previous-handler return value is unused, so
+        /// it is declared as a bare pointer-sized integer.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn flag_flips_and_is_visible() {
+        install_handlers(); // must not crash or alter the flag
+        assert_eq!(
+            shutdown_requested(),
+            shutdown_flag().load(Ordering::Acquire)
+        );
+        // Flip programmatically (raising a real SIGINT would kill the
+        // whole test harness on some runners); observe through both
+        // accessors, then restore.
+        shutdown_flag().store(true, Ordering::Release);
+        assert!(shutdown_requested());
+        shutdown_flag().store(false, Ordering::Release);
+        assert!(!shutdown_requested());
+    }
+}

@@ -13,14 +13,18 @@
 //!   graph-spec digests).
 //! * [`json`] — a minimal exact-round-trip JSON writer/parser shared by
 //!   the benchmark records and the campaign result store.
+//! * [`lockfile`] — advisory cross-process file locks (`flock(2)`),
+//!   guarding the graph-cache cold path and campaign store writers.
 
 pub mod bitset;
 pub mod hash;
 pub mod json;
+pub mod lockfile;
 pub mod math;
 pub mod unionfind;
 
 pub use bitset::BitSet;
 pub use hash::{fnv1a_64, fnv1a_str, hex16, Fnv1a};
 pub use json::{Json, JsonError};
+pub use lockfile::FileLock;
 pub use unionfind::UnionFind;

@@ -101,8 +101,10 @@ fn torn_trailing_line_is_recomputed_not_fatal() {
     let torn = &text[..text.len() - 40];
     std::fs::write(&path, torn).unwrap();
 
-    let mut store = Store::open(&dir).unwrap();
-    let resumed = run_sweep(&spec, &mut store, 0, &cap_policy).unwrap();
+    let resumed = {
+        let mut store = Store::open(&dir).unwrap();
+        run_sweep(&spec, &mut store, 0, &cap_policy).unwrap()
+    };
     assert_eq!(resumed.computed, 1, "exactly the torn point reruns");
     assert_eq!(resumed.cached, 11);
 
